@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the DHT substrate: CAN geometry and
+//! routing, overlay construction, Chord steps, and the simulator's event
+//! loop throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pier_dht::can::{balanced_overlay, balanced_zones};
+use pier_dht::chord::{balanced_chord_overlay, ring_of_key};
+use pier_dht::geom::{Point, Zone};
+use pier_simnet::time::{Dur, Time};
+use pier_simnet::{NetConfig, Sim};
+
+fn bench_geometry(c: &mut Criterion) {
+    let zones = balanced_zones(1024, 4);
+    c.bench_function("zone_contains_1024", |b| {
+        let p = Point::from_key(12345, 4);
+        b.iter(|| black_box(zones.iter().filter(|z| z.contains(black_box(p), 4)).count()))
+    });
+    c.bench_function("zone_dist2", |b| {
+        let p = Point::from_key(999, 4);
+        let z = zones[17];
+        b.iter(|| black_box(z.dist2(black_box(p), 4)))
+    });
+    c.bench_function("zone_subtract", |b| {
+        let whole = Zone::whole(4);
+        let inner = zones[3];
+        b.iter(|| black_box(whole.subtract(black_box(&inner), 4)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let states = balanced_overlay(1024, 4, Time::ZERO);
+    c.bench_function("can_greedy_route_1024", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            let p = Point::from_key(key, 4);
+            let mut cur = 0usize;
+            let mut hops = 0;
+            while !states[cur].owns_point(p) && hops < 100 {
+                cur = states[cur].next_hop(p).unwrap() as usize;
+                hops += 1;
+            }
+            black_box(hops)
+        })
+    });
+    let ring = balanced_chord_overlay(1024, Time::ZERO);
+    c.bench_function("chord_find_succ_1024", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            let pos = ring_of_key(key);
+            let mut cur = 0usize;
+            let mut hops = 0u32;
+            loop {
+                match ring[cur].find_succ_step(pos) {
+                    Ok((_, id)) => break black_box(id + hops),
+                    Err(next) => {
+                        cur = next as usize;
+                        hops += 1;
+                    }
+                }
+            }
+        })
+    });
+}
+
+fn bench_overlay_build(c: &mut Criterion) {
+    c.bench_function("balanced_overlay_256", |b| {
+        b.iter(|| black_box(balanced_overlay(256, 4, Time::ZERO)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // End-to-end simulator throughput: a 64-node multicast, measured as
+    // whole-simulation wall time.
+    c.bench_function("sim_multicast_64", |b| {
+        b.iter(|| {
+            let mut sim: Sim<pier_dht::harness::DhtNode<Vec<u8>>> =
+                pier_dht::harness::stabilized_can_sim(
+                    64,
+                    pier_dht::DhtConfig::static_network(),
+                    NetConfig::latency_only(1),
+                );
+            sim.with_app(0, |node, ctx| {
+                let mut env = pier_dht::CtxEnv { ctx };
+                let mut ev = Vec::new();
+                node.dht.multicast(&mut env, vec![1, 2, 3], &mut ev);
+            });
+            sim.run_for(Dur::from_secs(30));
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_geometry, bench_routing, bench_overlay_build, bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the query processor: expression
+//! evaluation, Bloom filters, aggregation accumulators, the SQL parser,
+//! and an end-to-end simulated join.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pier_core::bloom::BloomFilter;
+use pier_core::catalog::Catalog;
+use pier_core::expr::{Expr, Func};
+use pier_core::plan::{AggCall, AggFunc, JoinStrategy};
+use pier_core::sql::parse_query;
+use pier_core::tuple;
+use pier_workload::{RsParams, RsWorkload};
+
+fn bench_expr(c: &mut Criterion) {
+    let t = tuple![10i64, 60i64, 7i64, 8i64];
+    let pred = Expr::and(
+        Expr::gt(Expr::col(1), Expr::lit(49i64)),
+        Expr::gt(
+            Expr::Call(Func::WorkloadF, vec![Expr::col(2), Expr::col(3)]),
+            Expr::lit(29i64),
+        ),
+    );
+    c.bench_function("expr_eval_workload_pred", |b| {
+        b.iter(|| black_box(pred.matches(black_box(&t))))
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut f = BloomFilter::for_capacity(10_000);
+    for k in 0..10_000u64 {
+        f.insert(k.wrapping_mul(0x9E37_79B9));
+    }
+    c.bench_function("bloom_insert", |b| {
+        let mut g = BloomFilter::for_capacity(10_000);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            g.insert(black_box(k));
+        })
+    });
+    c.bench_function("bloom_contains", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9);
+            black_box(f.contains(black_box(k)))
+        })
+    });
+    c.bench_function("bloom_union", |b| {
+        let g = f.clone();
+        b.iter(|| {
+            let mut h = f.clone();
+            h.union(black_box(&g));
+            black_box(h.load())
+        })
+    });
+}
+
+fn bench_agg(c: &mut Criterion) {
+    let calls = vec![
+        AggCall {
+            func: AggFunc::Count,
+            arg: None,
+        },
+        AggCall {
+            func: AggFunc::Sum,
+            arg: Some(Expr::col(0)),
+        },
+    ];
+    c.bench_function("agg_update", |b| {
+        let mut g = pier_core::agg::GroupAccs::new(&calls);
+        let t = tuple![7i64];
+        b.iter(|| g.update(black_box(&calls), black_box(&t)))
+    });
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let catalog = Catalog::workload();
+    c.bench_function("sql_parse_workload_query", |b| {
+        b.iter(|| {
+            black_box(
+                parse_query(
+                    "SELECT R.pkey, S.pkey, R.pad FROM R, S \
+                     WHERE R.num1 = S.pkey AND R.num2 > 50 AND S.num2 > 50 \
+                     AND f(R.num3, S.num3) > 30",
+                    &catalog,
+                    JoinStrategy::SymmetricHash,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_reference_join(c: &mut Criterion) {
+    let wl = RsWorkload::generate(RsParams {
+        s_rows: 100,
+        ..Default::default()
+    });
+    let spec = wl.join_spec(JoinStrategy::SymmetricHash);
+    c.bench_function("reference_join_1000x100", |b| {
+        b.iter(|| black_box(pier_core::semantics::reference_join(&spec, &wl.r, &wl.s)))
+    });
+}
+
+fn bench_e2e_join(c: &mut Criterion) {
+    // Whole-simulation cost of one distributed symmetric hash join on 32
+    // nodes — the engine-level "macro" benchmark.
+    c.bench_function("sim_shj_32_nodes", |b| {
+        b.iter(|| {
+            let run = pier_bench::JoinRun::new(
+                32,
+                JoinStrategy::SymmetricHash,
+                RsParams {
+                    s_rows: 20,
+                    ..Default::default()
+                },
+                pier_simnet::NetConfig::latency_only(3),
+            );
+            black_box(pier_bench::run_join(&run).results)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_expr, bench_bloom, bench_agg, bench_sql, bench_reference_join, bench_e2e_join
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Runs every experiment of §5 plus the ablations, writing all tables to
+//! stdout and `results/*.csv`. Set PIER_FULL=1 for paper-scale runs.
+use pier_bench::experiments as e;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    e::centralized();
+    e::table4();
+    e::fig3();
+    e::fig4_fig5();
+    e::fig6();
+    e::fig7();
+    e::fig8();
+    e::ablation_dims();
+    e::chord_vs_can();
+    e::agg_flat_vs_hier();
+    eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 experiment. See DESIGN.md for the
+//! experiment index; set PIER_FULL=1 for paper-scale parameters.
+fn main() {
+    pier_bench::experiments::fig3();
+}

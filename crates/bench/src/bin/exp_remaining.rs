@@ -1,0 +1,15 @@
+//! Runs the experiments after fig5 (fig6 onward) — used when iterating
+//! on the churn harness without repeating the earlier sweeps.
+use pier_bench::experiments as e;
+fn main() {
+    let t0 = std::time::Instant::now();
+    e::fig6();
+    eprintln!("fig6 at {:.0}s", t0.elapsed().as_secs_f64());
+    e::fig7();
+    eprintln!("fig7 at {:.0}s", t0.elapsed().as_secs_f64());
+    e::fig8();
+    e::ablation_dims();
+    e::chord_vs_can();
+    e::agg_flat_vs_hier();
+    eprintln!("remaining done in {:.0}s", t0.elapsed().as_secs_f64());
+}

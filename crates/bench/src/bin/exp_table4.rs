@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 experiment. See DESIGN.md for the
+//! experiment index; set PIER_FULL=1 for paper-scale parameters.
+fn main() {
+    pier_bench::experiments::table4();
+}

@@ -1,0 +1,257 @@
+//! Aggregate accumulators: partial states that merge associatively, the
+//! basis of both flat DHT-based grouping and hierarchical (in-network)
+//! aggregation.
+
+use crate::plan::{AggCall, AggFunc};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Mergeable partial state of one aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggState {
+    Count(i64),
+    SumI(i64),
+    SumF(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl AggState {
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::SumF(0.0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    /// Fold one input value in (None for `count(*)`).
+    pub fn update(&mut self, v: Option<&Value>) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::SumI(s) => {
+                if let Some(v) = v.and_then(Value::as_i64) {
+                    *s += v;
+                }
+            }
+            AggState::SumF(s) => {
+                if let Some(v) = v.and_then(Value::as_f64) {
+                    *s += v;
+                }
+            }
+            AggState::Min(m) => {
+                if let Some(v) = v {
+                    if m.as_ref().map_or(true, |cur| v < cur) {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(m) => {
+                if let Some(v) = v {
+                    if m.as_ref().map_or(true, |cur| v > cur) {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(v) = v.and_then(Value::as_f64) {
+                    *sum += v;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge another partial of the same shape (associative/commutative).
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumI(a), AggState::SumI(b)) => *a += b,
+            (AggState::SumF(a), AggState::SumF(b)) => *a += b,
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().map_or(true, |av| bv < av) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().map_or(true, |av| bv > av) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Avg { sum: s1, n: n1 }, AggState::Avg { sum: s2, n: n2 }) => {
+                *s1 += s2;
+                *n1 += n2;
+            }
+            (a, b) => debug_assert!(false, "merging mismatched agg states {a:?} / {b:?}"),
+        }
+    }
+
+    /// Final value of the aggregate.
+    pub fn finalize(&self) -> Value {
+        match self {
+            AggState::Count(c) => Value::I64(*c),
+            AggState::SumI(s) => Value::I64(*s),
+            AggState::SumF(s) => {
+                // Integral sums surface as integers so `count * sum`
+                // expressions stay in integer arithmetic when possible.
+                if s.fract() == 0.0 && s.abs() < 9e15 {
+                    Value::I64(*s as i64)
+                } else {
+                    Value::F64(*s)
+                }
+            }
+            AggState::Min(m) | AggState::Max(m) => m.clone().unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::F64(sum / *n as f64)
+                }
+            }
+        }
+    }
+
+    pub fn wire_size(&self) -> usize {
+        match self {
+            AggState::Count(_) | AggState::SumI(_) | AggState::SumF(_) => 9,
+            AggState::Min(m) | AggState::Max(m) => 1 + m.as_ref().map_or(0, Value::wire_size),
+            AggState::Avg { .. } => 17,
+        }
+    }
+}
+
+/// A group's accumulators across all aggregate calls of a query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupAccs {
+    pub states: Vec<AggState>,
+}
+
+impl GroupAccs {
+    pub fn new(calls: &[AggCall]) -> GroupAccs {
+        GroupAccs {
+            states: calls.iter().map(|c| AggState::new(c.func)).collect(),
+        }
+    }
+
+    /// Fold an input row into every accumulator.
+    pub fn update(&mut self, calls: &[AggCall], row: &Tuple) {
+        for (state, call) in self.states.iter_mut().zip(calls) {
+            let arg = call.arg.as_ref().map(|e| e.eval(row));
+            state.update(arg.as_ref());
+        }
+    }
+
+    pub fn merge(&mut self, other: &GroupAccs) {
+        for (a, b) in self.states.iter_mut().zip(&other.states) {
+            a.merge(b);
+        }
+    }
+
+    /// The virtual output row `[group values..., finalized aggs...]`.
+    pub fn output_row(&self, group: &[Value]) -> Tuple {
+        let mut vals: Vec<Value> = group.to_vec();
+        vals.extend(self.states.iter().map(AggState::finalize));
+        Tuple::new(vals)
+    }
+
+    pub fn wire_size(&self) -> usize {
+        self.states.iter().map(AggState::wire_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::tuple;
+
+    fn calls() -> Vec<AggCall> {
+        vec![
+            AggCall {
+                func: AggFunc::Count,
+                arg: None,
+            },
+            AggCall {
+                func: AggFunc::Sum,
+                arg: Some(Expr::col(0)),
+            },
+            AggCall {
+                func: AggFunc::Min,
+                arg: Some(Expr::col(0)),
+            },
+            AggCall {
+                func: AggFunc::Max,
+                arg: Some(Expr::col(0)),
+            },
+            AggCall {
+                func: AggFunc::Avg,
+                arg: Some(Expr::col(0)),
+            },
+        ]
+    }
+
+    #[test]
+    fn accumulate_then_finalize() {
+        let calls = calls();
+        let mut g = GroupAccs::new(&calls);
+        for v in [3i64, 1, 4, 1, 5] {
+            g.update(&calls, &tuple![v]);
+        }
+        let out = g.output_row(&[Value::str("k")]);
+        assert_eq!(out.get(1), &Value::I64(5)); // count
+        assert_eq!(out.get(2), &Value::I64(14)); // sum (integral)
+        assert_eq!(out.get(3), &Value::I64(1)); // min
+        assert_eq!(out.get(4), &Value::I64(5)); // max
+        assert_eq!(out.get(5), &Value::F64(2.8)); // avg
+    }
+
+    #[test]
+    fn merge_equals_sequential_update() {
+        let calls = calls();
+        let rows: Vec<Tuple> = (0..20i64).map(|v| tuple![v * 7 % 13]).collect();
+        let mut whole = GroupAccs::new(&calls);
+        for r in &rows {
+            whole.update(&calls, r);
+        }
+        let mut a = GroupAccs::new(&calls);
+        let mut b = GroupAccs::new(&calls);
+        for (i, r) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                a.update(&calls, r);
+            } else {
+                b.update(&calls, r);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_group_finalizes_to_neutral_values() {
+        let calls = calls();
+        let g = GroupAccs::new(&calls);
+        let out = g.output_row(&[]);
+        assert_eq!(out.get(0), &Value::I64(0));
+        assert_eq!(out.get(2), &Value::Null);
+        assert_eq!(out.get(4), &Value::Null);
+    }
+
+    #[test]
+    fn count_ignores_argument() {
+        let calls = vec![AggCall {
+            func: AggFunc::Count,
+            arg: None,
+        }];
+        let mut g = GroupAccs::new(&calls);
+        g.update(&calls, &tuple![Value::Null]);
+        g.update(&calls, &tuple![1i64]);
+        assert_eq!(g.output_row(&[]).get(0), &Value::I64(2));
+    }
+}

@@ -1,0 +1,182 @@
+//! The catalog manager (Figure 1): table schemas, resourceID columns and
+//! coarse statistics. The paper defers catalogs to future work (§7); we
+//! build the minimal version the SQL front-end and optimizer need. The
+//! catalog is initiator-side state: shipped query descriptors carry fully
+//! resolved column indices, so remote nodes never consult it.
+
+use std::collections::HashMap;
+
+use crate::tuple::{ColType, Schema, SchemaRef};
+
+/// Coarse per-table statistics for the cost-based optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct TableStats {
+    /// Total rows across all publishers.
+    pub rows: u64,
+    /// Average on-the-wire tuple size in bytes.
+    pub avg_tuple_bytes: u64,
+}
+
+impl Default for TableStats {
+    fn default() -> Self {
+        TableStats {
+            rows: 1000,
+            avg_tuple_bytes: 100,
+        }
+    }
+}
+
+/// A registered relation.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    pub schema: SchemaRef,
+    /// Which column is the primary key (the default resourceID, §3.2.3).
+    pub pkey_col: usize,
+    pub stats: TableStats,
+}
+
+/// Name → table registry.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&mut self, schema: SchemaRef, pkey_col: usize, stats: TableStats) {
+        assert!(pkey_col < schema.arity());
+        self.tables.insert(
+            schema.name.to_ascii_lowercase(),
+            TableDef {
+                schema,
+                pkey_col,
+                stats,
+            },
+        );
+    }
+
+    /// Register with default stats; convenient in tests and examples.
+    pub fn register_simple(&mut self, name: &str, cols: &[(&str, ColType)], pkey_col: usize) {
+        self.register(Schema::new(name, cols), pkey_col, TableStats::default());
+    }
+
+    pub fn get(&self, name: &str) -> Option<&TableDef> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn set_stats(&mut self, name: &str, stats: TableStats) {
+        if let Some(t) = self.tables.get_mut(&name.to_ascii_lowercase()) {
+            t.stats = stats;
+        }
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.values().map(|t| t.schema.name.as_str())
+    }
+
+    /// The paper's §5.1 workload schemas:
+    /// `R(pkey, num1, num2, num3, pad)` and `S(pkey, num2, num3)`.
+    pub fn workload() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_simple(
+            "R",
+            &[
+                ("pkey", ColType::I64),
+                ("num1", ColType::I64),
+                ("num2", ColType::I64),
+                ("num3", ColType::I64),
+                ("pad", ColType::Pad),
+            ],
+            0,
+        );
+        c.register_simple(
+            "S",
+            &[
+                ("pkey", ColType::I64),
+                ("num2", ColType::I64),
+                ("num3", ColType::I64),
+            ],
+            0,
+        );
+        c
+    }
+
+    /// Schemas for the §2.1 network-monitoring examples.
+    pub fn intrusion() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_simple(
+            "intrusions",
+            &[
+                ("id", ColType::I64),
+                ("fingerprint", ColType::Str),
+                ("address", ColType::Str),
+            ],
+            0,
+        );
+        c.register_simple(
+            "reputation",
+            &[("address", ColType::Str), ("weight", ColType::I64)],
+            0,
+        );
+        c.register_simple(
+            "spamGateways",
+            &[
+                ("id", ColType::I64),
+                ("source", ColType::Str),
+                ("smtpGWDomain", ColType::Str),
+            ],
+            0,
+        );
+        c.register_simple(
+            "robots",
+            &[("id", ColType::I64), ("clientDomain", ColType::Str)],
+            0,
+        );
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let c = Catalog::workload();
+        assert!(c.get("r").is_some());
+        assert!(c.get("R").is_some());
+        assert!(c.get("T").is_none());
+        assert_eq!(c.get("R").unwrap().schema.arity(), 5);
+        assert_eq!(c.get("s").unwrap().pkey_col, 0);
+    }
+
+    #[test]
+    fn stats_update() {
+        let mut c = Catalog::workload();
+        c.set_stats(
+            "R",
+            TableStats {
+                rows: 5,
+                avg_tuple_bytes: 7,
+            },
+        );
+        assert_eq!(c.get("R").unwrap().stats.rows, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pkey_must_be_in_schema() {
+        let mut c = Catalog::new();
+        c.register_simple("T", &[("a", ColType::I64)], 3);
+    }
+
+    #[test]
+    fn intrusion_catalog_has_four_tables() {
+        let c = Catalog::intrusion();
+        assert_eq!(c.names().count(), 4);
+        assert!(c.get("spamgateways").is_some());
+    }
+}

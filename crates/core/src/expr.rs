@@ -1,0 +1,372 @@
+//! Scalar expressions over tuples.
+//!
+//! Expressions are resolved to column indices at plan-build time (by the
+//! SQL front-end or by hand-wired plans) and evaluated dynamically. The
+//! small built-in function table includes `f(x, y)` — the paper's §5.1
+//! workload applies an opaque two-table predicate `f(R.num3, S.num3) >
+//! constant3` that forces evaluation *above* the equi-join.
+
+use std::fmt;
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Built-in scalar functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Func {
+    /// The workload's opaque cross-table function: `(x + y) mod 100`.
+    /// Uniform inputs make `f(x,y) > c` have selectivity `(100-c)/100`,
+    /// which is how experiments dial the §5.1 `constant3`.
+    WorkloadF,
+    Abs,
+    Min,
+    Max,
+}
+
+/// An expression tree over a single (possibly concatenated) tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Column reference by index.
+    Col(usize),
+    Lit(Value),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Call(Func, Vec<Expr>),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    pub fn gt(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, l, r)
+    }
+
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, l, r)
+    }
+
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::And, l, r)
+    }
+
+    /// Conjunction of many predicates (`true` if empty).
+    pub fn conjunction(mut preds: Vec<Expr>) -> Expr {
+        match preds.len() {
+            0 => Expr::lit(true),
+            1 => preds.pop().unwrap(),
+            _ => {
+                let mut it = preds.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, Expr::and)
+            }
+        }
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, t: &Tuple) -> Value {
+        match self {
+            Expr::Col(i) => t.vals.get(*i).cloned().unwrap_or(Value::Null),
+            Expr::Lit(v) => v.clone(),
+            Expr::Not(e) => Value::Bool(!e.eval(t).truthy()),
+            Expr::Bin(op, l, r) => {
+                let lv = l.eval(t);
+                match op {
+                    // Short-circuit logicals.
+                    BinOp::And => {
+                        if !lv.truthy() {
+                            return Value::Bool(false);
+                        }
+                        return Value::Bool(r.eval(t).truthy());
+                    }
+                    BinOp::Or => {
+                        if lv.truthy() {
+                            return Value::Bool(true);
+                        }
+                        return Value::Bool(r.eval(t).truthy());
+                    }
+                    _ => {}
+                }
+                let rv = r.eval(t);
+                match op {
+                    BinOp::Eq => Value::Bool(lv == rv),
+                    BinOp::Ne => Value::Bool(lv != rv),
+                    BinOp::Lt => Value::Bool(lv < rv),
+                    BinOp::Le => Value::Bool(lv <= rv),
+                    BinOp::Gt => Value::Bool(lv > rv),
+                    BinOp::Ge => Value::Bool(lv >= rv),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        arith(*op, &lv, &rv)
+                    }
+                    BinOp::And | BinOp::Or => unreachable!(),
+                }
+            }
+            Expr::Call(f, args) => {
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(t)).collect();
+                call(*f, &vals)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        self.eval(t).truthy()
+    }
+
+    /// Shift all column references by `delta` — used to rebase predicates
+    /// onto the right-hand side of a concatenated join tuple.
+    pub fn shift_cols(&self, delta: usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(i + delta),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Not(e) => Expr::Not(Box::new(e.shift_cols(delta))),
+            Expr::Bin(op, l, r) => Expr::bin(*op, l.shift_cols(delta), r.shift_cols(delta)),
+            Expr::Call(f, args) => {
+                Expr::Call(*f, args.iter().map(|a| a.shift_cols(delta)).collect())
+            }
+        }
+    }
+
+    /// Remap column references through `map[i] -> new index`; `None`
+    /// means the column was projected away (returns Err).
+    pub fn remap_cols(&self, map: &dyn Fn(usize) -> Option<usize>) -> Result<Expr, String> {
+        Ok(match self {
+            Expr::Col(i) => Expr::Col(map(*i).ok_or_else(|| format!("column {i} projected away"))?),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_cols(map)?)),
+            Expr::Bin(op, l, r) => Expr::bin(*op, l.remap_cols(map)?, r.remap_cols(map)?),
+            Expr::Call(f, args) => Expr::Call(
+                *f,
+                args.iter()
+                    .map(|a| a.remap_cols(map))
+                    .collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+
+    /// Columns referenced by this expression.
+    pub fn columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Not(e) => e.columns(out),
+            Expr::Bin(_, l, r) => {
+                l.columns(out);
+                r.columns(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.columns(out);
+                }
+            }
+        }
+    }
+
+    /// Estimated wire size when shipped inside a query descriptor.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Expr::Col(_) => 3,
+            Expr::Lit(v) => 1 + v.wire_size(),
+            Expr::Not(e) => 1 + e.wire_size(),
+            Expr::Bin(_, l, r) => 2 + l.wire_size() + r.wire_size(),
+            Expr::Call(_, args) => 2 + args.iter().map(Expr::wire_size).sum::<usize>(),
+        }
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Value {
+    // Integer arithmetic when both sides are integers; else float.
+    if let (Value::I64(a), Value::I64(b)) = (l, r) {
+        return match op {
+            BinOp::Add => Value::I64(a.wrapping_add(*b)),
+            BinOp::Sub => Value::I64(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::I64(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::I64(a / b)
+                }
+            }
+            BinOp::Mod => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::I64(a.rem_euclid(*b))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => match op {
+            BinOp::Add => Value::F64(a + b),
+            BinOp::Sub => Value::F64(a - b),
+            BinOp::Mul => Value::F64(a * b),
+            BinOp::Div => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::F64(a / b)
+                }
+            }
+            BinOp::Mod => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::F64(a.rem_euclid(b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        _ => Value::Null,
+    }
+}
+
+fn call(f: Func, args: &[Value]) -> Value {
+    match f {
+        Func::WorkloadF => match (args.first().and_then(Value::as_i64), args.get(1).and_then(Value::as_i64)) {
+            (Some(x), Some(y)) => Value::I64((x + y).rem_euclid(100)),
+            _ => Value::Null,
+        },
+        Func::Abs => match args.first() {
+            Some(Value::I64(i)) => Value::I64(i.abs()),
+            Some(Value::F64(x)) => Value::F64(x.abs()),
+            _ => Value::Null,
+        },
+        Func::Min => args.iter().min().cloned().unwrap_or(Value::Null),
+        Func::Max => args.iter().max().cloned().unwrap_or(Value::Null),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op:?} {r})"),
+            Expr::Call(func, args) => {
+                write!(f, "{func:?}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn comparisons_and_arithmetic() {
+        let t = tuple![10i64, 3i64, 2.5];
+        let e = Expr::gt(Expr::col(0), Expr::col(1));
+        assert!(e.matches(&t));
+        let sum = Expr::bin(BinOp::Add, Expr::col(0), Expr::col(2));
+        assert_eq!(sum.eval(&t), Value::F64(12.5));
+        let m = Expr::bin(BinOp::Mod, Expr::col(0), Expr::col(1));
+        assert_eq!(m.eval(&t), Value::I64(1));
+        let div0 = Expr::bin(BinOp::Div, Expr::col(0), Expr::lit(0i64));
+        assert_eq!(div0.eval(&t), Value::Null);
+    }
+
+    #[test]
+    fn short_circuit_logicals() {
+        let t = tuple![1i64];
+        // Col(9) is out of range -> Null; AND short-circuits before it.
+        let e = Expr::and(Expr::lit(false), Expr::col(9));
+        assert!(!e.matches(&t));
+        let o = Expr::bin(BinOp::Or, Expr::lit(true), Expr::col(9));
+        assert!(o.matches(&t));
+    }
+
+    #[test]
+    fn workload_f_selectivity_shape() {
+        // f(x, y) = (x + y) mod 100: over uniform x,y the predicate
+        // f > 49 holds for half the domain.
+        let mut hits = 0;
+        let total = 100 * 100;
+        for x in 0..100i64 {
+            for y in 0..100i64 {
+                let t = tuple![x, y];
+                let e = Expr::gt(
+                    Expr::Call(Func::WorkloadF, vec![Expr::col(0), Expr::col(1)]),
+                    Expr::lit(49i64),
+                );
+                if e.matches(&t) {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits * 2, total);
+    }
+
+    #[test]
+    fn shift_and_remap_columns() {
+        let e = Expr::eq(Expr::col(1), Expr::lit(5i64));
+        let shifted = e.shift_cols(3);
+        assert_eq!(shifted, Expr::eq(Expr::col(4), Expr::lit(5i64)));
+        let remapped = e.remap_cols(&|i| if i == 1 { Some(0) } else { None }).unwrap();
+        assert_eq!(remapped, Expr::eq(Expr::col(0), Expr::lit(5i64)));
+        assert!(Expr::col(2).remap_cols(&|_| None).is_err());
+    }
+
+    #[test]
+    fn conjunction_of_zero_one_many() {
+        let t = tuple![1i64];
+        assert!(Expr::conjunction(vec![]).matches(&t));
+        assert!(Expr::conjunction(vec![Expr::lit(true)]).matches(&t));
+        assert!(!Expr::conjunction(vec![Expr::lit(true), Expr::lit(false)]).matches(&t));
+    }
+
+    #[test]
+    fn columns_collects_unique_refs() {
+        let e = Expr::and(
+            Expr::gt(Expr::col(2), Expr::col(0)),
+            Expr::eq(Expr::col(2), Expr::lit(1i64)),
+        );
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 2]);
+    }
+}

@@ -1,0 +1,148 @@
+//! DHT payloads and node-to-node messages of the query processor.
+
+use pier_dht::msg::DhtMsg;
+use pier_simnet::Wire;
+
+use crate::agg::GroupAccs;
+use crate::bloom::BloomFilter;
+use crate::plan::QueryDesc;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Which input of a binary join a fragment belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+impl Side {
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Everything PIER stores in or ships through the DHT.
+#[derive(Clone, Debug)]
+pub enum QpItem {
+    /// A base-table tuple published by a wrapper (§2.2's "natural
+    /// habitat" data, copied into the DHT as soft state).
+    Row(Tuple),
+    /// A rehashed join tuple in `NQ`: tagged with source table (§4.1)
+    /// and carrying the join value to guard against resourceID hash
+    /// collisions.
+    Tagged {
+        qid: u64,
+        side: Side,
+        join: Value,
+        row: Tuple,
+    },
+    /// Symmetric semi-join projection: (resourceID, join key) only.
+    Mini {
+        qid: u64,
+        side: Side,
+        pkey: Value,
+        join: Value,
+    },
+    /// A Bloom-filter fragment (en route to a collector) or an OR-ed
+    /// filter (multicast back); `side` names the table it summarizes.
+    Bloom {
+        qid: u64,
+        side: Side,
+        filter: BloomFilter,
+    },
+    /// A partial aggregate for one group.
+    Partial {
+        qid: u64,
+        group: Vec<Value>,
+        accs: GroupAccs,
+    },
+    /// A query descriptor (multicast payload).
+    Query(QueryDesc),
+}
+
+impl Wire for QpItem {
+    fn wire_size(&self) -> usize {
+        match self {
+            QpItem::Row(t) => 2 + t.wire_size(),
+            QpItem::Tagged { join, row, .. } => 11 + join.wire_size() + row.wire_size(),
+            QpItem::Mini { pkey, join, .. } => 11 + pkey.wire_size() + join.wire_size(),
+            QpItem::Bloom { filter, .. } => 11 + filter.wire_size(),
+            QpItem::Partial { group, accs, .. } => {
+                10 + group.iter().map(Value::wire_size).sum::<usize>() + accs.wire_size()
+            }
+            QpItem::Query(d) => d.wire_size(),
+        }
+    }
+}
+
+/// The complete message type of a PIER node: the DHT sublayer's protocol
+/// plus the query processor's direct (IP) messages.
+#[derive(Clone, Debug)]
+pub enum PierMsg {
+    Dht(DhtMsg<QpItem>),
+    /// A result tuple delivered directly to the query initiator (§4.1:
+    /// "sent to ... the initiating site of the query").
+    Result { qid: u64, row: Tuple },
+    /// A partial aggregate climbing the hierarchical aggregation tree.
+    AggUp {
+        qid: u64,
+        group: Vec<Value>,
+        accs: GroupAccs,
+    },
+}
+
+impl Wire for PierMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            PierMsg::Dht(m) => m.wire_size(),
+            PierMsg::Result { row, .. } => pier_dht::msg::HEADER_BYTES + 8 + row.wire_size(),
+            PierMsg::AggUp { group, accs, .. } => {
+                pier_dht::msg::HEADER_BYTES
+                    + 8
+                    + group.iter().map(Value::wire_size).sum::<usize>()
+                    + accs.wire_size()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn padded_result_tuple_is_1kb_on_the_wire() {
+        // The workload pads result tuples to 1 KB via R.pad (§5.1).
+        let row = tuple![1i64, 2i64, Value::Pad(1000)];
+        let msg = PierMsg::Result { qid: 1, row };
+        assert!(msg.wire_size() > 1000 && msg.wire_size() < 1120);
+    }
+
+    #[test]
+    fn mini_is_much_smaller_than_tagged() {
+        let mini = QpItem::Mini {
+            qid: 1,
+            side: Side::Left,
+            pkey: Value::I64(1),
+            join: Value::I64(2),
+        };
+        let tagged = QpItem::Tagged {
+            qid: 1,
+            side: Side::Left,
+            join: Value::I64(2),
+            row: tuple![1i64, 2i64, 3i64, Value::Pad(1000)],
+        };
+        assert!(mini.wire_size() * 10 < tagged.wire_size());
+    }
+
+    #[test]
+    fn side_opposite() {
+        assert_eq!(Side::Left.opposite(), Side::Right);
+        assert_eq!(Side::Right.opposite(), Side::Left);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pier-core
+//!
+//! The PIER query processor (Figure 1's middle tier): a push-based
+//! "boxes-and-arrows" dataflow engine executing relational queries over
+//! the DHT. Implements the four distributed join strategies of §4
+//! (symmetric hash, Fetch Matches, symmetric semi-join rewrite, Bloom
+//! rewrite), DHT-based grouped aggregation, continuous/windowed queries,
+//! a SQL front-end, a catalog, and a cost-based strategy optimizer.
+
+pub mod agg;
+pub mod catalog;
+pub mod bloom;
+pub mod expr;
+pub mod item;
+pub mod node;
+pub mod optimizer;
+pub mod plan;
+pub mod planner;
+pub mod semantics;
+pub mod sql;
+pub mod testkit;
+pub mod tuple;
+pub mod value;
+
+pub use bloom::BloomFilter;
+pub use catalog::{Catalog, TableDef, TableStats};
+pub use expr::{BinOp, Expr, Func};
+pub use item::{PierMsg, QpItem, Side};
+pub use node::PierNode;
+pub use plan::{
+    AggCall, AggFunc, AggSpec, JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec,
+};
+pub use tuple::{ColType, Field, Schema, SchemaRef, Tuple};
+pub use value::Value;
+pub use sql::parse_query;
+pub use planner::plan_sql;
+pub use optimizer::{choose_strategy, CostParams, JoinStats, Objective};

@@ -1,0 +1,1347 @@
+//! The PIER node: DHT stack + query processor in one automaton (Fig. 1).
+//!
+//! The query processor is push-based (§3.3): there is no iterator loop,
+//! only reactions to DHT upcalls — a query multicast installs operator
+//! state, `newData` callbacks drive probing, `get` completions drive
+//! fetching, timers drive Bloom collection and aggregate harvests, and
+//! result tuples flow directly to the initiating node.
+
+use std::collections::HashMap;
+
+use pier_dht::env::DhtEnv;
+use pier_dht::event::DhtEvent;
+use pier_dht::msg::Entry;
+use pier_dht::{Dht, DhtConfig, Ns, Rid, DHT_TICK_TOKEN};
+use pier_simnet::app::{App, Ctx};
+use pier_simnet::time::{Dur, Time};
+use pier_simnet::NodeId;
+use rand::Rng;
+
+use crate::agg::GroupAccs;
+use crate::bloom::BloomFilter;
+use crate::item::{PierMsg, QpItem, Side};
+use crate::plan::{qns, AggSpec, JoinSpec, JoinStrategy, QueryDesc, QueryOp, RehashView, ScanSpec};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Adapter: the DHT sublayer speaks `DhtMsg<QpItem>`, wrapped in
+/// [`PierMsg::Dht`] on the wire.
+struct PierEnv<'a, 'b> {
+    ctx: &'a mut Ctx<'b, PierMsg>,
+}
+
+impl<'a, 'b> DhtEnv<QpItem> for PierEnv<'a, 'b> {
+    fn now(&self) -> Time {
+        self.ctx.now
+    }
+    fn me(&self) -> NodeId {
+        self.ctx.me
+    }
+    fn send(&mut self, to: NodeId, msg: pier_dht::msg::DhtMsg<QpItem>) {
+        self.ctx.send(to, PierMsg::Dht(msg));
+    }
+    fn timer(&mut self, after: Dur, token: u64) {
+        self.ctx.set_timer(after, token);
+    }
+    fn rand64(&mut self) -> u64 {
+        self.ctx.rng.gen()
+    }
+}
+
+/// What an outstanding DHT `get` was issued for.
+enum GetPurpose {
+    /// Fetch Matches: probing the right table for one left tuple.
+    FmProbe { qid: u64, left_row: Tuple },
+    /// Symmetric semi-join: fetching one side of a matched pair.
+    SemiFetch { qid: u64, pair: u64, side: Side },
+}
+
+/// Deferred work bound to a timer token.
+enum TimerAction {
+    /// Bloom collector: OR the collected fragments and multicast.
+    BloomFlush { qid: u64, side: Side },
+    /// Flat aggregation: finalize locally-owned groups, emit results.
+    AggHarvest { qid: u64 },
+    /// Join-aggregation: push locally accumulated partials into `NA`.
+    JoinAggFlush { qid: u64 },
+    /// Hierarchical aggregation: send merged partials to the tree parent.
+    HierFlush { qid: u64 },
+    /// Republish all soft state (the renewal loop of §3.2.3 / Fig. 6).
+    Renew,
+}
+
+/// Per-query operator state at one node.
+struct QueryInstance {
+    desc: QueryDesc,
+    /// Remapped expressions for strategies that rehash projections.
+    view: Option<RehashView>,
+    /// OR-ed Bloom filters received per summarized side.
+    filters: [Option<BloomFilter>; 2],
+    /// Whether each local side has been rehashed (Bloom strategy gates
+    /// rehash on the opposite filter's arrival).
+    rehashed: [bool; 2],
+    /// Whether this node (as collector) already multicast each OR-ed
+    /// filter — set by the early count-based flush or the timer.
+    bloom_flushed: [bool; 2],
+    /// How often the collector deadline has been extended while waiting
+    /// for slow fragments.
+    bloom_waits: [u8; 2],
+    /// Semi-join pair assembly.
+    pairs: HashMap<u64, PairFetch>,
+    /// Local pre-aggregation (join-agg at NQ nodes, hierarchical agg).
+    local_groups: HashMap<Vec<Value>, GroupAccs>,
+}
+
+struct PairFetch {
+    left: Option<Vec<Tuple>>,
+    right: Option<Vec<Tuple>>,
+    pkey_left: Value,
+    pkey_right: Value,
+}
+
+/// Why a namespace is interesting to a query at this node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NsRole {
+    RehashNq,
+    BaseLeft,
+    BaseRight,
+    /// Bloom collector for one side (true = right).
+    BloomCollector(bool),
+}
+
+/// A published item retained for renewal.
+struct PubRecord {
+    ns: Ns,
+    rid: Rid,
+    iid: u32,
+    item: QpItem,
+    lifetime: Dur,
+}
+
+/// One PIER node.
+pub struct PierNode {
+    pub dht: Dht<QpItem>,
+    bootstrap: Option<NodeId>,
+    queries: HashMap<u64, QueryInstance>,
+    ns_routes: HashMap<Ns, Vec<(u64, NsRole)>>,
+    /// Result log at the initiator: arrival time and tuple, per query.
+    pub results: HashMap<u64, Vec<(Time, Tuple)>>,
+    get_purpose: HashMap<u64, GetPurpose>,
+    timer_actions: HashMap<u64, TimerAction>,
+    next_token: u64,
+    published: Vec<PubRecord>,
+    renew_every: Option<Dur>,
+    iid_seq: u32,
+}
+
+impl PierNode {
+    /// A node that creates (`bootstrap = None`) or joins an overlay.
+    pub fn new(cfg: DhtConfig, me: NodeId, bootstrap: Option<NodeId>) -> Self {
+        Self::with_dht(Dht::new(cfg, me), bootstrap)
+    }
+
+    /// A node with a pre-built DHT stack (balanced bootstrap).
+    pub fn with_dht(dht: Dht<QpItem>, bootstrap: Option<NodeId>) -> Self {
+        PierNode {
+            dht,
+            bootstrap,
+            queries: HashMap::new(),
+            ns_routes: HashMap::new(),
+            results: HashMap::new(),
+            get_purpose: HashMap::new(),
+            timer_actions: HashMap::new(),
+            next_token: 1,
+            published: Vec::new(),
+            renew_every: None,
+            iid_seq: 0,
+        }
+    }
+
+    fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Globally unique instanceID: publisher id in the high bits, local
+    /// sequence in the low bits. Two publishers must never collide on
+    /// (ns, rid, iid) or their puts would overwrite each other.
+    fn fresh_iid(&mut self) -> u32 {
+        self.iid_seq = (self.iid_seq + 1) & 0x3_FFFF;
+        (self.dht.me() << 18) | self.iid_seq
+    }
+
+    /// Results received so far for a query this node initiated.
+    pub fn query_results(&self, qid: u64) -> &[(Time, Tuple)] {
+        self.results.get(&qid).map_or(&[], |v| v.as_slice())
+    }
+
+    // ------------------------------------------------------------------
+    // Publishing (wrappers pushing data into the DHT, §2.2 / §3.3)
+    // ------------------------------------------------------------------
+
+    /// Publish rows of a table into the DHT, resourceID = primary key.
+    /// Retains the rows so the renewal loop can republish them.
+    pub fn publish_rows(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        table: &str,
+        rows: Vec<Tuple>,
+        pkey_col: usize,
+        lifetime: Dur,
+    ) {
+        let ns = pier_dht::ns_of(table);
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for row in rows {
+            let rid = row.get(pkey_col).hash64();
+            let iid = self.fresh_iid();
+            let item = QpItem::Row(row);
+            self.dht
+                .put(&mut env, ns, rid, iid, item.clone(), lifetime, &mut events);
+            self.published.push(PubRecord {
+                ns,
+                rid,
+                iid,
+                item,
+                lifetime,
+            });
+        }
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    /// Start the renewal loop: republish everything every `every`.
+    pub fn start_renewals(&mut self, ctx: &mut Ctx<PierMsg>, every: Dur) {
+        self.renew_every = Some(every);
+        let token = self.token();
+        self.timer_actions.insert(token, TimerAction::Renew);
+        ctx.set_timer(every, token);
+    }
+
+    fn renew_all(&mut self, ctx: &mut Ctx<PierMsg>) {
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for rec in &self.published {
+            self.dht.renew(
+                &mut env,
+                rec.ns,
+                rec.rid,
+                rec.iid,
+                rec.item.clone(),
+                rec.lifetime,
+                &mut events,
+            );
+        }
+        drop(env);
+        if let Some(every) = self.renew_every {
+            let token = self.token();
+            self.timer_actions.insert(token, TimerAction::Renew);
+            ctx.set_timer(every, token);
+        }
+        self.pump(ctx, events);
+    }
+
+    /// Number of rows this node has published (for harness assertions).
+    pub fn published_count(&self) -> usize {
+        self.published.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Query submission (initiator side)
+    // ------------------------------------------------------------------
+
+    /// Submit a query: multicast the descriptor to all nodes (§3.3).
+    pub fn submit(&mut self, ctx: &mut Ctx<PierMsg>, desc: QueryDesc) {
+        self.results.entry(desc.qid).or_default();
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        self.dht
+            .multicast(&mut env, QpItem::Query(desc), &mut events);
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    // ------------------------------------------------------------------
+    // Event pump
+    // ------------------------------------------------------------------
+
+    fn pump(&mut self, ctx: &mut Ctx<PierMsg>, events: Vec<DhtEvent<QpItem>>) {
+        for ev in events {
+            match ev {
+                DhtEvent::Multicast { origin: _, payload } => match payload {
+                    QpItem::Query(desc) => self.install_query(ctx, desc),
+                    QpItem::Bloom { qid, side, filter } => {
+                        self.on_bloom_filter(ctx, qid, side, filter)
+                    }
+                    _ => {}
+                },
+                DhtEvent::NewData { entry } => self.on_new_data(ctx, entry),
+                DhtEvent::GetResult { token, items } => self.on_get_result(ctx, token, items),
+                DhtEvent::Joined | DhtEvent::LocationMapChanged => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query installation
+    // ------------------------------------------------------------------
+
+    fn install_query(&mut self, ctx: &mut Ctx<PierMsg>, desc: QueryDesc) {
+        let qid = desc.qid;
+        if self.queries.contains_key(&qid) {
+            return; // duplicate multicast delivery
+        }
+        let view = match &desc.op {
+            QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => Some(RehashView::build(j)),
+            _ => None,
+        };
+        let inst = QueryInstance {
+            desc: desc.clone(),
+            view,
+            filters: [None, None],
+            rehashed: [false, false],
+            bloom_flushed: [false, false],
+            bloom_waits: [0, 0],
+            pairs: HashMap::new(),
+            local_groups: HashMap::new(),
+        };
+        self.queries.insert(qid, inst);
+
+        match &desc.op {
+            QueryOp::Scan { scan, project } => {
+                self.route_ns(scan.ns, qid, NsRole::BaseLeft);
+                let rows = self.local_rows(scan);
+                for row in rows {
+                    let out = Tuple::new(project.iter().map(|e| e.eval(&row)).collect());
+                    self.emit_result(ctx, qid, desc.initiator, out);
+                }
+            }
+            QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
+                let j = j.clone();
+                self.route_ns(qns::rehash(qid), qid, NsRole::RehashNq);
+                self.route_ns(j.left.ns, qid, NsRole::BaseLeft);
+                self.route_ns(j.right.ns, qid, NsRole::BaseRight);
+                // Snapshot rehash state that raced ahead of the query
+                // multicast, *before* our own rehash adds to it.
+                let pre_installed: Vec<Entry<QpItem>> =
+                    self.dht.store.lscan(qns::rehash(qid)).cloned().collect();
+                match j.strategy {
+                    JoinStrategy::SymmetricHash => {
+                        self.rehash_side(ctx, qid, Side::Left, None);
+                        self.rehash_side(ctx, qid, Side::Right, None);
+                    }
+                    JoinStrategy::FetchMatches => self.fm_start(ctx, qid),
+                    JoinStrategy::SymmetricSemiJoin => {
+                        self.semi_rehash(ctx, qid, Side::Left);
+                        self.semi_rehash(ctx, qid, Side::Right);
+                    }
+                    JoinStrategy::BloomFilter => self.bloom_start(ctx, qid, &j),
+                }
+                // Replay rehash state that arrived before installation.
+                self.replay_rehash_ns(ctx, qid, pre_installed);
+                if let QueryOp::JoinAgg { agg, .. } = &desc.op {
+                    self.schedule_agg_timers(ctx, qid, agg.clone(), true);
+                }
+            }
+            QueryOp::Agg { scan, agg } => {
+                self.route_ns(scan.ns, qid, NsRole::BaseLeft);
+                let rows = self.local_rows(scan);
+                let agg = agg.clone();
+                for row in rows {
+                    self.accumulate(qid, &agg, &row);
+                }
+                if agg.hierarchical {
+                    self.schedule_hier_flush(ctx, qid, &agg);
+                } else {
+                    self.flush_partials(ctx, qid, &agg);
+                    self.schedule_agg_timers(ctx, qid, agg, false);
+                }
+            }
+        }
+    }
+
+    fn route_ns(&mut self, ns: Ns, qid: u64, role: NsRole) {
+        let routes = self.ns_routes.entry(ns).or_default();
+        if !routes.contains(&(qid, role)) {
+            routes.push((qid, role));
+        }
+    }
+
+    /// Locally stored, selection-passing rows of a base table.
+    fn local_rows(&self, scan: &ScanSpec) -> Vec<Tuple> {
+        self.dht
+            .lscan(scan.ns)
+            .filter_map(|e| match &e.val {
+                QpItem::Row(t) => Some(t.clone()),
+                _ => None,
+            })
+            .filter(|t| scan.pred.as_ref().map_or(true, |p| p.matches(t)))
+            .collect()
+    }
+
+    fn join_spec(&self, qid: u64) -> Option<JoinSpec> {
+        match &self.queries.get(&qid)?.desc.op {
+            QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => Some(j.clone()),
+            _ => None,
+        }
+    }
+
+    /// Rehash resourceID for a join value: either the value hash, or one
+    /// of `m` buckets when the computation is confined to m nodes.
+    fn rehash_rid(join: &Value, computation_nodes: Option<u32>) -> Rid {
+        let h = join.hash64();
+        match computation_nodes {
+            Some(m) => h % m.max(1) as u64,
+            None => h,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Symmetric hash join (+ the rehash half of Bloom join)
+    // ------------------------------------------------------------------
+
+    /// Rehash the local fragment of one side into NQ, optionally gated
+    /// by a Bloom filter over the opposite table's keys.
+    fn rehash_side(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        side: Side,
+        filter: Option<&BloomFilter>,
+    ) {
+        let Some(j) = self.join_spec(qid) else { return };
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        if inst.rehashed[side as usize] {
+            return;
+        }
+        inst.rehashed[side as usize] = true;
+        let view = inst.view.clone().expect("join view");
+        let (scan, keep, join_idx) = match side {
+            Side::Left => (&j.left, &view.keep_left, view.join_idx_left),
+            Side::Right => (&j.right, &view.keep_right, view.join_idx_right),
+        };
+        let window = self.queries[&qid].desc.window;
+        let rows = self.local_rows(scan);
+        let nq = qns::rehash(qid);
+        let lifetime = window.unwrap_or(Dur::from_secs(600));
+        let iid_base = {
+            // Reserve a block of sequence numbers for this batch.
+            let base = self.fresh_iid();
+            self.iid_seq = (self.iid_seq + rows.len() as u32 + 1) & 0x3_FFFF;
+            base & !0x3_FFFF | (base & 0x3_FFFF)
+        };
+        let mut iid_ctr: u32 = 0;
+        let _ = iid_base;
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for row in rows {
+            let join = row.get(scan.join_col.unwrap()).clone();
+            if let Some(f) = filter {
+                if !f.contains(join.hash64()) {
+                    continue;
+                }
+            }
+            let projected = row.project(keep);
+            debug_assert_eq!(projected.get(join_idx), &join);
+            let rid = Self::rehash_rid(&join, j.computation_nodes);
+            let iid = iid_base + {
+                iid_ctr += 1;
+                iid_ctr
+            };
+            let item = QpItem::Tagged {
+                qid,
+                side,
+                join,
+                row: projected,
+            };
+            self.dht.put(&mut env, nq, rid, iid, item, lifetime, &mut events);
+        }
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    /// Probe arriving NQ state against the opposite side (§4.1): "each
+    /// node registers ... a newData callback; when a tuple arrives, a get
+    /// is issued to find matches in the other table; this get is expected
+    /// to stay local."
+    fn probe_nq(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, entry: &Entry<QpItem>) {
+        match &entry.val {
+            QpItem::Tagged { side, join, row, .. } => {
+                let (side, join, row) = (*side, join.clone(), row.clone());
+                self.probe_tagged(ctx, qid, entry.ns, entry.rid, entry.iid, side, &join, &row);
+            }
+            QpItem::Mini { side, pkey, join, .. } => {
+                let (side, pkey, join) = (*side, pkey.clone(), join.clone());
+                self.probe_mini(ctx, qid, entry.ns, entry.rid, entry.iid, side, &pkey, &join);
+            }
+            _ => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe_tagged(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        ns: Ns,
+        rid: Rid,
+        my_iid: u32,
+        side: Side,
+        join: &Value,
+        row: &Tuple,
+    ) {
+        let Some(inst) = self.queries.get(&qid) else {
+            return;
+        };
+        let view = inst.view.clone().expect("join view");
+        let initiator = inst.desc.initiator;
+        let is_joinagg = matches!(inst.desc.op, QueryOp::JoinAgg { .. });
+        let agg = match &inst.desc.op {
+            QueryOp::JoinAgg { agg, .. } => Some(agg.clone()),
+            _ => None,
+        };
+        // Local probe of the opposite hash-table partition.
+        let matches: Vec<Tuple> = self
+            .dht
+            .store
+            .get(ns, rid)
+            .iter()
+            .filter(|e| e.iid != my_iid)
+            .filter_map(|e| match &e.val {
+                QpItem::Tagged {
+                    side: s,
+                    join: jv,
+                    row: r,
+                    ..
+                } if *s == side.opposite() && jv == join => Some(r.clone()),
+                _ => None,
+            })
+            .collect();
+        for other in matches {
+            let joined = match side {
+                Side::Left => row.concat(&other),
+                Side::Right => other.concat(row),
+            };
+            if view.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+                let out = Tuple::new(view.project.iter().map(|e| e.eval(&joined)).collect());
+                if is_joinagg {
+                    if let Some(a) = &agg {
+                        self.accumulate(qid, a, &out);
+                    }
+                } else {
+                    self.emit_result(ctx, qid, initiator, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch Matches (§4.1)
+    // ------------------------------------------------------------------
+
+    fn fm_start(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
+        let Some(j) = self.join_spec(qid) else { return };
+        // The right table must already be hashed on the join attribute.
+        debug_assert_eq!(
+            j.right.join_col,
+            Some(j.right.pkey_col),
+            "Fetch Matches requires the fetched table hashed on the join key"
+        );
+        let rows = self.local_rows(&j.left);
+        let mut work = Vec::new();
+        for left_row in rows {
+            let join = left_row.get(j.left.join_col.unwrap()).clone();
+            let token = self.token();
+            self.get_purpose
+                .insert(token, GetPurpose::FmProbe { qid, left_row });
+            work.push((j.right.ns, join.hash64(), token));
+        }
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for (ns, rid, token) in work {
+            self.dht.get(&mut env, ns, rid, token, &mut events);
+        }
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    fn fm_complete(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        left_row: Tuple,
+        items: Vec<Entry<QpItem>>,
+    ) {
+        let Some(j) = self.join_spec(qid) else { return };
+        let Some(inst) = self.queries.get(&qid) else {
+            return;
+        };
+        let initiator = inst.desc.initiator;
+        let join = left_row.get(j.left.join_col.unwrap()).clone();
+        for e in items {
+            let QpItem::Row(right_row) = &e.val else {
+                continue;
+            };
+            // "Selections on non-DHT attributes cannot be pushed into the
+            // DHT": the right-side predicate is evaluated here, after the
+            // fetch (§4.1).
+            if right_row.get(j.right.join_col.unwrap()) != &join {
+                continue; // resourceID hash collision
+            }
+            if !j.right.pred.as_ref().map_or(true, |p| p.matches(right_row)) {
+                continue;
+            }
+            let joined = left_row.concat(right_row);
+            if j.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+                let out = Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect());
+                self.emit_result(ctx, qid, initiator, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Symmetric semi-join rewrite (§4.2)
+    // ------------------------------------------------------------------
+
+    fn semi_rehash(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, side: Side) {
+        let Some(j) = self.join_spec(qid) else { return };
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        if inst.rehashed[side as usize] {
+            return;
+        }
+        inst.rehashed[side as usize] = true;
+        let scan = match side {
+            Side::Left => &j.left,
+            Side::Right => &j.right,
+        };
+        let rows = self.local_rows(scan);
+        let nq = qns::rehash(qid);
+        let mini_base = {
+            let base = self.fresh_iid();
+            self.iid_seq = (self.iid_seq + rows.len() as u32 + 1) & 0x3_FFFF;
+            base
+        };
+        let mut mini_ctr: u32 = 0;
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for row in rows {
+            let join = row.get(scan.join_col.unwrap()).clone();
+            let pkey = row.get(scan.pkey_col).clone();
+            let rid = Self::rehash_rid(&join, j.computation_nodes);
+            let iid = mini_base + {
+                mini_ctr += 1;
+                mini_ctr
+            };
+            let item = QpItem::Mini {
+                qid,
+                side,
+                pkey,
+                join,
+            };
+            self.dht
+                .put(&mut env, nq, rid, iid, item, Dur::from_secs(600), &mut events);
+        }
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe_mini(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        ns: Ns,
+        rid: Rid,
+        my_iid: u32,
+        side: Side,
+        pkey: &Value,
+        join: &Value,
+    ) {
+        if self.join_spec(qid).is_none() {
+            return;
+        }
+        // Find opposite-side minis with the same join value.
+        let partners: Vec<Value> = self
+            .dht
+            .store
+            .get(ns, rid)
+            .iter()
+            .filter(|e| e.iid != my_iid)
+            .filter_map(|e| match &e.val {
+                QpItem::Mini {
+                    side: s,
+                    pkey: pk,
+                    join: jv,
+                    ..
+                } if *s == side.opposite() && jv == join => Some(pk.clone()),
+                _ => None,
+            })
+            .collect();
+        if partners.is_empty() {
+            return;
+        }
+        for partner in partners {
+            let (pk_l, pk_r) = match side {
+                Side::Left => (pkey.clone(), partner),
+                Side::Right => (partner, pkey.clone()),
+            };
+            self.semi_pair(ctx, qid, pk_l, pk_r);
+        }
+    }
+
+    /// Issue the two parallel full-tuple fetches for a matched mini pair
+    /// ("we issue the two joins' fetches in parallel since we know both
+    /// fetches will succeed", §4.2).
+    fn semi_pair(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, pk_l: Value, pk_r: Value) {
+        let Some(j) = self.join_spec(qid) else { return };
+        let pair = self.token();
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        inst.pairs.insert(
+            pair,
+            PairFetch {
+                left: None,
+                right: None,
+                pkey_left: pk_l.clone(),
+                pkey_right: pk_r.clone(),
+            },
+        );
+        let tl = self.token();
+        self.get_purpose.insert(
+            tl,
+            GetPurpose::SemiFetch {
+                qid,
+                pair,
+                side: Side::Left,
+            },
+        );
+        let tr = self.token();
+        self.get_purpose.insert(
+            tr,
+            GetPurpose::SemiFetch {
+                qid,
+                pair,
+                side: Side::Right,
+            },
+        );
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        self.dht.get(&mut env, j.left.ns, pk_l.hash64(), tl, &mut events);
+        self.dht.get(&mut env, j.right.ns, pk_r.hash64(), tr, &mut events);
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    fn semi_complete(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        pair: u64,
+        side: Side,
+        items: Vec<Entry<QpItem>>,
+    ) {
+        let Some(j) = self.join_spec(qid) else { return };
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        let Some(p) = inst.pairs.get_mut(&pair) else {
+            return;
+        };
+        let rows: Vec<Tuple> = items
+            .iter()
+            .filter_map(|e| match &e.val {
+                QpItem::Row(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        match side {
+            Side::Left => p.left = Some(rows),
+            Side::Right => p.right = Some(rows),
+        }
+        if p.left.is_none() || p.right.is_none() {
+            return;
+        }
+        let p = inst.pairs.remove(&pair).unwrap();
+        let initiator = inst.desc.initiator;
+        let lefts: Vec<Tuple> = p
+            .left
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.get(j.left.pkey_col) == &p.pkey_left)
+            .collect();
+        let rights: Vec<Tuple> = p
+            .right
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.get(j.right.pkey_col) == &p.pkey_right)
+            .collect();
+        for l in &lefts {
+            for r in &rights {
+                let joined = l.concat(r);
+                if j.post_pred.as_ref().map_or(true, |pp| pp.matches(&joined)) {
+                    let out = Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect());
+                    self.emit_result(ctx, qid, initiator, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bloom-filter rewrite (§4.2)
+    // ------------------------------------------------------------------
+
+    fn bloom_start(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, j: &JoinSpec) {
+        // Publish a filter fragment per local side.
+        let mut work = Vec::new();
+        for (side, scan) in [(Side::Left, &j.left), (Side::Right, &j.right)] {
+            let mut filter = BloomFilter::new(j.bloom_bits, 4);
+            for row in self.local_rows(scan) {
+                filter.insert(row.get(scan.join_col.unwrap()).hash64());
+            }
+            work.push((side, filter));
+        }
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for (side, filter) in work {
+            let ns = qns::bloom(qid, side == Side::Right);
+            let me = env.me();
+            self.dht.put(
+                &mut env,
+                ns,
+                0,
+                me,
+                QpItem::Bloom { qid, side, filter },
+                Dur::from_secs(600),
+                &mut events,
+            );
+        }
+        // If we own a collector key, schedule the OR-and-multicast: a
+        // deadline as fallback, plus an early flush once fragments from
+        // every node have arrived (see `on_new_data`).
+        for side in [Side::Left, Side::Right] {
+            let ns = qns::bloom(qid, side == Side::Right);
+            if self.dht.owns_key(pier_dht::key_of(ns, 0)) {
+                let token = self.token();
+                self.timer_actions
+                    .insert(token, TimerAction::BloomFlush { qid, side });
+                env.timer(j.bloom_wait, token);
+            }
+        }
+        drop(env);
+        for side in [false, true] {
+            self.route_ns(qns::bloom(qid, side), qid, NsRole::BloomCollector(side));
+        }
+        self.pump(ctx, events);
+    }
+
+    fn bloom_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, side: Side) {
+        let Some(j) = self.join_spec(qid) else { return };
+        {
+            let Some(inst) = self.queries.get_mut(&qid) else {
+                return;
+            };
+            if inst.bloom_flushed[side as usize] {
+                return;
+            }
+            inst.bloom_flushed[side as usize] = true;
+        }
+        let ns = qns::bloom(qid, side == Side::Right);
+        let mut merged = BloomFilter::new(j.bloom_bits, 4);
+        for e in self.dht.store.lscan(ns) {
+            if let QpItem::Bloom { filter, .. } = &e.val {
+                merged.union(filter);
+            }
+        }
+        // "The filters are OR-ed together and then multicast to all nodes
+        // storing the opposite table" — our multicast reaches all nodes;
+        // non-holders simply have nothing to rehash.
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        self.dht.multicast(
+            &mut env,
+            QpItem::Bloom {
+                qid,
+                side,
+                filter: merged,
+            },
+            &mut events,
+        );
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    fn on_bloom_filter(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, side: Side, f: BloomFilter) {
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        if inst.filters[side as usize].is_some() {
+            return;
+        }
+        inst.filters[side as usize] = Some(f.clone());
+        // A filter over side X gates the rehash of the *opposite* table.
+        self.rehash_side(ctx, qid, side.opposite(), Some(&f));
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregation (flat DHT grouping + hierarchical extension)
+    // ------------------------------------------------------------------
+
+    fn accumulate(&mut self, qid: u64, agg: &AggSpec, row: &Tuple) {
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        let group: Vec<Value> = agg.group_cols.iter().map(|&c| row.get(c).clone()).collect();
+        let accs = inst
+            .local_groups
+            .entry(group)
+            .or_insert_with(|| GroupAccs::new(&agg.aggs));
+        accs.update(&agg.aggs, row);
+    }
+
+    /// Push local partials into the NA namespace (flat aggregation).
+    fn flush_partials(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, agg: &AggSpec) {
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        let groups: Vec<(Vec<Value>, GroupAccs)> = inst.local_groups.drain().collect();
+        let na = qns::agg(qid);
+        let harvest = agg.harvest;
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for (group, accs) in groups {
+            let rid = group_rid(&group);
+            let me = env.me();
+            self.dht.put(
+                &mut env,
+                na,
+                rid,
+                me,
+                QpItem::Partial { qid, group, accs },
+                harvest.saturating_mul(4),
+                &mut events,
+            );
+        }
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    fn schedule_agg_timers(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, agg: AggSpec, joinagg: bool) {
+        if joinagg {
+            // NQ nodes accumulate join outputs, then flush halfway.
+            let token = self.token();
+            self.timer_actions
+                .insert(token, TimerAction::JoinAggFlush { qid });
+            ctx.set_timer(Dur::from_micros(agg.harvest.as_micros() / 2), token);
+        }
+        let token = self.token();
+        self.timer_actions.insert(token, TimerAction::AggHarvest { qid });
+        ctx.set_timer(agg.harvest, token);
+    }
+
+    /// Finalize every group whose partials landed here; apply HAVING;
+    /// ship results to the initiator.
+    fn agg_harvest(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
+        let Some(inst) = self.queries.get(&qid) else {
+            return;
+        };
+        let agg = match &inst.desc.op {
+            QueryOp::Agg { agg, .. } | QueryOp::JoinAgg { agg, .. } => agg.clone(),
+            _ => return,
+        };
+        let initiator = inst.desc.initiator;
+        let na = qns::agg(qid);
+        let mut merged: HashMap<Vec<Value>, GroupAccs> = HashMap::new();
+        for e in self.dht.store.lscan(na) {
+            if let QpItem::Partial { group, accs, qid: q } = &e.val {
+                if *q != qid {
+                    continue;
+                }
+                merged
+                    .entry(group.clone())
+                    .and_modify(|m| m.merge(accs))
+                    .or_insert_with(|| accs.clone());
+            }
+        }
+        for (group, accs) in merged {
+            let virt = accs.output_row(&group);
+            if agg.having.as_ref().map_or(true, |h| h.matches(&virt)) {
+                let out = Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect());
+                self.emit_result(ctx, qid, initiator, out);
+            }
+        }
+    }
+
+    /// Hierarchical aggregation: stagger flushes so deeper nodes send
+    /// before their parents, merging along a binary tree over node ids.
+    fn schedule_hier_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, agg: &AggSpec) {
+        let n = self.queries[&qid].desc.n_nodes.max(1);
+        let max_depth = 64 - (n as u64).leading_zeros() as u64;
+        let me = self.dht.me() as u64;
+        let depth = 64 - (me + 1).leading_zeros() as u64;
+        // Deeper levels flush earlier.
+        let slot = max_depth.saturating_sub(depth) + 1;
+        let delay = Dur::from_micros(agg.harvest.as_micros() * slot / (max_depth + 2));
+        let token = self.token();
+        self.timer_actions.insert(token, TimerAction::HierFlush { qid });
+        ctx.set_timer(delay, token);
+    }
+
+    fn hier_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        let agg = match &inst.desc.op {
+            QueryOp::Agg { agg, .. } => agg.clone(),
+            _ => return,
+        };
+        let initiator = inst.desc.initiator;
+        let groups: Vec<(Vec<Value>, GroupAccs)> = inst.local_groups.drain().collect();
+        let me = self.dht.me();
+        if me == 0 {
+            // Root: finalize.
+            for (group, accs) in groups {
+                let virt = accs.output_row(&group);
+                if agg.having.as_ref().map_or(true, |h| h.matches(&virt)) {
+                    let out = Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect());
+                    self.emit_result(ctx, qid, initiator, out);
+                }
+            }
+        } else {
+            let parent = (me - 1) / 2;
+            for (group, accs) in groups {
+                ctx.send(parent, PierMsg::AggUp { qid, group, accs });
+            }
+        }
+    }
+
+    fn on_agg_up(&mut self, qid: u64, group: Vec<Value>, accs: GroupAccs) {
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        inst.local_groups
+            .entry(group)
+            .and_modify(|m| m.merge(&accs))
+            .or_insert(accs);
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch plumbing
+    // ------------------------------------------------------------------
+
+    fn on_new_data(&mut self, ctx: &mut Ctx<PierMsg>, entry: Entry<QpItem>) {
+        let Some(routes) = self.ns_routes.get(&entry.ns) else {
+            return;
+        };
+        let routes = routes.clone();
+        for (qid, role) in routes {
+            match role {
+                NsRole::RehashNq => self.probe_nq(ctx, qid, &entry),
+                NsRole::BaseLeft | NsRole::BaseRight => {
+                    self.on_base_new_data(ctx, qid, role, &entry)
+                }
+                NsRole::BloomCollector(right) => {
+                    // Early flush once every participant's fragment is in.
+                    let n_expected = self
+                        .queries
+                        .get(&qid)
+                        .map_or(0, |i| i.desc.n_nodes as usize);
+                    if n_expected > 0 && self.dht.store.ns_len(entry.ns) >= n_expected {
+                        let side = if right { Side::Right } else { Side::Left };
+                        self.bloom_flush(ctx, qid, side);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Continuous queries: a newly published base tuple flows through the
+    /// installed pipeline incrementally.
+    fn on_base_new_data(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        role: NsRole,
+        entry: &Entry<QpItem>,
+    ) {
+        let Some(inst) = self.queries.get(&qid) else {
+            return;
+        };
+        if !inst.desc.continuous {
+            return;
+        }
+        let QpItem::Row(row) = &entry.val else { return };
+        let row = row.clone();
+        let initiator = inst.desc.initiator;
+        match inst.desc.op.clone() {
+            QueryOp::Scan { scan, project } => {
+                if scan.pred.as_ref().map_or(true, |p| p.matches(&row)) {
+                    let out = Tuple::new(project.iter().map(|e| e.eval(&row)).collect());
+                    self.emit_result(ctx, qid, initiator, out);
+                }
+            }
+            QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
+                let side = if role == NsRole::BaseLeft {
+                    Side::Left
+                } else {
+                    Side::Right
+                };
+                self.rehash_one(ctx, qid, &j, side, row);
+            }
+            QueryOp::Agg { .. } => {
+                // One-shot aggregates only; continuous aggregation would
+                // need retraction or periodic re-emission.
+            }
+        }
+    }
+
+    /// Rehash a single (newly arrived) tuple for a continuous join.
+    fn rehash_one(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, j: &JoinSpec, side: Side, row: Tuple) {
+        let Some(inst) = self.queries.get(&qid) else {
+            return;
+        };
+        let view = inst.view.clone().expect("join view");
+        let window = inst.desc.window;
+        let (scan, keep) = match side {
+            Side::Left => (&j.left, &view.keep_left),
+            Side::Right => (&j.right, &view.keep_right),
+        };
+        if !scan.pred.as_ref().map_or(true, |p| p.matches(&row)) {
+            return;
+        }
+        let join = row.get(scan.join_col.unwrap()).clone();
+        let rid = Self::rehash_rid(&join, j.computation_nodes);
+        let lifetime = window.unwrap_or(Dur::from_secs(600));
+        let iid = self.fresh_iid();
+        let item = QpItem::Tagged {
+            qid,
+            side,
+            join,
+            row: row.project(keep),
+        };
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        self.dht
+            .put(&mut env, qns::rehash(qid), rid, iid, item, lifetime, &mut events);
+        drop(env);
+        self.pump(ctx, events);
+    }
+
+    /// Probe NQ entries that were stored before this node learned about
+    /// the query (multicast races the first rehash puts). Entries are
+    /// replayed in a fixed order, each probing only its predecessors, so
+    /// no pair is produced twice.
+    fn replay_rehash_ns(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, mut entries: Vec<Entry<QpItem>>) {
+        if entries.is_empty() {
+            return;
+        }
+        entries.sort_by_key(|e| (e.rid, e.iid));
+        // Probe pairs directly: replaying the k-th entry against a store
+        // containing all of them would double-count.
+        for i in 0..entries.len() {
+            for k in 0..i {
+                if entries[i].rid == entries[k].rid {
+                    self.probe_pairwise(ctx, qid, &entries[i], &entries[k]);
+                }
+            }
+        }
+    }
+
+    fn probe_pairwise(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        a: &Entry<QpItem>,
+        b: &Entry<QpItem>,
+    ) {
+        let Some(inst) = self.queries.get(&qid) else {
+            return;
+        };
+        match (&a.val, &b.val) {
+            (
+                QpItem::Tagged {
+                    side: sa,
+                    join: ja,
+                    row: ra,
+                    ..
+                },
+                QpItem::Tagged {
+                    side: sb,
+                    join: jb,
+                    row: rb,
+                    ..
+                },
+            ) => {
+                if sa == sb || ja != jb {
+                    return;
+                }
+                let view = inst.view.clone().expect("join view");
+                let initiator = inst.desc.initiator;
+                let is_joinagg = matches!(inst.desc.op, QueryOp::JoinAgg { .. });
+                let agg = match &inst.desc.op {
+                    QueryOp::JoinAgg { agg, .. } => Some(agg.clone()),
+                    _ => None,
+                };
+                let (l, r) = if *sa == Side::Left { (ra, rb) } else { (rb, ra) };
+                let joined = l.concat(r);
+                if view.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+                    let out = Tuple::new(view.project.iter().map(|e| e.eval(&joined)).collect());
+                    if is_joinagg {
+                        if let Some(ag) = &agg {
+                            self.accumulate(qid, ag, &out);
+                        }
+                    } else {
+                        self.emit_result(ctx, qid, initiator, out);
+                    }
+                }
+            }
+            (
+                QpItem::Mini {
+                    side: sa,
+                    pkey: pa,
+                    join: ja,
+                    ..
+                },
+                QpItem::Mini {
+                    side: sb,
+                    pkey: pb,
+                    join: jb,
+                    ..
+                },
+            ) => {
+                if sa == sb || ja != jb {
+                    return;
+                }
+                let (pk_l, pk_r) = if *sa == Side::Left {
+                    (pa.clone(), pb.clone())
+                } else {
+                    (pb.clone(), pa.clone())
+                };
+                self.semi_pair(ctx, qid, pk_l, pk_r);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_get_result(&mut self, ctx: &mut Ctx<PierMsg>, token: u64, items: Vec<Entry<QpItem>>) {
+        match self.get_purpose.remove(&token) {
+            Some(GetPurpose::FmProbe { qid, left_row }) => {
+                self.fm_complete(ctx, qid, left_row, items)
+            }
+            Some(GetPurpose::SemiFetch { qid, pair, side }) => {
+                self.semi_complete(ctx, qid, pair, side, items)
+            }
+            None => {}
+        }
+    }
+
+    fn emit_result(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, initiator: NodeId, row: Tuple) {
+        if initiator == ctx.me {
+            self.results.entry(qid).or_default().push((ctx.now, row));
+        } else {
+            ctx.send(initiator, PierMsg::Result { qid, row });
+        }
+    }
+}
+
+/// resourceID of a group's partials: hash of the group values.
+fn group_rid(group: &[Value]) -> Rid {
+    let mut h: u64 = 0x67_72_6f_75_70;
+    for v in group {
+        h = pier_dht::geom::hash2(h, v.hash64());
+    }
+    h
+}
+
+impl App for PierNode {
+    type Msg = PierMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<PierMsg>) {
+        let bootstrap = self.bootstrap;
+        if self.dht.is_joined() {
+            ctx.set_timer(self.dht.cfg.tick, DHT_TICK_TOKEN);
+        } else {
+            let mut env = PierEnv { ctx };
+            self.dht.start(&mut env, bootstrap);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<PierMsg>, from: NodeId, msg: PierMsg) {
+        match msg {
+            PierMsg::Dht(m) => {
+                let mut env = PierEnv { ctx };
+                let mut events = Vec::new();
+                self.dht.handle_message(&mut env, from, m, &mut events);
+                drop(env);
+                self.pump(ctx, events);
+            }
+            PierMsg::Result { qid, row } => {
+                self.results.entry(qid).or_default().push((ctx.now, row));
+            }
+            PierMsg::AggUp { qid, group, accs } => self.on_agg_up(qid, group, accs),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<PierMsg>, token: u64) {
+        if token == DHT_TICK_TOKEN {
+            let mut env = PierEnv { ctx };
+            let mut events = Vec::new();
+            self.dht.handle_timer(&mut env, token, &mut events);
+            drop(env);
+            self.pump(ctx, events);
+            return;
+        }
+        match self.timer_actions.remove(&token) {
+            Some(TimerAction::BloomFlush { qid, side }) => {
+                // A collector's deadline: if we know how many fragments to
+                // expect and they are still in flight (congestion), extend
+                // the window instead of multicasting a truncated filter.
+                let extend = if let Some(inst) = self.queries.get_mut(&qid) {
+                    let expecting = inst.desc.n_nodes as usize;
+                    let ns = qns::bloom(qid, side == Side::Right);
+                    let have = self.dht.store.ns_len(ns);
+                    if expecting > 0
+                        && have < expecting
+                        && inst.bloom_waits[side as usize] < 60
+                        && !inst.bloom_flushed[side as usize]
+                    {
+                        inst.bloom_waits[side as usize] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                };
+                if extend {
+                    let wait = match &self.queries[&qid].desc.op {
+                        QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => j.bloom_wait,
+                        _ => Dur::from_secs(10),
+                    };
+                    let t = self.token();
+                    self.timer_actions.insert(t, TimerAction::BloomFlush { qid, side });
+                    ctx.set_timer(wait, t);
+                } else {
+                    self.bloom_flush(ctx, qid, side);
+                }
+            }
+            Some(TimerAction::AggHarvest { qid }) => self.agg_harvest(ctx, qid),
+            Some(TimerAction::JoinAggFlush { qid }) => {
+                let agg = match self.queries.get(&qid).map(|i| &i.desc.op) {
+                    Some(QueryOp::JoinAgg { agg, .. }) => Some(agg.clone()),
+                    _ => None,
+                };
+                if let Some(agg) = agg {
+                    self.flush_partials(ctx, qid, &agg);
+                }
+            }
+            Some(TimerAction::HierFlush { qid }) => self.hier_flush(ctx, qid),
+            Some(TimerAction::Renew) => self.renew_all(ctx),
+            None => {}
+        }
+    }
+}

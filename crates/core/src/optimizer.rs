@@ -1,0 +1,246 @@
+//! Cost-based join-strategy selection.
+//!
+//! §7 lists query optimization as future work; we build the piece the
+//! paper itself derives: the §5.5.1 analytical latency model (validated
+//! there against Table 4) and a Figure-4-shaped traffic model, and pick
+//! the cheapest of the four strategies under a chosen objective.
+
+use crate::plan::JoinStrategy;
+
+/// Network-level parameters of the cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct CostParams {
+    /// Number of nodes in the overlay.
+    pub n_nodes: f64,
+    /// One overlay-hop latency in seconds (paper baseline: 0.1 s).
+    pub hop_latency: f64,
+    /// Time for a query multicast to reach all nodes (paper: ≈3 s at
+    /// n = 1024).
+    pub multicast_time: f64,
+    /// CAN dimensionality (lookup path ~ (d/4)·n^(1/d)).
+    pub dims: f64,
+}
+
+impl CostParams {
+    pub fn paper_baseline(n_nodes: f64) -> Self {
+        CostParams {
+            n_nodes,
+            hop_latency: 0.1,
+            // The multicast depth grows slowly with n; anchor at the
+            // paper's ≈3 s for 1024 nodes and scale with n^(1/d).
+            multicast_time: 3.0 * (n_nodes.powf(0.25) / 1024f64.powf(0.25)),
+            dims: 4.0,
+        }
+    }
+
+    /// Average lookup latency: (d/4)·n^(1/d) hops (§3.1.1).
+    pub fn lookup_latency(&self) -> f64 {
+        (self.dims / 4.0) * self.n_nodes.powf(1.0 / self.dims) * self.hop_latency
+    }
+}
+
+/// Workload statistics feeding the model (shapes of §5.1 / Fig. 4).
+#[derive(Clone, Copy, Debug)]
+pub struct JoinStats {
+    pub rows_r: f64,
+    pub rows_s: f64,
+    /// On-the-wire tuple sizes.
+    pub bytes_r: f64,
+    pub bytes_s: f64,
+    /// Selectivity of the local predicates.
+    pub sel_r: f64,
+    pub sel_s: f64,
+    /// Fraction of (selected) R rows with a join partner in S.
+    pub match_r: f64,
+    /// Result tuple wire size.
+    pub bytes_result: f64,
+    /// Bloom filter size per fragment, bytes.
+    pub bloom_bytes: f64,
+}
+
+impl JoinStats {
+    /// §5.1's synthetic workload at a given S-predicate selectivity.
+    pub fn workload(total_bytes: f64, sel_s: f64) -> JoinStats {
+        // |R| = 10·|S|; R tuples carry the ~1 KB pad (it is projected
+        // into the result, so every strategy must move it); S tuples are
+        // ~100 B.
+        let rows_s = total_bytes / (10.0 * 1024.0 + 100.0);
+        JoinStats {
+            rows_r: rows_s * 10.0,
+            rows_s,
+            bytes_r: 1024.0,
+            bytes_s: 100.0,
+            sel_r: 0.5,
+            sel_s,
+            match_r: 0.9,
+            bytes_result: 1024.0,
+            bloom_bytes: 8192.0,
+        }
+    }
+
+    fn results(&self) -> f64 {
+        // R rows passing their predicate, with a partner, whose partner
+        // passes the S predicate; the f() predicate halves again — but a
+        // constant factor common to all strategies can be dropped for
+        // strategy *selection* and kept simple here.
+        self.rows_r * self.sel_r * self.match_r * self.sel_s
+    }
+}
+
+/// Optimization objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize time-to-last-tuple in a latency-bound network (§5.5.1).
+    Latency,
+    /// Minimize aggregate network traffic (Figure 4's metric).
+    Traffic,
+}
+
+/// Analytical time-to-last-result in a latency-bound (infinite
+/// bandwidth) network — the §5.5.1 derivation, which the paper checks
+/// against Table 4.
+pub fn latency_model(strategy: JoinStrategy, p: &CostParams) -> f64 {
+    let lookup = p.lookup_latency();
+    let hop = p.hop_latency;
+    let mcast = p.multicast_time;
+    match strategy {
+        // multicast + lookup + put + deliver
+        JoinStrategy::SymmetricHash => mcast + lookup + hop + hop,
+        // multicast + lookup + request + reply + deliver
+        JoinStrategy::FetchMatches => mcast + lookup + 3.0 * hop,
+        // multicast + 2 lookups + 4 directs
+        JoinStrategy::SymmetricSemiJoin => mcast + 2.0 * lookup + 4.0 * hop,
+        // 2 multicasts + 2 lookups + 3 directs
+        JoinStrategy::BloomFilter => 2.0 * mcast + 2.0 * lookup + 3.0 * hop,
+    }
+}
+
+/// Analytical aggregate traffic in bytes (Figure 4's shape).
+pub fn traffic_model(strategy: JoinStrategy, s: &JoinStats) -> f64 {
+    let result_traffic = s.results() * s.bytes_result;
+    const MINI: f64 = 24.0;
+    const GET: f64 = 80.0;
+    // Every DHT put is a lookup followed by a direct transfer (§3.2.3
+    // footnote 6); the lookup hops along the overlay.
+    const LOOKUP: f64 = 80.0;
+    match strategy {
+        JoinStrategy::SymmetricHash => {
+            // Both tables rehashed after local selections.
+            s.rows_r * s.sel_r * (s.bytes_r + LOOKUP)
+                + s.rows_s * s.sel_s * (s.bytes_s + LOOKUP)
+                + result_traffic
+        }
+        JoinStrategy::FetchMatches => {
+            // A get per selected R row; the S tuple always comes back
+            // ("the S tuple must still be retrieved ... regardless of how
+            // selective the predicate is"), so traffic is ~constant in
+            // sel_s.
+            s.rows_r * s.sel_r * (GET + s.match_r * s.bytes_s) + result_traffic
+        }
+        JoinStrategy::SymmetricSemiJoin => {
+            // Tiny projections rehashed, then only matching full tuples
+            // fetched: linear in sel_s.
+            let minis = (s.rows_r * s.sel_r + s.rows_s * s.sel_s) * (MINI + LOOKUP);
+            let matches = s.rows_r * s.sel_r * s.match_r * s.sel_s;
+            minis + matches * (s.bytes_r + s.bytes_s + 2.0 * GET) + result_traffic
+        }
+        JoinStrategy::BloomFilter => {
+            // Filters out, OR-ed filters multicast back, then a filtered
+            // rehash: only R rows whose key appears in (the filter of) S
+            // survive — plus S's own rehash.
+            let filters = 2.0 * s.bloom_bytes * 8.0;
+            let r_kept = s.rows_r * s.sel_r * (s.match_r * s.sel_s + 0.03);
+            let s_kept = s.rows_s * s.sel_s;
+            filters
+                + r_kept * (s.bytes_r + LOOKUP)
+                + s_kept * (s.bytes_s + LOOKUP)
+                + result_traffic
+        }
+    }
+}
+
+/// Pick the cheapest strategy for the objective.
+pub fn choose_strategy(p: &CostParams, s: &JoinStats, objective: Objective) -> JoinStrategy {
+    let cost = |st: JoinStrategy| match objective {
+        Objective::Latency => latency_model(st, p),
+        Objective::Traffic => traffic_model(st, s),
+    };
+    JoinStrategy::ALL
+        .into_iter()
+        .min_by(|a, b| cost(*a).total_cmp(&cost(*b)))
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_model_reproduces_table_4_ordering() {
+        // Table 4 (n = 1024, 100 ms hops, infinite bandwidth):
+        // SHJ 3.73 < FM 3.78 < SSJ 4.47 < Bloom 6.85.
+        let p = CostParams::paper_baseline(1024.0);
+        let shj = latency_model(JoinStrategy::SymmetricHash, &p);
+        let fm = latency_model(JoinStrategy::FetchMatches, &p);
+        let ssj = latency_model(JoinStrategy::SymmetricSemiJoin, &p);
+        let bloom = latency_model(JoinStrategy::BloomFilter, &p);
+        assert!(shj < fm && fm < ssj && ssj < bloom, "{shj} {fm} {ssj} {bloom}");
+        // And the absolute values land near the paper's Table 4.
+        assert!((shj - 3.73).abs() < 0.4, "shj {shj}");
+        assert!((fm - 3.78).abs() < 0.4, "fm {fm}");
+        assert!((ssj - 4.47).abs() < 0.6, "ssj {ssj}");
+        assert!((bloom - 6.85).abs() < 1.2, "bloom {bloom}");
+    }
+
+    #[test]
+    fn traffic_model_reproduces_figure_4_crossovers() {
+        let total = 1e9; // ~1 GB of base data
+        // At low selectivity on S, Bloom beats symmetric hash by skipping
+        // most of R's rehash.
+        let low = JoinStats::workload(total, 0.1);
+        assert!(
+            traffic_model(JoinStrategy::BloomFilter, &low)
+                < traffic_model(JoinStrategy::SymmetricHash, &low)
+        );
+        // At high selectivity the filters stop helping (Fig. 4: "the
+        // algorithm starts to perform similar to the symmetric join").
+        let high = JoinStats::workload(total, 1.0);
+        let b = traffic_model(JoinStrategy::BloomFilter, &high);
+        let shj = traffic_model(JoinStrategy::SymmetricHash, &high);
+        assert!((b - shj).abs() / shj < 0.25, "bloom {b} vs shj {shj}");
+        // Fetch Matches is flat in sel_s.
+        let fm_low = traffic_model(JoinStrategy::FetchMatches, &JoinStats::workload(total, 0.1));
+        let fm_high = traffic_model(JoinStrategy::FetchMatches, &JoinStats::workload(total, 0.9));
+        let base_low = JoinStats::workload(total, 0.1).results() * 1024.0;
+        let base_high = JoinStats::workload(total, 0.9).results() * 1024.0;
+        assert!(((fm_high - base_high) - (fm_low - base_low)).abs() < 1e-3 * fm_low);
+        // Semi-join grows linearly and stays below SHJ.
+        for sel in [0.2, 0.5, 0.8] {
+            let st = JoinStats::workload(total, sel);
+            assert!(
+                traffic_model(JoinStrategy::SymmetricSemiJoin, &st)
+                    < traffic_model(JoinStrategy::SymmetricHash, &st)
+            );
+        }
+    }
+
+    #[test]
+    fn chooser_switches_with_objective_and_selectivity() {
+        let p = CostParams::paper_baseline(1024.0);
+        let s = JoinStats::workload(1e9, 0.5);
+        assert_eq!(
+            choose_strategy(&p, &s, Objective::Latency),
+            JoinStrategy::SymmetricHash
+        );
+        // Traffic objective never picks plain SHJ when semi-join wins.
+        let choice = choose_strategy(&p, &s, Objective::Traffic);
+        assert_ne!(choice, JoinStrategy::SymmetricHash);
+    }
+
+    #[test]
+    fn lookup_latency_follows_fourth_root() {
+        let a = CostParams::paper_baseline(16.0).lookup_latency();
+        let b = CostParams::paper_baseline(256.0).lookup_latency();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

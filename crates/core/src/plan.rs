@@ -1,0 +1,449 @@
+//! Query descriptors: the "boxes and arrows" shipped to every node.
+//!
+//! A query is disseminated by DHT multicast (§3.3); each node receives the
+//! same [`QueryDesc`] and plays its part — scanning local fragments,
+//! rehashing, probing, fetching, aggregating — with results flowing
+//! directly to the initiator. Expressions in a descriptor are indexed
+//! over the *full* `left ++ right` base schemas; strategies that rehash
+//! projected tuples remap them via [`RehashView`].
+
+use pier_dht::{ns_of, Ns};
+use pier_simnet::time::Dur;
+use pier_simnet::NodeId;
+
+use crate::expr::Expr;
+
+/// The four distributed equi-join strategies of §4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinStrategy {
+    /// DHT-based pipelining symmetric hash join (§4.1).
+    SymmetricHash,
+    /// Fetch Matches: right table already hashed on the join key (§4.1).
+    FetchMatches,
+    /// Symmetric semi-join rewrite (§4.2).
+    SymmetricSemiJoin,
+    /// Bloom-filter rewrite (§4.2).
+    BloomFilter,
+}
+
+impl JoinStrategy {
+    pub const ALL: [JoinStrategy; 4] = [
+        JoinStrategy::SymmetricHash,
+        JoinStrategy::FetchMatches,
+        JoinStrategy::SymmetricSemiJoin,
+        JoinStrategy::BloomFilter,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinStrategy::SymmetricHash => "symmetric hash",
+            JoinStrategy::FetchMatches => "fetch matches",
+            JoinStrategy::SymmetricSemiJoin => "symmetric semi-join",
+            JoinStrategy::BloomFilter => "bloom filter",
+        }
+    }
+}
+
+/// One base-table access within a query.
+#[derive(Clone, Debug)]
+pub struct ScanSpec {
+    /// Application-level table (namespace) name.
+    pub table: String,
+    /// Hashed namespace.
+    pub ns: Ns,
+    /// Local selection predicate over the base schema (pushed to the
+    /// data's home node where the strategy allows).
+    pub pred: Option<Expr>,
+    /// Primary-key column: the table's default resourceID (§3.2.3).
+    pub pkey_col: usize,
+    /// Join column (None for single-table scans).
+    pub join_col: Option<usize>,
+    /// Base-schema arity (needed to index the concatenated join schema).
+    pub arity: usize,
+}
+
+impl ScanSpec {
+    pub fn new(table: &str, arity: usize, pkey_col: usize) -> Self {
+        ScanSpec {
+            table: table.to_string(),
+            ns: ns_of(table),
+            pred: None,
+            pkey_col,
+            join_col: None,
+            arity,
+        }
+    }
+
+    pub fn with_pred(mut self, pred: Expr) -> Self {
+        self.pred = Some(pred);
+        self
+    }
+
+    pub fn with_join_col(mut self, col: usize) -> Self {
+        self.join_col = Some(col);
+        self
+    }
+}
+
+/// A binary equi-join.
+#[derive(Clone, Debug)]
+pub struct JoinSpec {
+    pub strategy: JoinStrategy,
+    pub left: ScanSpec,
+    pub right: ScanSpec,
+    /// Predicate evaluated above the join, over `left ++ right` base
+    /// columns — e.g. the workload's `f(R.num3, S.num3) > constant3`.
+    pub post_pred: Option<Expr>,
+    /// Output expressions over `left ++ right` base columns.
+    pub project: Vec<Expr>,
+    /// Restrict the rehash namespace to this many buckets, confining the
+    /// join computation to ≤ m nodes (the Fig. 3 "computation nodes").
+    pub computation_nodes: Option<u32>,
+    /// Bloom strategy: how long collectors gather fragment filters
+    /// before OR-ing and multicasting them.
+    pub bloom_wait: Dur,
+    /// Bloom strategy: filter shape (bits), sized for the table.
+    pub bloom_bits: u32,
+}
+
+impl JoinSpec {
+    pub fn new(strategy: JoinStrategy, left: ScanSpec, right: ScanSpec) -> Self {
+        assert!(left.join_col.is_some() && right.join_col.is_some());
+        JoinSpec {
+            strategy,
+            left,
+            right,
+            post_pred: None,
+            project: Vec::new(),
+            computation_nodes: None,
+            // Fallback flush deadline; collectors flush early once every
+            // node's fragment has arrived (count-based).
+            bloom_wait: Dur::from_secs(10),
+            bloom_bits: 1 << 16,
+        }
+    }
+
+    /// Default projection: every column of both sides.
+    pub fn all_columns(&self) -> Vec<Expr> {
+        (0..self.left.arity + self.right.arity).map(Expr::col).collect()
+    }
+}
+
+/// Aggregate functions (§3.3 lists grouping and aggregation among the
+/// initial operators; the intrusion queries of §2.1 use count and sum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// One aggregate call: `func(arg)`; `Count` may have no argument.
+#[derive(Clone, Debug)]
+pub struct AggCall {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+}
+
+/// Grouped aggregation over the input rows (base scan or join output).
+///
+/// `output` and `having` are indexed over the virtual row
+/// `[group values..., aggregate results...]`.
+#[derive(Clone, Debug)]
+pub struct AggSpec {
+    pub group_cols: Vec<usize>,
+    pub aggs: Vec<AggCall>,
+    pub output: Vec<Expr>,
+    pub having: Option<Expr>,
+    /// In-network hierarchical aggregation (§7 future work, built as an
+    /// extension): partials climb a binary tree over node ids instead of
+    /// all landing on the group owner.
+    pub hierarchical: bool,
+    /// How long owners wait before finalizing groups (one-shot queries).
+    pub harvest: Dur,
+}
+
+impl AggSpec {
+    pub fn new(group_cols: Vec<usize>, aggs: Vec<AggCall>) -> Self {
+        let out: Vec<Expr> = (0..group_cols.len() + aggs.len()).map(Expr::col).collect();
+        AggSpec {
+            group_cols,
+            aggs,
+            output: out,
+            having: None,
+            hierarchical: false,
+            harvest: Dur::from_secs(5),
+        }
+    }
+}
+
+/// The operator tree variants PIER ships.
+#[derive(Clone, Debug)]
+pub enum QueryOp {
+    /// Scan-select-project: results flow straight to the initiator.
+    Scan { scan: ScanSpec, project: Vec<Expr> },
+    /// Distributed equi-join.
+    Join(JoinSpec),
+    /// Single-table grouped aggregation.
+    Agg { scan: ScanSpec, agg: AggSpec },
+    /// Join feeding a grouped aggregation (e.g. §2.1's weighted query).
+    JoinAgg { join: JoinSpec, agg: AggSpec },
+}
+
+/// A complete query as multicast to all nodes.
+#[derive(Clone, Debug)]
+pub struct QueryDesc {
+    pub qid: u64,
+    pub initiator: NodeId,
+    pub op: QueryOp,
+    /// Continuous query: stays installed; newly published base tuples
+    /// flow through incrementally (§7 "continuous queries over streams").
+    pub continuous: bool,
+    /// For continuous joins: rehashed state ages out of the DHT after
+    /// this long, implementing a sliding time window via soft state.
+    pub window: Option<Dur>,
+    /// How many nodes participate (used by hierarchical aggregation to
+    /// shape its tree; harnesses set it when building the query).
+    pub n_nodes: u32,
+}
+
+impl QueryDesc {
+    pub fn one_shot(qid: u64, initiator: NodeId, op: QueryOp) -> Self {
+        QueryDesc {
+            qid,
+            initiator,
+            op,
+            continuous: false,
+            window: None,
+            n_nodes: 0,
+        }
+    }
+
+    /// Rough wire size of the descriptor for the multicast payload.
+    pub fn wire_size(&self) -> usize {
+        fn scan_sz(s: &ScanSpec) -> usize {
+            32 + s.table.len() + s.pred.as_ref().map_or(0, Expr::wire_size)
+        }
+        fn join_sz(j: &JoinSpec) -> usize {
+            16 + scan_sz(&j.left)
+                + scan_sz(&j.right)
+                + j.post_pred.as_ref().map_or(0, Expr::wire_size)
+                + j.project.iter().map(Expr::wire_size).sum::<usize>()
+        }
+        fn agg_sz(a: &AggSpec) -> usize {
+            16 + a.group_cols.len() * 2
+                + a.aggs
+                    .iter()
+                    .map(|c| 2 + c.arg.as_ref().map_or(0, Expr::wire_size))
+                    .sum::<usize>()
+                + a.output.iter().map(Expr::wire_size).sum::<usize>()
+                + a.having.as_ref().map_or(0, Expr::wire_size)
+        }
+        24 + match &self.op {
+            QueryOp::Scan { scan, project } => {
+                scan_sz(scan) + project.iter().map(Expr::wire_size).sum::<usize>()
+            }
+            QueryOp::Join(j) => join_sz(j),
+            QueryOp::Agg { scan, agg } => scan_sz(scan) + agg_sz(agg),
+            QueryOp::JoinAgg { join, agg } => join_sz(join) + agg_sz(agg),
+        }
+    }
+}
+
+/// Derived namespaces for a query's intermediate state.
+pub mod qns {
+    use pier_dht::geom::hash2;
+    use pier_dht::Ns;
+
+    /// Rehash namespace `NQ` for a join (§4.1).
+    pub fn rehash(qid: u64) -> Ns {
+        hash2(0x4e51, qid) // "NQ"
+    }
+
+    /// Bloom collector namespace for one side.
+    pub fn bloom(qid: u64, side_right: bool) -> Ns {
+        hash2(0x4e42 + side_right as u64, qid)
+    }
+
+    /// Aggregation partials namespace `NA`.
+    pub fn agg(qid: u64) -> Ns {
+        hash2(0x4e41, qid)
+    }
+}
+
+/// How a strategy that rehashes projected tuples views the join exprs.
+///
+/// The rehash copies "with only the relevant columns remaining" (§4.1):
+/// we keep the join column plus every column mentioned by the post-join
+/// predicate or the output projection, and remap those expressions onto
+/// the narrower concatenated layout.
+#[derive(Clone, Debug)]
+pub struct RehashView {
+    /// Base columns kept from the left / right tuples.
+    pub keep_left: Vec<usize>,
+    pub keep_right: Vec<usize>,
+    /// Position of the join value within each kept projection.
+    pub join_idx_left: usize,
+    pub join_idx_right: usize,
+    /// `post_pred` remapped over `keep_left ++ keep_right`.
+    pub post_pred: Option<Expr>,
+    /// `project` remapped over `keep_left ++ keep_right`.
+    pub project: Vec<Expr>,
+}
+
+impl RehashView {
+    pub fn build(spec: &JoinSpec) -> RehashView {
+        let la = spec.left.arity;
+        let mut used: Vec<usize> = Vec::new();
+        if let Some(p) = &spec.post_pred {
+            p.columns(&mut used);
+        }
+        for e in &spec.project {
+            e.columns(&mut used);
+        }
+        let jl = spec.left.join_col.expect("join col");
+        let jr = spec.right.join_col.expect("join col") + la;
+        if !used.contains(&jl) {
+            used.push(jl);
+        }
+        if !used.contains(&jr) {
+            used.push(jr);
+        }
+        used.sort_unstable();
+        let keep_left: Vec<usize> = used.iter().copied().filter(|&c| c < la).collect();
+        let keep_right: Vec<usize> = used
+            .iter()
+            .copied()
+            .filter(|&c| c >= la)
+            .map(|c| c - la)
+            .collect();
+        let map = |c: usize| -> Option<usize> {
+            if c < la {
+                keep_left.iter().position(|&k| k == c)
+            } else {
+                keep_right
+                    .iter()
+                    .position(|&k| k == c - la)
+                    .map(|p| p + keep_left.len())
+            }
+        };
+        RehashView {
+            join_idx_left: keep_left.iter().position(|&k| k == jl).unwrap(),
+            join_idx_right: keep_right
+                .iter()
+                .position(|&k| k == jr - la)
+                .unwrap(),
+            post_pred: spec.post_pred.as_ref().map(|p| p.remap_cols(&map).unwrap()),
+            project: spec
+                .project
+                .iter()
+                .map(|e| e.remap_cols(&map).unwrap())
+                .collect(),
+            keep_left,
+            keep_right,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Func};
+
+    fn workload_join(strategy: JoinStrategy) -> JoinSpec {
+        // R(pkey, num1, num2, num3, pad) ⨝ S(pkey, num2, num3) on
+        // R.num1 = S.pkey, with preds on num2 and f(R.num3, S.num3).
+        let left = ScanSpec::new("R", 5, 0)
+            .with_pred(Expr::gt(Expr::col(2), Expr::lit(50i64)))
+            .with_join_col(1);
+        let right = ScanSpec::new("S", 3, 0)
+            .with_pred(Expr::gt(Expr::col(1), Expr::lit(50i64)))
+            .with_join_col(0);
+        let mut j = JoinSpec::new(strategy, left, right);
+        j.post_pred = Some(Expr::gt(
+            Expr::Call(Func::WorkloadF, vec![Expr::col(3), Expr::col(7)]),
+            Expr::lit(30i64),
+        ));
+        j.project = vec![Expr::col(0), Expr::col(5), Expr::col(4)];
+        j
+    }
+
+    #[test]
+    fn rehash_view_keeps_only_relevant_columns() {
+        let j = workload_join(JoinStrategy::SymmetricHash);
+        let v = RehashView::build(&j);
+        // Left keeps pkey(0), num1(1, join), num3(3), pad(4).
+        assert_eq!(v.keep_left, vec![0, 1, 3, 4]);
+        // Right keeps pkey(0, join+projected), num3(2).
+        assert_eq!(v.keep_right, vec![0, 2]);
+        assert_eq!(v.join_idx_left, 1);
+        assert_eq!(v.join_idx_right, 0);
+    }
+
+    #[test]
+    fn rehash_view_remaps_exprs_consistently() {
+        let j = workload_join(JoinStrategy::SymmetricHash);
+        let v = RehashView::build(&j);
+        // Build a full joined row and its projected counterpart; both
+        // evaluations must agree.
+        let full = crate::tuple![1i64, 10i64, 60i64, 7i64, 1000i64, 10i64, 60i64, 8i64];
+        let narrow_vals: Vec<crate::value::Value> = v
+            .keep_left
+            .iter()
+            .map(|&c| full.vals[c].clone())
+            .chain(v.keep_right.iter().map(|&c| full.vals[c + 5].clone()))
+            .collect();
+        let narrow = crate::tuple::Tuple::new(narrow_vals);
+        let full_pred = j.post_pred.as_ref().unwrap();
+        let narrow_pred = v.post_pred.as_ref().unwrap();
+        assert_eq!(full_pred.matches(&full), narrow_pred.matches(&narrow));
+        for (fe, ne) in j.project.iter().zip(&v.project) {
+            assert_eq!(fe.eval(&full), ne.eval(&narrow));
+        }
+    }
+
+    #[test]
+    fn query_namespaces_are_distinct_per_query() {
+        assert_ne!(qns::rehash(1), qns::rehash(2));
+        assert_ne!(qns::rehash(1), qns::agg(1));
+        assert_ne!(qns::bloom(1, false), qns::bloom(1, true));
+    }
+
+    #[test]
+    fn descriptor_wire_size_is_modest() {
+        let j = workload_join(JoinStrategy::BloomFilter);
+        let d = QueryDesc::one_shot(9, 0, QueryOp::Join(j));
+        let sz = d.wire_size();
+        assert!(sz > 50 && sz < 1000, "desc size {sz}");
+    }
+
+    #[test]
+    fn strategy_table() {
+        assert_eq!(JoinStrategy::ALL.len(), 4);
+        assert_eq!(JoinStrategy::SymmetricHash.name(), "symmetric hash");
+    }
+
+    #[test]
+    fn default_agg_output_echoes_groups_and_aggs() {
+        let spec = AggSpec::new(
+            vec![1],
+            vec![AggCall {
+                func: AggFunc::Count,
+                arg: None,
+            }],
+        );
+        assert_eq!(spec.output.len(), 2);
+        assert_eq!(spec.output[0], Expr::Col(0));
+        assert_eq!(spec.output[1], Expr::Col(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn join_spec_requires_join_columns() {
+        let left = ScanSpec::new("R", 2, 0);
+        let right = ScanSpec::new("S", 2, 0);
+        let _ = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+    }
+}

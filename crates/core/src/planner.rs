@@ -1,0 +1,139 @@
+//! The declarative top of the stack: SQL in, cost-optimized distributed
+//! plan out. Ties together the parser ([`crate::sql`]), the catalog's
+//! statistics, and the §5.5.1-based cost model ([`crate::optimizer`]).
+
+use crate::catalog::Catalog;
+use crate::optimizer::{choose_strategy, CostParams, JoinStats, Objective};
+use crate::plan::{JoinStrategy, QueryOp};
+use crate::sql::parse_query;
+
+/// Parse `sql` and, for join queries, pick the cheapest strategy for the
+/// objective using catalog statistics and the network cost parameters.
+pub fn plan_sql(
+    sql: &str,
+    catalog: &Catalog,
+    net: &CostParams,
+    objective: Objective,
+) -> Result<QueryOp, String> {
+    let mut op = parse_query(sql, catalog, JoinStrategy::SymmetricHash)?;
+    let join = match &mut op {
+        QueryOp::Join(j) => Some(j),
+        QueryOp::JoinAgg { join, .. } => Some(join),
+        _ => None,
+    };
+    if let Some(j) = join {
+        let left = catalog
+            .get(&j.left.table)
+            .ok_or_else(|| format!("no stats for {}", j.left.table))?;
+        let right = catalog
+            .get(&j.right.table)
+            .ok_or_else(|| format!("no stats for {}", j.right.table))?;
+        // Default selectivity estimate for predicates we cannot derive:
+        // the classical 1/2 for range predicates, 1 when absent.
+        let sel = |has_pred: bool| if has_pred { 0.5 } else { 1.0 };
+        let stats = JoinStats {
+            rows_r: left.stats.rows as f64,
+            rows_s: right.stats.rows as f64,
+            bytes_r: left.stats.avg_tuple_bytes as f64,
+            bytes_s: right.stats.avg_tuple_bytes as f64,
+            sel_r: sel(j.left.pred.is_some()),
+            sel_s: sel(j.right.pred.is_some()),
+            match_r: 0.9,
+            bytes_result: (left.stats.avg_tuple_bytes + right.stats.avg_tuple_bytes) as f64,
+            bloom_bytes: ((left.stats.rows as f64)).max(2048.0),
+        };
+        j.strategy = choose_strategy(net, &stats, objective);
+        // Fetch Matches is only valid when the fetched table is hashed on
+        // the join key (resourceID = pkey, §4.1).
+        if j.strategy == JoinStrategy::FetchMatches
+            && j.right.join_col != Some(j.right.pkey_col)
+        {
+            j.strategy = JoinStrategy::SymmetricHash;
+        }
+    }
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableStats;
+
+    const WORKLOAD_SQL: &str = "SELECT R.pkey, S.pkey, R.pad FROM R, S \
+         WHERE R.num1 = S.pkey AND R.num2 > 50 AND S.num2 > 50";
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::workload();
+        c.set_stats(
+            "R",
+            TableStats {
+                rows: 100_000,
+                avg_tuple_bytes: 1024,
+            },
+        );
+        c.set_stats(
+            "S",
+            TableStats {
+                rows: 10_000,
+                avg_tuple_bytes: 100,
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn latency_objective_picks_symmetric_hash() {
+        let op = plan_sql(
+            WORKLOAD_SQL,
+            &catalog(),
+            &CostParams::paper_baseline(1024.0),
+            Objective::Latency,
+        )
+        .unwrap();
+        let QueryOp::Join(j) = op else { panic!() };
+        assert_eq!(j.strategy, JoinStrategy::SymmetricHash);
+    }
+
+    #[test]
+    fn traffic_objective_avoids_full_rehash() {
+        let op = plan_sql(
+            WORKLOAD_SQL,
+            &catalog(),
+            &CostParams::paper_baseline(1024.0),
+            Objective::Traffic,
+        )
+        .unwrap();
+        let QueryOp::Join(j) = op else { panic!() };
+        assert_ne!(j.strategy, JoinStrategy::SymmetricHash);
+    }
+
+    #[test]
+    fn fetch_matches_demoted_when_join_key_is_not_pkey() {
+        // Join on S.num2 (not S's pkey): FM would be incorrect, so the
+        // planner must not choose it even if the model liked it.
+        let sql = "SELECT R.pkey FROM R, S WHERE R.num1 = S.num2";
+        for objective in [Objective::Latency, Objective::Traffic] {
+            let op = plan_sql(
+                sql,
+                &catalog(),
+                &CostParams::paper_baseline(64.0),
+                objective,
+            )
+            .unwrap();
+            let QueryOp::Join(j) = op else { panic!() };
+            assert_ne!(j.strategy, JoinStrategy::FetchMatches);
+        }
+    }
+
+    #[test]
+    fn non_join_queries_pass_through() {
+        let op = plan_sql(
+            "SELECT pkey FROM S WHERE num2 > 10",
+            &catalog(),
+            &CostParams::paper_baseline(64.0),
+            Objective::Latency,
+        )
+        .unwrap();
+        assert!(matches!(op, QueryOp::Scan { .. }));
+    }
+}

@@ -1,0 +1,173 @@
+//! Reference (centralized) query evaluation and result-quality metrics.
+//!
+//! PIER gives best-effort answers under dilated-reachable-snapshot
+//! semantics (§3.3.1) and the paper measures quality as *recall* against
+//! the reachable snapshot (§5.6). This module computes the ground truth
+//! by evaluating the same query descriptor centrally over the published
+//! tables, plus multiset recall/precision between expected and actual.
+
+use std::collections::HashMap;
+
+use crate::plan::{AggSpec, JoinSpec, QueryOp};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Centralized nested-loop evaluation of a join spec over full tables.
+pub fn reference_join(j: &JoinSpec, left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let jl = j.left.join_col.expect("join col");
+    let jr = j.right.join_col.expect("join col");
+    for l in left {
+        if !j.left.pred.as_ref().map_or(true, |p| p.matches(l)) {
+            continue;
+        }
+        for r in right {
+            if l.get(jl) != r.get(jr) {
+                continue;
+            }
+            if !j.right.pred.as_ref().map_or(true, |p| p.matches(r)) {
+                continue;
+            }
+            let joined = l.concat(r);
+            if !j.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+                continue;
+            }
+            out.push(Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect()));
+        }
+    }
+    out
+}
+
+/// Centralized evaluation of grouped aggregation over input rows.
+pub fn reference_agg(agg: &AggSpec, rows: &[Tuple]) -> Vec<Tuple> {
+    let mut groups: HashMap<Vec<Value>, crate::agg::GroupAccs> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = agg.group_cols.iter().map(|&c| row.get(c).clone()).collect();
+        groups
+            .entry(key)
+            .or_insert_with(|| crate::agg::GroupAccs::new(&agg.aggs))
+            .update(&agg.aggs, row);
+    }
+    let mut out = Vec::new();
+    for (key, accs) in groups {
+        let virt = accs.output_row(&key);
+        if agg.having.as_ref().map_or(true, |h| h.matches(&virt)) {
+            out.push(Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect()));
+        }
+    }
+    out
+}
+
+/// Centralized evaluation of a whole query op over named base tables.
+pub fn reference_eval(op: &QueryOp, tables: &HashMap<String, Vec<Tuple>>) -> Vec<Tuple> {
+    let empty: Vec<Tuple> = Vec::new();
+    let get = |name: &str| tables.get(name).unwrap_or(&empty);
+    match op {
+        QueryOp::Scan { scan, project } => get(&scan.table)
+            .iter()
+            .filter(|t| scan.pred.as_ref().map_or(true, |p| p.matches(t)))
+            .map(|t| Tuple::new(project.iter().map(|e| e.eval(t)).collect()))
+            .collect(),
+        QueryOp::Join(j) => reference_join(j, get(&j.left.table), get(&j.right.table)),
+        QueryOp::Agg { scan, agg } => {
+            let rows: Vec<Tuple> = get(&scan.table)
+                .iter()
+                .filter(|t| scan.pred.as_ref().map_or(true, |p| p.matches(t)))
+                .cloned()
+                .collect();
+            reference_agg(agg, &rows)
+        }
+        QueryOp::JoinAgg { join, agg } => {
+            let joined = reference_join(join, get(&join.left.table), get(&join.right.table));
+            reference_agg(agg, &joined)
+        }
+    }
+}
+
+/// Multiset counts of tuples (display form as key: Values are hashable
+/// but a canonical string keeps diagnostics readable).
+fn counts(rows: &[Tuple]) -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    for r in rows {
+        *m.entry(r.to_string()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Multiset recall: |expected ∩ actual| / |expected| (1.0 when both
+/// empty). The paper's quality metric (§2.2a, §5.6).
+pub fn recall(expected: &[Tuple], actual: &[Tuple]) -> f64 {
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let exp = counts(expected);
+    let act = counts(actual);
+    let hit: usize = exp
+        .iter()
+        .map(|(k, &n)| n.min(act.get(k).copied().unwrap_or(0)))
+        .sum();
+    hit as f64 / expected.len() as f64
+}
+
+/// Multiset precision: |expected ∩ actual| / |actual|.
+pub fn precision(expected: &[Tuple], actual: &[Tuple]) -> f64 {
+    if actual.is_empty() {
+        return 1.0;
+    }
+    let exp = counts(expected);
+    let act = counts(actual);
+    let hit: usize = act
+        .iter()
+        .map(|(k, &n)| n.min(exp.get(k).copied().unwrap_or(0)))
+        .sum();
+    hit as f64 / actual.len() as f64
+}
+
+/// Exact multiset equality of result sets (order-insensitive).
+pub fn same_multiset(a: &[Tuple], b: &[Tuple]) -> bool {
+    a.len() == b.len() && counts(a) == counts(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::{JoinStrategy, ScanSpec};
+    use crate::tuple;
+
+    #[test]
+    fn reference_join_applies_all_predicates() {
+        let left = ScanSpec::new("L", 2, 0)
+            .with_pred(Expr::gt(Expr::col(1), Expr::lit(0i64)))
+            .with_join_col(1);
+        let right = ScanSpec::new("R", 2, 0).with_join_col(0);
+        let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+        j.project = vec![Expr::col(0), Expr::col(3)];
+        let l = vec![tuple![1i64, 10i64], tuple![2i64, -5i64], tuple![3i64, 10i64]];
+        let r = vec![tuple![10i64, 100i64], tuple![7i64, 200i64]];
+        let out = reference_join(&j, &l, &r);
+        assert!(same_multiset(
+            &out,
+            &[tuple![1i64, 100i64], tuple![3i64, 100i64]]
+        ));
+    }
+
+    #[test]
+    fn recall_and_precision_multiset_semantics() {
+        let exp = vec![tuple![1i64], tuple![1i64], tuple![2i64]];
+        let act = vec![tuple![1i64], tuple![2i64], tuple![9i64]];
+        assert!((recall(&exp, &act) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((precision(&exp, &act) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(recall(&[], &act), 1.0);
+        assert_eq!(precision(&exp, &[]), 1.0);
+    }
+
+    #[test]
+    fn same_multiset_detects_duplicates() {
+        let a = vec![tuple![1i64], tuple![1i64]];
+        let b = vec![tuple![1i64]];
+        assert!(!same_multiset(&a, &b));
+        let c = vec![tuple![1i64], tuple![1i64]];
+        assert!(same_multiset(&a, &c));
+    }
+}

@@ -1,0 +1,920 @@
+//! A declarative front-end: the SQL subset the paper's queries use.
+//!
+//! §7 lists "declarative query parsing" as future work layered *above*
+//! the query processor; we build it. Supported:
+//!
+//! ```sql
+//! SELECT expr [AS name], ...
+//! FROM table [AS t] [, table [AS t]]
+//! [WHERE conjunctive predicates, incl. one cross-table equality]
+//! [GROUP BY cols] [HAVING expr]
+//! ```
+//!
+//! which covers all three §2.1 intrusion-detection examples and the §5.1
+//! workload query. The parser resolves names against the [`Catalog`] and
+//! emits a fully index-resolved [`QueryOp`].
+
+use crate::catalog::Catalog;
+use crate::expr::{BinOp, Expr, Func};
+use crate::plan::{AggCall, AggFunc, AggSpec, JoinSpec, JoinStrategy, QueryOp, ScanSpec};
+use crate::value::Value;
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '%' | '=' => {
+                out.push(Tok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    '%' => "%",
+                    _ => "=",
+                }));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Sym("<="));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Sym("<>"));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err("unterminated string literal".into());
+                }
+                i += 1;
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.contains('.') {
+                    out.push(Tok::Float(text.parse().map_err(|e| format!("{e}"))?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|e| format!("{e}"))?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            ';' => i += 1,
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser AST (pre-resolution)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum PExpr {
+    Col(String),
+    Lit(Value),
+    Bin(BinOp, Box<PExpr>, Box<PExpr>),
+    Not(Box<PExpr>),
+    Call(Func, Vec<PExpr>),
+    Agg(AggFunc, Option<Box<PExpr>>),
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn kw(&mut self, word: &str) -> bool {
+        if let Some(Tok::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(word) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<(), String> {
+        if self.kw(word) {
+            Ok(())
+        } else {
+            Err(format!("expected {word} at token {:?}", self.peek()))
+        }
+    }
+
+    fn sym(&mut self, s: &str) -> bool {
+        if let Some(Tok::Sym(have)) = self.peek() {
+            if *have == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), String> {
+        if self.sym(s) {
+            Ok(())
+        } else {
+            Err(format!("expected '{s}' at token {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Ident(w)) => Ok(w),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    // expr := or
+    fn expr(&mut self) -> Result<PExpr, String> {
+        let mut left = self.and_expr()?;
+        while self.kw("OR") {
+            let right = self.and_expr()?;
+            left = PExpr::Bin(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr, String> {
+        let mut left = self.cmp_expr()?;
+        while self.kw("AND") {
+            let right = self.cmp_expr()?;
+            left = PExpr::Bin(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<PExpr, String> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => Some(BinOp::Eq),
+            Some(Tok::Sym("<>")) => Some(BinOp::Ne),
+            Some(Tok::Sym("<")) => Some(BinOp::Lt),
+            Some(Tok::Sym("<=")) => Some(BinOp::Le),
+            Some(Tok::Sym(">")) => Some(BinOp::Gt),
+            Some(Tok::Sym(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(PExpr::Bin(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<PExpr, String> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => BinOp::Add,
+                Some(Tok::Sym("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = PExpr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<PExpr, String> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => BinOp::Mul,
+                Some(Tok::Sym("/")) => BinOp::Div,
+                Some(Tok::Sym("%")) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = PExpr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<PExpr, String> {
+        if self.kw("NOT") {
+            return Ok(PExpr::Not(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<PExpr, String> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(PExpr::Lit(Value::I64(i))),
+            Some(Tok::Float(x)) => Ok(PExpr::Lit(Value::F64(x))),
+            Some(Tok::Str(s)) => Ok(PExpr::Lit(Value::str(&s))),
+            Some(Tok::Sym("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(word)) => {
+                // Aggregate / scalar function call?
+                if self.peek() == Some(&Tok::Sym("(")) {
+                    self.pos += 1;
+                    let lower = word.to_ascii_lowercase();
+                    if let Some(func) = agg_func(&lower) {
+                        // count(*) has no argument.
+                        if self.sym("*") {
+                            self.expect_sym(")")?;
+                            return Ok(PExpr::Agg(func, None));
+                        }
+                        let arg = self.expr()?;
+                        self.expect_sym(")")?;
+                        return Ok(PExpr::Agg(func, Some(Box::new(arg))));
+                    }
+                    let func = scalar_func(&lower)
+                        .ok_or_else(|| format!("unknown function '{word}'"))?;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::Sym(")")) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(PExpr::Call(func, args));
+                }
+                // Qualified column?
+                if self.sym(".") {
+                    let field = self.ident()?;
+                    return Ok(PExpr::Col(format!("{word}.{field}")));
+                }
+                Ok(PExpr::Col(word))
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    Some(match name {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "avg" => AggFunc::Avg,
+        _ => return None,
+    })
+}
+
+fn scalar_func(name: &str) -> Option<Func> {
+    Some(match name {
+        "f" => Func::WorkloadF,
+        "abs" => Func::Abs,
+        "least" => Func::Min,
+        "greatest" => Func::Max,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Name resolution & lowering
+// ---------------------------------------------------------------------
+
+struct FromTable {
+    alias: String,
+    table: String,
+    schema: crate::tuple::SchemaRef,
+    pkey_col: usize,
+    offset: usize,
+}
+
+struct Resolver {
+    tables: Vec<FromTable>,
+}
+
+impl Resolver {
+    /// Resolve a (possibly qualified) column name to a global index over
+    /// the concatenated FROM schemas.
+    fn col(&self, name: &str) -> Result<usize, String> {
+        if let Some((prefix, field)) = name.split_once('.') {
+            for t in &self.tables {
+                if t.alias.eq_ignore_ascii_case(prefix) || t.table.eq_ignore_ascii_case(prefix) {
+                    return t
+                        .schema
+                        .col(field)
+                        .map(|i| i + t.offset)
+                        .ok_or_else(|| format!("no column '{field}' in {}", t.table));
+                }
+            }
+            return Err(format!("unknown table qualifier '{prefix}'"));
+        }
+        let mut hit = None;
+        for t in &self.tables {
+            if let Some(i) = t.schema.col(name) {
+                if hit.is_some() {
+                    return Err(format!("ambiguous column '{name}'"));
+                }
+                hit = Some(i + t.offset);
+            }
+        }
+        hit.ok_or_else(|| format!("unknown column '{name}'"))
+    }
+
+    /// Lower a scalar (non-aggregate) expression to indexed form.
+    fn lower(&self, e: &PExpr) -> Result<Expr, String> {
+        Ok(match e {
+            PExpr::Col(name) => Expr::Col(self.col(name)?),
+            PExpr::Lit(v) => Expr::Lit(v.clone()),
+            PExpr::Bin(op, l, r) => Expr::bin(*op, self.lower(l)?, self.lower(r)?),
+            PExpr::Not(inner) => Expr::Not(Box::new(self.lower(inner)?)),
+            PExpr::Call(f, args) => Expr::Call(
+                *f,
+                args.iter().map(|a| self.lower(a)).collect::<Result<_, _>>()?,
+            ),
+            PExpr::Agg(..) => return Err("aggregate in scalar context".into()),
+        })
+    }
+}
+
+fn contains_agg(e: &PExpr) -> bool {
+    match e {
+        PExpr::Agg(..) => true,
+        PExpr::Col(_) | PExpr::Lit(_) => false,
+        PExpr::Not(i) => contains_agg(i),
+        PExpr::Bin(_, l, r) => contains_agg(l) || contains_agg(r),
+        PExpr::Call(_, args) => args.iter().any(contains_agg),
+    }
+}
+
+/// Split a conjunctive predicate into its top-level conjuncts.
+fn conjuncts(e: PExpr, out: &mut Vec<PExpr>) {
+    match e {
+        PExpr::Bin(BinOp::And, l, r) => {
+            conjuncts(*l, out);
+            conjuncts(*r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Parsed SELECT item.
+struct SelectItem {
+    expr: PExpr,
+    alias: Option<String>,
+}
+
+/// Parse a SQL string against a catalog, producing a resolved query op.
+/// Joins default to the given strategy.
+pub fn parse_query(
+    sql: &str,
+    catalog: &Catalog,
+    strategy: JoinStrategy,
+) -> Result<QueryOp, String> {
+    let mut p = Parser {
+        toks: lex(sql)?,
+        pos: 0,
+    };
+    p.expect_kw("SELECT")?;
+    let mut items: Vec<SelectItem> = Vec::new();
+    loop {
+        if p.sym("*") {
+            items.push(SelectItem {
+                expr: PExpr::Col("*".into()),
+                alias: None,
+            });
+        } else {
+            let expr = p.expr()?;
+            let alias = if p.kw("AS") { Some(p.ident()?) } else { None };
+            items.push(SelectItem { expr, alias });
+        }
+        if !p.sym(",") {
+            break;
+        }
+    }
+    p.expect_kw("FROM")?;
+    let mut resolver = Resolver { tables: Vec::new() };
+    let mut offset = 0;
+    loop {
+        let table = p.ident()?;
+        let def = catalog
+            .get(&table)
+            .ok_or_else(|| format!("unknown table '{table}'"))?;
+        // Optional alias, with or without AS — but stop at keywords.
+        let alias = if p.kw("AS") {
+            p.ident()?
+        } else if let Some(Tok::Ident(w)) = p.peek() {
+            let kw = [
+                "WHERE", "GROUP", "HAVING", "AND", "OR", "AS", "SELECT", "FROM",
+            ];
+            if kw.iter().any(|k| w.eq_ignore_ascii_case(k)) {
+                table.clone()
+            } else {
+                p.ident()?
+            }
+        } else {
+            table.clone()
+        };
+        resolver.tables.push(FromTable {
+            alias,
+            table: def.schema.name.clone(),
+            schema: def.schema.clone(),
+            pkey_col: def.pkey_col,
+            offset,
+        });
+        offset += def.schema.arity();
+        if !p.sym(",") {
+            break;
+        }
+    }
+    if resolver.tables.len() > 2 {
+        return Err("at most two tables per query (binary joins only)".into());
+    }
+
+    let where_expr = if p.kw("WHERE") { Some(p.expr()?) } else { None };
+    let group_by: Vec<String> = if p.kw("GROUP") {
+        p.expect_kw("BY")?;
+        let mut cols = Vec::new();
+        loop {
+            let mut name = p.ident()?;
+            if p.sym(".") {
+                name = format!("{name}.{}", p.ident()?);
+            }
+            cols.push(name);
+            if !p.sym(",") {
+                break;
+            }
+        }
+        cols
+    } else {
+        Vec::new()
+    };
+    let having = if p.kw("HAVING") { Some(p.expr()?) } else { None };
+    if p.peek().is_some() {
+        return Err(format!("trailing tokens at {:?}", p.peek()));
+    }
+
+    // Expand `*`.
+    let mut select: Vec<SelectItem> = Vec::new();
+    for item in items {
+        if item.expr == PExpr::Col("*".into()) {
+            for t in &resolver.tables {
+                for f in &t.schema.fields {
+                    select.push(SelectItem {
+                        expr: PExpr::Col(format!("{}.{}", t.alias, f.name)),
+                        alias: None,
+                    });
+                }
+            }
+        } else {
+            select.push(item);
+        }
+    }
+
+    // Classify WHERE conjuncts.
+    let arity_l = resolver.tables[0].schema.arity();
+    let two = resolver.tables.len() == 2;
+    let mut left_preds = Vec::new();
+    let mut right_preds = Vec::new();
+    let mut post_preds = Vec::new();
+    let mut join_cols: Option<(usize, usize)> = None;
+    if let Some(w) = where_expr {
+        let mut cs = Vec::new();
+        conjuncts(w, &mut cs);
+        for c in cs {
+            let lowered = resolver.lower(&c)?;
+            let mut cols = Vec::new();
+            lowered.columns(&mut cols);
+            let all_left = cols.iter().all(|&c| c < arity_l);
+            let all_right = two && cols.iter().all(|&c| c >= arity_l);
+            // A cross-table equality is the join condition.
+            if two && join_cols.is_none() {
+                if let Expr::Bin(BinOp::Eq, a, b) = &lowered {
+                    if let (Expr::Col(x), Expr::Col(y)) = (a.as_ref(), b.as_ref()) {
+                        let (x, y) = (*x, *y);
+                        if (x < arity_l) != (y < arity_l) {
+                            let (l, r) = if x < arity_l { (x, y) } else { (y, x) };
+                            join_cols = Some((l, r - arity_l));
+                            continue;
+                        }
+                    }
+                }
+            }
+            if all_left {
+                left_preds.push(lowered);
+            } else if all_right {
+                let shifted = lowered
+                    .remap_cols(&|c| Some(c - arity_l))
+                    .map_err(|e| e.to_string())?;
+                right_preds.push(shifted);
+            } else {
+                post_preds.push(lowered);
+            }
+        }
+    }
+
+    // Build the scan / join skeleton.
+    let make_scan = |t: &FromTable, preds: Vec<Expr>| {
+        let mut s = ScanSpec::new(&t.table, t.schema.arity(), t.pkey_col);
+        if !preds.is_empty() {
+            s.pred = Some(Expr::conjunction(preds));
+        }
+        s
+    };
+
+    let has_agg = !group_by.is_empty()
+        || select.iter().any(|i| contains_agg(&i.expr))
+        || having.as_ref().is_some_and(contains_agg);
+
+    // Aggregate lowering basis: [group cols ..., agg calls ...].
+    let build_agg = |resolver: &Resolver,
+                     select: &[SelectItem],
+                     having: &Option<PExpr>|
+     -> Result<AggSpec, String> {
+        let group_cols: Vec<usize> = group_by
+            .iter()
+            .map(|g| resolver.col(g))
+            .collect::<Result<_, _>>()?;
+        // Collect distinct aggregate calls.
+        let mut calls: Vec<(AggFunc, Option<PExpr>)> = Vec::new();
+        fn collect(e: &PExpr, calls: &mut Vec<(AggFunc, Option<PExpr>)>) {
+            match e {
+                PExpr::Agg(f, arg) => {
+                    let key = (*f, arg.as_deref().cloned());
+                    if !calls.contains(&key) {
+                        calls.push(key);
+                    }
+                }
+                PExpr::Bin(_, l, r) => {
+                    collect(l, calls);
+                    collect(r, calls);
+                }
+                PExpr::Not(i) => collect(i, calls),
+                PExpr::Call(_, args) => args.iter().for_each(|a| collect(a, calls)),
+                _ => {}
+            }
+        }
+        for item in select {
+            collect(&item.expr, &mut calls);
+        }
+        if let Some(h) = having {
+            collect(h, &mut calls);
+        }
+        // Lower an expression onto the [groups..., aggs...] basis.
+        struct AggLower<'a> {
+            resolver: &'a Resolver,
+            group_cols: &'a [usize],
+            calls: &'a [(AggFunc, Option<PExpr>)],
+            aliases: &'a [(String, Expr)],
+        }
+        impl AggLower<'_> {
+            fn lower(&self, e: &PExpr) -> Result<Expr, String> {
+                match e {
+                    PExpr::Agg(f, arg) => {
+                        let idx = self
+                            .calls
+                            .iter()
+                            .position(|(cf, ca)| cf == f && ca.as_ref() == arg.as_deref())
+                            .unwrap();
+                        Ok(Expr::Col(self.group_cols.len() + idx))
+                    }
+                    PExpr::Col(name) => {
+                        // A select alias (e.g. HAVING cnt > 10)?
+                        if let Some((_, e)) = self
+                            .aliases
+                            .iter()
+                            .find(|(a, _)| a.eq_ignore_ascii_case(name))
+                        {
+                            return Ok(e.clone());
+                        }
+                        let base = self.resolver.col(name)?;
+                        self.group_cols
+                            .iter()
+                            .position(|&g| g == base)
+                            .map(Expr::Col)
+                            .ok_or_else(|| format!("column '{name}' not in GROUP BY"))
+                    }
+                    PExpr::Lit(v) => Ok(Expr::Lit(v.clone())),
+                    PExpr::Bin(op, l, r) => Ok(Expr::bin(*op, self.lower(l)?, self.lower(r)?)),
+                    PExpr::Not(i) => Ok(Expr::Not(Box::new(self.lower(i)?))),
+                    PExpr::Call(f, args) => Ok(Expr::Call(
+                        *f,
+                        args.iter().map(|a| self.lower(a)).collect::<Result<_, _>>()?,
+                    )),
+                }
+            }
+        }
+        let agg_calls: Vec<AggCall> = calls
+            .iter()
+            .map(|(f, arg)| {
+                Ok(AggCall {
+                    func: *f,
+                    arg: arg.as_ref().map(|a| resolver.lower(a)).transpose()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let mut aliases: Vec<(String, Expr)> = Vec::new();
+        let mut output = Vec::new();
+        for item in select {
+            let lower = AggLower {
+                resolver,
+                group_cols: &group_cols,
+                calls: &calls,
+                aliases: &aliases,
+            };
+            let e = lower.lower(&item.expr)?;
+            if let Some(a) = &item.alias {
+                aliases.push((a.clone(), e.clone()));
+            }
+            output.push(e);
+        }
+        let having_expr = having
+            .as_ref()
+            .map(|h| {
+                AggLower {
+                    resolver,
+                    group_cols: &group_cols,
+                    calls: &calls,
+                    aliases: &aliases,
+                }
+                .lower(h)
+            })
+            .transpose()?;
+        let mut spec = AggSpec::new(group_cols, agg_calls);
+        spec.output = output;
+        spec.having = having_expr;
+        Ok(spec)
+    };
+
+    if two {
+        let (jl, jr) =
+            join_cols.ok_or_else(|| "two-table query needs an equality join predicate".to_string())?;
+        let left = make_scan(&resolver.tables[0], left_preds).with_join_col(jl);
+        let right = make_scan(&resolver.tables[1], right_preds).with_join_col(jr);
+        let mut join = JoinSpec::new(strategy, left, right);
+        join.post_pred = if post_preds.is_empty() {
+            None
+        } else {
+            Some(Expr::conjunction(post_preds))
+        };
+        if has_agg {
+            // The aggregation consumes full joined rows.
+            join.project = join.all_columns();
+            let agg = build_agg(&resolver, &select, &having)?;
+            Ok(QueryOp::JoinAgg { join, agg })
+        } else {
+            join.project = select
+                .iter()
+                .map(|i| resolver.lower(&i.expr))
+                .collect::<Result<_, _>>()?;
+            Ok(QueryOp::Join(join))
+        }
+    } else {
+        let scan = make_scan(&resolver.tables[0], left_preds);
+        if !post_preds.is_empty() {
+            return Err("internal: single-table post predicates".into());
+        }
+        if has_agg {
+            let agg = build_agg(&resolver, &select, &having)?;
+            Ok(QueryOp::Agg { scan, agg })
+        } else {
+            let project = select
+                .iter()
+                .map(|i| resolver.lower(&i.expr))
+                .collect::<Result<_, _>>()?;
+            Ok(QueryOp::Scan { scan, project })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{reference_eval, same_multiset};
+    use crate::tuple::Tuple;
+    use crate::tuple;
+    use std::collections::HashMap;
+
+    fn catalogs() -> (Catalog, Catalog) {
+        (Catalog::workload(), Catalog::intrusion())
+    }
+
+    #[test]
+    fn parses_the_workload_query() {
+        let (wl, _) = catalogs();
+        let op = parse_query(
+            "SELECT R.pkey, S.pkey, R.pad FROM R, S \
+             WHERE R.num1 = S.pkey AND R.num2 > 50 AND S.num2 > 50 \
+             AND f(R.num3, S.num3) > 30",
+            &wl,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
+        let QueryOp::Join(j) = op else {
+            panic!("expected join")
+        };
+        assert_eq!(j.left.join_col, Some(1));
+        assert_eq!(j.right.join_col, Some(0));
+        assert!(j.left.pred.is_some());
+        assert!(j.right.pred.is_some());
+        assert!(j.post_pred.is_some());
+        assert_eq!(j.project.len(), 3);
+    }
+
+    #[test]
+    fn parses_the_simple_intrusion_aggregate() {
+        let (_, intr) = catalogs();
+        let op = parse_query(
+            "SELECT I.fingerprint, count(*) AS cnt FROM intrusions I \
+             GROUP BY I.fingerprint HAVING cnt > 10",
+            &intr,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
+        let QueryOp::Agg { agg, .. } = op else {
+            panic!("expected agg")
+        };
+        assert_eq!(agg.group_cols, vec![1]);
+        assert_eq!(agg.aggs.len(), 1);
+        assert!(agg.having.is_some());
+    }
+
+    #[test]
+    fn parses_the_weighted_intrusion_query() {
+        let (_, intr) = catalogs();
+        let op = parse_query(
+            "SELECT I.fingerprint, count(*) * sum(R.weight) AS wcnt \
+             FROM intrusions I, reputation R WHERE R.address = I.address \
+             GROUP BY I.fingerprint HAVING wcnt > 10",
+            &intr,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
+        let QueryOp::JoinAgg { join, agg } = op else {
+            panic!("expected join+agg")
+        };
+        // intrusions.address is col 2; reputation.address is col 0.
+        assert_eq!(join.left.join_col, Some(2));
+        assert_eq!(join.right.join_col, Some(0));
+        assert_eq!(agg.aggs.len(), 2); // count(*), sum(weight)
+        assert!(agg.having.is_some());
+    }
+
+    #[test]
+    fn parses_the_compromised_nodes_join() {
+        let (_, intr) = catalogs();
+        let op = parse_query(
+            "SELECT S.source FROM spamGateways AS S, robots AS R \
+             WHERE S.smtpGWDomain = R.clientDomain",
+            &intr,
+            JoinStrategy::FetchMatches,
+        )
+        .unwrap();
+        let QueryOp::Join(j) = op else { panic!() };
+        assert_eq!(j.strategy, JoinStrategy::FetchMatches);
+        assert_eq!(j.project.len(), 1);
+    }
+
+    #[test]
+    fn parsed_query_evaluates_like_handwritten_reference() {
+        let (wl, _) = catalogs();
+        let op = parse_query(
+            "SELECT R.pkey, S.num3 FROM R, S WHERE R.num1 = S.pkey AND R.num2 > 49",
+            &wl,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
+        let r: Vec<Tuple> = (0..40i64)
+            .map(|k| tuple![k, k % 7, (k * 13) % 100, k % 5, crate::value::Value::Pad(8)])
+            .collect();
+        let s: Vec<Tuple> = (0..7i64).map(|k| tuple![k, 10i64, k + 100]).collect();
+        let mut tables = HashMap::new();
+        tables.insert("R".to_string(), r.clone());
+        tables.insert("S".to_string(), s.clone());
+        let out = reference_eval(&op, &tables);
+        // Manual expectation.
+        let mut expected = Vec::new();
+        for t in &r {
+            if let crate::value::Value::I64(num2) = t.get(2) {
+                if *num2 > 49 {
+                    let k = t.get(1).as_i64().unwrap();
+                    expected.push(tuple![t.get(0).as_i64().unwrap(), k + 100]);
+                }
+            }
+        }
+        assert!(same_multiset(&out, &expected));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_bad_syntax() {
+        let (wl, _) = catalogs();
+        assert!(parse_query("SELECT x FROM R", &wl, JoinStrategy::SymmetricHash)
+            .unwrap_err()
+            .contains("unknown column"));
+        assert!(parse_query("SELECT R.pkey FROM T", &wl, JoinStrategy::SymmetricHash)
+            .unwrap_err()
+            .contains("unknown table"));
+        assert!(
+            parse_query("SELECT R.pkey, S.pkey FROM R, S", &wl, JoinStrategy::SymmetricHash)
+                .unwrap_err()
+                .contains("join predicate")
+        );
+        assert!(parse_query("FROM R", &wl, JoinStrategy::SymmetricHash).is_err());
+    }
+
+    #[test]
+    fn star_expansion_and_alias_free_tables() {
+        let (wl, _) = catalogs();
+        let op = parse_query("SELECT * FROM S WHERE num2 > 10", &wl, JoinStrategy::SymmetricHash)
+            .unwrap();
+        let QueryOp::Scan { project, .. } = op else {
+            panic!()
+        };
+        assert_eq!(project.len(), 3);
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let (wl, _) = catalogs();
+        let op = parse_query(
+            "SELECT pkey + 2 * num2 FROM S WHERE num2 >= 1 AND num3 <> 4",
+            &wl,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
+        let QueryOp::Scan { project, scan } = op else {
+            panic!()
+        };
+        // 2*num2 binds tighter than +.
+        let t = tuple![10i64, 3i64, 9i64];
+        assert_eq!(project[0].eval(&t), crate::value::Value::I64(16));
+        assert!(scan.pred.unwrap().matches(&t));
+    }
+}

@@ -1,0 +1,108 @@
+//! Harness helpers shared by tests, examples, and the experiment bins:
+//! building stabilized PIER networks, publishing partitioned tables, and
+//! running queries to completion.
+
+use pier_dht::can::balanced_overlay;
+use pier_dht::chord::balanced_chord_overlay;
+use pier_dht::{Dht, DhtConfig};
+use pier_simnet::time::{Dur, Time};
+use pier_simnet::{NetConfig, NodeId, Sim};
+
+use crate::item::PierMsg;
+use crate::node::PierNode;
+use crate::plan::QueryDesc;
+use crate::tuple::Tuple;
+
+/// Build a simulator of `n` PIER nodes on a pre-stabilized CAN overlay.
+pub fn stabilized_pier_sim(n: usize, cfg: DhtConfig, net: NetConfig) -> Sim<PierNode> {
+    let mut sim = Sim::new(net);
+    match cfg.overlay {
+        pier_dht::OverlayKind::Can => {
+            for (i, st) in balanced_overlay(n, cfg.dims, Time::ZERO).into_iter().enumerate() {
+                let dht = Dht::with_can(cfg.clone(), i as NodeId, st);
+                sim.add_node(PierNode::with_dht(dht, None));
+            }
+        }
+        pier_dht::OverlayKind::Chord => {
+            for (i, st) in balanced_chord_overlay(n, Time::ZERO).into_iter().enumerate() {
+                let dht = Dht::with_chord(cfg.clone(), i as NodeId, st);
+                sim.add_node(PierNode::with_dht(dht, None));
+            }
+        }
+    }
+    sim
+}
+
+/// Publish `rows` from their home nodes: row `i` is published by node
+/// `i % n` (data in its "natural habitat", copied into the DHT).
+/// Returns per-node publication counts.
+pub fn publish_round_robin(
+    sim: &mut Sim<PierNode>,
+    table: &str,
+    rows: &[Tuple],
+    pkey_col: usize,
+    lifetime: Dur,
+) {
+    let n = sim.node_count();
+    let mut per_node: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+    for (i, row) in rows.iter().enumerate() {
+        per_node[i % n].push(row.clone());
+    }
+    for (i, batch) in per_node.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        sim.with_app(i as NodeId, |node, ctx| {
+            node.publish_rows(ctx, table, batch, pkey_col, lifetime);
+        });
+    }
+}
+
+/// Submit a query at `initiator` and run the simulation for `settle`.
+/// Returns the timed results collected at the initiator (relative to the
+/// submission instant).
+pub fn run_query(
+    sim: &mut Sim<PierNode>,
+    initiator: NodeId,
+    desc: QueryDesc,
+    settle: Dur,
+) -> Vec<(Dur, Tuple)> {
+    let qid = desc.qid;
+    let t0 = sim.now();
+    sim.with_app(initiator, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(settle);
+    sim.app(initiator)
+        .map(|node| {
+            node.query_results(qid)
+                .iter()
+                .map(|(t, row)| (t.since(t0), row.clone()))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Time to the k-th result tuple, if at least k arrived (Fig. 3 metric).
+pub fn time_to_kth(results: &[(Dur, Tuple)], k: usize) -> Option<Dur> {
+    let mut times: Vec<Dur> = results.iter().map(|(t, _)| *t).collect();
+    times.sort_unstable();
+    times.get(k.saturating_sub(1)).copied()
+}
+
+/// Time to the last result tuple (Fig. 5 metric).
+pub fn time_to_last(results: &[(Dur, Tuple)]) -> Option<Dur> {
+    results.iter().map(|(t, _)| *t).max()
+}
+
+/// Bare result tuples, dropping arrival times.
+pub fn rows_of(results: &[(Dur, Tuple)]) -> Vec<Tuple> {
+    results.iter().map(|(_, r)| r.clone()).collect()
+}
+
+/// Let publications settle: run until puts have landed (a few seconds of
+/// virtual time covers lookup + direct delivery at paper latencies).
+pub fn settle_publish(sim: &mut Sim<PierNode>) {
+    sim.run_for(Dur::from_secs(8));
+}
+
+/// Convenience for Msg type naming in closures.
+pub type PierCtx<'a> = pier_simnet::app::Ctx<'a, PierMsg>;

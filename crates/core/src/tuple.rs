@@ -1,0 +1,209 @@
+//! Tuples and schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A relational tuple: a flat vector of values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    pub vals: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(vals: Vec<Value>) -> Self {
+        Tuple { vals }
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.vals[i]
+    }
+
+    pub fn arity(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Projection: keep the listed columns, in order.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&c| self.vals[c].clone()).collect())
+    }
+
+    /// Concatenation (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut vals = Vec::with_capacity(self.vals.len() + other.vals.len());
+        vals.extend_from_slice(&self.vals);
+        vals.extend_from_slice(&other.vals);
+        Tuple::new(vals)
+    }
+
+    /// Wire bytes: values plus a small per-tuple header.
+    pub fn wire_size(&self) -> usize {
+        4 + self.vals.iter().map(Value::wire_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.vals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[macro_export]
+/// Build a tuple from value-convertible literals: `tuple![1i64, 2.5, "x"]`.
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+/// Column types (documentation-level; evaluation is dynamically typed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColType {
+    Bool,
+    I64,
+    F64,
+    Str,
+    Pad,
+}
+
+/// A named, typed column.
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: String,
+    pub ty: ColType,
+}
+
+/// A relation schema: name plus ordered fields.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    pub name: String,
+    pub fields: Vec<Field>,
+}
+
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(name: &str, fields: &[(&str, ColType)]) -> SchemaRef {
+        Arc::new(Schema {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(n, t)| Field {
+                    name: n.to_string(),
+                    ty: *t,
+                })
+                .collect(),
+        })
+    }
+
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Resolve a column by bare name or `table.name` (joined schemas
+    /// carry qualified field names like `R.pkey`).
+    pub fn col(&self, name: &str) -> Option<usize> {
+        // Exact (possibly qualified) field-name match.
+        if let Some(i) = self
+            .fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+        {
+            return Some(i);
+        }
+        // `<schema>.<field>` qualification against our own name.
+        if let Some((prefix, rest)) = name.split_once('.') {
+            if prefix.eq_ignore_ascii_case(&self.name) {
+                return self.col(rest);
+            }
+            return None;
+        }
+        // Bare name matching the suffix of a qualified field, if unique.
+        let hits: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.name
+                    .rsplit('.')
+                    .next()
+                    .is_some_and(|b| b.eq_ignore_ascii_case(name))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match hits.as_slice() {
+            [i] => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Schema of `self ⨝ other` (concatenated columns).
+    pub fn join(&self, other: &Schema) -> SchemaRef {
+        let mut fields = Vec::with_capacity(self.fields.len() + other.fields.len());
+        for f in &self.fields {
+            fields.push(Field {
+                name: format!("{}.{}", self.name, f.name),
+                ty: f.ty,
+            });
+        }
+        for f in &other.fields {
+            fields.push(Field {
+                name: format!("{}.{}", other.name, f.name),
+                ty: f.ty,
+            });
+        }
+        Arc::new(Schema {
+            name: format!("{}_{}", self.name, other.name),
+            fields,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_and_concat() {
+        let t = tuple![1i64, 2i64, 3i64];
+        assert_eq!(t.project(&[2, 0]), tuple![3i64, 1i64]);
+        let u = tuple!["x"];
+        let c = t.concat(&u);
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c.get(3), &Value::str("x"));
+    }
+
+    #[test]
+    fn schema_resolution_with_and_without_prefix() {
+        let s = Schema::new("R", &[("pkey", ColType::I64), ("num1", ColType::I64)]);
+        assert_eq!(s.col("num1"), Some(1));
+        assert_eq!(s.col("R.num1"), Some(1));
+        assert_eq!(s.col("r.PKEY"), Some(0));
+        assert_eq!(s.col("S.num1"), None);
+        assert_eq!(s.col("nope"), None);
+    }
+
+    #[test]
+    fn join_schema_prefixes_columns() {
+        let r = Schema::new("R", &[("pkey", ColType::I64)]);
+        let s = Schema::new("S", &[("pkey", ColType::I64)]);
+        let j = r.join(&s);
+        assert_eq!(j.arity(), 2);
+        assert_eq!(j.col("R.pkey"), Some(0));
+        assert_eq!(j.col("S.pkey"), Some(1));
+    }
+
+    #[test]
+    fn tuple_wire_size_sums_values() {
+        let t = tuple![1i64, 2i64];
+        assert_eq!(t.wire_size(), 4 + 16);
+    }
+}

@@ -1,0 +1,223 @@
+//! Scalar values carried in PIER tuples.
+//!
+//! `Pad(n)` deserves a note: the paper's workload pads every result tuple
+//! to 1 KB via `R.pad` (§5.1). Simulating 1 KB payloads per tuple with
+//! real allocations would waste memory at 10,000-node scale, so `Pad`
+//! contributes `n` bytes of *wire size* while occupying four bytes of RAM.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A scalar value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    F64(f64),
+    Str(Arc<str>),
+    /// Opaque padding of the given wire length (see module docs).
+    Pad(u32),
+}
+
+impl Value {
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness for predicate evaluation (SQL-ish: NULL is false).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::I64(i) => *i != 0,
+            Value::F64(f) => *f != 0.0,
+            Value::Null => false,
+            Value::Str(s) => !s.is_empty(),
+            Value::Pad(_) => true,
+        }
+    }
+
+    /// Numeric view (for arithmetic and cross-type comparison).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(i) => Some(*i as f64),
+            Value::F64(f) => Some(*f),
+            Value::Bool(b) => Some(*b as i64 as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::F64(f) => Some(*f as i64),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bytes this value occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 8,
+            Value::F64(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+            Value::Pad(n) => *n as usize,
+        }
+    }
+
+    /// Stable 64-bit hash — the basis of DHT resourceIDs for tuples.
+    pub fn hash64(&self) -> u64 {
+        use pier_dht::geom::{hash2, hash_str};
+        match self {
+            Value::Null => 0x6e75_6c6c,
+            Value::Bool(b) => hash2(1, *b as u64),
+            Value::I64(i) => hash2(2, *i as u64),
+            Value::F64(f) => hash2(3, f.to_bits()),
+            Value::Str(s) => hash2(4, hash_str(s)),
+            Value::Pad(n) => hash2(5, *n as u64),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Pad(a), Value::Pad(b)) => a == b,
+            // Numeric cross-type equality.
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash64());
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) | Value::I64(_) | Value::F64(_) => 1,
+                Value::Str(_) => 2,
+                Value::Pad(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Pad(a), Value::Pad(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(i) => write!(f, "{i}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Pad(n) => write!(f, "<pad:{n}>"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_equality_and_order() {
+        assert_eq!(Value::I64(3), Value::F64(3.0));
+        assert!(Value::I64(2) < Value::F64(2.5));
+        assert!(Value::F64(2.5) < Value::I64(3));
+        assert_ne!(Value::I64(1), Value::str("1"));
+    }
+
+    #[test]
+    fn nulls_sort_first_and_are_falsy() {
+        assert!(Value::Null < Value::I64(i64::MIN));
+        assert!(!Value::Null.truthy());
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn hash_matches_equality_for_same_type() {
+        assert_eq!(Value::I64(7).hash64(), Value::I64(7).hash64());
+        assert_ne!(Value::I64(7).hash64(), Value::I64(8).hash64());
+        assert_eq!(Value::str("ab").hash64(), Value::str("ab").hash64());
+    }
+
+    #[test]
+    fn pad_has_wire_size_but_small_memory() {
+        let v = Value::Pad(1024);
+        assert_eq!(v.wire_size(), 1024);
+        assert!(std::mem::size_of::<Value>() <= 24);
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Value::I64(0).wire_size(), 8);
+        assert_eq!(Value::str("abc").wire_size(), 7);
+        assert_eq!(Value::Null.wire_size(), 1);
+    }
+}

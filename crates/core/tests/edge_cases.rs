@@ -1,0 +1,221 @@
+//! Edge cases of distributed execution: duplicate join values,
+//! resourceID collisions (forced via tiny bucket counts), concurrent
+//! queries, duplicate query delivery, string keys, and NULL handling.
+
+use pier_core::expr::Expr;
+use pier_core::plan::{JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
+use pier_core::semantics::{reference_join, same_multiset};
+use pier_core::testkit::*;
+use pier_core::tuple::Tuple;
+use pier_core::value::Value;
+use pier_core::tuple;
+use pier_dht::DhtConfig;
+use pier_simnet::time::Dur;
+use pier_simnet::NetConfig;
+
+fn setup(
+    n: usize,
+    seed: u64,
+    tables: &[(&str, &[Tuple])],
+) -> pier_simnet::Sim<pier_core::PierNode> {
+    let mut sim = stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::latency_only(seed));
+    for (name, rows) in tables {
+        publish_round_robin(&mut sim, name, rows, 0, Dur::from_secs(100_000));
+    }
+    settle_publish(&mut sim);
+    sim
+}
+
+/// Many-to-many join values: duplicates must multiply correctly.
+#[test]
+fn many_to_many_join_produces_all_combinations() {
+    // 4 left rows and 3 right rows share join value 7 -> 12 results.
+    let left_rows: Vec<Tuple> = (0..6i64).map(|k| tuple![k, if k < 4 { 7i64 } else { 8 }]).collect();
+    let right_rows: Vec<Tuple> = (0..5i64).map(|k| tuple![100 + k, if k < 3 { 7i64 } else { 9 }]).collect();
+    for strategy in [
+        JoinStrategy::SymmetricHash,
+        JoinStrategy::SymmetricSemiJoin,
+    ] {
+        let left = ScanSpec::new("L", 2, 0).with_join_col(1);
+        let right = ScanSpec::new("Rt", 2, 0).with_join_col(1);
+        let mut j = JoinSpec::new(strategy, left, right);
+        j.project = vec![Expr::col(0), Expr::col(2)];
+        let expected = reference_join(&j, &left_rows, &right_rows);
+        assert_eq!(expected.len(), 12);
+        let mut sim = setup(8, 1, &[("L", &left_rows), ("Rt", &right_rows)]);
+        let desc = QueryDesc::one_shot(1, 0, QueryOp::Join(j));
+        let results = run_query(&mut sim, 0, desc, Dur::from_secs(60));
+        assert!(
+            same_multiset(&expected, &rows_of(&results)),
+            "{}: got {}",
+            strategy.name(),
+            results.len()
+        );
+    }
+}
+
+/// Forcing every rehashed tuple into a single bucket (computation_nodes
+/// = 1) maximizes resourceID collisions; the join-value equality guard
+/// must still keep results exact.
+#[test]
+fn single_bucket_rehash_survives_rid_collisions() {
+    let left_rows: Vec<Tuple> = (0..30i64).map(|k| tuple![k, k % 5]).collect();
+    let right_rows: Vec<Tuple> = (0..10i64).map(|k| tuple![100 + k, k % 5]).collect();
+    let left = ScanSpec::new("L", 2, 0).with_join_col(1);
+    let right = ScanSpec::new("Rt", 2, 0).with_join_col(1);
+    let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+    j.project = vec![Expr::col(0), Expr::col(2)];
+    j.computation_nodes = Some(1);
+    let expected = reference_join(&j, &left_rows, &right_rows);
+    assert_eq!(expected.len(), 60); // 30 × 2 partners each
+    let mut sim = setup(6, 2, &[("L", &left_rows), ("Rt", &right_rows)]);
+    let desc = QueryDesc::one_shot(2, 0, QueryOp::Join(j));
+    let results = run_query(&mut sim, 0, desc, Dur::from_secs(60));
+    assert!(same_multiset(&expected, &rows_of(&results)));
+}
+
+/// Two different queries over the same tables run concurrently without
+/// crosstalk (distinct query namespaces).
+#[test]
+fn concurrent_queries_are_isolated() {
+    let rows: Vec<Tuple> = (0..40i64).map(|k| tuple![k, k % 4, k % 10]).collect();
+    let srows: Vec<Tuple> = (0..4i64).map(|k| tuple![k, k * 11]).collect();
+    let mut sim = setup(10, 3, &[("T", &rows), ("U", &srows)]);
+
+    let mk = |strategy, pred_cut: i64| {
+        let left = ScanSpec::new("T", 3, 0)
+            .with_pred(Expr::gt(Expr::col(2), Expr::lit(pred_cut)))
+            .with_join_col(1);
+        let right = ScanSpec::new("U", 2, 0).with_join_col(0);
+        let mut j = JoinSpec::new(strategy, left, right);
+        j.project = vec![Expr::col(0), Expr::col(4)];
+        j
+    };
+    let j1 = mk(JoinStrategy::SymmetricHash, 4);
+    let j2 = mk(JoinStrategy::FetchMatches, 7);
+    let e1 = reference_join(&j1, &rows, &srows);
+    let e2 = reference_join(&j2, &rows, &srows);
+    assert_ne!(e1.len(), e2.len());
+
+    // Submit both at once from different initiators.
+    sim.with_app(0, |node, ctx| {
+        node.submit(ctx, QueryDesc::one_shot(10, 0, QueryOp::Join(j1)))
+    });
+    sim.with_app(5, |node, ctx| {
+        node.submit(ctx, QueryDesc::one_shot(11, 5, QueryOp::Join(j2)))
+    });
+    sim.run_for(Dur::from_secs(60));
+    let r1: Vec<Tuple> = sim
+        .app(0)
+        .unwrap()
+        .query_results(10)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    let r2: Vec<Tuple> = sim
+        .app(5)
+        .unwrap()
+        .query_results(11)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert!(same_multiset(&e1, &r1), "q1: {} vs {}", e1.len(), r1.len());
+    assert!(same_multiset(&e2, &r2), "q2: {} vs {}", e2.len(), r2.len());
+}
+
+/// The same query multicast arriving twice (dedupe or retry) must not
+/// duplicate results.
+#[test]
+fn duplicate_query_submission_does_not_duplicate_results() {
+    let rows: Vec<Tuple> = (0..20i64).map(|k| tuple![k, k % 3]).collect();
+    let srows: Vec<Tuple> = (0..3i64).map(|k| tuple![k, k]).collect();
+    let left = ScanSpec::new("T", 2, 0).with_join_col(1);
+    let right = ScanSpec::new("U", 2, 0).with_join_col(0);
+    let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+    j.project = vec![Expr::col(0)];
+    let expected = reference_join(&j, &rows, &srows);
+    let mut sim = setup(8, 4, &[("T", &rows), ("U", &srows)]);
+    let desc = QueryDesc::one_shot(20, 0, QueryOp::Join(j));
+    let desc2 = desc.clone();
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(Dur::from_secs(2));
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc2)); // re-multicast
+    sim.run_for(Dur::from_secs(60));
+    let got: Vec<Tuple> = sim
+        .app(0)
+        .unwrap()
+        .query_results(20)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert!(
+        same_multiset(&expected, &got),
+        "expected {} got {}",
+        expected.len(),
+        got.len()
+    );
+}
+
+/// String join keys flow through hashing, rehash and probing intact.
+#[test]
+fn string_keyed_join() {
+    let gw: Vec<Tuple> = (0..12i64)
+        .map(|k| tuple![k, format!("d{}", k % 4).as_str()])
+        .collect();
+    let rb: Vec<Tuple> = (0..6i64)
+        .map(|k| tuple![100 + k, format!("d{}", k % 3).as_str()])
+        .collect();
+    let left = ScanSpec::new("G", 2, 0).with_join_col(1);
+    let right = ScanSpec::new("B", 2, 0).with_join_col(1);
+    let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+    j.project = vec![Expr::col(0), Expr::col(1), Expr::col(2)];
+    let expected = reference_join(&j, &gw, &rb);
+    assert!(!expected.is_empty());
+    let mut sim = setup(6, 5, &[("G", &gw), ("B", &rb)]);
+    let desc = QueryDesc::one_shot(30, 1, QueryOp::Join(j));
+    let results = run_query(&mut sim, 1, desc, Dur::from_secs(60));
+    assert!(same_multiset(&expected, &rows_of(&results)));
+}
+
+/// NULL join values: SQL semantics say NULL = NULL is not true — but our
+/// engine joins on value equality where Null == Null. Verify distributed
+/// execution agrees exactly with the reference (the semantics are
+/// consistent, which is what matters for the reproduction).
+#[test]
+fn null_join_values_behave_consistently() {
+    let l: Vec<Tuple> = vec![
+        tuple![1i64, Value::Null],
+        tuple![2i64, 7i64],
+        tuple![3i64, Value::Null],
+    ];
+    let r: Vec<Tuple> = vec![tuple![10i64, Value::Null], tuple![11i64, 7i64]];
+    let left = ScanSpec::new("L", 2, 0).with_join_col(1);
+    let right = ScanSpec::new("Rt", 2, 0).with_join_col(1);
+    let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+    j.project = vec![Expr::col(0), Expr::col(2)];
+    let expected = reference_join(&j, &l, &r);
+    let mut sim = setup(5, 6, &[("L", &l), ("Rt", &r)]);
+    let desc = QueryDesc::one_shot(40, 0, QueryOp::Join(j));
+    let results = run_query(&mut sim, 0, desc, Dur::from_secs(60));
+    assert!(same_multiset(&expected, &rows_of(&results)));
+}
+
+/// A join whose predicate rejects everything yields nothing but
+/// terminates cleanly on every strategy.
+#[test]
+fn fully_selective_predicates_yield_empty_results() {
+    let rows: Vec<Tuple> = (0..20i64).map(|k| tuple![k, k % 3, k]).collect();
+    let srows: Vec<Tuple> = (0..3i64).map(|k| tuple![k, k]).collect();
+    for strategy in JoinStrategy::ALL {
+        let left = ScanSpec::new("T", 3, 0)
+            .with_pred(Expr::gt(Expr::col(2), Expr::lit(10_000i64)))
+            .with_join_col(1);
+        let right = ScanSpec::new("U", 2, 0).with_join_col(0);
+        let mut j = JoinSpec::new(strategy, left, right);
+        j.project = vec![Expr::col(0)];
+        let mut sim = setup(6, 7, &[("T", &rows), ("U", &srows)]);
+        let desc = QueryDesc::one_shot(50, 0, QueryOp::Join(j));
+        let results = run_query(&mut sim, 0, desc, Dur::from_secs(40));
+        assert!(results.is_empty(), "{}", strategy.name());
+    }
+}

@@ -1,0 +1,991 @@
+//! The Content Addressable Network overlay (§3.1.1).
+//!
+//! Each node owns one or more zones of a d-dimensional torus. Routing is
+//! greedy: forward to the neighbor whose zone is closest to the target
+//! point. Joins split the zone containing a random point; failures are
+//! detected by missed keepalives and repaired by neighbor takeover, with
+//! the stored soft state lost (to be restored by publisher renewals,
+//! §5.6).
+//!
+//! Takeover election: heartbeats carry the sender's *neighbor map* in
+//! addition to its zones, so when a node dies all of its neighbors share
+//! a (recent, consistent) candidate set and deterministically elect the
+//! same claimant — smallest (volume, id) — avoiding most claim races.
+//! Residual races are healed by the relinquish rule in
+//! [`CanState::handle_takeover`].
+
+use std::collections::HashMap;
+
+use pier_simnet::time::Time;
+use pier_simnet::{NodeId, Wire};
+
+use crate::env::{send_metered, DhtEnv};
+use crate::event::DhtEvent;
+use crate::geom::{Point, Zone};
+use crate::msg::{CanMsg, DhtMsg, Entry};
+use crate::storage::StorageManager;
+use crate::traffic::TrafficMeter;
+use crate::DhtConfig;
+
+/// What this node knows about one neighbor.
+#[derive(Debug, Clone)]
+pub struct NeighborInfo {
+    pub zones: Vec<Zone>,
+    pub last_seen: Time,
+    /// The neighbor's own neighbor map, from its last heartbeat. This is
+    /// the shared candidate set for takeover election when it fails.
+    pub their_neighbors: Vec<(NodeId, Vec<Zone>)>,
+}
+
+impl NeighborInfo {
+    pub fn new(zones: Vec<Zone>, last_seen: Time) -> Self {
+        NeighborInfo {
+            zones,
+            last_seen,
+            their_neighbors: Vec::new(),
+        }
+    }
+}
+
+/// Per-node CAN routing state.
+#[derive(Debug, Clone)]
+pub struct CanState {
+    pub d: usize,
+    pub me: NodeId,
+    /// Zones currently owned (several after takeovers/absorbs).
+    pub zones: Vec<Zone>,
+    pub neighbors: HashMap<NodeId, NeighborInfo>,
+    pub joined: bool,
+    last_heartbeat: Time,
+    /// Takeovers we are waiting on someone else to perform. If the
+    /// elected claimant was itself a casualty (mass failure), we fall
+    /// back down the candidate list so no zone stays orphaned.
+    pending_claims: HashMap<NodeId, PendingClaim>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingClaim {
+    zones: Vec<Zone>,
+    /// Candidates ordered by (volume, id); index 0 was elected first.
+    candidates: Vec<(u128, NodeId)>,
+    attempt: usize,
+    deadline: Time,
+}
+
+impl CanState {
+    pub fn new(d: usize, me: NodeId) -> Self {
+        assert!((1..=crate::geom::MAX_D).contains(&d));
+        CanState {
+            d,
+            me,
+            zones: Vec::new(),
+            neighbors: HashMap::new(),
+            joined: false,
+            last_heartbeat: Time::ZERO,
+            pending_claims: HashMap::new(),
+        }
+    }
+
+    /// Become the first node of a new overlay: own the whole space.
+    pub fn start_first(&mut self) {
+        self.zones = vec![Zone::whole(self.d)];
+        self.joined = true;
+    }
+
+    /// Install a precomputed zone + neighbor set (balanced bootstrap).
+    pub fn install(&mut self, zones: Vec<Zone>, neighbors: HashMap<NodeId, NeighborInfo>) {
+        self.zones = zones;
+        self.neighbors = neighbors;
+        self.joined = true;
+    }
+
+    /// Ask `bootstrap` to locate a random point for us to join at.
+    pub fn start_join<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        bootstrap: NodeId,
+    ) {
+        let p = Point::from_key(env.rand64(), self.d);
+        send_metered(
+            env,
+            meter,
+            bootstrap,
+            DhtMsg::Can(CanMsg::JoinLocate {
+                joiner: self.me,
+                p,
+                ttl: crate::ROUTE_TTL,
+            }),
+        );
+    }
+
+    pub fn owns_point(&self, p: Point) -> bool {
+        self.zones.iter().any(|z| z.contains(p, self.d))
+    }
+
+    /// Squared distance from our closest zone to `p`.
+    pub fn min_dist2(&self, p: Point) -> u128 {
+        self.zones
+            .iter()
+            .map(|z| z.dist2(p, self.d))
+            .min()
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Greedy next hop: the neighbor whose zone is nearest to `p`
+    /// (deterministic tie-break on node id).
+    pub fn next_hop(&self, p: Point) -> Option<NodeId> {
+        self.neighbors
+            .iter()
+            .map(|(&id, info)| {
+                let dist = info
+                    .zones
+                    .iter()
+                    .map(|z| z.dist2(p, self.d))
+                    .min()
+                    .unwrap_or(u128::MAX);
+                (dist, id)
+            })
+            .min()
+            .map(|(_, id)| id)
+    }
+
+    /// Total volume owned — the takeover tie-break metric (the smallest
+    /// node absorbs the dead zone, which keeps the partition balanced).
+    pub fn volume(&self) -> u128 {
+        self.zones.iter().map(|z| z.volume(self.d)).sum()
+    }
+
+    fn adjacent_to_mine(&self, zones: &[Zone]) -> bool {
+        zones
+            .iter()
+            .any(|z| self.zones.iter().any(|m| m.is_neighbor(z, self.d)))
+    }
+
+    /// Integrate a zone announcement from `from`.
+    pub fn handle_neighbor_update(&mut self, now: Time, from: NodeId, zones: Vec<Zone>) {
+        self.integrate_announcement(now, from, zones, None);
+    }
+
+    /// Integrate a heartbeat (zones + the sender's neighbor map).
+    pub fn handle_heartbeat(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        zones: Vec<Zone>,
+        their_neighbors: Vec<(NodeId, Vec<Zone>)>,
+    ) {
+        self.integrate_announcement(now, from, zones, Some(their_neighbors));
+    }
+
+    fn integrate_announcement(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        zones: Vec<Zone>,
+        their_neighbors: Option<Vec<(NodeId, Vec<Zone>)>>,
+    ) {
+        if from == self.me {
+            return;
+        }
+        if self.adjacent_to_mine(&zones) {
+            let entry = self
+                .neighbors
+                .entry(from)
+                .or_insert_with(|| NeighborInfo::new(Vec::new(), now));
+            entry.zones = zones;
+            entry.last_seen = now;
+            if let Some(tn) = their_neighbors {
+                entry.their_neighbors = tn;
+            }
+        } else {
+            self.neighbors.remove(&from);
+        }
+    }
+
+    /// A joiner's chosen point landed in our zone: split it and hand half
+    /// (plus the items it covers) to the joiner.
+    pub fn handle_join_locate<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        store: &mut StorageManager<V>,
+        joiner: NodeId,
+        p: Point,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        if joiner == self.me || !self.joined {
+            return;
+        }
+        let Some(idx) = self.zones.iter().position(|z| z.contains(p, self.d)) else {
+            return; // stale routing; the joiner will retry
+        };
+        let zone = self.zones[idx];
+        let dim = zone.split_dim(self.d);
+        if zone.hi[dim] - zone.lo[dim] < 2 {
+            return; // cannot split further (never happens at sane scales)
+        }
+        let (a, b) = zone.split(dim);
+        let (mine, theirs) = if a.contains(p, self.d) { (b, a) } else { (a, b) };
+        self.zones[idx] = mine;
+
+        // Hand off stored items no longer covered by our zones.
+        let d = self.d;
+        let zones = self.zones.clone();
+        let items = store.extract_not_owned(|key| {
+            let pt = Point::from_key(key, d);
+            zones.iter().any(|z| z.contains(pt, d))
+        });
+
+        // Candidate neighbor set for the joiner: us plus our neighbors.
+        let mut candidates: Vec<(NodeId, Vec<Zone>)> = vec![(self.me, self.zones.clone())];
+        candidates.extend(
+            self.neighbors
+                .iter()
+                .map(|(&id, info)| (id, info.zones.clone())),
+        );
+        send_metered(
+            env,
+            meter,
+            joiner,
+            DhtMsg::Can(CanMsg::JoinOffer {
+                zone: theirs,
+                neighbors: candidates,
+                items,
+            }),
+        );
+
+        // Announce our shrunken zone to everyone who knew the old one —
+        // *before* pruning, so ex-neighbors drop us instead of holding a
+        // stale entry that would later trigger a bogus takeover.
+        let now = env.now();
+        self.neighbors
+            .insert(joiner, NeighborInfo::new(vec![theirs], now));
+        self.announce(env, meter);
+        let my_zones = self.zones.clone();
+        let dd = self.d;
+        self.neighbors.retain(|_, info| {
+            info.zones
+                .iter()
+                .any(|z| my_zones.iter().any(|m| m.is_neighbor(z, dd)))
+        });
+        events.push(DhtEvent::LocationMapChanged);
+    }
+
+    /// We received our zone assignment: install it and introduce
+    /// ourselves to the neighborhood.
+    pub fn handle_join_offer<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        store: &mut StorageManager<V>,
+        zone: Zone,
+        candidates: Vec<(NodeId, Vec<Zone>)>,
+        items: Vec<Entry<V>>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        if self.joined {
+            return; // duplicate offer from a retried join
+        }
+        self.zones = vec![zone];
+        self.joined = true;
+        let now = env.now();
+        for (id, zones) in candidates {
+            if id != self.me && self.adjacent_to_mine(&zones) {
+                self.neighbors.insert(id, NeighborInfo::new(zones, now));
+            }
+        }
+        for e in items {
+            // Transferred items are not "new data": they were already
+            // announced at the previous owner.
+            store.store(e);
+        }
+        self.announce(env, meter);
+        events.push(DhtEvent::Joined);
+        events.push(DhtEvent::LocationMapChanged);
+    }
+
+    /// Broadcast our current zone list to every neighbor.
+    fn announce<V: Wire + Clone>(&self, env: &mut dyn DhtEnv<V>, meter: &mut TrafficMeter) {
+        for &id in self.neighbors.keys() {
+            send_metered(
+                env,
+                meter,
+                id,
+                DhtMsg::Can(CanMsg::NeighborUpdate {
+                    zones: self.zones.clone(),
+                }),
+            );
+        }
+    }
+
+    /// Another node claims a dead node's zones. Claim race backstop: if
+    /// we also absorbed any of these zones and the other claimant has the
+    /// smaller id, we relinquish ours.
+    pub fn handle_takeover<V>(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        dead: NodeId,
+        zones: Vec<Zone>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        self.neighbors.remove(&dead);
+        self.pending_claims.remove(&dead);
+        if from != self.me && from < self.me {
+            // Relinquish the *contested region* to the smaller id. Zone
+            // shapes diverge after merges, so subtract intersections
+            // rather than comparing boxes for equality.
+            let mut changed = false;
+            let mut kept: Vec<Zone> = Vec::with_capacity(self.zones.len());
+            for z in self.zones.drain(..) {
+                let mut parts = vec![z];
+                for claimed in &zones {
+                    let mut next = Vec::with_capacity(parts.len());
+                    for part in parts {
+                        match part.intersection(claimed, self.d) {
+                            Some(overlap) => {
+                                changed = true;
+                                next.extend(part.subtract(&overlap, self.d));
+                            }
+                            None => next.push(part),
+                        }
+                    }
+                    parts = next;
+                }
+                kept.extend(parts);
+            }
+            self.zones = kept;
+            if changed {
+                events.push(DhtEvent::LocationMapChanged);
+            }
+        }
+        self.handle_neighbor_update(now, from, zones);
+    }
+
+    /// Graceful departure (Table 1 `leave()`): hand zones and items to
+    /// the best neighbor (merge-compatible if possible, else smallest).
+    pub fn leave<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        store: &mut StorageManager<V>,
+    ) -> bool {
+        let Some(target) = self.pick_leave_target() else {
+            return false;
+        };
+        let items: Vec<Entry<V>> = store.extract_not_owned(|_| false);
+        let neighbor_ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        send_metered(
+            env,
+            meter,
+            target,
+            DhtMsg::Can(CanMsg::Leave {
+                zones: std::mem::take(&mut self.zones),
+                items,
+                neighbors: neighbor_ids.clone(),
+            }),
+        );
+        // Tell everyone else we are gone (an empty-zones takeover makes
+        // them drop us immediately instead of waiting out the keepalive).
+        for id in neighbor_ids {
+            if id != target {
+                send_metered(
+                    env,
+                    meter,
+                    id,
+                    DhtMsg::Can(CanMsg::Takeover {
+                        dead: self.me,
+                        zones: Vec::new(),
+                    }),
+                );
+            }
+        }
+        self.joined = false;
+        self.neighbors.clear();
+        true
+    }
+
+    fn pick_leave_target(&self) -> Option<NodeId> {
+        // Prefer a neighbor with a zone that merges cleanly with one of
+        // ours; otherwise the smallest-volume neighbor.
+        if self.zones.len() == 1 {
+            for (&id, info) in &self.neighbors {
+                if info
+                    .zones
+                    .iter()
+                    .any(|z| z.try_merge(&self.zones[0], self.d).is_some())
+                {
+                    return Some(id);
+                }
+            }
+        }
+        self.neighbors
+            .iter()
+            .map(|(&id, info)| {
+                let v: u128 = info.zones.iter().map(|z| z.volume(self.d)).sum();
+                (v, id)
+            })
+            .min()
+            .map(|(_, id)| id)
+    }
+
+    /// Absorb a leaving neighbor's zones and items.
+    pub fn handle_leave<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        store: &mut StorageManager<V>,
+        from: NodeId,
+        zones: Vec<Zone>,
+        items: Vec<Entry<V>>,
+        leaver_neighbors: Vec<NodeId>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        self.neighbors.remove(&from);
+        self.absorb_zones(zones);
+        for e in items {
+            store.store(e);
+        }
+        // Announce to our neighborhood *and* the leaver's, so nodes on
+        // the far side of the absorbed zone learn the new owner at once.
+        let mut audience: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        for id in leaver_neighbors {
+            if id != self.me && id != from && !audience.contains(&id) {
+                audience.push(id);
+            }
+        }
+        for id in audience {
+            send_metered(
+                env,
+                meter,
+                id,
+                DhtMsg::Can(CanMsg::NeighborUpdate {
+                    zones: self.zones.clone(),
+                }),
+            );
+        }
+        events.push(DhtEvent::LocationMapChanged);
+    }
+
+    fn absorb_zones(&mut self, zones: Vec<Zone>) {
+        for z in zones {
+            // Merge with an existing zone when the union is a box.
+            if let Some(i) = self
+                .zones
+                .iter()
+                .position(|m| m.try_merge(&z, self.d).is_some())
+            {
+                let merged = self.zones[i].try_merge(&z, self.d).unwrap();
+                self.zones[i] = merged;
+            } else {
+                self.zones.push(z);
+            }
+        }
+    }
+
+    /// Periodic maintenance: keepalives out, failure detection + takeover
+    /// election in.
+    pub fn tick<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        cfg: &DhtConfig,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        if !self.joined || !cfg.maintenance {
+            return;
+        }
+        let now = env.now();
+        if now.since(self.last_heartbeat) >= cfg.keepalive {
+            self.last_heartbeat = now;
+            let neighbor_map: Vec<(NodeId, Vec<Zone>)> = self
+                .neighbors
+                .iter()
+                .map(|(&id, info)| (id, info.zones.clone()))
+                .collect();
+            for &id in self.neighbors.keys() {
+                send_metered(
+                    env,
+                    meter,
+                    id,
+                    DhtMsg::Can(CanMsg::Heartbeat {
+                        zones: self.zones.clone(),
+                        neighbors: neighbor_map.clone(),
+                    }),
+                );
+            }
+        }
+        // Failure detection (the paper assumes 15 s, §5.6).
+        let dead: Vec<(NodeId, NeighborInfo)> = self
+            .neighbors
+            .iter()
+            .filter(|(_, info)| now.since(info.last_seen) > cfg.fail_after)
+            .map(|(&id, info)| (id, info.clone()))
+            .collect();
+        for (dead_id, dead_info) in dead {
+            self.neighbors.remove(&dead_id);
+            // Elect the claimant over the *dead node's* neighbor set (its
+            // last advertised map), which every surviving neighbor shares.
+            let mut candidates: Vec<(u128, NodeId)> = vec![(self.volume(), self.me)];
+            for (id, zones) in &dead_info.their_neighbors {
+                if *id == dead_id || *id == self.me {
+                    continue;
+                }
+                let v: u128 = zones.iter().map(|z| z.volume(self.d)).sum();
+                candidates.push((v, *id));
+            }
+            candidates.sort_unstable();
+            candidates.dedup_by_key(|&mut (_, id)| id);
+            let dead_audience: Vec<NodeId> = dead_info
+                .their_neighbors
+                .iter()
+                .map(|(id, _)| *id)
+                .collect();
+            if candidates[0].1 == self.me {
+                self.claim(env, meter, dead_id, dead_info.zones.clone(), &dead_audience, events);
+            } else {
+                // Someone else should claim; if they were a casualty too,
+                // fall back down the list on a timer.
+                self.pending_claims.insert(
+                    dead_id,
+                    PendingClaim {
+                        zones: dead_info.zones.clone(),
+                        candidates,
+                        attempt: 0,
+                        deadline: now + cfg.keepalive + cfg.keepalive,
+                    },
+                );
+            }
+        }
+        // Fallback: elected claimants that never announced.
+        let expired: Vec<NodeId> = self
+            .pending_claims
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for dead_id in expired {
+            let mut p = self.pending_claims.remove(&dead_id).unwrap();
+            p.attempt += 1;
+            match p.candidates.get(p.attempt).copied() {
+                Some((_, id)) if id == self.me => {
+                    let audience: Vec<NodeId> =
+                        p.candidates.iter().map(|&(_, id)| id).collect();
+                    self.claim(env, meter, dead_id, p.zones.clone(), &audience, events);
+                }
+                Some(_) => {
+                    p.deadline = now + cfg.keepalive + cfg.keepalive;
+                    self.pending_claims.insert(dead_id, p);
+                }
+                // List exhausted: claim it ourselves as a last resort.
+                None => {
+                    let audience: Vec<NodeId> =
+                        p.candidates.iter().map(|&(_, id)| id).collect();
+                    self.claim(env, meter, dead_id, p.zones.clone(), &audience, events);
+                }
+            }
+        }
+    }
+
+    /// Absorb a dead node's zones and announce the takeover to everyone
+    /// who might care (our neighbors plus the dead node's).
+    fn claim<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        dead_id: NodeId,
+        zones: Vec<Zone>,
+        extra_audience: &[NodeId],
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        self.absorb_zones(zones);
+        events.push(DhtEvent::LocationMapChanged);
+        let mut audience: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        for &id in extra_audience {
+            if id != self.me && id != dead_id && !audience.contains(&id) {
+                audience.push(id);
+            }
+        }
+        for id in audience {
+            send_metered(
+                env,
+                meter,
+                id,
+                DhtMsg::Can(CanMsg::Takeover {
+                    dead: dead_id,
+                    zones: self.zones.clone(),
+                }),
+            );
+        }
+    }
+}
+
+/// Recursively bisect the space into `n` balanced zones.
+pub fn balanced_zones(n: usize, d: usize) -> Vec<Zone> {
+    assert!(n >= 1);
+    let mut zones = vec![Zone::whole(d)];
+    // Always split the largest zone next; deterministic order.
+    while zones.len() < n {
+        let (idx, _) = zones
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, z)| (z.volume(d), usize::MAX - i))
+            .unwrap();
+        let z = zones[idx];
+        let (a, b) = z.split(z.split_dim(d));
+        zones[idx] = a;
+        zones.push(b);
+    }
+    zones
+}
+
+/// Build a stabilized n-node overlay directly: node i owns zone i, with
+/// neighbor tables precomputed. Used by large-scale experiments, since
+/// "all measurements are performed after the CAN routing stabilizes"
+/// (§5.2). The incremental join path is exercised by tests and the churn
+/// experiment.
+pub fn balanced_overlay(n: usize, d: usize, now: Time) -> Vec<CanState> {
+    let zones = balanced_zones(n, d);
+    let mut states: Vec<CanState> = (0..n)
+        .map(|i| {
+            let mut s = CanState::new(d, i as NodeId);
+            s.zones = vec![zones[i]];
+            s.joined = true;
+            s
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if zones[i].is_neighbor(&zones[j], d) {
+                states[i]
+                    .neighbors
+                    .insert(j as NodeId, NeighborInfo::new(vec![zones[j]], now));
+                states[j]
+                    .neighbors
+                    .insert(i as NodeId, NeighborInfo::new(vec![zones[i]], now));
+            }
+        }
+    }
+    // Populate second-hop maps so takeover election works from t=0.
+    let maps: Vec<Vec<(NodeId, Vec<Zone>)>> = states
+        .iter()
+        .map(|s| {
+            s.neighbors
+                .iter()
+                .map(|(&id, info)| (id, info.zones.clone()))
+                .collect()
+        })
+        .collect();
+    for s in &mut states {
+        for (id, info) in s.neighbors.iter_mut() {
+            info.their_neighbors = maps[*id as usize].clone();
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::RecordingEnv;
+    use crate::geom::SPACE;
+    use pier_simnet::time::Dur;
+
+    type V = Vec<u8>;
+
+    #[test]
+    fn first_node_owns_everything() {
+        let mut c = CanState::new(4, 0);
+        c.start_first();
+        for k in 0..100 {
+            assert!(c.owns_point(Point::from_key(k, 4)));
+        }
+    }
+
+    #[test]
+    fn join_locate_splits_and_offers_half() {
+        let mut owner = CanState::new(2, 0);
+        owner.start_first();
+        let mut env: RecordingEnv<V> = RecordingEnv::new(0);
+        let mut meter = TrafficMeter::default();
+        let mut store: StorageManager<V> = StorageManager::new();
+        // Seed items on both sides of the future split (dim 0 halves).
+        for k in 0..200u64 {
+            let key = crate::geom::splitmix64(k);
+            store.store(Entry {
+                ns: 1,
+                rid: k,
+                iid: 0,
+                key,
+                expires: Time(u64::MAX),
+                val: vec![],
+            });
+        }
+        let total = store.len();
+        let p = Point::from_key(12345, 2);
+        let mut events = Vec::new();
+        owner.handle_join_locate(&mut env, &mut meter, &mut store, 7, p, &mut events);
+
+        assert_eq!(owner.zones.len(), 1);
+        assert!(!owner.owns_point(p), "point side went to the joiner");
+        assert!(owner.neighbors.contains_key(&7));
+        // The offer carries the complementary half and the items in it.
+        let offer = env
+            .sent
+            .iter()
+            .find_map(|(to, m)| match m {
+                DhtMsg::Can(CanMsg::JoinOffer { zone, items, .. }) if *to == 7 => {
+                    Some((*zone, items.len()))
+                }
+                _ => None,
+            })
+            .expect("join offer sent");
+        assert!(offer.0.contains(p, 2));
+        assert_eq!(offer.1 + store.len(), total);
+        assert!(offer.1 > 0, "some items moved");
+        // Remaining items are all inside the kept zone.
+        assert!(store
+            .iter_all()
+            .all(|e| owner.owns_point(Point::from_key(e.key, 2))));
+    }
+
+    #[test]
+    fn join_offer_installs_zone_and_introduces() {
+        let mut joiner = CanState::new(2, 7);
+        let mut env: RecordingEnv<V> = RecordingEnv::new(7);
+        let mut meter = TrafficMeter::default();
+        let mut store: StorageManager<V> = StorageManager::new();
+        let whole = Zone::whole(2);
+        let (a, b) = whole.split(0);
+        let mut events = Vec::new();
+        joiner.handle_join_offer(
+            &mut env,
+            &mut meter,
+            &mut store,
+            b,
+            vec![(0, vec![a])],
+            vec![Entry {
+                ns: 1,
+                rid: 9,
+                iid: 0,
+                key: 3,
+                expires: Time(u64::MAX),
+                val: vec![1, 2],
+            }],
+            &mut events,
+        );
+        assert!(joiner.joined);
+        assert_eq!(joiner.zones, vec![b]);
+        assert!(joiner.neighbors.contains_key(&0));
+        assert_eq!(store.len(), 1);
+        assert!(events.iter().any(|e| matches!(e, DhtEvent::Joined)));
+        assert!(env
+            .sent
+            .iter()
+            .any(|(to, m)| *to == 0 && matches!(m, DhtMsg::Can(CanMsg::NeighborUpdate { .. }))));
+    }
+
+    #[test]
+    fn neighbor_update_prunes_non_adjacent() {
+        let mut c = CanState::new(2, 0);
+        c.start_first();
+        let (a, b) = Zone::whole(2).split(0);
+        c.zones = vec![a];
+        c.handle_neighbor_update(Time(1), 5, vec![b]);
+        assert!(c.neighbors.contains_key(&5));
+        // A faraway sliver not adjacent to us: neighbor dropped.
+        let mut far = b;
+        far.lo[0] = b.lo[0] + SPACE / 8;
+        far.hi[0] = b.lo[0] + SPACE / 4;
+        far.lo[1] = 0;
+        far.hi[1] = SPACE / 4;
+        c.handle_neighbor_update(Time(2), 5, vec![far]);
+        assert!(!c.neighbors.contains_key(&5));
+    }
+
+    #[test]
+    fn split_announces_to_soon_to_be_ex_neighbors() {
+        // Node 0 owns the left half; node 5 owns the right half; node 0
+        // splits its zone for joiner 7. Whatever 5's adjacency ends up
+        // being, it must receive a NeighborUpdate reflecting the split.
+        let whole = Zone::whole(2);
+        let (left, right) = whole.split(0);
+        let mut c = CanState::new(2, 0);
+        c.zones = vec![left];
+        c.joined = true;
+        c.neighbors
+            .insert(5, NeighborInfo::new(vec![right], Time(0)));
+        let mut env: RecordingEnv<V> = RecordingEnv::new(0);
+        let mut meter = TrafficMeter::default();
+        let mut store: StorageManager<V> = StorageManager::new();
+        let mut events = Vec::new();
+        // Pick a point in the left half to force a split of our zone.
+        let mut p = Point { c: [0; 8] };
+        p.c[0] = 1;
+        p.c[1] = 1;
+        c.handle_join_locate(&mut env, &mut meter, &mut store, 7, p, &mut events);
+        let updated: Vec<NodeId> = env
+            .sent
+            .iter()
+            .filter_map(|(to, m)| match m {
+                DhtMsg::Can(CanMsg::NeighborUpdate { .. }) => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert!(updated.contains(&5), "old neighbor notified: {updated:?}");
+    }
+
+    #[test]
+    fn tick_detects_failure_and_takes_over() {
+        let cfg = DhtConfig::default();
+        let (a, b) = Zone::whole(2).split(0);
+        let mut c = CanState::new(2, 0);
+        c.zones = vec![a];
+        c.joined = true;
+        let mut info = NeighborInfo::new(vec![b], Time::ZERO);
+        info.their_neighbors = vec![(0, vec![a])];
+        c.neighbors.insert(1, info);
+        let mut env: RecordingEnv<V> = RecordingEnv::new(0);
+        env.now = Time::ZERO + cfg.fail_after + Dur::from_secs(1);
+        let mut meter = TrafficMeter::default();
+        let mut events = Vec::new();
+        c.tick(&mut env, &mut meter, &cfg, &mut events);
+        assert!(!c.neighbors.contains_key(&1));
+        // We absorbed the dead zone; zones merged back to the whole space.
+        assert_eq!(c.zones, vec![Zone::whole(2)]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DhtEvent::LocationMapChanged)));
+        assert!(meter.maintenance > 0);
+    }
+
+    #[test]
+    fn takeover_election_is_consistent_across_observers() {
+        // Several nodes around a dead one; all share the dead node's
+        // advertised neighbor map, so exactly one should claim.
+        let d = 2;
+        let zones = balanced_zones(4, d);
+        let dead_id: NodeId = 3;
+        let dead_zone = zones[3];
+        let shared_map: Vec<(NodeId, Vec<Zone>)> = (0..3u32)
+            .filter(|&i| dead_zone.is_neighbor(&zones[i as usize], d))
+            .map(|i| (i, vec![zones[i as usize]]))
+            .collect();
+        assert!(shared_map.len() >= 2, "need at least two candidates");
+        let cfg = DhtConfig::default();
+        let mut claims = 0;
+        for me in 0..3u32 {
+            if !dead_zone.is_neighbor(&zones[me as usize], d) {
+                continue;
+            }
+            let mut c = CanState::new(d, me);
+            c.zones = vec![zones[me as usize]];
+            c.joined = true;
+            let mut info = NeighborInfo::new(vec![dead_zone], Time::ZERO);
+            info.their_neighbors = shared_map.clone();
+            c.neighbors.insert(dead_id, info);
+            let mut env: RecordingEnv<V> = RecordingEnv::new(me);
+            env.now = Time::ZERO + cfg.fail_after + Dur::from_secs(1);
+            let mut meter = TrafficMeter::default();
+            let mut events = Vec::new();
+            c.tick(&mut env, &mut meter, &cfg, &mut events);
+            if c.zones.len() > 1 || c.zones[0] != zones[me as usize] {
+                claims += 1;
+            }
+        }
+        assert_eq!(claims, 1, "exactly one claimant");
+    }
+
+    #[test]
+    fn heartbeats_sent_once_per_period() {
+        let cfg = DhtConfig::default();
+        let (a, b) = Zone::whole(2).split(0);
+        let mut c = CanState::new(2, 0);
+        c.zones = vec![a];
+        c.joined = true;
+        c.neighbors
+            .insert(1, NeighborInfo::new(vec![b], Time::ZERO));
+        let mut env: RecordingEnv<V> = RecordingEnv::new(0);
+        let mut meter = TrafficMeter::default();
+        let mut events = Vec::new();
+        env.now = Time::ZERO + cfg.keepalive + Dur::from_millis(1);
+        c.neighbors.get_mut(&1).unwrap().last_seen = env.now;
+        c.tick(&mut env, &mut meter, &cfg, &mut events);
+        let hb1 = env.sent.len();
+        assert!(hb1 >= 1);
+        // Immediately ticking again sends nothing new.
+        c.tick(&mut env, &mut meter, &cfg, &mut events);
+        assert_eq!(env.sent.len(), hb1);
+    }
+
+    #[test]
+    fn balanced_zones_partition_exactly() {
+        for n in [1usize, 2, 3, 7, 16, 33] {
+            let zones = balanced_zones(n, 4);
+            assert_eq!(zones.len(), n);
+            let vol: u128 = zones.iter().map(|z| z.volume(4)).sum();
+            assert_eq!(vol, Zone::whole(4).volume(4));
+            for k in 0..200u64 {
+                let p = Point::from_key(k * 77, 4);
+                assert_eq!(zones.iter().filter(|z| z.contains(p, 4)).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_overlay_routes_greedily_to_owner() {
+        let n = 64;
+        let states = balanced_overlay(n, 4, Time::ZERO);
+        for key in 0..300u64 {
+            let p = Point::from_key(key, 4);
+            // Greedy walk from node 0 must reach the owner.
+            let mut cur = 0usize;
+            let mut hops = 0;
+            loop {
+                if states[cur].owns_point(p) {
+                    break;
+                }
+                let nxt = states[cur].next_hop(p).expect("has neighbors");
+                assert_ne!(nxt as usize, cur);
+                cur = nxt as usize;
+                hops += 1;
+                assert!(hops < 64, "routing loop for key {key}");
+            }
+            // Owner is unique.
+            assert_eq!(
+                states.iter().filter(|s| s.owns_point(p)).count(),
+                1,
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_overlay_average_path_scales_as_fourth_root() {
+        // d=4: expected average path ~ N^(1/4) hops (§3.1.1).
+        let mut avgs = Vec::new();
+        for n in [16usize, 256] {
+            let states = balanced_overlay(n, 4, Time::ZERO);
+            let mut total = 0u64;
+            let mut cnt = 0u64;
+            for key in 0..200u64 {
+                let p = Point::from_key(key.wrapping_mul(0x9E37), 4);
+                let mut cur = (key as usize * 7) % n;
+                let mut hops = 0u64;
+                while !states[cur].owns_point(p) {
+                    cur = states[cur].next_hop(p).unwrap() as usize;
+                    hops += 1;
+                    assert!(hops < 1000);
+                }
+                total += hops;
+                cnt += 1;
+            }
+            avgs.push(total as f64 / cnt as f64);
+        }
+        // 256^(1/4)/16^(1/4) = 2: the larger net should need roughly
+        // double the hops (loose bounds: 1.4–3×).
+        let ratio = avgs[1] / avgs[0].max(0.1);
+        assert!(ratio > 1.2 && ratio < 3.5, "ratio {ratio}, avgs {avgs:?}");
+    }
+}

@@ -1,0 +1,517 @@
+//! The Chord overlay (Stoica et al., SIGCOMM 2001).
+//!
+//! The paper validates PIER's DHT-agnostic design by also deploying over
+//! Chord, "which required a fairly minimal integration effort" (§3.2). We
+//! reproduce that: Chord plugs in behind the same routing-layer API as
+//! CAN. 64-bit ring, finger tables, successor lists, periodic
+//! stabilization, and a finger-tree broadcast standing in for CAN's
+//! directed-flood multicast.
+
+use std::collections::HashMap;
+
+use pier_simnet::time::Time;
+use pier_simnet::{NodeId, Wire};
+
+use crate::env::{send_metered, DhtEnv};
+use crate::event::DhtEvent;
+use crate::geom::splitmix64;
+use crate::msg::{ChordMsg, DhtMsg, FindPurpose};
+use crate::traffic::TrafficMeter;
+use crate::DhtConfig;
+
+/// Number of finger-table entries (64-bit ring).
+pub const FINGERS: usize = 64;
+/// Successor-list length for failure resilience.
+pub const SUCC_LIST: usize = 4;
+
+/// Ring position of a node id.
+pub fn ring_of_node(me: NodeId) -> u64 {
+    splitmix64((me as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ 0x9E37_79B9)
+}
+
+/// Ring position of a DHT key.
+pub fn ring_of_key(key: u64) -> u64 {
+    splitmix64(key ^ 0x1234_5678_9ABC_DEF0)
+}
+
+/// `x ∈ (a, b]` on the ring; when `a == b` the interval is the whole ring.
+#[inline]
+pub fn in_open_closed(a: u64, x: u64, b: u64) -> bool {
+    if a == b {
+        true
+    } else if a < b {
+        a < x && x <= b
+    } else {
+        x > a || x <= b
+    }
+}
+
+/// `x ∈ (a, b)` on the ring.
+#[inline]
+pub fn in_open(a: u64, x: u64, b: u64) -> bool {
+    if a == b {
+        x != a
+    } else if a < b {
+        a < x && x < b
+    } else {
+        x > a || x < b
+    }
+}
+
+/// Per-node Chord state.
+#[derive(Debug, Clone)]
+pub struct ChordState {
+    pub me: NodeId,
+    pub ring: u64,
+    pub joined: bool,
+    pub predecessor: Option<(u64, NodeId)>,
+    pub successors: Vec<(u64, NodeId)>,
+    pub fingers: Vec<Option<(u64, NodeId)>>,
+    next_finger: usize,
+    succ_last_seen: Time,
+    pred_last_seen: Time,
+}
+
+impl ChordState {
+    pub fn new(me: NodeId) -> Self {
+        ChordState {
+            me,
+            ring: ring_of_node(me),
+            joined: false,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: vec![None; FINGERS],
+            next_finger: 0,
+            succ_last_seen: Time::ZERO,
+            pred_last_seen: Time::ZERO,
+        }
+    }
+
+    /// First node of a new ring.
+    pub fn start_first(&mut self) {
+        self.joined = true;
+    }
+
+    /// Ask `bootstrap` to find our successor.
+    pub fn start_join<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        bootstrap: NodeId,
+    ) {
+        send_metered(
+            env,
+            meter,
+            bootstrap,
+            DhtMsg::Chord(ChordMsg::FindSucc {
+                target: self.ring,
+                token: 0,
+                origin: self.me,
+                purpose: FindPurpose::Join,
+                ttl: crate::ROUTE_TTL,
+            }),
+        );
+    }
+
+    pub fn successor(&self) -> Option<(u64, NodeId)> {
+        self.successors.first().copied()
+    }
+
+    /// Do we own ring position `pos`? True iff `pos ∈ (pred, me]`; with no
+    /// predecessor recorded, a joined node conservatively claims the key
+    /// (correct for the single-node ring; transient during stabilization).
+    pub fn owns_pos(&self, pos: u64) -> bool {
+        if !self.joined {
+            return false;
+        }
+        match self.predecessor {
+            None => true,
+            Some((pring, _)) => in_open_closed(pring, pos, self.ring),
+        }
+    }
+
+    /// Closest node strictly preceding `pos` among fingers + successors.
+    pub fn closest_preceding(&self, pos: u64) -> Option<NodeId> {
+        let mut best: Option<(u64, NodeId)> = None;
+        let consider = self
+            .fingers
+            .iter()
+            .flatten()
+            .chain(self.successors.iter());
+        for &(r, id) in consider {
+            if id == self.me || !in_open(self.ring, r, pos) {
+                continue;
+            }
+            // The best candidate is the one whose ring id is closest to
+            // (but before) pos — i.e. maximal in (self.ring, pos).
+            best = Some(match best {
+                None => (r, id),
+                Some((br, bid)) => {
+                    if in_open(br, r, pos) {
+                        (r, id)
+                    } else {
+                        (br, bid)
+                    }
+                }
+            });
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// One routing decision for a FindSucc toward `target`:
+    /// `Ok(owner)` if resolved here, `Err(next)` to forward.
+    pub fn find_succ_step(&self, target: u64) -> Result<(u64, NodeId), NodeId> {
+        if self.owns_pos(target) {
+            return Ok((self.ring, self.me));
+        }
+        if let Some((sring, sid)) = self.successor() {
+            if in_open_closed(self.ring, target, sring) {
+                return Ok((sring, sid));
+            }
+        }
+        match self.closest_preceding(target) {
+            Some(next) => Err(next),
+            // Nowhere better to go: hand to successor if any.
+            None => match self.successor() {
+                Some((_, sid)) if sid != self.me => Err(sid),
+                _ => Ok((self.ring, self.me)),
+            },
+        }
+    }
+
+    /// Install the join result: our successor.
+    pub fn complete_join<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        succ_ring: u64,
+        succ: NodeId,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        if succ != self.me {
+            self.successors = vec![(succ_ring, succ)];
+            self.succ_last_seen = env.now();
+            send_metered(
+                env,
+                meter,
+                succ,
+                DhtMsg::Chord(ChordMsg::Notify { ring: self.ring }),
+            );
+        }
+        events.push(DhtEvent::Joined);
+        events.push(DhtEvent::LocationMapChanged);
+    }
+
+    /// `notify(x)`: x believes it might be our predecessor.
+    pub fn handle_notify<V>(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        from_ring: u64,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let adopt = match self.predecessor {
+            None => true,
+            Some((pring, pid)) => pid == from || in_open(pring, from_ring, self.ring),
+        };
+        if adopt {
+            let changed = self.predecessor.map(|(_, id)| id) != Some(from);
+            self.predecessor = Some((from_ring, from));
+            self.pred_last_seen = now;
+            if changed {
+                // Our owned range shrank: keys in (old_pred, new_pred]
+                // now belong elsewhere (re-homed by the provider sweep).
+                events.push(DhtEvent::LocationMapChanged);
+            }
+        }
+        // A single-node ring learns of a second node: adopt as successor.
+        if self.successors.is_empty() && from != self.me {
+            self.successors = vec![(from_ring, from)];
+            self.succ_last_seen = now;
+        }
+    }
+
+    /// Stabilization reply from our successor.
+    pub fn handle_neighborhood<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        from: NodeId,
+        pred: Option<(u64, NodeId)>,
+        succs: Vec<(u64, NodeId)>,
+    ) {
+        let now = env.now();
+        if self.successor().map(|(_, id)| id) == Some(from) {
+            self.succ_last_seen = now;
+        }
+        if let Some((sring, _sid)) = self.successor() {
+            if let Some((pring, pid)) = pred {
+                if pid != self.me && in_open(self.ring, pring, sring) {
+                    // A closer successor exists.
+                    self.successors.insert(0, (pring, pid));
+                }
+            }
+        }
+        // Extend our successor list with our successor's.
+        let mut list = self.successors.clone();
+        for s in succs {
+            if s.1 != self.me {
+                list.push(s);
+            }
+        }
+        // Sort by ring distance after me, dedupe by node.
+        list.sort_by_key(|&(r, _)| r.wrapping_sub(self.ring).wrapping_sub(1));
+        list.dedup_by_key(|&mut (_, id)| id);
+        let mut seen = std::collections::HashSet::new();
+        list.retain(|&(_, id)| seen.insert(id));
+        list.truncate(SUCC_LIST);
+        self.successors = list;
+        if let Some((_, sid)) = self.successor() {
+            if sid != self.me {
+                send_metered(
+                    env,
+                    meter,
+                    sid,
+                    DhtMsg::Chord(ChordMsg::Notify { ring: self.ring }),
+                );
+            }
+        }
+    }
+
+    /// Record a finger-table lookup result.
+    pub fn set_finger(&mut self, k: usize, ring: u64, id: NodeId) {
+        if k < FINGERS {
+            self.fingers[k] = Some((ring, id));
+        }
+    }
+
+    /// Periodic stabilization: probe the successor, refresh one finger,
+    /// expire silent neighbors.
+    pub fn tick<V: Wire + Clone>(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        meter: &mut TrafficMeter,
+        cfg: &DhtConfig,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        if !self.joined || !cfg.maintenance {
+            return;
+        }
+        let now = env.now();
+        // Successor failure: drop and promote the next in the list.
+        if let Some((_, sid)) = self.successor() {
+            if now.since(self.succ_last_seen) > cfg.fail_after {
+                self.successors.remove(0);
+                self.fingers
+                    .iter_mut()
+                    .for_each(|f| {
+                        if f.map(|(_, id)| id) == Some(sid) {
+                            *f = None;
+                        }
+                    });
+                self.succ_last_seen = now;
+                events.push(DhtEvent::LocationMapChanged);
+            }
+        }
+        // Predecessor timeout widens our owned range until a new notify.
+        if let Some((_, _pid)) = self.predecessor {
+            if now.since(self.pred_last_seen) > cfg.fail_after {
+                self.predecessor = None;
+                events.push(DhtEvent::LocationMapChanged);
+            }
+        }
+        if let Some((_, sid)) = self.successor() {
+            if sid != self.me {
+                send_metered(env, meter, sid, DhtMsg::Chord(ChordMsg::GetNeighborhood));
+            }
+        }
+        // Refresh one finger per tick.
+        let k = self.next_finger;
+        self.next_finger = (self.next_finger + 1) % FINGERS;
+        let target = self.ring.wrapping_add(1u64 << k);
+        match self.find_succ_step(target) {
+            Ok((r, id)) => self.set_finger(k, r, id),
+            Err(next) => send_metered(
+                env,
+                meter,
+                next,
+                DhtMsg::Chord(ChordMsg::FindSucc {
+                    target,
+                    token: 0,
+                    origin: self.me,
+                    purpose: FindPurpose::Finger(k as u8),
+                    ttl: crate::ROUTE_TTL,
+                }),
+            ),
+        }
+    }
+
+    /// Children of the broadcast tree covering `(self.ring, limit)`:
+    /// distinct known nodes in the interval, each assigned the sub-range
+    /// up to the next child (El-Ansary et al. broadcast).
+    pub fn broadcast_children(&self, limit: u64) -> Vec<(NodeId, u64)> {
+        let mut nodes: Vec<(u64, NodeId)> = self
+            .fingers
+            .iter()
+            .flatten()
+            .chain(self.successors.iter())
+            .copied()
+            .filter(|&(r, id)| id != self.me && in_open(self.ring, r, limit))
+            .collect();
+        nodes.sort_by_key(|&(r, _)| r.wrapping_sub(self.ring).wrapping_sub(1));
+        nodes.dedup_by_key(|&mut (_, id)| id);
+        let mut seen = std::collections::HashSet::new();
+        nodes.retain(|&(_, id)| seen.insert(id));
+        let mut out = Vec::with_capacity(nodes.len());
+        for (i, &(_r, id)) in nodes.iter().enumerate() {
+            let child_limit = if i + 1 < nodes.len() {
+                nodes[i + 1].0
+            } else {
+                limit
+            };
+            out.push((id, child_limit));
+        }
+        out
+    }
+}
+
+/// Build a fully stabilized ring for `n` nodes (fast bootstrap for large
+/// experiments; mirrors `can::balanced_overlay`).
+pub fn balanced_chord_overlay(n: usize, now: Time) -> Vec<ChordState> {
+    let mut order: Vec<(u64, NodeId)> = (0..n as NodeId).map(|i| (ring_of_node(i), i)).collect();
+    order.sort_unstable();
+    let pos_of: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &(_, id))| (id, i)).collect();
+    (0..n as NodeId)
+        .map(|me| {
+            let mut s = ChordState::new(me);
+            s.joined = true;
+            s.succ_last_seen = now;
+            s.pred_last_seen = now;
+            let i = pos_of[&me];
+            if n > 1 {
+                s.predecessor = Some(order[(i + n - 1) % n]);
+                s.successors = (1..=SUCC_LIST.min(n - 1))
+                    .map(|k| order[(i + k) % n])
+                    .collect();
+                for k in 0..FINGERS {
+                    let target = s.ring.wrapping_add(1u64 << k);
+                    // Successor of target in the sorted ring.
+                    let j = order.partition_point(|&(r, _)| r < target) % n;
+                    let cand = order[j];
+                    if cand.1 != me {
+                        s.fingers[k] = Some(cand);
+                    }
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_interval_predicates() {
+        assert!(in_open_closed(10, 20, 30));
+        assert!(in_open_closed(10, 30, 30));
+        assert!(!in_open_closed(10, 10, 30));
+        // Wrap-around.
+        assert!(in_open_closed(u64::MAX - 5, 3, 10));
+        assert!(!in_open_closed(u64::MAX - 5, u64::MAX - 6, 10));
+        // Degenerate = full ring.
+        assert!(in_open_closed(7, 1, 7));
+        assert!(in_open(5, 6, 8));
+        assert!(!in_open(5, 8, 8));
+    }
+
+    #[test]
+    fn balanced_ring_owns_partition_exactly() {
+        let n = 64;
+        let states = balanced_chord_overlay(n, Time::ZERO);
+        for key in 0..500u64 {
+            let pos = ring_of_key(key);
+            let owners = states.iter().filter(|s| s.owns_pos(pos)).count();
+            assert_eq!(owners, 1, "key {key}");
+        }
+    }
+
+    #[test]
+    fn find_succ_step_converges_in_log_hops() {
+        let n = 256;
+        let states = balanced_chord_overlay(n, Time::ZERO);
+        for key in 0..200u64 {
+            let pos = ring_of_key(key * 31 + 7);
+            let mut cur = (key as usize) % n;
+            let mut hops = 0;
+            let owner = loop {
+                match states[cur].find_succ_step(pos) {
+                    Ok((_, id)) => break id,
+                    Err(next) => {
+                        cur = next as usize;
+                        hops += 1;
+                        assert!(hops < 64, "too many hops");
+                    }
+                }
+            };
+            assert!(states[owner as usize].owns_pos(pos));
+            assert!(hops <= 16, "O(log n) expected, got {hops}");
+        }
+    }
+
+    #[test]
+    fn broadcast_tree_covers_every_node_once() {
+        let n = 128;
+        let states = balanced_chord_overlay(n, Time::ZERO);
+        // Start at node 0, cover the full ring.
+        let mut delivered = vec![0usize; n];
+        let mut stack = vec![(0 as NodeId, states[0].ring)]; // (node, limit)
+        while let Some((node, limit)) = stack.pop() {
+            delivered[node as usize] += 1;
+            for (child, child_limit) in states[node as usize].broadcast_children(limit) {
+                stack.push((child, child_limit));
+            }
+        }
+        assert!(delivered.iter().all(|&c| c == 1), "{delivered:?}");
+    }
+
+    #[test]
+    fn notify_adopts_closer_predecessor() {
+        let mut s = ChordState::new(0);
+        s.start_first();
+        let mut ev: Vec<DhtEvent<Vec<u8>>> = Vec::new();
+        let a = ring_of_node(1);
+        s.handle_notify(Time(1), 1, a, &mut ev);
+        assert_eq!(s.predecessor, Some((a, 1)));
+        assert_eq!(s.successor(), Some((a, 1)));
+        // A node strictly between a and us replaces the predecessor.
+        let mut b_id = 2;
+        let mut b = ring_of_node(b_id);
+        let mut tries = 3;
+        while !in_open(a, b, s.ring) {
+            b_id = tries;
+            b = ring_of_node(b_id);
+            tries += 1;
+        }
+        s.handle_notify(Time(2), b_id, b, &mut ev);
+        assert_eq!(s.predecessor, Some((b, b_id)));
+        // A farther node does not.
+        s.handle_notify(Time(3), 1, a, &mut ev);
+        assert_eq!(s.predecessor, Some((b, b_id)));
+    }
+
+    #[test]
+    fn owns_pos_honours_predecessor_range() {
+        let states = balanced_chord_overlay(8, Time::ZERO);
+        for s in &states {
+            let (pring, _) = s.predecessor.unwrap();
+            assert!(s.owns_pos(s.ring));
+            assert!(!s.owns_pos(pring));
+        }
+    }
+}

@@ -1,0 +1,894 @@
+//! The provider: the glue between routing layer and storage manager
+//! (§3.2.3), offering `put`/`get`/`renew`/`multicast`/`lscan`/`newData`.
+//!
+//! DHT operations follow the paper's footnote 6: a `lookup` locates the
+//! owner, then the (possibly large) data message travels *directly* to
+//! it rather than hopping along the overlay — "the bandwidth savings of
+//! not having a large message hop along the overlay network outweighs the
+//! small chance" of a stale lookup, which is healed by retry/re-homing.
+
+use std::collections::HashMap;
+
+use pier_simnet::time::Time;
+use pier_simnet::{NodeId, Wire};
+
+use crate::can::CanState;
+use crate::chord::{ring_of_key, ChordState};
+use crate::env::{send_metered, DhtEnv};
+use crate::event::DhtEvent;
+use crate::geom::{Point, Zone};
+use crate::msg::{CanMsg, ChordMsg, DhtMsg, Entry, FindPurpose};
+use crate::storage::StorageManager;
+use crate::traffic::TrafficMeter;
+use crate::{key_of, DhtConfig, Ns, OverlayKind, Rid, DHT_TICK_TOKEN, ROUTE_TTL};
+
+/// The routing layer in use on this node.
+#[derive(Debug, Clone)]
+pub enum Overlay {
+    Can(CanState),
+    Chord(ChordState),
+}
+
+enum Pending<V> {
+    Put(Entry<V>),
+    Get {
+        ns: Ns,
+        rid: Rid,
+        user_token: u64,
+    },
+}
+
+struct PendingOp<V> {
+    key: u64,
+    issued: Time,
+    retries: u32,
+    op: Pending<V>,
+}
+
+/// One node's complete DHT stack: overlay + storage manager + provider.
+pub struct Dht<V> {
+    pub cfg: DhtConfig,
+    pub overlay: Overlay,
+    pub store: StorageManager<V>,
+    pub meter: TrafficMeter,
+    me: NodeId,
+    pending: HashMap<u64, PendingOp<V>>,
+    awaiting_get: HashMap<u64, u64>,
+    next_token: u64,
+    seen_mcast: HashMap<u64, Time>,
+    bootstrap: Option<NodeId>,
+    join_sent: Time,
+    tick_count: u64,
+}
+
+impl<V: Wire + Clone> Dht<V> {
+    pub fn new(cfg: DhtConfig, me: NodeId) -> Self {
+        let overlay = match cfg.overlay {
+            OverlayKind::Can => Overlay::Can(CanState::new(cfg.dims, me)),
+            OverlayKind::Chord => Overlay::Chord(ChordState::new(me)),
+        };
+        Dht {
+            cfg,
+            overlay,
+            store: StorageManager::new(),
+            meter: TrafficMeter::default(),
+            me,
+            pending: HashMap::new(),
+            awaiting_get: HashMap::new(),
+            next_token: 1,
+            seen_mcast: HashMap::new(),
+            bootstrap: None,
+            join_sent: Time::ZERO,
+            tick_count: 0,
+        }
+    }
+
+    /// Construct a node with a pre-stabilized CAN state (balanced
+    /// bootstrap for large experiments).
+    pub fn with_can(cfg: DhtConfig, me: NodeId, can: CanState) -> Self {
+        let mut d = Self::new(cfg, me);
+        d.overlay = Overlay::Can(can);
+        d
+    }
+
+    /// Construct a node with a pre-stabilized Chord state.
+    pub fn with_chord(cfg: DhtConfig, me: NodeId, chord: ChordState) -> Self {
+        let mut d = Self::new(cfg, me);
+        d.overlay = Overlay::Chord(chord);
+        d
+    }
+
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    pub fn is_joined(&self) -> bool {
+        match &self.overlay {
+            Overlay::Can(c) => c.joined,
+            Overlay::Chord(c) => c.joined,
+        }
+    }
+
+    pub fn can(&self) -> Option<&CanState> {
+        match &self.overlay {
+            Overlay::Can(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn chord(&self) -> Option<&ChordState> {
+        match &self.overlay {
+            Overlay::Chord(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Start the node: create a new overlay (`bootstrap = None`) or join
+    /// an existing one via any member node (Table 1's `join(landmark)`).
+    pub fn start(&mut self, env: &mut dyn DhtEnv<V>, bootstrap: Option<NodeId>) {
+        self.bootstrap = bootstrap;
+        match bootstrap {
+            None => match &mut self.overlay {
+                Overlay::Can(c) => c.start_first(),
+                Overlay::Chord(c) => c.start_first(),
+            },
+            Some(b) => {
+                self.join_sent = env.now();
+                match &mut self.overlay {
+                    Overlay::Can(c) => c.start_join(env, &mut self.meter, b),
+                    Overlay::Chord(c) => c.start_join(env, &mut self.meter, b),
+                }
+            }
+        }
+        env.timer(self.cfg.tick, DHT_TICK_TOKEN);
+    }
+
+    /// Does this node currently own `key`?
+    pub fn owns_key(&self, key: u64) -> bool {
+        match &self.overlay {
+            Overlay::Can(c) => c.owns_point(Point::from_key(key, c.d)),
+            Overlay::Chord(c) => c.owns_pos(ring_of_key(key)),
+        }
+    }
+
+    /// Provider `put` (Table 3): store `val` under (ns, rid, iid) with a
+    /// soft-state `lifetime`. Local fast path when we own the key.
+    pub fn put(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        ns: Ns,
+        rid: Rid,
+        iid: u32,
+        val: V,
+        lifetime: pier_simnet::time::Dur,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let key = key_of(ns, rid);
+        let entry = Entry {
+            ns,
+            rid,
+            iid,
+            key,
+            expires: env.now() + lifetime,
+            val,
+        };
+        if self.owns_key(key) {
+            self.store_entry(entry, events);
+        } else {
+            self.lookup(env, key, Pending::Put(entry), events);
+        }
+    }
+
+    /// Provider `renew` (Table 3): identical mechanics to `put` — an
+    /// existing (ns, rid, iid) has its value replaced and its lifetime
+    /// extended without re-firing `newData`.
+    pub fn renew(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        ns: Ns,
+        rid: Rid,
+        iid: u32,
+        val: V,
+        lifetime: pier_simnet::time::Dur,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        self.put(env, ns, rid, iid, val, lifetime, events);
+    }
+
+    /// Provider `get` (Table 3): asynchronous unless the key is local, in
+    /// which case the result event is emitted synchronously (footnote 3).
+    pub fn get(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        ns: Ns,
+        rid: Rid,
+        user_token: u64,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let key = key_of(ns, rid);
+        if self.owns_key(key) {
+            let items = self.live_items(ns, rid, env.now());
+            events.push(DhtEvent::GetResult {
+                token: user_token,
+                items,
+            });
+        } else {
+            self.lookup(env, key, Pending::Get { ns, rid, user_token }, events);
+        }
+    }
+
+    /// Provider `lscan` (Table 3): iterate locally stored items of `ns`.
+    pub fn lscan(&self, ns: Ns) -> impl Iterator<Item = &Entry<V>> {
+        self.store.lscan(ns)
+    }
+
+    /// Multicast `payload` to every node (Table 3's `multicast`,
+    /// implementing the content-based multicast of [18]).
+    pub fn multicast(&mut self, env: &mut dyn DhtEnv<V>, payload: V, events: &mut Vec<DhtEvent<V>>) {
+        let id = env.rand64();
+        let can_rect = match &self.overlay {
+            Overlay::Can(c) => Some(Zone::whole(c.d)),
+            Overlay::Chord(_) => None,
+        };
+        if let Some(rect) = can_rect {
+            // Route the whole-space rectangle like any other fragment: the
+            // initiator rarely owns the center of the space, and its own
+            // delivery arrives when the flood reaches its zone.
+            self.route_can_mcast(
+                env,
+                CanMsg::Mcast {
+                    id,
+                    origin: self.me,
+                    rect,
+                    payload,
+                    ttl: ROUTE_TTL,
+                },
+                events,
+            );
+            return;
+        }
+        let children = match &self.overlay {
+            Overlay::Chord(c) => c.broadcast_children(c.ring),
+            Overlay::Can(_) => unreachable!(),
+        };
+        self.deliver_mcast(env.now(), id, self.me, &payload, events);
+        for (child, limit) in children {
+            send_metered(
+                env,
+                &mut self.meter,
+                child,
+                DhtMsg::Chord(ChordMsg::Bcast {
+                    id,
+                    origin: self.me,
+                    payload: payload.clone(),
+                    limit,
+                }),
+            );
+        }
+    }
+
+    /// Graceful departure (Table 1's `leave()`).
+    pub fn leave(&mut self, env: &mut dyn DhtEnv<V>) {
+        if let Overlay::Can(c) = &mut self.overlay {
+            c.leave(env, &mut self.meter, &mut self.store);
+        }
+        // Chord leave: soft state ages out; successors stabilize around us.
+    }
+
+    fn live_items(&self, ns: Ns, rid: Rid, now: Time) -> Vec<Entry<V>> {
+        self.store
+            .get(ns, rid)
+            .iter()
+            .filter(|e| e.expires > now)
+            .cloned()
+            .collect()
+    }
+
+    fn store_entry(&mut self, entry: Entry<V>, events: &mut Vec<DhtEvent<V>>) {
+        let is_new = self.store.store(entry.clone());
+        if is_new {
+            events.push(DhtEvent::NewData { entry });
+        }
+    }
+
+    /// Issue a routing-layer lookup, remembering the op to run on reply.
+    fn lookup(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        key: u64,
+        op: Pending<V>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(
+            token,
+            PendingOp {
+                key,
+                issued: env.now(),
+                retries: 0,
+                op,
+            },
+        );
+        self.send_lookup(env, key, token, events);
+    }
+
+    fn send_lookup(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        key: u64,
+        token: u64,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        enum Step {
+            SendCan(NodeId),
+            Resolved(NodeId),
+            SendChord(NodeId, u64),
+            Stuck,
+        }
+        let step = match &self.overlay {
+            Overlay::Can(c) => {
+                let p = Point::from_key(key, c.d);
+                match c.next_hop(p) {
+                    Some(next) => Step::SendCan(next),
+                    // No neighbors: single-node overlay; retried on tick.
+                    None => Step::Stuck,
+                }
+            }
+            Overlay::Chord(c) => {
+                let pos = ring_of_key(key);
+                match c.find_succ_step(pos) {
+                    Ok((_, owner)) => Step::Resolved(owner),
+                    Err(next) => Step::SendChord(next, pos),
+                }
+            }
+        };
+        match step {
+            Step::SendCan(next) => send_metered(
+                env,
+                &mut self.meter,
+                next,
+                DhtMsg::Can(CanMsg::Lookup {
+                    key,
+                    token,
+                    origin: self.me,
+                    ttl: ROUTE_TTL,
+                }),
+            ),
+            Step::Resolved(owner) => self.resolve_lookup(env, token, owner, events),
+            Step::SendChord(next, pos) => send_metered(
+                env,
+                &mut self.meter,
+                next,
+                DhtMsg::Chord(ChordMsg::FindSucc {
+                    target: pos,
+                    token,
+                    origin: self.me,
+                    purpose: FindPurpose::Lookup,
+                    ttl: ROUTE_TTL,
+                }),
+            ),
+            Step::Stuck => {}
+        }
+    }
+
+    /// The owner of a pending op's key is known: ship the op to it.
+    fn resolve_lookup(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        token: u64,
+        owner: NodeId,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let Some(p) = self.pending.remove(&token) else {
+            return; // duplicate or expired reply
+        };
+        match p.op {
+            Pending::Put(entry) => {
+                if owner == self.me {
+                    self.store_entry(entry, events);
+                } else {
+                    send_metered(env, &mut self.meter, owner, DhtMsg::Put { entry });
+                }
+            }
+            Pending::Get { ns, rid, user_token } => {
+                if owner == self.me {
+                    let items = self.live_items(ns, rid, env.now());
+                    events.push(DhtEvent::GetResult {
+                        token: user_token,
+                        items,
+                    });
+                } else {
+                    self.awaiting_get.insert(token, user_token);
+                    send_metered(
+                        env,
+                        &mut self.meter,
+                        owner,
+                        DhtMsg::Get {
+                            ns,
+                            rid,
+                            token,
+                            origin: self.me,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver_mcast(
+        &mut self,
+        now: Time,
+        id: u64,
+        origin: NodeId,
+        payload: &V,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        if self.seen_mcast.insert(id, now).is_none() {
+            events.push(DhtEvent::Multicast {
+                origin,
+                payload: payload.clone(),
+            });
+        }
+    }
+
+    /// Handle a multicast rectangle we own the center of: deliver, then
+    /// recurse into the uncovered sub-rectangles (directed flood).
+    fn process_can_mcast(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        id: u64,
+        origin: NodeId,
+        rect: Zone,
+        payload: V,
+        ttl: u16,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        self.deliver_mcast(env.now(), id, origin, &payload, events);
+        let Overlay::Can(c) = &self.overlay else {
+            return;
+        };
+        let d = c.d;
+        let center = rect.center(d);
+        let Some(zone) = c.zones.iter().find(|z| z.contains(center, d)).copied() else {
+            return; // routing raced a zone change; retried by sender's TTL
+        };
+        let Some(covered) = zone.intersection(&rect, d) else {
+            return;
+        };
+        let subs = rect.subtract(&covered, d);
+        if ttl == 0 {
+            return;
+        }
+        for sub in subs {
+            self.route_can_mcast(
+                env,
+                CanMsg::Mcast {
+                    id,
+                    origin,
+                    rect: sub,
+                    payload: payload.clone(),
+                    ttl: ttl - 1,
+                },
+                events,
+            );
+        }
+    }
+
+    /// Route a CAN mcast fragment toward its rectangle's center; handle
+    /// locally if we own it.
+    fn route_can_mcast(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        msg: CanMsg<V>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let CanMsg::Mcast {
+            id,
+            origin,
+            rect,
+            payload,
+            ttl,
+        } = msg
+        else {
+            unreachable!()
+        };
+        let Overlay::Can(c) = &self.overlay else {
+            return;
+        };
+        let center = rect.center(c.d);
+        if c.owns_point(center) {
+            self.process_can_mcast(env, id, origin, rect, payload, ttl, events);
+        } else if let Some(next) = c.next_hop(center) {
+            send_metered(
+                env,
+                &mut self.meter,
+                next,
+                DhtMsg::Can(CanMsg::Mcast {
+                    id,
+                    origin,
+                    rect,
+                    payload,
+                    ttl,
+                }),
+            );
+        }
+    }
+
+    /// Main message dispatcher.
+    pub fn handle_message(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        from: NodeId,
+        msg: DhtMsg<V>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        match msg {
+            DhtMsg::Can(m) => self.handle_can(env, from, m, events),
+            DhtMsg::Chord(m) => self.handle_chord(env, from, m, events),
+            DhtMsg::LookupReply { token, .. } => {
+                self.resolve_lookup(env, token, from, events);
+            }
+            DhtMsg::Put { entry } => {
+                self.store_entry(entry, events);
+            }
+            DhtMsg::Get {
+                ns,
+                rid,
+                token,
+                origin,
+            } => {
+                let items = self.live_items(ns, rid, env.now());
+                send_metered(
+                    env,
+                    &mut self.meter,
+                    origin,
+                    DhtMsg::GetReply { token, items },
+                );
+            }
+            DhtMsg::GetReply { token, items } => {
+                if let Some(user_token) = self.awaiting_get.remove(&token) {
+                    events.push(DhtEvent::GetResult {
+                        token: user_token,
+                        items,
+                    });
+                }
+            }
+            DhtMsg::MoveItems { items } => {
+                for entry in items {
+                    // Re-homed items were announced at their prior home;
+                    // still fire newData if the instance is new here, so
+                    // probes that raced the move are not lost.
+                    self.store_entry(entry, events);
+                }
+            }
+        }
+    }
+
+    fn handle_can(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        from: NodeId,
+        msg: CanMsg<V>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let Overlay::Can(c) = &mut self.overlay else {
+            return;
+        };
+        match msg {
+            CanMsg::JoinLocate { joiner, p, ttl } => {
+                if c.owns_point(p) {
+                    c.handle_join_locate(env, &mut self.meter, &mut self.store, joiner, p, events);
+                } else if ttl > 0 {
+                    if let Some(next) = c.next_hop(p) {
+                        send_metered(
+                            env,
+                            &mut self.meter,
+                            next,
+                            DhtMsg::Can(CanMsg::JoinLocate {
+                                joiner,
+                                p,
+                                ttl: ttl - 1,
+                            }),
+                        );
+                    }
+                }
+            }
+            CanMsg::JoinOffer {
+                zone,
+                neighbors,
+                items,
+            } => {
+                c.handle_join_offer(
+                    env,
+                    &mut self.meter,
+                    &mut self.store,
+                    zone,
+                    neighbors,
+                    items,
+                    events,
+                );
+            }
+            CanMsg::NeighborUpdate { zones } => {
+                c.handle_neighbor_update(env.now(), from, zones);
+            }
+            CanMsg::Heartbeat { zones, neighbors } => {
+                c.handle_heartbeat(env.now(), from, zones, neighbors);
+            }
+            CanMsg::Takeover { dead, zones } => {
+                c.handle_takeover(env.now(), from, dead, zones, events);
+            }
+            CanMsg::Leave {
+                zones,
+                items,
+                neighbors,
+            } => {
+                c.handle_leave(
+                    env,
+                    &mut self.meter,
+                    &mut self.store,
+                    from,
+                    zones,
+                    items,
+                    neighbors,
+                    events,
+                );
+            }
+            CanMsg::Lookup {
+                key,
+                token,
+                origin,
+                ttl,
+            } => {
+                let p = Point::from_key(key, c.d);
+                if c.owns_point(p) {
+                    send_metered(
+                        env,
+                        &mut self.meter,
+                        origin,
+                        DhtMsg::LookupReply { token, key },
+                    );
+                } else if ttl > 0 {
+                    if let Some(next) = c.next_hop(p) {
+                        send_metered(
+                            env,
+                            &mut self.meter,
+                            next,
+                            DhtMsg::Can(CanMsg::Lookup {
+                                key,
+                                token,
+                                origin,
+                                ttl: ttl - 1,
+                            }),
+                        );
+                    }
+                }
+            }
+            CanMsg::Mcast {
+                id,
+                origin,
+                rect,
+                payload,
+                ttl,
+            } => {
+                self.route_can_mcast(
+                    env,
+                    CanMsg::Mcast {
+                        id,
+                        origin,
+                        rect,
+                        payload,
+                        ttl,
+                    },
+                    events,
+                );
+            }
+        }
+    }
+
+    fn handle_chord(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        from: NodeId,
+        msg: ChordMsg<V>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        let Overlay::Chord(c) = &mut self.overlay else {
+            return;
+        };
+        match msg {
+            ChordMsg::FindSucc {
+                target,
+                token,
+                origin,
+                purpose,
+                ttl,
+            } => match c.find_succ_step(target) {
+                Ok((succ_ring, succ)) => {
+                    send_metered(
+                        env,
+                        &mut self.meter,
+                        origin,
+                        DhtMsg::Chord(ChordMsg::FoundSucc {
+                            token,
+                            target,
+                            purpose,
+                            succ_ring,
+                            succ,
+                        }),
+                    );
+                }
+                Err(next) => {
+                    if ttl > 0 {
+                        send_metered(
+                            env,
+                            &mut self.meter,
+                            next,
+                            DhtMsg::Chord(ChordMsg::FindSucc {
+                                target,
+                                token,
+                                origin,
+                                purpose,
+                                ttl: ttl - 1,
+                            }),
+                        );
+                    }
+                }
+            },
+            ChordMsg::FoundSucc {
+                token,
+                target,
+                purpose,
+                succ_ring,
+                succ,
+            } => match purpose {
+                FindPurpose::Join => {
+                    c.complete_join(env, &mut self.meter, succ_ring, succ, events);
+                }
+                FindPurpose::Finger(k) => {
+                    let _ = target;
+                    c.set_finger(k as usize, succ_ring, succ);
+                }
+                FindPurpose::Lookup => {
+                    self.resolve_lookup(env, token, succ, events);
+                }
+            },
+            ChordMsg::GetNeighborhood => {
+                let reply = ChordMsg::Neighborhood {
+                    pred: c.predecessor,
+                    succs: c.successors.clone(),
+                };
+                send_metered(env, &mut self.meter, from, DhtMsg::Chord(reply));
+            }
+            ChordMsg::Neighborhood { pred, succs } => {
+                c.handle_neighborhood(env, &mut self.meter, from, pred, succs);
+            }
+            ChordMsg::Notify { ring } => {
+                c.handle_notify(env.now(), from, ring, events);
+            }
+            ChordMsg::Bcast {
+                id,
+                origin,
+                payload,
+                limit,
+            } => {
+                let children = c.broadcast_children(limit);
+                self.deliver_mcast(env.now(), id, origin, &payload, events);
+                for (child, child_limit) in children {
+                    send_metered(
+                        env,
+                        &mut self.meter,
+                        child,
+                        DhtMsg::Chord(ChordMsg::Bcast {
+                            id,
+                            origin,
+                            payload: payload.clone(),
+                            limit: child_limit,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handle a host timer. Returns `true` if the token belonged to the
+    /// DHT layer.
+    pub fn handle_timer(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        token: u64,
+        events: &mut Vec<DhtEvent<V>>,
+    ) -> bool {
+        if token != DHT_TICK_TOKEN {
+            return false;
+        }
+        self.tick(env, events);
+        env.timer(self.cfg.tick, DHT_TICK_TOKEN);
+        true
+    }
+
+    /// Periodic work: overlay maintenance, soft-state expiry, lookup
+    /// retries, re-homing, join retry.
+    fn tick(&mut self, env: &mut dyn DhtEnv<V>, events: &mut Vec<DhtEvent<V>>) {
+        self.tick_count += 1;
+        let now = env.now();
+        match &mut self.overlay {
+            Overlay::Can(c) => c.tick(env, &mut self.meter, &self.cfg, events),
+            Overlay::Chord(c) => c.tick(env, &mut self.meter, &self.cfg, events),
+        }
+        self.store.sweep_expired(now);
+
+        // Retry join if the offer never arrived.
+        if !self.is_joined() {
+            if let Some(b) = self.bootstrap {
+                if now.since(self.join_sent) > self.cfg.lookup_retry {
+                    self.join_sent = now;
+                    match &mut self.overlay {
+                        Overlay::Can(c) => c.start_join(env, &mut self.meter, b),
+                        Overlay::Chord(c) => c.start_join(env, &mut self.meter, b),
+                    }
+                }
+            }
+        }
+
+        // Retry stale lookups with exponential backoff: under congestion
+        // a reply may sit minutes deep in an inbound queue, and dropping
+        // the op would lose data. Abandon only after ~10 minutes.
+        let stale: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                let backoff = self
+                    .cfg
+                    .lookup_retry
+                    .saturating_mul(1u64 << p.retries.min(5));
+                now.since(p.issued) > backoff
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in stale {
+            let (key, give_up) = {
+                let p = self.pending.get_mut(&token).unwrap();
+                p.retries += 1;
+                p.issued = now;
+                (p.key, p.retries > 12)
+            };
+            if give_up {
+                self.pending.remove(&token);
+                self.awaiting_get.remove(&token);
+            } else if self.owns_key(key) {
+                // Ownership shifted to us while the lookup was in flight.
+                self.resolve_lookup(env, token, self.me, events);
+            } else {
+                self.send_lookup(env, key, token, events);
+            }
+        }
+
+        // Drop old multicast dedup records.
+        let horizon = pier_simnet::time::Dur::from_secs(120);
+        self.seen_mcast.retain(|_, t| now.since(*t) < horizon);
+
+        // Re-home items we no longer own (every few ticks): the
+        // self-healing that follows overlay churn.
+        if self.cfg.rehome && self.is_joined() && self.tick_count % 4 == 0 {
+            let not_mine: std::collections::HashSet<u64> = self
+                .store
+                .iter_all()
+                .filter(|e| !self.owns_key(e.key))
+                .map(|e| e.key)
+                .collect();
+            if !not_mine.is_empty() {
+                let moved = self.store.extract_not_owned(|k| !not_mine.contains(&k));
+                for entry in moved {
+                    let key = entry.key;
+                    self.lookup(env, key, Pending::Put(entry), events);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct in-flight lookups (for tests/diagnostics).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+}

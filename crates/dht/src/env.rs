@@ -1,0 +1,99 @@
+//! Environment abstraction decoupling the DHT from the hosting engine.
+//!
+//! The DHT layer never talks to an engine directly; it emits sends and
+//! timers through [`DhtEnv`]. The query processor (pier-core) wraps its
+//! own `Ctx<PierMsg>` in an adapter, and the test harness in this crate
+//! wraps a bare `Ctx<DhtMsg<V>>`.
+
+use crate::msg::DhtMsg;
+use pier_simnet::app::Ctx;
+use pier_simnet::time::{Dur, Time};
+use pier_simnet::{NodeId, Wire};
+use rand::Rng;
+
+/// What the DHT needs from its host: a clock, an identity, a network,
+/// timers, and randomness.
+pub trait DhtEnv<V> {
+    fn now(&self) -> Time;
+    fn me(&self) -> NodeId;
+    fn send(&mut self, to: NodeId, msg: DhtMsg<V>);
+    fn timer(&mut self, after: Dur, token: u64);
+    fn rand64(&mut self) -> u64;
+}
+
+/// Send a message through the environment, charging the sender-side
+/// [`crate::traffic::TrafficMeter`].
+pub fn send_metered<V: Wire>(
+    env: &mut dyn DhtEnv<V>,
+    meter: &mut crate::traffic::TrafficMeter,
+    to: NodeId,
+    msg: DhtMsg<V>,
+) {
+    meter.record(&msg);
+    env.send(to, msg);
+}
+
+/// An environment that records everything — for unit tests of protocol
+/// handlers (also used by pier-core's tests).
+pub struct RecordingEnv<V> {
+    pub now: Time,
+    pub me: NodeId,
+    pub sent: Vec<(NodeId, DhtMsg<V>)>,
+    pub timers: Vec<(Dur, u64)>,
+    pub seed: u64,
+}
+
+impl<V> RecordingEnv<V> {
+    pub fn new(me: NodeId) -> Self {
+        RecordingEnv {
+            now: Time::ZERO,
+            me,
+            sent: Vec::new(),
+            timers: Vec::new(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl<V> DhtEnv<V> for RecordingEnv<V> {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn send(&mut self, to: NodeId, msg: DhtMsg<V>) {
+        self.sent.push((to, msg));
+    }
+    fn timer(&mut self, after: Dur, token: u64) {
+        self.timers.push((after, token));
+    }
+    fn rand64(&mut self) -> u64 {
+        self.seed = crate::geom::splitmix64(self.seed);
+        self.seed
+    }
+}
+
+/// Adapter for hosts whose message type is exactly `DhtMsg<V>` (the DHT
+/// test harness; PIER proper wraps `DhtMsg` in its own envelope).
+pub struct CtxEnv<'a, 'b, V: Wire + Clone> {
+    pub ctx: &'a mut Ctx<'b, DhtMsg<V>>,
+}
+
+impl<'a, 'b, V: Wire + Clone> DhtEnv<V> for CtxEnv<'a, 'b, V> {
+    fn now(&self) -> Time {
+        self.ctx.now
+    }
+    fn me(&self) -> NodeId {
+        self.ctx.me
+    }
+    fn send(&mut self, to: NodeId, msg: DhtMsg<V>) {
+        self.ctx.send(to, msg);
+    }
+    fn timer(&mut self, after: Dur, token: u64) {
+        self.ctx.set_timer(after, token);
+    }
+    fn rand64(&mut self) -> u64 {
+        self.ctx.rng.gen()
+    }
+}

@@ -1,0 +1,114 @@
+//! A bare DHT node automaton for tests and DHT-level benchmarks.
+//!
+//! [`DhtNode`] hosts a [`Dht`] directly on the engine (message type =
+//! `DhtMsg<V>`) and records every upcall with its arrival time. PIER
+//! proper wraps the DHT inside a larger automaton (pier-core), but the
+//! protocol behaviour exercised here is identical.
+
+use pier_simnet::app::{App, Ctx};
+use pier_simnet::time::Time;
+use pier_simnet::{NodeId, Wire};
+
+use crate::dht::Dht;
+use crate::env::CtxEnv;
+use crate::event::DhtEvent;
+use crate::msg::DhtMsg;
+use crate::DhtConfig;
+
+/// Test harness automaton: one DHT stack, an event log, nothing else.
+pub struct DhtNode<V: Wire + Clone> {
+    pub dht: Dht<V>,
+    pub bootstrap: Option<NodeId>,
+    pub events: Vec<(Time, DhtEvent<V>)>,
+}
+
+impl<V: Wire + Clone> DhtNode<V> {
+    /// A node that will join via `bootstrap` (or start a new overlay).
+    pub fn new(cfg: DhtConfig, me: NodeId, bootstrap: Option<NodeId>) -> Self {
+        DhtNode {
+            dht: Dht::new(cfg, me),
+            bootstrap,
+            events: Vec::new(),
+        }
+    }
+
+    /// A node with a pre-stabilized overlay state.
+    pub fn with_dht(dht: Dht<V>) -> Self {
+        DhtNode {
+            dht,
+            bootstrap: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Events of a given predicate, with times.
+    pub fn events_where(
+        &self,
+        pred: impl Fn(&DhtEvent<V>) -> bool,
+    ) -> impl Iterator<Item = &(Time, DhtEvent<V>)> {
+        self.events.iter().filter(move |(_, e)| pred(e))
+    }
+}
+
+impl<V: Wire + Clone + 'static> App for DhtNode<V> {
+    type Msg = DhtMsg<V>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self::Msg>) {
+        let bootstrap = self.bootstrap;
+        let mut env = CtxEnv { ctx };
+        // Pre-stabilized nodes still need their tick timer; `start` with
+        // no bootstrap is idempotent for an already-joined overlay.
+        if self.dht.is_joined() {
+            env.ctx.set_timer(self.dht.cfg.tick, crate::DHT_TICK_TOKEN);
+        } else {
+            self.dht.start(&mut env, bootstrap);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self::Msg>, from: NodeId, msg: Self::Msg) {
+        let now = ctx.now;
+        let mut env = CtxEnv { ctx };
+        let mut events = Vec::new();
+        self.dht.handle_message(&mut env, from, msg, &mut events);
+        self.events.extend(events.into_iter().map(|e| (now, e)));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Self::Msg>, token: u64) {
+        let now = ctx.now;
+        let mut env = CtxEnv { ctx };
+        let mut events = Vec::new();
+        self.dht.handle_timer(&mut env, token, &mut events);
+        self.events.extend(events.into_iter().map(|e| (now, e)));
+    }
+}
+
+/// Build a simulator hosting `n` pre-stabilized CAN nodes (balanced
+/// bootstrap). Returns the sim; node ids are `0..n`.
+pub fn stabilized_can_sim<V: Wire + Clone + 'static>(
+    n: usize,
+    cfg: DhtConfig,
+    net: pier_simnet::NetConfig,
+) -> pier_simnet::Sim<DhtNode<V>> {
+    let mut sim = pier_simnet::Sim::new(net);
+    let states = crate::can::balanced_overlay(n, cfg.dims, Time::ZERO);
+    for (i, st) in states.into_iter().enumerate() {
+        let dht = Dht::with_can(cfg.clone(), i as NodeId, st);
+        sim.add_node(DhtNode::with_dht(dht));
+    }
+    sim
+}
+
+/// Build a simulator hosting `n` pre-stabilized Chord nodes.
+pub fn stabilized_chord_sim<V: Wire + Clone + 'static>(
+    n: usize,
+    cfg: DhtConfig,
+    net: pier_simnet::NetConfig,
+) -> pier_simnet::Sim<DhtNode<V>> {
+    let mut sim = pier_simnet::Sim::new(net);
+    let states = crate::chord::balanced_chord_overlay(n, Time::ZERO);
+    for (i, st) in states.into_iter().enumerate() {
+        let dht = Dht::with_chord(cfg.clone(), i as NodeId, st);
+        sim.add_node(DhtNode::with_dht(dht));
+    }
+    sim
+}

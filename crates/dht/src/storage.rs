@@ -1,0 +1,231 @@
+//! The storage manager (Table 2): node-local, main-memory soft state.
+//!
+//! The paper deliberately uses a simple main-memory store ("all we expect
+//! of the storage manager is to provide performance that is reasonably
+//! efficient relative to network bottlenecks", §3.2.2). Items are indexed
+//! by namespace and resourceID; items sharing both are distinguished by
+//! instanceID. Every item carries a soft-state expiry (§3.2.3).
+
+use std::collections::HashMap;
+
+use crate::msg::Entry;
+use crate::{Ns, Rid};
+use pier_simnet::time::Time;
+
+/// Main-memory storage manager for one node.
+#[derive(Debug, Clone)]
+pub struct StorageManager<V> {
+    by_ns: HashMap<Ns, HashMap<Rid, Vec<Entry<V>>>>,
+    len: usize,
+}
+
+impl<V> Default for StorageManager<V> {
+    fn default() -> Self {
+        StorageManager {
+            by_ns: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> StorageManager<V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored items across all namespaces.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store an item. If an item with the same (ns, rid, iid) exists it is
+    /// replaced and its lifetime extended — this is `renew` (§3.2.3).
+    /// Returns `true` when the item is new (not a renewal), which is what
+    /// drives `newData` callbacks.
+    pub fn store(&mut self, entry: Entry<V>) -> bool {
+        let bucket = self
+            .by_ns
+            .entry(entry.ns)
+            .or_default()
+            .entry(entry.rid)
+            .or_default();
+        if let Some(existing) = bucket.iter_mut().find(|e| e.iid == entry.iid) {
+            *existing = entry;
+            false
+        } else {
+            bucket.push(entry);
+            self.len += 1;
+            true
+        }
+    }
+
+    /// All live items under (ns, rid) — `get` is key-based, not
+    /// instance-based, and may return multiple items.
+    pub fn get(&self, ns: Ns, rid: Rid) -> &[Entry<V>] {
+        self.by_ns
+            .get(&ns)
+            .and_then(|m| m.get(&rid))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Remove every item under (ns, rid). Returns how many were removed.
+    pub fn remove(&mut self, ns: Ns, rid: Rid) -> usize {
+        let Some(m) = self.by_ns.get_mut(&ns) else {
+            return 0;
+        };
+        let removed = m.remove(&rid).map_or(0, |v| v.len());
+        self.len -= removed;
+        if m.is_empty() {
+            // Namespaces are destroyed when their last item expires.
+            self.by_ns.remove(&ns);
+        }
+        removed
+    }
+
+    /// Iterate all items in a namespace (the provider's `lscan`).
+    pub fn lscan(&self, ns: Ns) -> impl Iterator<Item = &Entry<V>> {
+        self.by_ns
+            .get(&ns)
+            .into_iter()
+            .flat_map(|m| m.values().flatten())
+    }
+
+    /// Iterate all items in all namespaces.
+    pub fn iter_all(&self) -> impl Iterator<Item = &Entry<V>> {
+        self.by_ns.values().flat_map(|m| m.values().flatten())
+    }
+
+    /// Namespaces currently holding data.
+    pub fn namespaces(&self) -> impl Iterator<Item = Ns> + '_ {
+        self.by_ns.keys().copied()
+    }
+
+    /// Count of items in one namespace.
+    pub fn ns_len(&self, ns: Ns) -> usize {
+        self.by_ns.get(&ns).map_or(0, |m| m.values().map(Vec::len).sum())
+    }
+
+    /// Drop expired items (soft-state aging, §3.2.3). Returns the number
+    /// discarded.
+    pub fn sweep_expired(&mut self, now: Time) -> usize {
+        let mut removed = 0;
+        self.by_ns.retain(|_, m| {
+            m.retain(|_, v| {
+                let before = v.len();
+                v.retain(|e| e.expires > now);
+                removed += before - v.len();
+                !v.is_empty()
+            });
+            !m.is_empty()
+        });
+        self.len -= removed;
+        removed
+    }
+
+    /// Extract (remove and return) all items whose routing key fails the
+    /// ownership predicate — used for zone handoff when a zone is split
+    /// and for re-homing after overlay churn.
+    pub fn extract_not_owned(&mut self, owns: impl Fn(u64) -> bool) -> Vec<Entry<V>> {
+        let mut out = Vec::new();
+        self.by_ns.retain(|_, m| {
+            m.retain(|_, v| {
+                let mut i = 0;
+                while i < v.len() {
+                    if owns(v[i].key) {
+                        i += 1;
+                    } else {
+                        out.push(v.swap_remove(i));
+                    }
+                }
+                !v.is_empty()
+            });
+            !m.is_empty()
+        });
+        self.len -= out.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ns: Ns, rid: Rid, iid: u32, key: u64, expires: u64, val: u32) -> Entry<u32> {
+        Entry {
+            ns,
+            rid,
+            iid,
+            key,
+            expires: Time(expires),
+            val,
+        }
+    }
+
+    #[test]
+    fn store_get_remove_roundtrip() {
+        let mut s = StorageManager::new();
+        assert!(s.store(entry(1, 10, 0, 99, 1000, 7)));
+        assert!(s.store(entry(1, 10, 1, 99, 1000, 8)));
+        assert_eq!(s.get(1, 10).len(), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(1, 10), 2);
+        assert!(s.is_empty());
+        assert_eq!(s.get(1, 10).len(), 0);
+    }
+
+    #[test]
+    fn same_instance_replaces_and_renews() {
+        let mut s = StorageManager::new();
+        assert!(s.store(entry(1, 10, 5, 99, 1000, 7)));
+        // Renewal: same (ns, rid, iid), later expiry, is not "new data".
+        assert!(!s.store(entry(1, 10, 5, 99, 5000, 9)));
+        assert_eq!(s.len(), 1);
+        let items = s.get(1, 10);
+        assert_eq!(items[0].val, 9);
+        assert_eq!(items[0].expires, Time(5000));
+    }
+
+    #[test]
+    fn lscan_iterates_one_namespace_only() {
+        let mut s = StorageManager::new();
+        s.store(entry(1, 10, 0, 1, 1000, 1));
+        s.store(entry(1, 11, 0, 2, 1000, 2));
+        s.store(entry(2, 10, 0, 3, 1000, 3));
+        let mut ns1: Vec<u32> = s.lscan(1).map(|e| e.val).collect();
+        ns1.sort_unstable();
+        assert_eq!(ns1, vec![1, 2]);
+        assert_eq!(s.ns_len(1), 2);
+        assert_eq!(s.ns_len(2), 1);
+        assert_eq!(s.lscan(3).count(), 0);
+    }
+
+    #[test]
+    fn sweep_discards_only_expired() {
+        let mut s = StorageManager::new();
+        s.store(entry(1, 10, 0, 1, 100, 1));
+        s.store(entry(1, 10, 1, 1, 300, 2));
+        s.store(entry(2, 20, 0, 2, 50, 3));
+        assert_eq!(s.sweep_expired(Time(150)), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(1, 10).len(), 1);
+        // Namespace 2 disappeared with its last item.
+        assert_eq!(s.namespaces().count(), 1);
+    }
+
+    #[test]
+    fn extract_not_owned_partitions_by_key() {
+        let mut s = StorageManager::new();
+        for k in 0..10u64 {
+            s.store(entry(1, k, 0, k, 1000, k as u32));
+        }
+        let moved = s.extract_not_owned(|k| k % 2 == 0);
+        assert_eq!(moved.len(), 5);
+        assert!(moved.iter().all(|e| e.key % 2 == 1));
+        assert_eq!(s.len(), 5);
+        assert!(s.iter_all().all(|e| e.key % 2 == 0));
+    }
+}

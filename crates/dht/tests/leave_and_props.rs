@@ -1,0 +1,109 @@
+//! Graceful departure (Table 1's `leave()`) and cross-cutting DHT
+//! properties on the simulator.
+
+use pier_dht::harness::{stabilized_can_sim, DhtNode};
+use pier_dht::{ns_of, DhtConfig, DhtEvent};
+use pier_simnet::time::Dur;
+use pier_simnet::{NetConfig, NodeId, Sim};
+
+type V = Vec<u8>;
+
+#[test]
+fn graceful_leave_hands_over_zones_and_items() {
+    let n = 10;
+    let mut sim: Sim<DhtNode<V>> = stabilized_can_sim(n, DhtConfig::default(), NetConfig::latency_only(77));
+    let ns = ns_of("tbl");
+    sim.with_app(0, |node, ctx| {
+        let mut env = pier_dht::CtxEnv { ctx };
+        let mut ev = Vec::new();
+        for rid in 0..60u64 {
+            node.dht
+                .put(&mut env, ns, rid, 0, vec![1], Dur::from_secs(3600), &mut ev);
+        }
+    });
+    sim.run_for(Dur::from_secs(10));
+    let total_before: usize = (0..n)
+        .map(|i| sim.app(i as NodeId).unwrap().dht.store.ns_len(ns))
+        .sum();
+    assert_eq!(total_before, 60);
+
+    // Node 4 leaves gracefully: its zones and items are handed to a
+    // neighbor, *not* lost (unlike a failure).
+    let leaver = 4;
+    let had = sim.app(leaver).unwrap().dht.store.ns_len(ns);
+    sim.with_app(leaver, |node, ctx| {
+        let mut env = pier_dht::CtxEnv { ctx };
+        node.dht.leave(&mut env);
+    });
+    sim.run_for(Dur::from_secs(10));
+    let _ = had;
+    let total_after: usize = (0..n)
+        .filter(|&i| i != leaver as usize)
+        .map(|i| sim.app(i as NodeId).unwrap().dht.store.ns_len(ns))
+        .sum();
+    assert_eq!(total_after, 60, "no items lost on graceful leave");
+    // Every key has exactly one owner among the remaining nodes.
+    for rid in 0..60u64 {
+        let key = pier_dht::key_of(ns, rid);
+        let owners = (0..n)
+            .filter(|&i| i != leaver as usize)
+            .filter(|&i| sim.app(i as NodeId).unwrap().dht.owns_key(key))
+            .count();
+        assert_eq!(owners, 1, "rid {rid}");
+    }
+    // Gets still work afterwards.
+    sim.with_app(1, |node, ctx| {
+        let now = ctx.now;
+        let mut env = pier_dht::CtxEnv { ctx };
+        let mut ev = Vec::new();
+        for rid in 0..60u64 {
+            node.dht.get(&mut env, ns, rid, rid, &mut ev);
+        }
+        for e in ev {
+            node.events.push((now, e));
+        }
+    });
+    sim.run_for(Dur::from_secs(15));
+    let answered = sim
+        .app(1)
+        .unwrap()
+        .events_where(|e| matches!(e, DhtEvent::GetResult { items, .. } if !items.is_empty()))
+        .count();
+    assert_eq!(answered, 60);
+}
+
+#[test]
+fn mixed_churn_join_leave_fail_converges() {
+    // Interleave joins, graceful leaves, and failures, then verify the
+    // overlay converges to a clean partition.
+    let mut cfg = DhtConfig::default();
+    cfg.fail_after = Dur::from_secs(10);
+    let mut sim: Sim<DhtNode<V>> = Sim::new(NetConfig::latency_only(3));
+    sim.add_node(DhtNode::new(cfg.clone(), 0, None));
+    for i in 1..8u32 {
+        sim.add_node(DhtNode::new(cfg.clone(), i, Some(0)));
+        sim.run_for(Dur::from_secs(3));
+    }
+    sim.run_for(Dur::from_secs(5));
+    // One graceful leave, one crash, one late join.
+    sim.with_app(3, |node, ctx| {
+        let mut env = pier_dht::CtxEnv { ctx };
+        node.dht.leave(&mut env);
+    });
+    sim.fail_node(3); // the process exits after leaving
+    sim.run_for(Dur::from_secs(2));
+    sim.fail_node(5);
+    sim.run_for(Dur::from_secs(20)); // detection + takeover
+    let late = sim.add_node(DhtNode::new(cfg.clone(), 8, Some(0)));
+    sim.run_for(Dur::from_secs(20));
+
+    assert!(sim.app(late).unwrap().dht.is_joined());
+    for k in 0..120u64 {
+        let key = pier_dht::key_of(ns_of("x"), k);
+        let owners: Vec<u32> = (0..sim.node_count() as u32)
+            .filter(|&i| sim.alive(i))
+            .filter(|&i| sim.app(i).unwrap().dht.owns_key(key))
+            .collect();
+        assert_eq!(owners.len(), 1, "key {k}: owners {owners:?}");
+    }
+}

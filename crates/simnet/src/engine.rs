@@ -1,0 +1,507 @@
+//! The deterministic discrete-event engine.
+//!
+//! Models exactly what §5.2 of the paper models and nothing more: message
+//! propagation latency (from a [`Topology`]) plus queueing on the
+//! receiver's inbound link at a configurable capacity. CPU and memory
+//! costs of query processing are ignored, and cross-traffic does not
+//! exist, matching the paper's two stated simplifications.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::app::{Action, App, Ctx};
+use crate::stats::NetStats;
+use crate::time::{Dur, Time};
+use crate::topology::Topology;
+use crate::{NodeId, Wire};
+
+/// Network-level configuration of a simulation run.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// Pairwise propagation latency.
+    pub topology: Arc<dyn Topology>,
+    /// Inbound link capacity per node in bits/second; `None` = infinite
+    /// bandwidth (the §5.5.1 latency-only scenario).
+    pub inbound_bps: Option<f64>,
+    /// Master seed; each node's RNG derives from it.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// The paper's baseline: full mesh, 100 ms latency, 10 Mbps inbound.
+    pub fn paper_baseline(seed: u64) -> Self {
+        NetConfig {
+            topology: Arc::new(crate::topology::FullMesh::paper_default()),
+            inbound_bps: Some(10e6),
+            seed,
+        }
+    }
+
+    /// Full mesh with infinite bandwidth (§5.5.1 "Infinite Bandwidth").
+    pub fn latency_only(seed: u64) -> Self {
+        NetConfig {
+            inbound_bps: None,
+            ..Self::paper_baseline(seed)
+        }
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Event<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Slot<A> {
+    app: Option<A>,
+    rng: SmallRng,
+    /// Instant at which this node's inbound link becomes free.
+    inbound_free: Time,
+}
+
+/// The discrete-event simulator hosting many [`App`] automata.
+pub struct Sim<A: App> {
+    cfg: NetConfig,
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Event<A::Msg>>,
+    nodes: Vec<Slot<A>>,
+    stats: NetStats,
+    events_processed: u64,
+    scratch: Vec<Action<A::Msg>>,
+}
+
+impl<A: App> Sim<A> {
+    pub fn new(cfg: NetConfig) -> Self {
+        Sim {
+            cfg,
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            stats: NetStats::new(0),
+            events_processed: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Add a node and run its `on_start` handler at the current time.
+    pub fn add_node(&mut self, app: A) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_add((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        self.nodes.push(Slot {
+            app: Some(app),
+            rng,
+            inbound_free: Time::ZERO,
+        });
+        self.stats.ensure_nodes(self.nodes.len());
+        self.dispatch(id, |app, ctx| app.on_start(ctx));
+        id
+    }
+
+    /// Abruptly fail a node: its state is gone, and all in-flight or
+    /// future traffic addressed to it is dropped (§5.6).
+    pub fn fail_node(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(id as usize) {
+            slot.app = None;
+        }
+    }
+
+    pub fn alive(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id as usize)
+            .map_or(false, |s| s.app.is_some())
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|s| s.app.is_some()).count()
+    }
+
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Read-only access to a live node's automaton.
+    pub fn app(&self, id: NodeId) -> Option<&A> {
+        self.nodes.get(id as usize).and_then(|s| s.app.as_ref())
+    }
+
+    /// Inject an external call into a node (e.g. "submit this query"),
+    /// exactly as if a local application invoked the PIER API. Returns
+    /// `None` if the node has failed.
+    pub fn with_app<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut A, &mut Ctx<A::Msg>) -> R,
+    ) -> Option<R> {
+        let slot = self.nodes.get_mut(id as usize)?;
+        let app = slot.app.as_mut()?;
+        let mut actions = std::mem::take(&mut self.scratch);
+        let r = {
+            let mut ctx = Ctx::new(self.now, id, &mut slot.rng, &mut actions);
+            f(app, &mut ctx)
+        };
+        self.apply_actions(id, &mut actions);
+        self.scratch = actions;
+        Some(r)
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut Ctx<A::Msg>)) {
+        let Some(slot) = self.nodes.get_mut(id as usize) else {
+            return;
+        };
+        let Some(app) = slot.app.as_mut() else {
+            return;
+        };
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Ctx::new(self.now, id, &mut slot.rng, &mut actions);
+            f(app, &mut ctx);
+        }
+        self.apply_actions(id, &mut actions);
+        self.scratch = actions;
+    }
+
+    fn apply_actions(&mut self, from: NodeId, actions: &mut Vec<Action<A::Msg>>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => self.route(from, to, msg),
+                Action::Timer { after, token } => {
+                    self.push_event(self.now + after, EventKind::Timer { node: from, token });
+                }
+            }
+        }
+    }
+
+    /// Apply the flow-level network model and enqueue the delivery.
+    fn route(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        if from == to {
+            // Local hand-off: no latency, no bandwidth, not network traffic.
+            self.push_event(self.now, EventKind::Deliver { from, to, msg });
+            return;
+        }
+        let latency = self.cfg.topology.latency(from, to);
+        let link_arrival = self.now + latency;
+        let deliver_at = match self.cfg.inbound_bps {
+            None => link_arrival,
+            Some(bps) => {
+                let bytes = msg.wire_size();
+                let transmit = Dur::from_secs_f64(bytes as f64 * 8.0 / bps);
+                let slot = &mut self.nodes[to as usize];
+                let start = slot.inbound_free.max(link_arrival);
+                let done = start + transmit;
+                slot.inbound_free = done;
+                done
+            }
+        };
+        self.push_event(deliver_at, EventKind::Deliver { from, to, msg });
+    }
+
+    fn push_event(&mut self, at: Time, kind: EventKind<A::Msg>) {
+        self.seq += 1;
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                let alive = self.alive(to);
+                if from != to {
+                    if alive {
+                        self.stats.record_delivery(to, msg.wire_size());
+                    } else {
+                        self.stats.dropped_to_failed += 1;
+                    }
+                }
+                if alive {
+                    self.dispatch(to, |app, ctx| app.on_message(ctx, from, msg));
+                }
+            }
+            EventKind::Timer { node, token } => {
+                self.dispatch(node, |app, ctx| app.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    /// Run until the clock reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    pub fn run_for(&mut self, d: Dur) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Run until no events remain or `max_events` more have been handled.
+    pub fn run_idle(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_next_time(&self) -> Option<Time> {
+        self.queue.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FullMesh;
+
+    /// Ping automaton: node 0 sends to 1 on start; 1 echoes; 0 records RTT.
+    struct Ping {
+        peer: Option<NodeId>,
+        echo_at: Option<Time>,
+        got: Vec<(Time, u32)>,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Num(u32, usize); // value, wire size
+
+    impl Wire for Num {
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    impl App for Ping {
+        type Msg = Num;
+        fn on_start(&mut self, ctx: &mut Ctx<Num>) {
+            if let Some(p) = self.peer {
+                ctx.send(p, Num(1, 100));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<Num>, from: NodeId, msg: Num) {
+            self.got.push((ctx.now, msg.0));
+            if self.peer.is_none() {
+                self.echo_at = Some(ctx.now);
+                ctx.send(from, Num(msg.0 + 1, 100));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<Num>, _token: u64) {}
+    }
+
+    fn mesh_cfg(bps: Option<f64>) -> NetConfig {
+        NetConfig {
+            topology: Arc::new(FullMesh {
+                latency: Dur::from_millis(100),
+            }),
+            inbound_bps: bps,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip_takes_two_latencies() {
+        let mut sim = Sim::new(mesh_cfg(None));
+        let b = Ping {
+            peer: None,
+            echo_at: None,
+            got: vec![],
+        };
+        // Node 1 must exist before node 0 pings it, so add the responder
+        // first and then the initiator pointing at it.
+        let responder = sim.add_node(b);
+        let a = Ping {
+            peer: Some(responder),
+            echo_at: None,
+            got: vec![],
+        };
+        let initiator = sim.add_node(a);
+        sim.run_idle(1000);
+        let app = sim.app(initiator).unwrap();
+        assert_eq!(app.got.len(), 1);
+        assert_eq!(app.got[0].0, Time::from_secs_f64(0.2));
+        assert_eq!(app.got[0].1, 2);
+    }
+
+    #[test]
+    fn bandwidth_queues_on_receiver_inbound_link() {
+        // Two 1,250,000-byte messages at 10 Mbps = 1 s transmission each.
+        // Sent back-to-back from different sources, they serialize on the
+        // receiver's inbound link: deliveries at 1.1 s and 2.1 s.
+        struct Blast {
+            target: Option<NodeId>,
+            got: Vec<Time>,
+        }
+        impl App for Blast {
+            type Msg = Num;
+            fn on_start(&mut self, ctx: &mut Ctx<Num>) {
+                if let Some(t) = self.target {
+                    ctx.send(t, Num(0, 1_250_000));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<Num>, _from: NodeId, _msg: Num) {
+                self.got.push(ctx.now);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<Num>, _token: u64) {}
+        }
+        let mut sim: Sim<Blast> = Sim::new(NetConfig {
+            topology: Arc::new(FullMesh {
+                latency: Dur::from_millis(100),
+            }),
+            inbound_bps: Some(10e6),
+            seed: 3,
+        });
+        let sink = sim.add_node(Blast {
+            target: None,
+            got: vec![],
+        });
+        sim.add_node(Blast {
+            target: Some(sink),
+            got: vec![],
+        });
+        sim.add_node(Blast {
+            target: Some(sink),
+            got: vec![],
+        });
+        sim.run_idle(100);
+        let got = &sim.app(sink).unwrap().got;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], Time::from_secs_f64(1.1));
+        assert_eq!(got[1], Time::from_secs_f64(2.1));
+        assert_eq!(sim.stats().bytes, 2_500_000);
+        assert_eq!(sim.stats().max_inbound(), 2_500_000);
+    }
+
+    #[test]
+    fn failed_node_drops_traffic_and_state() {
+        let mut sim = Sim::new(mesh_cfg(None));
+        let responder = sim.add_node(Ping {
+            peer: None,
+            echo_at: None,
+            got: vec![],
+        });
+        sim.fail_node(responder);
+        let initiator = sim.add_node(Ping {
+            peer: Some(responder),
+            echo_at: None,
+            got: vec![],
+        });
+        sim.run_idle(100);
+        assert!(sim.app(responder).is_none());
+        assert!(sim.app(initiator).unwrap().got.is_empty());
+        assert_eq!(sim.stats().dropped_to_failed, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_run_until_advances_clock() {
+        struct Timers {
+            fired: Vec<(Time, u64)>,
+        }
+        impl App for Timers {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                ctx.set_timer(Dur::from_secs(3), 3);
+                ctx.set_timer(Dur::from_secs(1), 1);
+                ctx.set_timer(Dur::from_secs(2), 2);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<()>, token: u64) {
+                self.fired.push((ctx.now, token));
+            }
+        }
+        let mut sim: Sim<Timers> = Sim::new(mesh_cfg(None));
+        let n = sim.add_node(Timers { fired: vec![] });
+        sim.run_until(Time::from_secs_f64(1.5));
+        assert_eq!(sim.app(n).unwrap().fired, vec![(Time(1_000_000), 1)]);
+        assert_eq!(sim.now(), Time::from_secs_f64(1.5));
+        sim.run_idle(10);
+        assert_eq!(sim.app(n).unwrap().fired.len(), 3);
+        assert_eq!(sim.now(), Time(3_000_000));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = Sim::new(mesh_cfg(Some(10e6)));
+            let responder = sim.add_node(Ping {
+                peer: None,
+                echo_at: None,
+                got: vec![],
+            });
+            let initiator = sim.add_node(Ping {
+                peer: Some(responder),
+                echo_at: None,
+                got: vec![],
+            });
+            sim.run_idle(100);
+            (
+                sim.app(initiator).unwrap().got.clone(),
+                sim.stats().bytes,
+                sim.now(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

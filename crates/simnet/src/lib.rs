@@ -1,0 +1,61 @@
+//! # pier-simnet
+//!
+//! Network engines for PIER (Huebsch et al., VLDB 2003).
+//!
+//! The paper runs the *same code base* both under simulation (up to 10,000
+//! nodes) and deployed on a 64-PC cluster (§5.2). This crate provides that
+//! split: a node is an event-driven automaton implementing [`App`], and two
+//! engines can host it unchanged:
+//!
+//! * [`Sim`] — a deterministic discrete-event simulator with a virtual
+//!   microsecond clock, a pluggable latency [`topology::Topology`], and a
+//!   flow-level bandwidth model that queues messages on the receiver's
+//!   inbound link (the paper's "congestion occurs at the last hop" model).
+//! * [`threaded::Cluster`] — one OS thread per node over crossbeam
+//!   channels with a wall clock; our stand-in for the paper's real cluster
+//!   deployment (§5.8).
+//!
+//! Message sizes are modeled by the [`Wire`] trait so that bandwidth and
+//! traffic accounting reflect on-the-wire bytes rather than Rust object
+//! sizes.
+
+pub mod app;
+pub mod engine;
+pub mod stats;
+pub mod threaded;
+pub mod time;
+pub mod topology;
+
+pub use app::{Action, App, Ctx};
+pub use engine::{NetConfig, Sim};
+pub use stats::NetStats;
+pub use time::{Dur, Time};
+pub use topology::{FullMesh, Topology, TransitStub, TransitStubParams};
+
+/// Identifier of a physical node slot in an engine.
+///
+/// Node ids are dense indices assigned in creation order; they double as
+/// the "IP address" of the PIER node in DHT routing tables.
+pub type NodeId = u32;
+
+/// On-the-wire size model for messages.
+///
+/// Engines charge `wire_size()` bytes against link bandwidth and traffic
+/// statistics. Implementations should include their own notion of header
+/// overhead; the engine adds nothing.
+pub trait Wire {
+    /// Number of bytes this message occupies on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+impl Wire for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}

@@ -1,0 +1,292 @@
+//! Wall-clock threaded engine: the cluster-deployment substitute.
+//!
+//! The paper validates PIER "deployed (not simulated!) on the largest set
+//! of machines we had available" — a 64-PC / 1 Gbps shared cluster (§5.8).
+//! We do not have 64 PCs, so this engine runs one OS thread per PIER node
+//! inside one process, connected by crossbeam channels, with real time and
+//! real scheduling jitter. The same [`App`] automata run unchanged.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::app::{Action, App, Ctx};
+use crate::time::Time;
+use crate::{NodeId, Wire};
+
+enum Envelope<A: App> {
+    Msg { from: NodeId, msg: A::Msg },
+    Call(Box<dyn FnOnce(&mut A, &mut Ctx<A::Msg>) + Send>),
+    Stop,
+}
+
+/// Shared wall-clock traffic counters (atomics; exact per-message
+/// accounting, approximate snapshot consistency).
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    pub messages: AtomicU64,
+    pub bytes: AtomicU64,
+}
+
+/// A running set of node threads.
+pub struct Cluster<A: App + Send + 'static>
+where
+    A::Msg: Send + 'static,
+{
+    senders: Vec<Sender<Envelope<A>>>,
+    handles: Vec<JoinHandle<A>>,
+    start: Instant,
+    stats: Arc<ClusterStats>,
+}
+
+impl<A: App + Send + 'static> Cluster<A>
+where
+    A::Msg: Send + 'static,
+{
+    /// Spawn one thread per app. Node ids are assigned by vector index,
+    /// so automata can be pre-wired with the ids of their peers.
+    pub fn spawn(apps: Vec<A>, seed: u64) -> Self {
+        let n = apps.len();
+        let start = Instant::now();
+        let stats = Arc::new(ClusterStats::default());
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope<A>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (i, (mut app, rx)) in apps.into_iter().zip(receivers).enumerate() {
+            let me = i as NodeId;
+            let peers = senders.clone();
+            let stats = Arc::clone(&stats);
+            let handle = std::thread::Builder::new()
+                .name(format!("pier-node-{i}"))
+                .spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(
+                        seed.wrapping_add((me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                    let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>> =
+                        BinaryHeap::new();
+                    let mut actions: Vec<Action<A::Msg>> = Vec::new();
+
+                    let flush = |app: &mut A,
+                                     actions: &mut Vec<Action<A::Msg>>,
+                                     timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64)>>| {
+                        let _ = app;
+                        for action in actions.drain(..) {
+                            match action {
+                                Action::Send { to, msg } => {
+                                    stats.messages.fetch_add(1, Ordering::Relaxed);
+                                    stats.bytes.fetch_add(msg.wire_size() as u64, Ordering::Relaxed);
+                                    // A send to a stopped node is dropped on
+                                    // the floor, like the simulator does.
+                                    let _ = peers[to as usize].send(Envelope::Msg { from: me, msg });
+                                }
+                                Action::Timer { after, token } => {
+                                    let deadline =
+                                        Instant::now() + Duration::from_micros(after.as_micros());
+                                    timers.push(std::cmp::Reverse((deadline, token)));
+                                }
+                            }
+                        }
+                    };
+
+                    let now_of = |start: Instant| Time(start.elapsed().as_micros() as u64);
+
+                    {
+                        let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                        app.on_start(&mut ctx);
+                    }
+                    flush(&mut app, &mut actions, &mut timers);
+
+                    loop {
+                        let timeout = timers
+                            .peek()
+                            .map(|std::cmp::Reverse((deadline, _))| {
+                                deadline.saturating_duration_since(Instant::now())
+                            })
+                            .unwrap_or(Duration::from_millis(200));
+                        match rx.recv_timeout(timeout) {
+                            Ok(Envelope::Msg { from, msg }) => {
+                                let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                                app.on_message(&mut ctx, from, msg);
+                            }
+                            Ok(Envelope::Call(f)) => {
+                                let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                                f(&mut app, &mut ctx);
+                            }
+                            Ok(Envelope::Stop) => break,
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                        flush(&mut app, &mut actions, &mut timers);
+                        // Fire all due timers.
+                        while let Some(std::cmp::Reverse((deadline, token))) = timers.peek().copied()
+                        {
+                            if deadline > Instant::now() {
+                                break;
+                            }
+                            timers.pop();
+                            let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                            app.on_timer(&mut ctx, token);
+                            flush(&mut app, &mut actions, &mut timers);
+                        }
+                    }
+                    app
+                })
+                .expect("spawn node thread");
+            handles.push(handle);
+        }
+        Cluster {
+            senders,
+            handles,
+            start,
+            stats,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Wall-clock time since cluster start, in engine [`Time`] units.
+    pub fn now(&self) -> Time {
+        Time(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Run `f` on node `id`'s thread and wait for its result.
+    pub fn call<R: Send + 'static>(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&mut A, &mut Ctx<A::Msg>) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = bounded(1);
+        self.senders[id as usize]
+            .send(Envelope::Call(Box::new(move |app, ctx| {
+                let _ = tx.send(f(app, ctx));
+            })))
+            .expect("node thread alive");
+        rx.recv().expect("call reply")
+    }
+
+    /// Fire-and-forget injection.
+    pub fn cast(&self, id: NodeId, f: impl FnOnce(&mut A, &mut Ctx<A::Msg>) + Send + 'static) {
+        let _ = self.senders[id as usize].send(Envelope::Call(Box::new(f)));
+    }
+
+    /// Stop every node thread and return the automata for inspection.
+    pub fn shutdown(self) -> Vec<A> {
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[derive(Clone, Debug)]
+    struct Byte(u8);
+    impl Wire for Byte {
+        fn wire_size(&self) -> usize {
+            64
+        }
+    }
+
+    /// Each node forwards a token to the next node; the last returns it to
+    /// node 0, which counts laps.
+    struct Ring {
+        n: u32,
+        laps: u32,
+        timer_fired: bool,
+    }
+    impl App for Ring {
+        type Msg = Byte;
+        fn on_start(&mut self, ctx: &mut Ctx<Byte>) {
+            if ctx.me == 0 {
+                ctx.send(1 % self.n, Byte(0));
+            }
+            ctx.set_timer(Dur::from_millis(5), 77);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<Byte>, _from: NodeId, msg: Byte) {
+            if ctx.me == 0 {
+                self.laps += 1;
+                if self.laps < 3 {
+                    ctx.send(1 % self.n, msg);
+                }
+            } else {
+                ctx.send((ctx.me + 1) % self.n, msg);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<Byte>, token: u64) {
+            if token == 77 {
+                self.timer_fired = true;
+            }
+        }
+    }
+
+    #[test]
+    fn token_ring_completes_three_laps() {
+        let n = 8u32;
+        let apps = (0..n)
+            .map(|_| Ring {
+                n,
+                laps: 0,
+                timer_fired: false,
+            })
+            .collect();
+        let cluster = Cluster::spawn(apps, 11);
+        // Wait until node 0 reports 3 laps (bounded busy-wait).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let laps = cluster.call(0, |app, _| app.laps);
+            if laps >= 3 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(20)); // let timers fire
+        let apps = cluster.shutdown();
+        assert_eq!(apps[0].laps, 3);
+        assert!(apps.iter().all(|a| a.timer_fired));
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let apps = (0..2)
+            .map(|_| Ring {
+                n: 2,
+                laps: 0,
+                timer_fired: false,
+            })
+            .collect();
+        let cluster = Cluster::spawn(apps, 5);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while cluster.call(0, |a, _| a.laps) < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let msgs = cluster.stats().messages.load(Ordering::Relaxed);
+        let bytes = cluster.stats().bytes.load(Ordering::Relaxed);
+        assert!(msgs >= 6, "messages {msgs}");
+        assert_eq!(bytes, msgs * 64);
+        cluster.shutdown();
+    }
+}

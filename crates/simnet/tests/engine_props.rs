@@ -1,0 +1,168 @@
+//! Property tests of the discrete-event engine: delivery-time invariants
+//! of the flow-level network model, determinism, and topology behaviour.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use pier_simnet::app::{App, Ctx};
+use pier_simnet::time::{Dur, Time};
+use pier_simnet::topology::{FullMesh, Topology, TransitStub};
+use pier_simnet::{NetConfig, NodeId, Sim, Wire};
+
+#[derive(Clone, Debug)]
+struct Blob {
+    seq: u32,
+    bytes: usize,
+}
+
+impl Wire for Blob {
+    fn wire_size(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Sends a scripted batch of messages to node 0 at start; the sink
+/// records (arrival time, seq).
+struct Scripted {
+    to_send: Vec<Blob>,
+    got: Vec<(Time, u32)>,
+}
+
+impl App for Scripted {
+    type Msg = Blob;
+    fn on_start(&mut self, ctx: &mut Ctx<Blob>) {
+        for b in self.to_send.drain(..) {
+            ctx.send(0, b);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<Blob>, _from: NodeId, msg: Blob) {
+        self.got.push((ctx.now, msg.seq));
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<Blob>, _token: u64) {}
+}
+
+fn run_scripted(batches: Vec<Vec<usize>>, bps: Option<f64>) -> Vec<(Time, u32)> {
+    let mut sim: Sim<Scripted> = Sim::new(NetConfig {
+        topology: Arc::new(FullMesh {
+            latency: Dur::from_millis(100),
+        }),
+        inbound_bps: bps,
+        seed: 1,
+    });
+    sim.add_node(Scripted {
+        to_send: vec![],
+        got: vec![],
+    });
+    let mut seq = 0;
+    for batch in batches {
+        let blobs = batch
+            .into_iter()
+            .map(|bytes| {
+                seq += 1;
+                Blob { seq, bytes }
+            })
+            .collect();
+        sim.add_node(Scripted {
+            to_send: blobs,
+            got: vec![],
+        });
+    }
+    sim.run_idle(1_000_000);
+    sim.app(0).unwrap().got.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Nothing arrives before the propagation latency, and with finite
+    /// bandwidth arrivals are spaced by at least their transmission time.
+    #[test]
+    fn deliveries_respect_latency_and_serialization(
+        batches in prop::collection::vec(
+            prop::collection::vec(1usize..20_000, 1..8), 1..4),
+    ) {
+        let total: usize = batches.iter().map(Vec::len).sum();
+        let got = run_scripted(batches.clone(), Some(1e6));
+        prop_assert_eq!(got.len(), total);
+        let latency = Dur::from_millis(100);
+        let mut sorted = got.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        for (t, _) in &sorted {
+            prop_assert!(*t >= Time::ZERO + latency);
+        }
+        // Aggregate serialization: the last arrival is no earlier than
+        // total_bytes/bps after the first could possibly start.
+        let total_bytes: usize = batches.iter().flatten().sum();
+        let min_finish = latency + Dur::from_secs_f64(total_bytes as f64 * 8.0 / 1e6);
+        let last = sorted.last().unwrap().0;
+        prop_assert!(
+            last + Dur::from_millis(1) >= Time::ZERO + min_finish,
+            "last {last:?} vs min {min_finish:?}"
+        );
+    }
+
+    /// Infinite bandwidth: every message lands exactly at the latency.
+    #[test]
+    fn infinite_bandwidth_is_pure_latency(
+        batch in prop::collection::vec(1usize..50_000, 1..10),
+    ) {
+        let got = run_scripted(vec![batch], None);
+        for (t, _) in &got {
+            prop_assert_eq!(*t, Time::ZERO + Dur::from_millis(100));
+        }
+    }
+
+    /// The engine is deterministic: same config, same history.
+    #[test]
+    fn runs_are_deterministic(
+        batches in prop::collection::vec(
+            prop::collection::vec(1usize..10_000, 1..5), 1..4),
+        bps in prop::option::of(1e4f64..1e8),
+    ) {
+        let a = run_scripted(batches.clone(), bps);
+        let b = run_scripted(batches, bps);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Per-sender FIFO: messages from one sender arrive in send order.
+    #[test]
+    fn per_sender_fifo(batch in prop::collection::vec(1usize..30_000, 2..10)) {
+        let got = run_scripted(vec![batch], Some(5e5));
+        let mut seqs: Vec<u32> = got.iter().map(|(_, s)| *s).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        seqs.dedup();
+        prop_assert_eq!(seqs, sorted);
+    }
+}
+
+#[test]
+fn transit_stub_triangle_inequality_violations_are_bounded() {
+    // Hierarchical latencies are not a metric space in general, but our
+    // generator's worst stretch is bounded: up + 3 transit hops + down.
+    let ts = TransitStub::paper_default(64, 3);
+    let max = Dur::from_millis(170);
+    for a in 0..64u32 {
+        for b in 0..64u32 {
+            assert!(ts.latency(a, b) <= max);
+        }
+    }
+}
+
+#[test]
+fn run_until_is_idempotent_at_same_deadline() {
+    let mut sim: Sim<Scripted> = Sim::new(NetConfig::latency_only(1));
+    sim.add_node(Scripted {
+        to_send: vec![],
+        got: vec![],
+    });
+    sim.add_node(Scripted {
+        to_send: vec![Blob { seq: 1, bytes: 10 }],
+        got: vec![],
+    });
+    sim.run_until(Time::from_secs_f64(1.0));
+    let got1 = sim.app(0).unwrap().got.len();
+    sim.run_until(Time::from_secs_f64(1.0));
+    assert_eq!(sim.app(0).unwrap().got.len(), got1);
+    assert_eq!(sim.now(), Time::from_secs_f64(1.0));
+}

@@ -1,0 +1,149 @@
+//! Network-monitoring data behind the §2.1 example queries.
+//!
+//! The paper's application pull is in-situ querying of widely deployed
+//! monitoring tools (Snort/TBIT/tcpdump wrappers). We synthesize their
+//! outputs: intrusion fingerprints with Zipf-ish popularity (a few
+//! attacks seen by many nodes), per-address reputations, spam-gateway
+//! and web-robot sightings sharing domains, and packet-header traces.
+
+use pier_core::tuple::Tuple;
+use pier_core::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-like index in `0..n`: rank-skewed so low indices dominate.
+fn zipfish(rng: &mut SmallRng, n: u64) -> u64 {
+    let u: f64 = rng.gen_range(0.0001..1.0);
+    let idx = (n as f64).powf(u) - 1.0;
+    (idx as u64).min(n - 1)
+}
+
+/// `intrusions(id, fingerprint, address)`: attack reports published by
+/// victim nodes; fingerprints are skewed so widespread attacks recur.
+pub fn intrusions(n: usize, distinct_fp: u64, distinct_addr: u64, seed: u64) -> Vec<Tuple> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let fp = zipfish(&mut rng, distinct_fp);
+            let addr = rng.gen_range(0..distinct_addr);
+            Tuple::new(vec![
+                Value::I64(i as i64),
+                Value::str(&format!("sig-{fp:04}")),
+                Value::str(&format!("10.{}.{}.{}", addr >> 16 & 255, addr >> 8 & 255, addr & 255)),
+            ])
+        })
+        .collect()
+}
+
+/// `reputation(address, weight)`: an organization's stored judgment of
+/// reporters (§2.1's weighted query).
+pub fn reputations(distinct_addr: u64, seed: u64) -> Vec<Tuple> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0002);
+    (0..distinct_addr)
+        .map(|addr| {
+            Tuple::new(vec![
+                Value::str(&format!("10.{}.{}.{}", addr >> 16 & 255, addr >> 8 & 255, addr & 255)),
+                Value::I64(rng.gen_range(0..5)),
+            ])
+        })
+        .collect()
+}
+
+/// `spamGateways(id, source, smtpGWDomain)` and
+/// `robots(id, clientDomain)` with controlled domain overlap, so the
+/// compromised-subnet join (§2.1's first query) has answers.
+pub fn gateways_and_robots(
+    n_gw: usize,
+    n_robots: usize,
+    domains: u64,
+    seed: u64,
+) -> (Vec<Tuple>, Vec<Tuple>) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0003);
+    let gw = (0..n_gw)
+        .map(|i| {
+            let d = zipfish(&mut rng, domains);
+            Tuple::new(vec![
+                Value::I64(i as i64),
+                Value::str(&format!("mail{}.d{d}.example", i)),
+                Value::str(&format!("d{d}.example")),
+            ])
+        })
+        .collect();
+    let robots = (0..n_robots)
+        .map(|i| {
+            let d = zipfish(&mut rng, domains);
+            Tuple::new(vec![
+                Value::I64(i as i64),
+                Value::str(&format!("d{d}.example")),
+            ])
+        })
+        .collect();
+    (gw, robots)
+}
+
+/// `packets(id, src, dst, port, bytes)`: a tcpdump-style header trace
+/// for bandwidth-utilization aggregates.
+pub fn packet_trace(n: usize, hosts: u64, seed: u64) -> Vec<Tuple> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0004);
+    let ports = [22i64, 25, 53, 80, 443, 6881];
+    (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::I64(i as i64),
+                Value::str(&format!("h{}", zipfish(&mut rng, hosts))),
+                Value::str(&format!("h{}", rng.gen_range(0..hosts))),
+                Value::I64(ports[rng.gen_range(0..ports.len())]),
+                Value::I64(rng.gen_range(40..1500)),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fingerprints_are_skewed() {
+        let rows = intrusions(2000, 50, 100, 1);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for t in &rows {
+            *counts.entry(t.get(1).to_string()).or_insert(0) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = 2000 / counts.len();
+        assert!(max > 3 * avg, "head fingerprint dominates: {max} vs {avg}");
+    }
+
+    #[test]
+    fn reputations_cover_every_address_exactly_once() {
+        let reps = reputations(64, 2);
+        assert_eq!(reps.len(), 64);
+        let distinct: std::collections::HashSet<String> =
+            reps.iter().map(|t| t.get(0).to_string()).collect();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn gateway_and_robot_domains_overlap() {
+        let (gw, robots) = gateways_and_robots(100, 100, 20, 3);
+        let gw_domains: std::collections::HashSet<String> =
+            gw.iter().map(|t| t.get(2).to_string()).collect();
+        let overlap = robots
+            .iter()
+            .filter(|t| gw_domains.contains(&t.get(1).to_string()))
+            .count();
+        assert!(overlap > 10, "join has answers: {overlap}");
+    }
+
+    #[test]
+    fn packet_trace_fields_in_range() {
+        let pkts = packet_trace(500, 20, 4);
+        assert_eq!(pkts.len(), 500);
+        for p in &pkts {
+            let bytes = p.get(4).as_i64().unwrap();
+            assert!((40..1500).contains(&bytes));
+        }
+    }
+}

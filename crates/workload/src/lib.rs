@@ -1,0 +1,14 @@
+//! # pier-workload
+//!
+//! Synthetic data generators for the PIER evaluation.
+//!
+//! [`rs::RsWorkload`] reproduces §5.1's tables: `R` with 10× the tuples
+//! of `S`, uniform attributes, predicates tuned to a chosen selectivity,
+//! 90 % of R tuples having exactly one matching S tuple, and results
+//! padded to 1 KB. [`intrusion`] generates the network-monitoring
+//! relations behind the §2.1 example queries.
+
+pub mod intrusion;
+pub mod rs;
+
+pub use rs::{RsParams, RsWorkload};

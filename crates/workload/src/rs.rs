@@ -1,0 +1,225 @@
+//! The §5.1 synthetic workload.
+//!
+//! ```sql
+//! SELECT R.pkey, S.pkey, R.pad
+//! FROM R, S
+//! WHERE R.num1 = S.pkey
+//!   AND R.num2 > constant1
+//!   AND S.num2 > constant2
+//!   AND f(R.num3, S.num3) > constant3
+//! ```
+//!
+//! * `|R| = 10 · |S|`, attributes uniform.
+//! * Predicate constants chosen for a target selectivity (default 50 %).
+//! * 90 % of R tuples have exactly one matching S tuple; the rest none.
+//! * `R.pad` sizes result tuples to 1 KB.
+
+use pier_core::expr::{Expr, Func};
+use pier_core::plan::{JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
+use pier_core::tuple::Tuple;
+use pier_core::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the workload generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RsParams {
+    /// Number of S tuples (R gets 10× this).
+    pub s_rows: u64,
+    /// Selectivity of `R.num2 > constant1`, in percent.
+    pub sel_r_pct: u32,
+    /// Selectivity of `S.num2 > constant2`, in percent (the Fig. 4/5
+    /// sweep variable).
+    pub sel_s_pct: u32,
+    /// Selectivity of `f(R.num3, S.num3) > constant3`, in percent.
+    pub sel_f_pct: u32,
+    /// Fraction of R rows with a matching S row, in percent (paper: 90).
+    pub match_pct: u32,
+    /// Pad bytes appended to R so result tuples are ~1 KB (paper value).
+    pub pad_bytes: u32,
+    pub seed: u64,
+}
+
+impl Default for RsParams {
+    fn default() -> Self {
+        RsParams {
+            s_rows: 100,
+            sel_r_pct: 50,
+            sel_s_pct: 50,
+            sel_f_pct: 50,
+            match_pct: 90,
+            pad_bytes: 1000,
+            seed: 0xF1E1D,
+        }
+    }
+}
+
+/// Generated tables plus the query that §5 runs over them.
+#[derive(Clone, Debug)]
+pub struct RsWorkload {
+    pub params: RsParams,
+    /// `R(pkey, num1, num2, num3, pad)`.
+    pub r: Vec<Tuple>,
+    /// `S(pkey, num2, num3)`.
+    pub s: Vec<Tuple>,
+}
+
+impl RsWorkload {
+    pub fn generate(params: RsParams) -> RsWorkload {
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let n_s = params.s_rows as i64;
+        let s: Vec<Tuple> = (0..n_s)
+            .map(|k| {
+                Tuple::new(vec![
+                    Value::I64(k),
+                    Value::I64(rng.gen_range(0..100)),
+                    Value::I64(rng.gen_range(0..100)),
+                ])
+            })
+            .collect();
+        let r: Vec<Tuple> = (0..n_s * 10)
+            .map(|k| {
+                // 90% match exactly one S.pkey; 10% point past the table.
+                let num1 = if rng.gen_range(0..100) < params.match_pct as i64 {
+                    rng.gen_range(0..n_s)
+                } else {
+                    n_s + rng.gen_range(0..n_s.max(1))
+                };
+                Tuple::new(vec![
+                    Value::I64(k),
+                    Value::I64(num1),
+                    Value::I64(rng.gen_range(0..100)),
+                    Value::I64(rng.gen_range(0..100)),
+                    Value::Pad(params.pad_bytes),
+                ])
+            })
+            .collect();
+        RsWorkload { params, r, s }
+    }
+
+    /// Predicate constant for a selectivity in percent over uniform
+    /// 0..100 values: `x > c` keeps `100 - c - 1 ... ` — we use
+    /// `c = 99 - sel` so that exactly `sel` of the 100 values pass.
+    fn cutoff(sel_pct: u32) -> i64 {
+        99 - sel_pct.min(100) as i64
+    }
+
+    /// The §5.1 join spec under a given strategy.
+    pub fn join_spec(&self, strategy: JoinStrategy) -> JoinSpec {
+        let p = &self.params;
+        let left = ScanSpec::new("R", 5, 0)
+            .with_pred(Expr::gt(Expr::col(2), Expr::lit(Self::cutoff(p.sel_r_pct))))
+            .with_join_col(1);
+        let right = ScanSpec::new("S", 3, 0)
+            .with_pred(Expr::gt(Expr::col(1), Expr::lit(Self::cutoff(p.sel_s_pct))))
+            .with_join_col(0);
+        let mut j = JoinSpec::new(strategy, left, right);
+        j.post_pred = Some(Expr::gt(
+            Expr::Call(Func::WorkloadF, vec![Expr::col(3), Expr::col(7)]),
+            Expr::lit(Self::cutoff(p.sel_f_pct)),
+        ));
+        // SELECT R.pkey, S.pkey, R.pad
+        j.project = vec![Expr::col(0), Expr::col(5), Expr::col(4)];
+        // Size the filters for the keys they will summarize (~8 bits per
+        // R key); at paper scale this is negligible next to the tables.
+        j.bloom_bits = ((self.r.len() as u32) * 8).max(2048);
+        j
+    }
+
+    /// A complete one-shot query descriptor.
+    pub fn query(&self, qid: u64, initiator: u32, strategy: JoinStrategy) -> QueryDesc {
+        QueryDesc::one_shot(qid, initiator, QueryOp::Join(self.join_spec(strategy)))
+    }
+
+    /// Ground-truth result multiset via the reference evaluator.
+    pub fn expected(&self, strategy: JoinStrategy) -> Vec<Tuple> {
+        pier_core::semantics::reference_join(&self.join_spec(strategy), &self.r, &self.s)
+    }
+
+    /// Total wire bytes of the base tables (the paper's "database size").
+    pub fn total_bytes(&self) -> u64 {
+        let sum = |ts: &[Tuple]| ts.iter().map(|t| t.wire_size() as u64).sum::<u64>();
+        sum(&self.r) + sum(&self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_section_5_1() {
+        let wl = RsWorkload::generate(RsParams {
+            s_rows: 200,
+            ..Default::default()
+        });
+        assert_eq!(wl.s.len(), 200);
+        assert_eq!(wl.r.len(), 2000);
+        // ~90% of R rows match some S row.
+        let matches = wl
+            .r
+            .iter()
+            .filter(|t| t.get(1).as_i64().unwrap() < 200)
+            .count();
+        let frac = matches as f64 / 2000.0;
+        assert!((frac - 0.9).abs() < 0.05, "match fraction {frac}");
+        // R tuples are ~1 KB on the wire.
+        assert!(wl.r[0].wire_size() > 1000);
+    }
+
+    #[test]
+    fn predicate_selectivities_track_parameters() {
+        let wl = RsWorkload::generate(RsParams {
+            s_rows: 500,
+            sel_r_pct: 30,
+            sel_s_pct: 70,
+            ..Default::default()
+        });
+        let j = wl.join_spec(JoinStrategy::SymmetricHash);
+        let sel_r = wl
+            .r
+            .iter()
+            .filter(|t| j.left.pred.as_ref().unwrap().matches(t))
+            .count() as f64
+            / wl.r.len() as f64;
+        let sel_s = wl
+            .s
+            .iter()
+            .filter(|t| j.right.pred.as_ref().unwrap().matches(t))
+            .count() as f64
+            / wl.s.len() as f64;
+        assert!((sel_r - 0.3).abs() < 0.05, "sel_r {sel_r}");
+        assert!((sel_s - 0.7).abs() < 0.05, "sel_s {sel_s}");
+    }
+
+    #[test]
+    fn expected_results_scale_with_selectivity() {
+        let lo = RsWorkload::generate(RsParams {
+            s_rows: 300,
+            sel_s_pct: 10,
+            ..Default::default()
+        });
+        let hi = RsWorkload::generate(RsParams {
+            s_rows: 300,
+            sel_s_pct: 90,
+            seed: RsParams::default().seed,
+            ..Default::default()
+        });
+        let n_lo = lo.expected(JoinStrategy::SymmetricHash).len();
+        let n_hi = hi.expected(JoinStrategy::SymmetricHash).len();
+        assert!(n_hi > 4 * n_lo, "lo {n_lo} hi {n_hi}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RsWorkload::generate(RsParams::default());
+        let b = RsWorkload::generate(RsParams::default());
+        assert_eq!(a.r, b.r);
+        assert_eq!(a.s, b.s);
+        let c = RsWorkload::generate(RsParams {
+            seed: 9,
+            ..Default::default()
+        });
+        assert_ne!(a.r, c.r);
+    }
+}

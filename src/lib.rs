@@ -1,0 +1,24 @@
+//! # PIER — Peer-to-Peer Information Exchange and Retrieval
+//!
+//! A reproduction of *"Querying the Internet with PIER"* (Huebsch,
+//! Hellerstein, Lanham, Loo, Shenker, Stoica — VLDB 2003): a relational
+//! query engine that scales to thousands of nodes by running over a
+//! distributed hash table.
+//!
+//! This umbrella crate re-exports the workspace layers:
+//!
+//! * [`simnet`] — discrete-event and threaded network engines.
+//! * [`dht`] — CAN and Chord overlays, storage manager, provider,
+//!   content-based multicast, soft state.
+//! * [`qp`] — the PIER query processor: tuples, expressions, the
+//!   push-based dataflow engine, four distributed join strategies,
+//!   aggregation, SQL parsing, and the cost-based strategy optimizer.
+//! * [`workload`] — synthetic data generators for the paper's evaluation.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md`
+//! for the complete system inventory and experiment index.
+
+pub use pier_core as qp;
+pub use pier_dht as dht;
+pub use pier_simnet as simnet;
+pub use pier_workload as workload;

@@ -1,0 +1,216 @@
+//! Workspace-level integration tests: the full stack (simnet → DHT →
+//! query processor) exercised through the umbrella `pier` crate, on
+//! grown (not pre-stabilized) overlays, across topologies, and on the
+//! threaded engine.
+
+use pier::qp::plan::{JoinStrategy, QueryDesc, QueryOp};
+use pier::qp::semantics::{recall, same_multiset};
+use pier::qp::testkit::*;
+use pier::qp::PierNode;
+use pier::simnet::time::Dur;
+use pier::simnet::topology::TransitStub;
+use pier::simnet::{NetConfig, Sim};
+use pier::workload::{RsParams, RsWorkload};
+use pier_dht::DhtConfig;
+use std::sync::Arc;
+
+fn small_workload(seed: u64) -> RsWorkload {
+    RsWorkload::generate(RsParams {
+        s_rows: 20,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn join_on_an_incrementally_grown_overlay() {
+    // Build the overlay through the real join protocol rather than the
+    // balanced bootstrap, then run the workload query on it.
+    let n = 10u32;
+    let mut sim: Sim<PierNode> = Sim::new(NetConfig::latency_only(31));
+    sim.add_node(PierNode::new(DhtConfig::default(), 0, None));
+    for i in 1..n {
+        sim.add_node(PierNode::new(DhtConfig::default(), i, Some(0)));
+        sim.run_for(Dur::from_secs(3));
+    }
+    sim.run_for(Dur::from_secs(10));
+
+    let wl = small_workload(3);
+    publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+    publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+    sim.run_for(Dur::from_secs(10));
+
+    let expected = wl.expected(JoinStrategy::SymmetricHash);
+    let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
+    let results = run_query(&mut sim, 0, desc, Dur::from_secs(60));
+    assert!(
+        same_multiset(&expected, &rows_of(&results)),
+        "expected {} got {}",
+        expected.len(),
+        results.len()
+    );
+}
+
+#[test]
+fn join_on_transit_stub_topology() {
+    let n = 24;
+    let net = NetConfig {
+        topology: Arc::new(TransitStub::paper_default(n as u32, 5)),
+        inbound_bps: Some(10e6),
+        seed: 5,
+    };
+    let mut sim = stabilized_pier_sim(n, DhtConfig::static_network(), net);
+    let wl = small_workload(5);
+    publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+    publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+    let expected = wl.expected(JoinStrategy::SymmetricHash);
+    let desc = wl.query(2, 1, JoinStrategy::SymmetricHash);
+    let results = run_query(&mut sim, 1, desc, Dur::from_secs(120));
+    assert!(same_multiset(&expected, &rows_of(&results)));
+}
+
+#[test]
+fn join_over_chord_overlay_end_to_end() {
+    let cfg = DhtConfig::static_network().with_overlay(pier_dht::OverlayKind::Chord);
+    let mut sim = stabilized_pier_sim(16, cfg, NetConfig::latency_only(9));
+    let wl = small_workload(9);
+    publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+    publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+    let expected = wl.expected(JoinStrategy::SymmetricHash);
+    let desc = wl.query(3, 0, JoinStrategy::SymmetricHash);
+    let results = run_query(&mut sim, 0, desc, Dur::from_secs(60));
+    assert!(same_multiset(&expected, &rows_of(&results)));
+}
+
+#[test]
+fn query_during_churn_degrades_gracefully() {
+    // Fail nodes mid-query: recall may drop below 1 but never above, and
+    // precision stays perfect (we never fabricate tuples).
+    let n = 20;
+    let mut sim = stabilized_pier_sim(n, DhtConfig::default(), NetConfig::latency_only(13));
+    let wl = RsWorkload::generate(RsParams {
+        s_rows: 60,
+        seed: 13,
+        ..Default::default()
+    });
+    publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+    publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+    let expected = wl.expected(JoinStrategy::SymmetricHash);
+
+    let qid = 4;
+    let desc = wl.query(qid, 0, JoinStrategy::SymmetricHash);
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(Dur::from_millis(3500));
+    sim.fail_node(7);
+    sim.fail_node(11);
+    sim.run_for(Dur::from_secs(120));
+
+    let results: Vec<_> = sim
+        .app(0)
+        .unwrap()
+        .query_results(qid)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    let r = recall(&expected, &results);
+    let p = pier::qp::semantics::precision(&expected, &results);
+    assert!(r <= 1.0 + 1e-9);
+    assert!(r > 0.3, "most results still arrive: recall {r}");
+    assert!(p > 0.999, "no fabricated results: precision {p}");
+}
+
+#[test]
+fn threaded_cluster_runs_the_same_query() {
+    // The Fig. 8 configuration in miniature: real threads, wall clock.
+    let (t30, count) = pier_bench_threaded(8);
+    assert!(count >= 30, "got {count} results");
+    assert!(t30.is_some());
+}
+
+/// Minimal threaded run (mirrors pier-bench's fig8 helper without
+/// depending on the bench crate).
+fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
+    use pier::simnet::threaded::Cluster;
+    use pier::simnet::time::Time;
+    use pier::simnet::NodeId;
+
+    let wl = RsWorkload::generate(RsParams {
+        s_rows: 40,
+        seed: 8,
+        ..Default::default()
+    });
+    let cfg = DhtConfig::static_network();
+    let states = pier_dht::can::balanced_overlay(n, cfg.dims, Time::ZERO);
+    let apps: Vec<PierNode> = states
+        .into_iter()
+        .enumerate()
+        .map(|(i, st)| PierNode::with_dht(pier_dht::Dht::with_can(cfg.clone(), i as NodeId, st), None))
+        .collect();
+    let cluster = Cluster::spawn(apps, 7);
+    let mut per_node: Vec<(Vec<pier::qp::Tuple>, Vec<pier::qp::Tuple>)> =
+        vec![(Vec::new(), Vec::new()); n];
+    for (i, row) in wl.r.iter().enumerate() {
+        per_node[i % n].0.push(row.clone());
+    }
+    for (i, row) in wl.s.iter().enumerate() {
+        per_node[i % n].1.push(row.clone());
+    }
+    for (i, (r, s)) in per_node.into_iter().enumerate() {
+        cluster.call(i as NodeId, move |node, ctx| {
+            node.publish_rows(ctx, "R", r, 0, Dur::from_secs(100_000));
+            node.publish_rows(ctx, "S", s, 0, Dur::from_secs(100_000));
+        });
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
+    let t0 = cluster.now();
+    cluster.call(0, move |node, ctx| node.submit(ctx, desc));
+    let mut last = 0;
+    let mut stable = 0;
+    for _ in 0..100 {
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let c = cluster.call(0, |node, _| node.query_results(1).len());
+        if c == last && c > 0 {
+            stable += 1;
+            if stable > 5 {
+                break;
+            }
+        } else {
+            stable = 0;
+        }
+        last = c;
+    }
+    let times: Vec<_> = cluster.call(0, |node, _| {
+        node.query_results(1).iter().map(|(t, _)| *t).collect::<Vec<_>>()
+    });
+    cluster.shutdown();
+    let mut rel: Vec<f64> = times.iter().map(|t| t.since(t0).as_secs_f64() * 1e3).collect();
+    rel.sort_by(f64::total_cmp);
+    (rel.get(29).copied(), rel.len())
+}
+
+#[test]
+fn sim_and_reference_agree_across_seeds_and_strategies() {
+    // A randomized matrix: several seeds × strategies on modest networks.
+    for (i, strategy) in JoinStrategy::ALL.iter().enumerate() {
+        let seed = 100 + i as u64;
+        let wl = small_workload(seed);
+        let mut sim =
+            stabilized_pier_sim(12, DhtConfig::static_network(), NetConfig::latency_only(seed));
+        publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+        publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+        settle_publish(&mut sim);
+        let expected = wl.expected(*strategy);
+        let desc = wl.query(10 + i as u64, 0, *strategy);
+        let results = run_query(&mut sim, 0, desc, Dur::from_secs(60));
+        assert!(
+            same_multiset(&expected, &rows_of(&results)),
+            "{} seed {seed}",
+            strategy.name()
+        );
+    }
+}
