@@ -2,9 +2,7 @@
 //! Each prints a table and writes `results/<name>.csv`.
 
 use pier_core::expr::Expr;
-use pier_core::plan::{
-    AggCall, AggFunc, AggSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec,
-};
+use pier_core::plan::{AggCall, AggFunc, AggSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
 use pier_core::testkit::{publish_round_robin, run_query, settle_publish, stabilized_pier_sim};
 use pier_core::{optimizer, PierNode};
 use pier_dht::{DhtConfig, OverlayKind};
@@ -266,8 +264,8 @@ pub fn fig6() {
         ],
     );
     for &rate in &rates {
-        let scaled = ((rate as f64 * n as f64 / 4096.0).round() as u32)
-            .max(if rate > 0 { 1 } else { 0 });
+        let scaled =
+            ((rate as f64 * n as f64 / 4096.0).round() as u32).max(if rate > 0 { 1 } else { 0 });
         let mut cells = vec![rate.to_string()];
         for &refresh in &refreshes {
             cells.push(format!("{:.1}", churn_recall(n, scaled, refresh) * 100.0));
@@ -319,8 +317,6 @@ fn churn_recall(n: usize, failures_per_min: u32, refresh_s: u64) -> f64 {
     let mut pending_query: Option<(u64, Vec<i64>)> = None;
 
     while elapsed_ms < horizon_s * 1000 {
-        let step = next_fail_ms.min(next_query_ms).min(horizon_s * 1000) - elapsed_ms.min(next_fail_ms.min(next_query_ms));
-        let _ = step;
         let next_event = next_fail_ms.min(next_query_ms);
         let advance = next_event.saturating_sub(elapsed_ms).max(1);
         sim.run_for(Dur::from_micros(advance * 1000));
@@ -330,7 +326,9 @@ fn churn_recall(n: usize, failures_per_min: u32, refresh_s: u64) -> f64 {
             next_fail_ms += fail_gap;
             // Fail a random live node (never the query node 0) and add a
             // fresh replacement that joins and publishes its own data.
-            let victims: Vec<u32> = (1..sim.node_count() as u32).filter(|&i| sim.alive(i)).collect();
+            let victims: Vec<u32> = (1..sim.node_count() as u32)
+                .filter(|&i| sim.alive(i))
+                .collect();
             if victims.len() > n / 2 {
                 let v = victims[rng.gen_range(0..victims.len())];
                 sim.fail_node(v);
@@ -342,7 +340,9 @@ fn churn_recall(n: usize, failures_per_min: u32, refresh_s: u64) -> f64 {
                 // completes are retried by the provider's tick loop.
                 let base = (fresh as usize) * 1_000_000 + 500_000;
                 let rows: Vec<pier_core::Tuple> = (0..items_per_node)
-                    .map(|k| pier_core::tuple::Tuple::new(vec![pier_core::Value::I64((base + k) as i64)]))
+                    .map(|k| {
+                        pier_core::tuple::Tuple::new(vec![pier_core::Value::I64((base + k) as i64)])
+                    })
                     .collect();
                 published.push(rows.iter().map(|t| t.get(0).as_i64().unwrap()).collect());
                 sim.with_app(fresh, |node, ctx| {
@@ -375,10 +375,14 @@ fn churn_recall(n: usize, failures_per_min: u32, refresh_s: u64) -> f64 {
                 .collect();
             qid += 1;
             let scan = ScanSpec::new("T", 1, 0);
-            let desc = QueryDesc::one_shot(qid, 0, QueryOp::Scan {
-                scan,
-                project: vec![Expr::col(0)],
-            });
+            let desc = QueryDesc::one_shot(
+                qid,
+                0,
+                QueryOp::Scan {
+                    scan,
+                    project: vec![Expr::col(0)],
+                },
+            );
             sim.with_app(0, |node, ctx| node.submit(ctx, desc));
             pending_query = Some((qid, truth));
         }
@@ -410,8 +414,12 @@ pub fn fig7() {
                     inbound_bps: Some(10e6),
                     seed,
                 };
-                let mut run =
-                    JoinRun::new(n, JoinStrategy::SymmetricHash, params_for_nodes(n, seed), net);
+                let mut run = JoinRun::new(
+                    n,
+                    JoinStrategy::SymmetricHash,
+                    params_for_nodes(n, seed),
+                    net,
+                );
                 run.computation_nodes = m;
                 run.settle = Dur::from_secs(1200);
                 run_join(&run).t_30th
@@ -565,7 +573,13 @@ pub fn chord_vs_can() {
     let n = 128;
     let mut tab = ResultTable::new(
         "a2_chord_vs_can",
-        &["strategy", "can_t_last_s", "chord_t_last_s", "can_MB", "chord_MB"],
+        &[
+            "strategy",
+            "can_t_last_s",
+            "chord_t_last_s",
+            "can_MB",
+            "chord_MB",
+        ],
     );
     for strategy in JoinStrategy::ALL {
         let mut vals = Vec::new();

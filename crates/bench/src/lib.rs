@@ -1,7 +1,21 @@
-//! Shared infrastructure for the experiment binaries that regenerate
-//! every table and figure of the paper's §5 (see DESIGN.md's experiment
-//! index). Binaries print human-readable tables and write CSV/JSON under
-//! `results/`.
+//! # pier-bench
+//!
+//! Experiment harness for PIER (Huebsch et al., VLDB 2003): shared
+//! infrastructure for the binaries under `src/bin/` that regenerate
+//! every table and figure of the paper's §5, plus the criterion
+//! micro-benchmarks under `benches/`.
+//!
+//! Each `exp_*` binary wraps one function of [`experiments`], prints a
+//! human-readable table, and writes CSV under `results/`; the
+//! experiment-binary index lives in the repository `README.md`. Run
+//! parameters default to minutes-scale networks; [`full_scale`]
+//! (`PIER_FULL=1`) switches to paper-scale ones.
+//!
+//! The building blocks here — [`JoinRun`] describing one distributed
+//! join run and [`RunMetrics`] carrying its measured outcomes
+//! (time-to-30th-tuple, time-to-last, aggregate and max-inbound query
+//! traffic, recall) — are shared by the experiments and reusable from
+//! tests.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -121,7 +135,11 @@ pub fn run_join(cfg: &JoinRun) -> RunMetrics {
 
 /// Average a metric extractor over several seeds.
 pub fn average<F: Fn(u64) -> f64>(seeds: &[u64], f: F) -> f64 {
-    let vals: Vec<f64> = seeds.iter().map(|&s| f(s)).filter(|v| v.is_finite()).collect();
+    let vals: Vec<f64> = seeds
+        .iter()
+        .map(|&s| f(s))
+        .filter(|v| v.is_finite())
+        .collect();
     if vals.is_empty() {
         f64::NAN
     } else {

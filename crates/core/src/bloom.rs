@@ -35,7 +35,8 @@ impl BloomFilter {
 
     fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
         let n = self.n_bits as u64;
-        (0..self.n_hashes as u64).map(move |i| (splitmix64(key ^ (i.wrapping_mul(0xA5A5_5A5A_0F0F_F0F0))) % n) as usize)
+        (0..self.n_hashes as u64)
+            .map(move |i| (splitmix64(key ^ (i.wrapping_mul(0xA5A5_5A5A_0F0F_F0F0))) % n) as usize)
     }
 
     pub fn insert(&mut self, key: u64) {

@@ -256,7 +256,10 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Value {
 
 fn call(f: Func, args: &[Value]) -> Value {
     match f {
-        Func::WorkloadF => match (args.first().and_then(Value::as_i64), args.get(1).and_then(Value::as_i64)) {
+        Func::WorkloadF => match (
+            args.first().and_then(Value::as_i64),
+            args.get(1).and_then(Value::as_i64),
+        ) {
             (Some(x), Some(y)) => Value::I64((x + y).rem_euclid(100)),
             _ => Value::Null,
         },
@@ -345,7 +348,9 @@ mod tests {
         let e = Expr::eq(Expr::col(1), Expr::lit(5i64));
         let shifted = e.shift_cols(3);
         assert_eq!(shifted, Expr::eq(Expr::col(4), Expr::lit(5i64)));
-        let remapped = e.remap_cols(&|i| if i == 1 { Some(0) } else { None }).unwrap();
+        let remapped = e
+            .remap_cols(&|i| if i == 1 { Some(0) } else { None })
+            .unwrap();
         assert_eq!(remapped, Expr::eq(Expr::col(0), Expr::lit(5i64)));
         assert!(Expr::col(2).remap_cols(&|_| None).is_err());
     }

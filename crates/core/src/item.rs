@@ -86,7 +86,10 @@ pub enum PierMsg {
     Dht(DhtMsg<QpItem>),
     /// A result tuple delivered directly to the query initiator (§4.1:
     /// "sent to ... the initiating site of the query").
-    Result { qid: u64, row: Tuple },
+    Result {
+        qid: u64,
+        row: Tuple,
+    },
     /// A partial aggregate climbing the hierarchical aggregation tree.
     AggUp {
         qid: u64,

@@ -8,8 +8,8 @@
 //! a SQL front-end, a catalog, and a cost-based strategy optimizer.
 
 pub mod agg;
-pub mod catalog;
 pub mod bloom;
+pub mod catalog;
 pub mod expr;
 pub mod item;
 pub mod node;
@@ -27,11 +27,9 @@ pub use catalog::{Catalog, TableDef, TableStats};
 pub use expr::{BinOp, Expr, Func};
 pub use item::{PierMsg, QpItem, Side};
 pub use node::PierNode;
-pub use plan::{
-    AggCall, AggFunc, AggSpec, JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec,
-};
+pub use optimizer::{choose_strategy, CostParams, JoinStats, Objective};
+pub use plan::{AggCall, AggFunc, AggSpec, JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
+pub use planner::plan_sql;
+pub use sql::parse_query;
 pub use tuple::{ColType, Field, Schema, SchemaRef, Tuple};
 pub use value::Value;
-pub use sql::parse_query;
-pub use planner::plan_sql;
-pub use optimizer::{choose_strategy, CostParams, JoinStats, Objective};

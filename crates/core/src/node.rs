@@ -456,7 +456,8 @@ impl PierNode {
                 join,
                 row: projected,
             };
-            self.dht.put(&mut env, nq, rid, iid, item, lifetime, &mut events);
+            self.dht
+                .put(&mut env, nq, rid, iid, item, lifetime, &mut events);
         }
         drop(env);
         self.pump(ctx, events);
@@ -468,11 +469,15 @@ impl PierNode {
     /// to stay local."
     fn probe_nq(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, entry: &Entry<QpItem>) {
         match &entry.val {
-            QpItem::Tagged { side, join, row, .. } => {
+            QpItem::Tagged {
+                side, join, row, ..
+            } => {
                 let (side, join, row) = (*side, join.clone(), row.clone());
                 self.probe_tagged(ctx, qid, entry.ns, entry.rid, entry.iid, side, &join, &row);
             }
-            QpItem::Mini { side, pkey, join, .. } => {
+            QpItem::Mini {
+                side, pkey, join, ..
+            } => {
                 let (side, pkey, join) = (*side, pkey.clone(), join.clone());
                 self.probe_mini(ctx, qid, entry.ns, entry.rid, entry.iid, side, &pkey, &join);
             }
@@ -642,8 +647,15 @@ impl PierNode {
                 pkey,
                 join,
             };
-            self.dht
-                .put(&mut env, nq, rid, iid, item, Dur::from_secs(600), &mut events);
+            self.dht.put(
+                &mut env,
+                nq,
+                rid,
+                iid,
+                item,
+                Dur::from_secs(600),
+                &mut events,
+            );
         }
         drop(env);
         self.pump(ctx, events);
@@ -731,8 +743,10 @@ impl PierNode {
         );
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
-        self.dht.get(&mut env, j.left.ns, pk_l.hash64(), tl, &mut events);
-        self.dht.get(&mut env, j.right.ns, pk_r.hash64(), tr, &mut events);
+        self.dht
+            .get(&mut env, j.left.ns, pk_l.hash64(), tl, &mut events);
+        self.dht
+            .get(&mut env, j.right.ns, pk_r.hash64(), tr, &mut events);
         drop(env);
         self.pump(ctx, events);
     }
@@ -930,7 +944,13 @@ impl PierNode {
         self.pump(ctx, events);
     }
 
-    fn schedule_agg_timers(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, agg: AggSpec, joinagg: bool) {
+    fn schedule_agg_timers(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        agg: AggSpec,
+        joinagg: bool,
+    ) {
         if joinagg {
             // NQ nodes accumulate join outputs, then flush halfway.
             let token = self.token();
@@ -939,7 +959,8 @@ impl PierNode {
             ctx.set_timer(Dur::from_micros(agg.harvest.as_micros() / 2), token);
         }
         let token = self.token();
-        self.timer_actions.insert(token, TimerAction::AggHarvest { qid });
+        self.timer_actions
+            .insert(token, TimerAction::AggHarvest { qid });
         ctx.set_timer(agg.harvest, token);
     }
 
@@ -957,7 +978,12 @@ impl PierNode {
         let na = qns::agg(qid);
         let mut merged: HashMap<Vec<Value>, GroupAccs> = HashMap::new();
         for e in self.dht.store.lscan(na) {
-            if let QpItem::Partial { group, accs, qid: q } = &e.val {
+            if let QpItem::Partial {
+                group,
+                accs,
+                qid: q,
+            } = &e.val
+            {
                 if *q != qid {
                     continue;
                 }
@@ -987,7 +1013,8 @@ impl PierNode {
         let slot = max_depth.saturating_sub(depth) + 1;
         let delay = Dur::from_micros(agg.harvest.as_micros() * slot / (max_depth + 2));
         let token = self.token();
-        self.timer_actions.insert(token, TimerAction::HierFlush { qid });
+        self.timer_actions
+            .insert(token, TimerAction::HierFlush { qid });
         ctx.set_timer(delay, token);
     }
 
@@ -1100,7 +1127,14 @@ impl PierNode {
     }
 
     /// Rehash a single (newly arrived) tuple for a continuous join.
-    fn rehash_one(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, j: &JoinSpec, side: Side, row: Tuple) {
+    fn rehash_one(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        j: &JoinSpec,
+        side: Side,
+        row: Tuple,
+    ) {
         let Some(inst) = self.queries.get(&qid) else {
             return;
         };
@@ -1125,8 +1159,15 @@ impl PierNode {
         };
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
-        self.dht
-            .put(&mut env, qns::rehash(qid), rid, iid, item, lifetime, &mut events);
+        self.dht.put(
+            &mut env,
+            qns::rehash(qid),
+            rid,
+            iid,
+            item,
+            lifetime,
+            &mut events,
+        );
         drop(env);
         self.pump(ctx, events);
     }
@@ -1135,7 +1176,12 @@ impl PierNode {
     /// the query (multicast races the first rehash puts). Entries are
     /// replayed in a fixed order, each probing only its predecessors, so
     /// no pair is produced twice.
-    fn replay_rehash_ns(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, mut entries: Vec<Entry<QpItem>>) {
+    fn replay_rehash_ns(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        mut entries: Vec<Entry<QpItem>>,
+    ) {
         if entries.is_empty() {
             return;
         }
@@ -1186,7 +1232,11 @@ impl PierNode {
                     QueryOp::JoinAgg { agg, .. } => Some(agg.clone()),
                     _ => None,
                 };
-                let (l, r) = if *sa == Side::Left { (ra, rb) } else { (rb, ra) };
+                let (l, r) = if *sa == Side::Left {
+                    (ra, rb)
+                } else {
+                    (rb, ra)
+                };
                 let joined = l.concat(r);
                 if view.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
                     let out = Tuple::new(view.project.iter().map(|e| e.eval(&joined)).collect());
@@ -1323,7 +1373,8 @@ impl App for PierNode {
                         _ => Dur::from_secs(10),
                     };
                     let t = self.token();
-                    self.timer_actions.insert(t, TimerAction::BloomFlush { qid, side });
+                    self.timer_actions
+                        .insert(t, TimerAction::BloomFlush { qid, side });
                     ctx.set_timer(wait, t);
                 } else {
                     self.bloom_flush(ctx, qid, side);

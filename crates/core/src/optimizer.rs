@@ -151,10 +151,7 @@ pub fn traffic_model(strategy: JoinStrategy, s: &JoinStats) -> f64 {
             let filters = 2.0 * s.bloom_bytes * 8.0;
             let r_kept = s.rows_r * s.sel_r * (s.match_r * s.sel_s + 0.03);
             let s_kept = s.rows_s * s.sel_s;
-            filters
-                + r_kept * (s.bytes_r + LOOKUP)
-                + s_kept * (s.bytes_s + LOOKUP)
-                + result_traffic
+            filters + r_kept * (s.bytes_r + LOOKUP) + s_kept * (s.bytes_s + LOOKUP) + result_traffic
         }
     }
 }
@@ -184,7 +181,10 @@ mod tests {
         let fm = latency_model(JoinStrategy::FetchMatches, &p);
         let ssj = latency_model(JoinStrategy::SymmetricSemiJoin, &p);
         let bloom = latency_model(JoinStrategy::BloomFilter, &p);
-        assert!(shj < fm && fm < ssj && ssj < bloom, "{shj} {fm} {ssj} {bloom}");
+        assert!(
+            shj < fm && fm < ssj && ssj < bloom,
+            "{shj} {fm} {ssj} {bloom}"
+        );
         // And the absolute values land near the paper's Table 4.
         assert!((shj - 3.73).abs() < 0.4, "shj {shj}");
         assert!((fm - 3.78).abs() < 0.4, "fm {fm}");
@@ -195,8 +195,8 @@ mod tests {
     #[test]
     fn traffic_model_reproduces_figure_4_crossovers() {
         let total = 1e9; // ~1 GB of base data
-        // At low selectivity on S, Bloom beats symmetric hash by skipping
-        // most of R's rehash.
+                         // At low selectivity on S, Bloom beats symmetric hash by skipping
+                         // most of R's rehash.
         let low = JoinStats::workload(total, 0.1);
         assert!(
             traffic_model(JoinStrategy::BloomFilter, &low)

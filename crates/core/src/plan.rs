@@ -125,7 +125,9 @@ impl JoinSpec {
 
     /// Default projection: every column of both sides.
     pub fn all_columns(&self) -> Vec<Expr> {
-        (0..self.left.arity + self.right.arity).map(Expr::col).collect()
+        (0..self.left.arity + self.right.arity)
+            .map(Expr::col)
+            .collect()
     }
 }
 
@@ -331,10 +333,7 @@ impl RehashView {
         };
         RehashView {
             join_idx_left: keep_left.iter().position(|&k| k == jl).unwrap(),
-            join_idx_right: keep_right
-                .iter()
-                .position(|&k| k == jr - la)
-                .unwrap(),
+            join_idx_right: keep_right.iter().position(|&k| k == jr - la).unwrap(),
             post_pred: spec.post_pred.as_ref().map(|p| p.remap_cols(&map).unwrap()),
             project: spec
                 .project
@@ -350,7 +349,7 @@ impl RehashView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::{BinOp, Func};
+    use crate::expr::Func;
 
     fn workload_join(strategy: JoinStrategy) -> JoinSpec {
         // R(pkey, num1, num2, num3, pad) ⨝ S(pkey, num2, num3) on

@@ -40,14 +40,12 @@ pub fn plan_sql(
             sel_s: sel(j.right.pred.is_some()),
             match_r: 0.9,
             bytes_result: (left.stats.avg_tuple_bytes + right.stats.avg_tuple_bytes) as f64,
-            bloom_bytes: ((left.stats.rows as f64)).max(2048.0),
+            bloom_bytes: (left.stats.rows as f64).max(2048.0),
         };
         j.strategy = choose_strategy(net, &stats, objective);
         // Fetch Matches is only valid when the fetched table is hashed on
         // the join key (resourceID = pkey, §4.1).
-        if j.strategy == JoinStrategy::FetchMatches
-            && j.right.join_col != Some(j.right.pkey_col)
-        {
+        if j.strategy == JoinStrategy::FetchMatches && j.right.join_col != Some(j.right.pkey_col) {
             j.strategy = JoinStrategy::SymmetricHash;
         }
     }

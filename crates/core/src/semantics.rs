@@ -32,7 +32,9 @@ pub fn reference_join(j: &JoinSpec, left: &[Tuple], right: &[Tuple]) -> Vec<Tupl
             if !j.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
                 continue;
             }
-            out.push(Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect()));
+            out.push(Tuple::new(
+                j.project.iter().map(|e| e.eval(&joined)).collect(),
+            ));
         }
     }
     out
@@ -52,7 +54,9 @@ pub fn reference_agg(agg: &AggSpec, rows: &[Tuple]) -> Vec<Tuple> {
     for (key, accs) in groups {
         let virt = accs.output_row(&key);
         if agg.having.as_ref().map_or(true, |h| h.matches(&virt)) {
-            out.push(Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect()));
+            out.push(Tuple::new(
+                agg.output.iter().map(|e| e.eval(&virt)).collect(),
+            ));
         }
     }
     out
@@ -143,7 +147,11 @@ mod tests {
         let right = ScanSpec::new("R", 2, 0).with_join_col(0);
         let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
         j.project = vec![Expr::col(0), Expr::col(3)];
-        let l = vec![tuple![1i64, 10i64], tuple![2i64, -5i64], tuple![3i64, 10i64]];
+        let l = vec![
+            tuple![1i64, 10i64],
+            tuple![2i64, -5i64],
+            tuple![3i64, 10i64],
+        ];
         let r = vec![tuple![10i64, 100i64], tuple![7i64, 200i64]];
         let out = reference_join(&j, &l, &r);
         assert!(same_multiset(

@@ -296,8 +296,8 @@ impl Parser {
                         self.expect_sym(")")?;
                         return Ok(PExpr::Agg(func, Some(Box::new(arg))));
                     }
-                    let func = scalar_func(&lower)
-                        .ok_or_else(|| format!("unknown function '{word}'"))?;
+                    let func =
+                        scalar_func(&lower).ok_or_else(|| format!("unknown function '{word}'"))?;
                     let mut args = Vec::new();
                     if self.peek() != Some(&Tok::Sym(")")) {
                         loop {
@@ -396,7 +396,9 @@ impl Resolver {
             PExpr::Not(inner) => Expr::Not(Box::new(self.lower(inner)?)),
             PExpr::Call(f, args) => Expr::Call(
                 *f,
-                args.iter().map(|a| self.lower(a)).collect::<Result<_, _>>()?,
+                args.iter()
+                    .map(|a| self.lower(a))
+                    .collect::<Result<_, _>>()?,
             ),
             PExpr::Agg(..) => return Err("aggregate in scalar context".into()),
         })
@@ -515,7 +517,11 @@ pub fn parse_query(
     } else {
         Vec::new()
     };
-    let having = if p.kw("HAVING") { Some(p.expr()?) } else { None };
+    let having = if p.kw("HAVING") {
+        Some(p.expr()?)
+    } else {
+        None
+    };
     if p.peek().is_some() {
         return Err(format!("trailing tokens at {:?}", p.peek()));
     }
@@ -665,7 +671,9 @@ pub fn parse_query(
                     PExpr::Not(i) => Ok(Expr::Not(Box::new(self.lower(i)?))),
                     PExpr::Call(f, args) => Ok(Expr::Call(
                         *f,
-                        args.iter().map(|a| self.lower(a)).collect::<Result<_, _>>()?,
+                        args.iter()
+                            .map(|a| self.lower(a))
+                            .collect::<Result<_, _>>()?,
                     )),
                 }
             }
@@ -713,8 +721,8 @@ pub fn parse_query(
     };
 
     if two {
-        let (jl, jr) =
-            join_cols.ok_or_else(|| "two-table query needs an equality join predicate".to_string())?;
+        let (jl, jr) = join_cols
+            .ok_or_else(|| "two-table query needs an equality join predicate".to_string())?;
         let left = make_scan(&resolver.tables[0], left_preds).with_join_col(jl);
         let right = make_scan(&resolver.tables[1], right_preds).with_join_col(jr);
         let mut join = JoinSpec::new(strategy, left, right);
@@ -757,8 +765,8 @@ pub fn parse_query(
 mod tests {
     use super::*;
     use crate::semantics::{reference_eval, same_multiset};
-    use crate::tuple::Tuple;
     use crate::tuple;
+    use crate::tuple::Tuple;
     use std::collections::HashMap;
 
     fn catalogs() -> (Catalog, Catalog) {
@@ -875,25 +883,35 @@ mod tests {
     #[test]
     fn rejects_unknown_names_and_bad_syntax() {
         let (wl, _) = catalogs();
-        assert!(parse_query("SELECT x FROM R", &wl, JoinStrategy::SymmetricHash)
-            .unwrap_err()
-            .contains("unknown column"));
-        assert!(parse_query("SELECT R.pkey FROM T", &wl, JoinStrategy::SymmetricHash)
-            .unwrap_err()
-            .contains("unknown table"));
         assert!(
-            parse_query("SELECT R.pkey, S.pkey FROM R, S", &wl, JoinStrategy::SymmetricHash)
+            parse_query("SELECT x FROM R", &wl, JoinStrategy::SymmetricHash)
                 .unwrap_err()
-                .contains("join predicate")
+                .contains("unknown column")
         );
+        assert!(
+            parse_query("SELECT R.pkey FROM T", &wl, JoinStrategy::SymmetricHash)
+                .unwrap_err()
+                .contains("unknown table")
+        );
+        assert!(parse_query(
+            "SELECT R.pkey, S.pkey FROM R, S",
+            &wl,
+            JoinStrategy::SymmetricHash
+        )
+        .unwrap_err()
+        .contains("join predicate"));
         assert!(parse_query("FROM R", &wl, JoinStrategy::SymmetricHash).is_err());
     }
 
     #[test]
     fn star_expansion_and_alias_free_tables() {
         let (wl, _) = catalogs();
-        let op = parse_query("SELECT * FROM S WHERE num2 > 10", &wl, JoinStrategy::SymmetricHash)
-            .unwrap();
+        let op = parse_query(
+            "SELECT * FROM S WHERE num2 > 10",
+            &wl,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
         let QueryOp::Scan { project, .. } = op else {
             panic!()
         };

@@ -18,13 +18,19 @@ pub fn stabilized_pier_sim(n: usize, cfg: DhtConfig, net: NetConfig) -> Sim<Pier
     let mut sim = Sim::new(net);
     match cfg.overlay {
         pier_dht::OverlayKind::Can => {
-            for (i, st) in balanced_overlay(n, cfg.dims, Time::ZERO).into_iter().enumerate() {
+            for (i, st) in balanced_overlay(n, cfg.dims, Time::ZERO)
+                .into_iter()
+                .enumerate()
+            {
                 let dht = Dht::with_can(cfg.clone(), i as NodeId, st);
                 sim.add_node(PierNode::with_dht(dht, None));
             }
         }
         pier_dht::OverlayKind::Chord => {
-            for (i, st) in balanced_chord_overlay(n, Time::ZERO).into_iter().enumerate() {
+            for (i, st) in balanced_chord_overlay(n, Time::ZERO)
+                .into_iter()
+                .enumerate()
+            {
                 let dht = Dht::with_chord(cfg.clone(), i as NodeId, st);
                 sim.add_node(PierNode::with_dht(dht, None));
             }

@@ -9,9 +9,9 @@ use pier_core::plan::{AggCall, AggFunc, AggSpec, JoinStrategy, QueryDesc, QueryO
 use pier_core::semantics::{reference_eval, same_multiset};
 use pier_core::sql::parse_query;
 use pier_core::testkit::*;
+use pier_core::tuple;
 use pier_core::tuple::Tuple;
 use pier_core::value::Value;
-use pier_core::tuple;
 use pier_dht::DhtConfig;
 use pier_simnet::time::Dur;
 use pier_simnet::NetConfig;

@@ -6,9 +6,9 @@ use pier_core::expr::Expr;
 use pier_core::plan::{JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
 use pier_core::semantics::{reference_join, same_multiset};
 use pier_core::testkit::*;
+use pier_core::tuple;
 use pier_core::tuple::Tuple;
 use pier_core::value::Value;
-use pier_core::tuple;
 use pier_dht::DhtConfig;
 use pier_simnet::time::Dur;
 use pier_simnet::NetConfig;
@@ -18,7 +18,11 @@ fn setup(
     seed: u64,
     tables: &[(&str, &[Tuple])],
 ) -> pier_simnet::Sim<pier_core::PierNode> {
-    let mut sim = stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::latency_only(seed));
+    let mut sim = stabilized_pier_sim(
+        n,
+        DhtConfig::static_network(),
+        NetConfig::latency_only(seed),
+    );
     for (name, rows) in tables {
         publish_round_robin(&mut sim, name, rows, 0, Dur::from_secs(100_000));
     }
@@ -30,12 +34,13 @@ fn setup(
 #[test]
 fn many_to_many_join_produces_all_combinations() {
     // 4 left rows and 3 right rows share join value 7 -> 12 results.
-    let left_rows: Vec<Tuple> = (0..6i64).map(|k| tuple![k, if k < 4 { 7i64 } else { 8 }]).collect();
-    let right_rows: Vec<Tuple> = (0..5i64).map(|k| tuple![100 + k, if k < 3 { 7i64 } else { 9 }]).collect();
-    for strategy in [
-        JoinStrategy::SymmetricHash,
-        JoinStrategy::SymmetricSemiJoin,
-    ] {
+    let left_rows: Vec<Tuple> = (0..6i64)
+        .map(|k| tuple![k, if k < 4 { 7i64 } else { 8 }])
+        .collect();
+    let right_rows: Vec<Tuple> = (0..5i64)
+        .map(|k| tuple![100 + k, if k < 3 { 7i64 } else { 9 }])
+        .collect();
+    for strategy in [JoinStrategy::SymmetricHash, JoinStrategy::SymmetricSemiJoin] {
         let left = ScanSpec::new("L", 2, 0).with_join_col(1);
         let right = ScanSpec::new("Rt", 2, 0).with_join_col(1);
         let mut j = JoinSpec::new(strategy, left, right);

@@ -9,8 +9,8 @@ use pier_core::plan::{JoinStrategy, QueryDesc};
 use pier_core::semantics::{reference_eval, same_multiset};
 use pier_core::sql::parse_query;
 use pier_core::testkit::*;
-use pier_core::tuple::{ColType, Tuple};
 use pier_core::tuple;
+use pier_core::tuple::{ColType, Tuple};
 use pier_dht::DhtConfig;
 use pier_simnet::time::Dur;
 use pier_simnet::NetConfig;
@@ -29,11 +29,7 @@ fn catalog() -> Catalog {
         ],
         0,
     );
-    c.register_simple(
-        "dept",
-        &[("id", ColType::I64), ("budget", ColType::I64)],
-        0,
-    );
+    c.register_simple("dept", &[("id", ColType::I64), ("budget", ColType::I64)], 0);
     c
 }
 
@@ -87,7 +83,11 @@ fn projection_only() {
 
 #[test]
 fn star_select_with_predicate() {
-    check("SELECT * FROM emp WHERE salary > 100", 2, JoinStrategy::SymmetricHash);
+    check(
+        "SELECT * FROM emp WHERE salary > 100",
+        2,
+        JoinStrategy::SymmetricHash,
+    );
 }
 
 #[test]

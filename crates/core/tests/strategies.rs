@@ -6,9 +6,9 @@ use pier_core::expr::{Expr, Func};
 use pier_core::plan::{JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
 use pier_core::semantics::{reference_join, same_multiset};
 use pier_core::testkit::*;
+use pier_core::tuple;
 use pier_core::tuple::Tuple;
 use pier_core::value::Value;
-use pier_core::tuple;
 use pier_dht::DhtConfig;
 use pier_simnet::time::Dur;
 use pier_simnet::NetConfig;

@@ -226,7 +226,11 @@ impl CanState {
             return; // cannot split further (never happens at sane scales)
         }
         let (a, b) = zone.split(dim);
-        let (mine, theirs) = if a.contains(p, self.d) { (b, a) } else { (a, b) };
+        let (mine, theirs) = if a.contains(p, self.d) {
+            (b, a)
+        } else {
+            (a, b)
+        };
         self.zones[idx] = mine;
 
         // Hand off stored items no longer covered by our zones.
@@ -543,7 +547,14 @@ impl CanState {
                 .map(|(id, _)| *id)
                 .collect();
             if candidates[0].1 == self.me {
-                self.claim(env, meter, dead_id, dead_info.zones.clone(), &dead_audience, events);
+                self.claim(
+                    env,
+                    meter,
+                    dead_id,
+                    dead_info.zones.clone(),
+                    &dead_audience,
+                    events,
+                );
             } else {
                 // Someone else should claim; if they were a casualty too,
                 // fall back down the list on a timer.
@@ -570,8 +581,7 @@ impl CanState {
             p.attempt += 1;
             match p.candidates.get(p.attempt).copied() {
                 Some((_, id)) if id == self.me => {
-                    let audience: Vec<NodeId> =
-                        p.candidates.iter().map(|&(_, id)| id).collect();
+                    let audience: Vec<NodeId> = p.candidates.iter().map(|&(_, id)| id).collect();
                     self.claim(env, meter, dead_id, p.zones.clone(), &audience, events);
                 }
                 Some(_) => {
@@ -580,8 +590,7 @@ impl CanState {
                 }
                 // List exhausted: claim it ourselves as a last resort.
                 None => {
-                    let audience: Vec<NodeId> =
-                        p.candidates.iter().map(|&(_, id)| id).collect();
+                    let audience: Vec<NodeId> = p.candidates.iter().map(|&(_, id)| id).collect();
                     self.claim(env, meter, dead_id, p.zones.clone(), &audience, events);
                 }
             }

@@ -133,11 +133,7 @@ impl ChordState {
     /// Closest node strictly preceding `pos` among fingers + successors.
     pub fn closest_preceding(&self, pos: u64) -> Option<NodeId> {
         let mut best: Option<(u64, NodeId)> = None;
-        let consider = self
-            .fingers
-            .iter()
-            .flatten()
-            .chain(self.successors.iter());
+        let consider = self.fingers.iter().flatten().chain(self.successors.iter());
         for &(r, id) in consider {
             if id == self.me || !in_open(self.ring, r, pos) {
                 continue;
@@ -306,13 +302,11 @@ impl ChordState {
         if let Some((_, sid)) = self.successor() {
             if now.since(self.succ_last_seen) > cfg.fail_after {
                 self.successors.remove(0);
-                self.fingers
-                    .iter_mut()
-                    .for_each(|f| {
-                        if f.map(|(_, id)| id) == Some(sid) {
-                            *f = None;
-                        }
-                    });
+                self.fingers.iter_mut().for_each(|f| {
+                    if f.map(|(_, id)| id) == Some(sid) {
+                        *f = None;
+                    }
+                });
                 self.succ_last_seen = now;
                 events.push(DhtEvent::LocationMapChanged);
             }
@@ -384,7 +378,11 @@ impl ChordState {
 pub fn balanced_chord_overlay(n: usize, now: Time) -> Vec<ChordState> {
     let mut order: Vec<(u64, NodeId)> = (0..n as NodeId).map(|i| (ring_of_node(i), i)).collect();
     order.sort_unstable();
-    let pos_of: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &(_, id))| (id, i)).collect();
+    let pos_of: HashMap<NodeId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, id))| (id, i))
+        .collect();
     (0..n as NodeId)
         .map(|me| {
             let mut s = ChordState::new(me);

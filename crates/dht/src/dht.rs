@@ -31,11 +31,7 @@ pub enum Overlay {
 
 enum Pending<V> {
     Put(Entry<V>),
-    Get {
-        ns: Ns,
-        rid: Rid,
-        user_token: u64,
-    },
+    Get { ns: Ns, rid: Rid, user_token: u64 },
 }
 
 struct PendingOp<V> {
@@ -213,7 +209,16 @@ impl<V: Wire + Clone> Dht<V> {
                 items,
             });
         } else {
-            self.lookup(env, key, Pending::Get { ns, rid, user_token }, events);
+            self.lookup(
+                env,
+                key,
+                Pending::Get {
+                    ns,
+                    rid,
+                    user_token,
+                },
+                events,
+            );
         }
     }
 
@@ -223,8 +228,13 @@ impl<V: Wire + Clone> Dht<V> {
     }
 
     /// Multicast `payload` to every node (Table 3's `multicast`,
-    /// implementing the content-based multicast of [18]).
-    pub fn multicast(&mut self, env: &mut dyn DhtEnv<V>, payload: V, events: &mut Vec<DhtEvent<V>>) {
+    /// implementing the content-based multicast of the paper's \[18\]).
+    pub fn multicast(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        payload: V,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
         let id = env.rand64();
         let can_rect = match &self.overlay {
             Overlay::Can(c) => Some(Zone::whole(c.d)),
@@ -391,7 +401,11 @@ impl<V: Wire + Clone> Dht<V> {
                     send_metered(env, &mut self.meter, owner, DhtMsg::Put { entry });
                 }
             }
-            Pending::Get { ns, rid, user_token } => {
+            Pending::Get {
+                ns,
+                rid,
+                user_token,
+            } => {
                 if owner == self.me {
                     let items = self.live_items(ns, rid, env.now());
                     events.push(DhtEvent::GetResult {

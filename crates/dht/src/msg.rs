@@ -138,9 +138,14 @@ pub enum DhtMsg<V> {
     Chord(ChordMsg<V>),
     /// Lookup completed: `origin`'s pending op `token` may now fire at
     /// the sender of this message (the key's owner).
-    LookupReply { token: u64, key: u64 },
+    LookupReply {
+        token: u64,
+        key: u64,
+    },
     /// Store an entry at the receiving (owner) node.
-    Put { entry: Entry<V> },
+    Put {
+        entry: Entry<V>,
+    },
     /// Key-based retrieval at the receiving (owner) node.
     Get {
         ns: Ns,
@@ -148,9 +153,14 @@ pub enum DhtMsg<V> {
         token: u64,
         origin: NodeId,
     },
-    GetReply { token: u64, items: Vec<Entry<V>> },
+    GetReply {
+        token: u64,
+        items: Vec<Entry<V>>,
+    },
     /// Bulk re-partitioning transfer (zone handoff / re-homing).
-    MoveItems { items: Vec<Entry<V>> },
+    MoveItems {
+        items: Vec<Entry<V>>,
+    },
 }
 
 impl<V: Wire> Wire for CanMsg<V> {

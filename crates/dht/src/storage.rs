@@ -106,7 +106,9 @@ impl<V> StorageManager<V> {
 
     /// Count of items in one namespace.
     pub fn ns_len(&self, ns: Ns) -> usize {
-        self.by_ns.get(&ns).map_or(0, |m| m.values().map(Vec::len).sum())
+        self.by_ns
+            .get(&ns)
+            .map_or(0, |m| m.values().map(Vec::len).sum())
     }
 
     /// Drop expired items (soft-state aging, §3.2.3). Returns the number

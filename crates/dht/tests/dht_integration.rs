@@ -188,11 +188,15 @@ fn soft_state_expires_without_renewal() {
         }
     });
     sim.run_for(Dur::from_secs(10));
-    let live: usize = (0..8).map(|i| sim.app(i).unwrap().dht.store.ns_len(ns)).sum();
+    let live: usize = (0..8)
+        .map(|i| sim.app(i).unwrap().dht.store.ns_len(ns))
+        .sum();
     assert_eq!(live, 20);
     // After the lifetime passes, owners discard everything.
     sim.run_for(Dur::from_secs(40));
-    let live: usize = (0..8).map(|i| sim.app(i).unwrap().dht.store.ns_len(ns)).sum();
+    let live: usize = (0..8)
+        .map(|i| sim.app(i).unwrap().dht.store.ns_len(ns))
+        .sum();
     assert_eq!(live, 0, "items aged out");
 }
 
@@ -216,7 +220,9 @@ fn renewal_keeps_items_alive_and_does_not_refire_newdata() {
     sim.run_for(Dur::from_secs(15));
     put_all(&mut sim);
     sim.run_for(Dur::from_secs(15));
-    let live: usize = (0..6).map(|i| sim.app(i).unwrap().dht.store.ns_len(ns)).sum();
+    let live: usize = (0..6)
+        .map(|i| sim.app(i).unwrap().dht.store.ns_len(ns))
+        .sum();
     assert_eq!(live, 10, "renewals kept items alive past 2 lifetimes");
     // newData fired exactly once per item across the whole network.
     let newdata: usize = (0..6)
@@ -341,9 +347,7 @@ fn chord_put_get_and_broadcast() {
     let answered = sim
         .app(9)
         .unwrap()
-        .events_where(
-            |e| matches!(e, DhtEvent::GetResult { items, .. } if !items.is_empty()),
-        )
+        .events_where(|e| matches!(e, DhtEvent::GetResult { items, .. } if !items.is_empty()))
         .count();
     assert_eq!(answered, 30);
 }

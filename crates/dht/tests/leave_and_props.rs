@@ -11,7 +11,8 @@ type V = Vec<u8>;
 #[test]
 fn graceful_leave_hands_over_zones_and_items() {
     let n = 10;
-    let mut sim: Sim<DhtNode<V>> = stabilized_can_sim(n, DhtConfig::default(), NetConfig::latency_only(77));
+    let mut sim: Sim<DhtNode<V>> =
+        stabilized_can_sim(n, DhtConfig::default(), NetConfig::latency_only(77));
     let ns = ns_of("tbl");
     sim.with_app(0, |node, ctx| {
         let mut env = pier_dht::CtxEnv { ctx };

@@ -204,7 +204,7 @@ mod tests {
     use crate::time::Dur;
 
     #[derive(Clone, Debug)]
-    struct Byte(u8);
+    struct Byte(#[allow(dead_code)] u8);
     impl Wire for Byte {
         fn wire_size(&self) -> usize {
             64

@@ -29,7 +29,12 @@ pub fn intrusions(n: usize, distinct_fp: u64, distinct_addr: u64, seed: u64) -> 
             Tuple::new(vec![
                 Value::I64(i as i64),
                 Value::str(&format!("sig-{fp:04}")),
-                Value::str(&format!("10.{}.{}.{}", addr >> 16 & 255, addr >> 8 & 255, addr & 255)),
+                Value::str(&format!(
+                    "10.{}.{}.{}",
+                    addr >> 16 & 255,
+                    addr >> 8 & 255,
+                    addr & 255
+                )),
             ])
         })
         .collect()
@@ -42,7 +47,12 @@ pub fn reputations(distinct_addr: u64, seed: u64) -> Vec<Tuple> {
     (0..distinct_addr)
         .map(|addr| {
             Tuple::new(vec![
-                Value::str(&format!("10.{}.{}.{}", addr >> 16 & 255, addr >> 8 & 255, addr & 255)),
+                Value::str(&format!(
+                    "10.{}.{}.{}",
+                    addr >> 16 & 255,
+                    addr >> 8 & 255,
+                    addr & 255
+                )),
                 Value::I64(rng.gen_range(0..5)),
             ])
         })

@@ -80,7 +80,7 @@ impl RsWorkload {
         let r: Vec<Tuple> = (0..n_s * 10)
             .map(|k| {
                 // 90% match exactly one S.pkey; 10% point past the table.
-                let num1 = if rng.gen_range(0..100) < params.match_pct as i64 {
+                let num1 = if rng.gen_range(0..100i64) < params.match_pct as i64 {
                     rng.gen_range(0..n_s)
                 } else {
                     n_s + rng.gen_range(0..n_s.max(1))
@@ -156,11 +156,10 @@ mod tests {
         assert_eq!(wl.s.len(), 200);
         assert_eq!(wl.r.len(), 2000);
         // ~90% of R rows match some S row.
-        let matches = wl
-            .r
-            .iter()
-            .filter(|t| t.get(1).as_i64().unwrap() < 200)
-            .count();
+        let matches =
+            wl.r.iter()
+                .filter(|t| t.get(1).as_i64().unwrap() < 200)
+                .count();
         let frac = matches as f64 / 2000.0;
         assert!((frac - 0.9).abs() < 0.05, "match fraction {frac}");
         // R tuples are ~1 KB on the wire.
@@ -176,18 +175,16 @@ mod tests {
             ..Default::default()
         });
         let j = wl.join_spec(JoinStrategy::SymmetricHash);
-        let sel_r = wl
-            .r
-            .iter()
-            .filter(|t| j.left.pred.as_ref().unwrap().matches(t))
-            .count() as f64
-            / wl.r.len() as f64;
-        let sel_s = wl
-            .s
-            .iter()
-            .filter(|t| j.right.pred.as_ref().unwrap().matches(t))
-            .count() as f64
-            / wl.s.len() as f64;
+        let sel_r =
+            wl.r.iter()
+                .filter(|t| j.left.pred.as_ref().unwrap().matches(t))
+                .count() as f64
+                / wl.r.len() as f64;
+        let sel_s =
+            wl.s.iter()
+                .filter(|t| j.right.pred.as_ref().unwrap().matches(t))
+                .count() as f64
+                / wl.s.len() as f64;
         assert!((sel_r - 0.3).abs() < 0.05, "sel_r {sel_r}");
         assert!((sel_s - 0.7).abs() < 0.05, "sel_s {sel_s}");
     }

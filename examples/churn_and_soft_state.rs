@@ -17,10 +17,14 @@ use pier_dht::DhtConfig;
 
 fn scan_count(sim: &mut pier::simnet::Sim<pier::qp::PierNode>, qid: u64) -> usize {
     let scan = ScanSpec::new("T", 1, 0);
-    let desc = QueryDesc::one_shot(qid, 0, QueryOp::Scan {
-        scan,
-        project: vec![Expr::col(0)],
-    });
+    let desc = QueryDesc::one_shot(
+        qid,
+        0,
+        QueryOp::Scan {
+            scan,
+            project: vec![Expr::col(0)],
+        },
+    );
     run_query(sim, 0, desc, Dur::from_secs(25)).len()
 }
 
@@ -42,7 +46,11 @@ fn main() {
     }
     settle_publish(&mut sim);
     println!("published {} items over {n} nodes", n * 5);
-    println!("t={} scan finds {} items", sim.now(), scan_count(&mut sim, 1));
+    println!(
+        "t={} scan finds {} items",
+        sim.now(),
+        scan_count(&mut sim, 1)
+    );
 
     // Kill a quarter of the network at once.
     let victims: Vec<u32> = (1..=(n as u32 / 4)).collect();

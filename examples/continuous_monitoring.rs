@@ -45,11 +45,7 @@ fn main() {
         publish_round_robin(&mut sim, "packets2", &pkts2, 0, Dur::from_secs(120));
         sim.run_for(Dur::from_secs(40));
         let so_far = sim.app(0).unwrap().query_results(1).len();
-        println!(
-            "t={:6}: {} correlated host pairs so far",
-            sim.now(),
-            so_far
-        );
+        println!("t={:6}: {} correlated host pairs so far", sim.now(), so_far);
     }
 
     // Matches only form within the 60 s window: batch 0 never joins

@@ -31,8 +31,20 @@ fn main() {
     let reputations = intrusion::reputations(96, 5);
     let (gateways, robots) = intrusion::gateways_and_robots(n * 2, n * 2, 24, 5);
     publish_round_robin(&mut sim, "intrusions", &reports, 0, Dur::from_secs(100_000));
-    publish_round_robin(&mut sim, "reputation", &reputations, 0, Dur::from_secs(100_000));
-    publish_round_robin(&mut sim, "spamGateways", &gateways, 0, Dur::from_secs(100_000));
+    publish_round_robin(
+        &mut sim,
+        "reputation",
+        &reputations,
+        0,
+        Dur::from_secs(100_000),
+    );
+    publish_round_robin(
+        &mut sim,
+        "spamGateways",
+        &gateways,
+        0,
+        Dur::from_secs(100_000),
+    );
     publish_round_robin(&mut sim, "robots", &robots, 0, Dur::from_secs(100_000));
     settle_publish(&mut sim);
 

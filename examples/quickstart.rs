@@ -32,11 +32,8 @@ fn main() {
     );
 
     for strategy in JoinStrategy::ALL {
-        let mut sim = stabilized_pier_sim(
-            n,
-            DhtConfig::static_network(),
-            NetConfig::paper_baseline(7),
-        );
+        let mut sim =
+            stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::paper_baseline(7));
         // 3. Every node publishes its local partition into the DHT
         //    (soft state: items carry lifetimes).
         publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
@@ -45,11 +42,7 @@ fn main() {
 
         // 4. Node 0 submits the query; the descriptor is multicast to
         //    all nodes and results flow straight back to node 0.
-        let desc = pier::qp::plan::QueryDesc::one_shot(
-            1,
-            0,
-            QueryOp::Join(wl.join_spec(strategy)),
-        );
+        let desc = pier::qp::plan::QueryDesc::one_shot(1, 0, QueryOp::Join(wl.join_spec(strategy)));
         let results = run_query(&mut sim, 0, desc, Dur::from_secs(300));
 
         // 5. Compare with the centralized reference evaluation.

@@ -1,0 +1,159 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the surface PIER's benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a deliberately simple measurement
+//! loop: each benchmark is warmed up once, then timed over `sample_size`
+//! batches, reporting the median batch's mean ns/iteration to stdout.
+//! There are no plots, no statistics beyond the median, and no saved
+//! baselines; the point is that `cargo bench` runs and prints comparable
+//! numbers without network access.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work. Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    batch_iters: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over `sample_size` batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: aim for batches of at
+        // least ~10ms so Instant overhead is negligible, capped to keep
+        // total runtime bounded.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        self.batch_iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.batch_iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() || self.batch_iters == 0 {
+            return f64::NAN;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        ns[ns.len() / 2] as f64 / self.batch_iters as f64
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark and print its median timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            batch_iters: 0,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let per = b.median_ns_per_iter();
+        if per.is_nan() {
+            println!("{id:<40} (no measurement: Bencher::iter never called)");
+        } else if per >= 1e6 {
+            println!("{id:<40} {:>12.3} ms/iter", per / 1e6);
+        } else if per >= 1e3 {
+            println!("{id:<40} {:>12.3} us/iter", per / 1e3);
+        } else {
+            println!("{id:<40} {per:>12.1} ns/iter");
+        }
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion's
+/// `name = ...; config = ...; targets = ...` form and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::std::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group, replacing criterion's CLI `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn group_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn positional_group_form_compiles() {
+        criterion_group!(quick, sample_bench);
+        quick();
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! Supports the subset PIER's tests use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, `arg in strategy` bindings,
+//! range and [`any`] strategies, `prop::collection::vec`,
+//! `prop::option::of`, and the `prop_assert*` macros.
+//!
+//! Unlike the real crate this shim does **not** shrink failing inputs —
+//! it simply reruns each property over `cases` deterministic pseudo-random
+//! samples (seeded per case index), and assertion macros panic like their
+//! `std` counterparts. That keeps failures reproducible without any
+//! persistence files or external dependencies beyond the vendored
+//! [`rand`] shim.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration: how many random cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one case: seeded from the case index so every run of the
+    /// suite samples identical inputs.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            0x5EED_7E57 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+/// Types with a full-value-space uniform generator, for [`any`].
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.rng().gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().gen::<u64>() & 1 == 1
+    }
+}
+
+/// Strategy drawing uniformly from a type's whole value space.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the full-value-space strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        /// Vectors of `elem` samples with length drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.rng().gen_range(self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies (`prop::option::of`).
+    pub mod option {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        pub struct OptionStrategy<S>(S);
+
+        /// `None` in one case out of four, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.rng().gen_range(0..4u32) == 0 {
+                    None
+                } else {
+                    Some(self.0.sample(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::TestRng::for_case(case as u64);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..9, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u64>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn option_of_produces_both(o in prop::option::of(0u32..10)) {
+            if let Some(x) = o {
+                prop_assert!(x < 10);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -15,8 +15,10 @@
 //!   aggregation, SQL parsing, and the cost-based strategy optimizer.
 //! * [`workload`] — synthetic data generators for the paper's evaluation.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md`
-//! for the complete system inventory and experiment index.
+//! See `examples/quickstart.rs` for an end-to-end tour, the repository
+//! [README](../../../README.md) for the architecture overview and the
+//! experiment-binary index, and [DESIGN.md](../../../DESIGN.md) for the
+//! complete system inventory and the paper-section → module map.
 
 pub use pier_core as qp;
 pub use pier_dht as dht;

@@ -3,7 +3,7 @@
 //! grown (not pre-stabilized) overlays, across topologies, and on the
 //! threaded engine.
 
-use pier::qp::plan::{JoinStrategy, QueryDesc, QueryOp};
+use pier::qp::plan::JoinStrategy;
 use pier::qp::semantics::{recall, same_multiset};
 use pier::qp::testkit::*;
 use pier::qp::PierNode;
@@ -148,7 +148,9 @@ fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
     let apps: Vec<PierNode> = states
         .into_iter()
         .enumerate()
-        .map(|(i, st)| PierNode::with_dht(pier_dht::Dht::with_can(cfg.clone(), i as NodeId, st), None))
+        .map(|(i, st)| {
+            PierNode::with_dht(pier_dht::Dht::with_can(cfg.clone(), i as NodeId, st), None)
+        })
         .collect();
     let cluster = Cluster::spawn(apps, 7);
     let mut per_node: Vec<(Vec<pier::qp::Tuple>, Vec<pier::qp::Tuple>)> =
@@ -185,10 +187,16 @@ fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
         last = c;
     }
     let times: Vec<_> = cluster.call(0, |node, _| {
-        node.query_results(1).iter().map(|(t, _)| *t).collect::<Vec<_>>()
+        node.query_results(1)
+            .iter()
+            .map(|(t, _)| *t)
+            .collect::<Vec<_>>()
     });
     cluster.shutdown();
-    let mut rel: Vec<f64> = times.iter().map(|t| t.since(t0).as_secs_f64() * 1e3).collect();
+    let mut rel: Vec<f64> = times
+        .iter()
+        .map(|t| t.since(t0).as_secs_f64() * 1e3)
+        .collect();
     rel.sort_by(f64::total_cmp);
     (rel.get(29).copied(), rel.len())
 }
@@ -199,8 +207,11 @@ fn sim_and_reference_agree_across_seeds_and_strategies() {
     for (i, strategy) in JoinStrategy::ALL.iter().enumerate() {
         let seed = 100 + i as u64;
         let wl = small_workload(seed);
-        let mut sim =
-            stabilized_pier_sim(12, DhtConfig::static_network(), NetConfig::latency_only(seed));
+        let mut sim = stabilized_pier_sim(
+            12,
+            DhtConfig::static_network(),
+            NetConfig::latency_only(seed),
+        );
         publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
         publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
         settle_publish(&mut sim);
