@@ -11,6 +11,7 @@ fn main() {
     e::fig6();
     e::fig7();
     e::fig8();
+    e::multiway();
     e::ablation_dims();
     e::chord_vs_can();
     e::agg_flat_vs_hier();

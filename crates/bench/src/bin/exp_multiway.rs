@@ -1,0 +1,6 @@
+//! Multi-way join pipelines: the binary §5.1 workload join vs its 3-way
+//! pipeline extension across network sizes. See DESIGN.md for the
+//! experiment index; set PIER_FULL=1 for paper-scale parameters.
+fn main() {
+    pier_bench::experiments::multiway();
+}

@@ -15,7 +15,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-use crate::{average, full_scale, run_join, strategy_label, JoinRun, ResultTable, RunMetrics};
+use crate::{
+    average, full_scale, run_join, run_multi_join, strategy_label, JoinRun, ResultTable, RunMetrics,
+};
 
 fn seeds() -> Vec<u64> {
     if full_scale() {
@@ -278,23 +280,25 @@ pub fn fig6() {
 /// Run a churn scenario and return average recall of periodic scans.
 fn churn_recall(n: usize, failures_per_min: u32, refresh_s: u64) -> f64 {
     let items_per_node = 4usize;
-    let mut cfg = DhtConfig::default();
-    cfg.keepalive = Dur::from_secs(2);
-    cfg.fail_after = Dur::from_secs(15); // the paper's detection delay
+    let cfg = DhtConfig {
+        keepalive: Dur::from_secs(2),
+        fail_after: Dur::from_secs(15), // the paper's detection delay
+        ..DhtConfig::default()
+    };
     let mut sim = stabilized_pier_sim(n, cfg.clone(), NetConfig::latency_only(99));
 
     // Every node publishes `items_per_node` rows and renews them.
     let lifetime = Dur::from_secs(refresh_s * 2);
     let refresh = Dur::from_secs(refresh_s);
     let mut published: Vec<Vec<i64>> = vec![Vec::new(); n]; // per engine slot
-    for i in 0..n {
+    for (i, slot) in published.iter_mut().enumerate() {
         let rows: Vec<pier_core::Tuple> = (0..items_per_node)
             .map(|k| {
                 let pk = (i * 1_000_000 + k) as i64;
                 pier_core::tuple::Tuple::new(vec![pier_core::Value::I64(pk)])
             })
             .collect();
-        published[i] = rows.iter().map(|t| t.get(0).as_i64().unwrap()).collect();
+        *slot = rows.iter().map(|t| t.get(0).as_i64().unwrap()).collect();
         sim.with_app(i as NodeId, |node, ctx| {
             node.publish_rows(ctx, "T", rows, 0, lifetime);
             node.start_renewals(ctx, refresh);
@@ -515,6 +519,67 @@ pub fn threaded_join_run(n: usize) -> (Option<f64>, usize) {
         .collect();
     rel.sort_by(f64::total_cmp);
     (rel.get(29).copied(), rel.len())
+}
+
+// ---------------------------------------------------------------------
+// E9 — multi-way join pipelines (§7 "richer queries", built)
+// ---------------------------------------------------------------------
+
+/// Binary workload join vs the 3-way pipeline extension across network
+/// sizes: time-to-last, aggregate query traffic, and recall. The
+/// pipeline pays one extra rehash per added table but stays fully
+/// pipelined, so its latency grows by roughly one stage depth, not
+/// multiplicatively.
+pub fn multiway() {
+    let node_counts: Vec<usize> = if full_scale() {
+        vec![16, 64, 256, 1024]
+    } else {
+        vec![8, 16, 32]
+    };
+    let mut tab = ResultTable::new(
+        "multiway_pipeline",
+        &[
+            "nodes",
+            "2way_t_last_s",
+            "3way_t_last_s",
+            "2way_traffic_mb",
+            "3way_traffic_mb",
+            "3way_recall",
+        ],
+    );
+    for &n in &node_counts {
+        let cfg = |seed| {
+            let mut params = params_for_nodes(n, seed);
+            params.t_rows = 80;
+            let mut run = JoinRun::new(
+                n,
+                JoinStrategy::SymmetricHash,
+                params,
+                NetConfig::paper_baseline(seed),
+            );
+            run.settle = Dur::from_secs(600);
+            run
+        };
+        let two: Vec<RunMetrics> = seeds().iter().map(|&s| run_join(&cfg(s))).collect();
+        let three: Vec<RunMetrics> = seeds().iter().map(|&s| run_multi_join(&cfg(s))).collect();
+        let avg = |v: &[RunMetrics], pick: &dyn Fn(&RunMetrics) -> f64| {
+            let vals: Vec<f64> = v.iter().map(pick).filter(|x| x.is_finite()).collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        tab.row(vec![
+            n.to_string(),
+            ResultTable::fmt_cell(avg(&two, &|m| m.t_last)),
+            ResultTable::fmt_cell(avg(&three, &|m| m.t_last)),
+            ResultTable::fmt_cell(avg(&two, &|m| m.traffic_mb)),
+            ResultTable::fmt_cell(avg(&three, &|m| m.traffic_mb)),
+            ResultTable::fmt_cell(avg(&three, &|m| m.recall)),
+        ]);
+    }
+    tab.emit();
 }
 
 // ---------------------------------------------------------------------

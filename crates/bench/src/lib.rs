@@ -34,7 +34,7 @@ use pier_workload::{RsParams, RsWorkload};
 /// Scale of an experiment run. `PIER_FULL=1` selects paper-scale
 /// parameters; the default keeps every binary under a few minutes.
 pub fn full_scale() -> bool {
-    std::env::var("PIER_FULL").map_or(false, |v| v == "1")
+    std::env::var("PIER_FULL").is_ok_and(|v| v == "1")
 }
 
 /// Metrics from one distributed join run.
@@ -86,10 +86,36 @@ impl JoinRun {
 pub fn run_join(cfg: &JoinRun) -> RunMetrics {
     let wl = RsWorkload::generate(cfg.params);
     let expected = wl.expected(cfg.strategy);
+    let mut join = wl.join_spec(cfg.strategy);
+    join.computation_nodes = cfg.computation_nodes;
+    execute_workload_query(cfg, &wl, QueryOp::Join(join), expected, false)
+}
 
+/// Execute the 3-way pipeline extension of the workload (R ⨝ S ⨝ T as
+/// chained symmetric-hash stages) and collect the same metrics.
+/// `strategy` and `computation_nodes` of the run config do not apply.
+pub fn run_multi_join(cfg: &JoinRun) -> RunMetrics {
+    let wl = RsWorkload::generate(cfg.params);
+    let expected = wl.expected_multi();
+    let op = QueryOp::MultiJoin(wl.multi_join_spec());
+    execute_workload_query(cfg, &wl, op, expected, true)
+}
+
+/// Shared measurement core: publish the workload tables, snapshot the
+/// traffic meters, run one query, and extract the §5 metrics.
+fn execute_workload_query(
+    cfg: &JoinRun,
+    wl: &RsWorkload,
+    op: QueryOp,
+    expected: Vec<pier_core::Tuple>,
+    with_t: bool,
+) -> RunMetrics {
     let mut sim: Sim<PierNode> = stabilized_pier_sim(cfg.n_nodes, cfg.dht.clone(), cfg.net.clone());
     publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
     publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+    if with_t {
+        publish_round_robin(&mut sim, "T", &wl.t, 0, Dur::from_secs(100_000));
+    }
     settle_publish(&mut sim);
     sim.run_for(Dur::from_secs(30));
 
@@ -99,9 +125,7 @@ pub fn run_join(cfg: &JoinRun) -> RunMetrics {
         .map(|i| sim.app(i as u32).unwrap().dht.meter.query_traffic())
         .sum();
 
-    let mut join = wl.join_spec(cfg.strategy);
-    join.computation_nodes = cfg.computation_nodes;
-    let mut desc = QueryDesc::one_shot(1, 0, QueryOp::Join(join));
+    let mut desc = QueryDesc::one_shot(1, 0, op);
     desc.n_nodes = cfg.n_nodes as u32;
     let results = run_query(&mut sim, 0, desc, cfg.settle);
 

@@ -44,14 +44,14 @@ impl AggState {
             }
             AggState::Min(m) => {
                 if let Some(v) = v {
-                    if m.as_ref().map_or(true, |cur| v < cur) {
+                    if m.as_ref().is_none_or(|cur| v < cur) {
                         *m = Some(v.clone());
                     }
                 }
             }
             AggState::Max(m) => {
                 if let Some(v) = v {
-                    if m.as_ref().map_or(true, |cur| v > cur) {
+                    if m.as_ref().is_none_or(|cur| v > cur) {
                         *m = Some(v.clone());
                     }
                 }
@@ -73,14 +73,14 @@ impl AggState {
             (AggState::SumF(a), AggState::SumF(b)) => *a += b,
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().map_or(true, |av| bv < av) {
+                    if a.as_ref().is_none_or(|av| bv < av) {
                         *a = Some(bv.clone());
                     }
                 }
             }
             (AggState::Max(a), AggState::Max(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().map_or(true, |av| bv > av) {
+                    if a.as_ref().is_none_or(|av| bv > av) {
                         *a = Some(bv.clone());
                     }
                 }

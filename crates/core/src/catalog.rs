@@ -101,6 +101,15 @@ impl Catalog {
             ],
             0,
         );
+        c.register_simple(
+            "T",
+            &[
+                ("pkey", ColType::I64),
+                ("num2", ColType::I64),
+                ("num3", ColType::I64),
+            ],
+            0,
+        );
         c
     }
 
@@ -135,6 +144,11 @@ impl Catalog {
             &[("id", ColType::I64), ("clientDomain", ColType::Str)],
             0,
         );
+        c.register_simple(
+            "advisories",
+            &[("fingerprint", ColType::Str), ("severity", ColType::I64)],
+            0,
+        );
         c
     }
 }
@@ -148,7 +162,8 @@ mod tests {
         let c = Catalog::workload();
         assert!(c.get("r").is_some());
         assert!(c.get("R").is_some());
-        assert!(c.get("T").is_none());
+        assert!(c.get("T").is_some(), "workload catalog covers T");
+        assert!(c.get("U").is_none());
         assert_eq!(c.get("R").unwrap().schema.arity(), 5);
         assert_eq!(c.get("s").unwrap().pkey_col, 0);
     }
@@ -174,9 +189,10 @@ mod tests {
     }
 
     #[test]
-    fn intrusion_catalog_has_four_tables() {
+    fn intrusion_catalog_has_five_tables() {
         let c = Catalog::intrusion();
-        assert_eq!(c.names().count(), 4);
+        assert_eq!(c.names().count(), 5);
         assert!(c.get("spamgateways").is_some());
+        assert!(c.get("advisories").is_some());
     }
 }

@@ -26,6 +26,10 @@ impl Side {
 }
 
 /// Everything PIER stores in or ships through the DHT.
+// Variant sizes intentionally differ: a `Mini` projection IS the small
+// fast path next to a full `Row`/`Tagged` tuple; boxing would add an
+// allocation to the hottest path for no wire-size benefit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum QpItem {
     /// A base-table tuple published by a wrapper (§2.2's "natural
@@ -81,6 +85,7 @@ impl Wire for QpItem {
 
 /// The complete message type of a PIER node: the DHT sublayer's protocol
 /// plus the query processor's direct (IP) messages.
+#[allow(clippy::large_enum_variant)] // see QpItem: payload variants dominate by design
 #[derive(Clone, Debug)]
 pub enum PierMsg {
     Dht(DhtMsg<QpItem>),

@@ -4,8 +4,11 @@
 //! "boxes-and-arrows" dataflow engine executing relational queries over
 //! the DHT. Implements the four distributed join strategies of §4
 //! (symmetric hash, Fetch Matches, symmetric semi-join rewrite, Bloom
-//! rewrite), DHT-based grouped aggregation, continuous/windowed queries,
-//! a SQL front-end, a catalog, and a cost-based strategy optimizer.
+//! rewrite), left-deep multi-way join pipelines (chained symmetric-hash
+//! stages with per-stage rehash namespaces), DHT-based grouped
+//! aggregation, continuous/windowed queries, an N-table SQL front-end,
+//! a catalog, and a cost-based optimizer covering both strategy choice
+//! and greedy join-order search.
 
 pub mod agg;
 pub mod bloom;
@@ -27,8 +30,13 @@ pub use catalog::{Catalog, TableDef, TableStats};
 pub use expr::{BinOp, Expr, Func};
 pub use item::{PierMsg, QpItem, Side};
 pub use node::PierNode;
-pub use optimizer::{choose_strategy, CostParams, JoinStats, Objective};
-pub use plan::{AggCall, AggFunc, AggSpec, JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
+pub use optimizer::{
+    choose_strategy, greedy_join_order, CostParams, JoinStats, Objective, TableCard,
+};
+pub use plan::{
+    AggCall, AggFunc, AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, QueryDesc,
+    QueryOp, ScanSpec,
+};
 pub use planner::plan_sql;
 pub use sql::parse_query;
 pub use tuple::{ColType, Field, Schema, SchemaRef, Tuple};

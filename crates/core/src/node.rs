@@ -20,7 +20,9 @@ use rand::Rng;
 use crate::agg::GroupAccs;
 use crate::bloom::BloomFilter;
 use crate::item::{PierMsg, QpItem, Side};
-use crate::plan::{qns, AggSpec, JoinSpec, JoinStrategy, QueryDesc, QueryOp, RehashView, ScanSpec};
+use crate::plan::{
+    qns, AggSpec, JoinSpec, JoinStrategy, MultiJoinSpec, QueryDesc, QueryOp, RehashView, ScanSpec,
+};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -107,6 +109,11 @@ enum NsRole {
     BaseRight,
     /// Bloom collector for one side (true = right).
     BloomCollector(bool),
+    /// Stage-k rehash namespace of a multi-way pipeline.
+    MStage(u16),
+    /// Base table `t` of a multi-way pipeline (0 = pipeline head;
+    /// `t >= 1` is stage `t - 1`'s right input).
+    MBase(u16),
 }
 
 /// A published item retained for renewal.
@@ -206,7 +213,6 @@ impl PierNode {
                 lifetime,
             });
         }
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -232,7 +238,6 @@ impl PierNode {
                 &mut events,
             );
         }
-        drop(env);
         if let Some(every) = self.renew_every {
             let token = self.token();
             self.timer_actions.insert(token, TimerAction::Renew);
@@ -257,7 +262,6 @@ impl PierNode {
         let mut events = Vec::new();
         self.dht
             .multicast(&mut env, QpItem::Query(desc), &mut events);
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -343,6 +347,31 @@ impl PierNode {
                     self.schedule_agg_timers(ctx, qid, agg.clone(), true);
                 }
             }
+            QueryOp::MultiJoin(m) | QueryOp::MultiJoinAgg { join: m, .. } => {
+                let m = m.clone();
+                for k in 0..m.stages.len() {
+                    self.route_ns(qns::stage(qid, k), qid, NsRole::MStage(k as u16));
+                }
+                self.route_ns(m.base.ns, qid, NsRole::MBase(0));
+                for (k, st) in m.stages.iter().enumerate() {
+                    self.route_ns(st.right.ns, qid, NsRole::MBase(k as u16 + 1));
+                }
+                // Snapshot per-stage rehash state that raced ahead of the
+                // query multicast, *before* our own rehash adds to it.
+                let snapshots: Vec<Vec<Entry<QpItem>>> = (0..m.stages.len())
+                    .map(|k| self.dht.store.lscan(qns::stage(qid, k)).cloned().collect())
+                    .collect();
+                for t in 0..m.n_tables() {
+                    self.mj_rehash_table(ctx, qid, &m, t);
+                }
+                // Replay stage state that arrived before installation.
+                for (k, snap) in snapshots.into_iter().enumerate() {
+                    self.mj_replay(ctx, qid, &m, k, snap);
+                }
+                if let QueryOp::MultiJoinAgg { agg, .. } = &desc.op {
+                    self.schedule_agg_timers(ctx, qid, agg.clone(), true);
+                }
+            }
             QueryOp::Agg { scan, agg } => {
                 self.route_ns(scan.ns, qid, NsRole::BaseLeft);
                 let rows = self.local_rows(scan);
@@ -375,7 +404,7 @@ impl PierNode {
                 QpItem::Row(t) => Some(t.clone()),
                 _ => None,
             })
-            .filter(|t| scan.pred.as_ref().map_or(true, |p| p.matches(t)))
+            .filter(|t| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
             .collect()
     }
 
@@ -426,14 +455,6 @@ impl PierNode {
         let rows = self.local_rows(scan);
         let nq = qns::rehash(qid);
         let lifetime = window.unwrap_or(Dur::from_secs(600));
-        let iid_base = {
-            // Reserve a block of sequence numbers for this batch.
-            let base = self.fresh_iid();
-            self.iid_seq = (self.iid_seq + rows.len() as u32 + 1) & 0x3_FFFF;
-            base & !0x3_FFFF | (base & 0x3_FFFF)
-        };
-        let mut iid_ctr: u32 = 0;
-        let _ = iid_base;
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
         for row in rows {
@@ -446,10 +467,7 @@ impl PierNode {
             let projected = row.project(keep);
             debug_assert_eq!(projected.get(join_idx), &join);
             let rid = Self::rehash_rid(&join, j.computation_nodes);
-            let iid = iid_base + {
-                iid_ctr += 1;
-                iid_ctr
-            };
+            let iid = self.fresh_iid();
             let item = QpItem::Tagged {
                 qid,
                 side,
@@ -459,7 +477,6 @@ impl PierNode {
             self.dht
                 .put(&mut env, nq, rid, iid, item, lifetime, &mut events);
         }
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -529,7 +546,7 @@ impl PierNode {
                 Side::Left => row.concat(&other),
                 Side::Right => other.concat(row),
             };
-            if view.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+            if view.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                 let out = Tuple::new(view.project.iter().map(|e| e.eval(&joined)).collect());
                 if is_joinagg {
                     if let Some(a) = &agg {
@@ -537,6 +554,270 @@ impl PierNode {
                     }
                 } else {
                     self.emit_result(ctx, qid, initiator, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-way join pipelines (left-deep chains of §4.1 stages)
+    // ------------------------------------------------------------------
+
+    fn mj_spec(&self, qid: u64) -> Option<MultiJoinSpec> {
+        match &self.queries.get(&qid)?.desc.op {
+            QueryOp::MultiJoin(m) | QueryOp::MultiJoinAgg { join: m, .. } => Some(m.clone()),
+            _ => None,
+        }
+    }
+
+    /// Which stage namespace table `t` feeds, on which side, and via
+    /// which of its own columns.
+    fn mj_table_role(m: &MultiJoinSpec, t: usize) -> (&ScanSpec, usize, Side, usize) {
+        if t == 0 {
+            (&m.base, 0, Side::Left, m.stages[0].left_col)
+        } else {
+            let st = &m.stages[t - 1];
+            let col = st.right.join_col.expect("stage join col");
+            (&st.right, t - 1, Side::Right, col)
+        }
+    }
+
+    /// Rehash this node's local fragment of pipeline table `t` into its
+    /// stage namespace (the bulk, install-time analogue of
+    /// [`Self::mj_rehash_one`]).
+    fn mj_rehash_table(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, m: &MultiJoinSpec, t: usize) {
+        let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
+        let rows = self.local_rows(scan);
+        let ns = qns::stage(qid, stage_k);
+        let lifetime = self.mj_lifetime(qid);
+        let puts: Vec<(Rid, u32, QpItem)> = rows
+            .into_iter()
+            .map(|row| {
+                let join = row.get(join_col).clone();
+                let iid = self.fresh_iid();
+                (
+                    join.hash64(),
+                    iid,
+                    QpItem::Tagged {
+                        qid,
+                        side,
+                        join,
+                        row,
+                    },
+                )
+            })
+            .collect();
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for (rid, iid, item) in puts {
+            self.dht
+                .put(&mut env, ns, rid, iid, item, lifetime, &mut events);
+        }
+        self.pump(ctx, events);
+    }
+
+    /// Continuous pipelines: one newly published base tuple of table `t`
+    /// flows into its stage namespace.
+    fn mj_rehash_one(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        m: &MultiJoinSpec,
+        t: usize,
+        row: Tuple,
+    ) {
+        let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
+        if !scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
+            return;
+        }
+        let join = row.get(join_col).clone();
+        let ns = qns::stage(qid, stage_k);
+        let lifetime = self.mj_lifetime(qid);
+        let iid = self.fresh_iid();
+        let item = QpItem::Tagged {
+            qid,
+            side,
+            join: join.clone(),
+            row,
+        };
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        self.dht.put(
+            &mut env,
+            ns,
+            join.hash64(),
+            iid,
+            item,
+            lifetime,
+            &mut events,
+        );
+        self.pump(ctx, events);
+    }
+
+    /// Soft-state lifetime of rehashed/intermediate pipeline tuples: the
+    /// query window when set (sliding-window semantics), else a renewal
+    /// horizon.
+    fn mj_lifetime(&self, qid: u64) -> Dur {
+        self.queries
+            .get(&qid)
+            .and_then(|i| i.desc.window)
+            .unwrap_or(Dur::from_secs(600))
+    }
+
+    /// Probe an arriving stage-k entry against the opposite side — the
+    /// §4.1 newData callback, once per pipeline stage.
+    fn mj_probe(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, k: usize, entry: &Entry<QpItem>) {
+        let QpItem::Tagged {
+            side, join, row, ..
+        } = &entry.val
+        else {
+            return;
+        };
+        let (side, join, row) = (*side, join.clone(), row.clone());
+        let Some(m) = self.mj_spec(qid) else { return };
+        let matches: Vec<(Tuple, Time)> = self
+            .dht
+            .store
+            .get(entry.ns, entry.rid)
+            .iter()
+            .filter(|e| e.iid != entry.iid)
+            .filter_map(|e| match &e.val {
+                QpItem::Tagged {
+                    side: s,
+                    join: jv,
+                    row: r,
+                    ..
+                } if *s == side.opposite() && jv == &join => Some((r.clone(), e.expires)),
+                _ => None,
+            })
+            .collect();
+        for (other, other_expires) in matches {
+            // The accumulated intermediate is always the left operand.
+            let joined = match side {
+                Side::Left => row.concat(&other),
+                Side::Right => other.concat(&row),
+            };
+            if m.stages[k]
+                .stage_pred
+                .as_ref()
+                .is_none_or(|p| p.matches(&joined))
+            {
+                // A joined tuple lives only as long as its shortest-lived
+                // constituent: restarting the window here would let late
+                // arrivals join state that already aged out.
+                let lifetime = entry.expires.min(other_expires).since(ctx.now);
+                self.mj_advance(ctx, qid, &m, k, joined, lifetime);
+            }
+        }
+    }
+
+    /// A stage-k match: feed the next stage, or finalize. `lifetime`
+    /// is the remaining life of the shortest-lived constituent, so
+    /// windowed pipelines never resurrect aged-out state downstream.
+    fn mj_advance(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        m: &MultiJoinSpec,
+        k: usize,
+        row: Tuple,
+        lifetime: Dur,
+    ) {
+        if k + 1 < m.stages.len() {
+            if lifetime == Dur::ZERO {
+                return; // a constituent already expired
+            }
+            // Publish the intermediate as soft state in the next stage's
+            // namespace, keyed by its join value there.
+            let join = row.get(m.stages[k + 1].left_col).clone();
+            let iid = self.fresh_iid();
+            let item = QpItem::Tagged {
+                qid,
+                side: Side::Left,
+                join: join.clone(),
+                row,
+            };
+            let mut env = PierEnv { ctx };
+            let mut events = Vec::new();
+            self.dht.put(
+                &mut env,
+                qns::stage(qid, k + 1),
+                join.hash64(),
+                iid,
+                item,
+                lifetime,
+                &mut events,
+            );
+            self.pump(ctx, events);
+        } else {
+            let Some(inst) = self.queries.get(&qid) else {
+                return;
+            };
+            let initiator = inst.desc.initiator;
+            let out = Tuple::new(m.project.iter().map(|e| e.eval(&row)).collect());
+            match &inst.desc.op {
+                QueryOp::MultiJoinAgg { agg, .. } => {
+                    let agg = agg.clone();
+                    self.accumulate(qid, &agg, &out);
+                }
+                _ => self.emit_result(ctx, qid, initiator, out),
+            }
+        }
+    }
+
+    /// Probe stage-k entries stored before this node learned about the
+    /// query, pairwise against predecessors only (cf.
+    /// [`Self::replay_rehash_ns`]).
+    fn mj_replay(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        m: &MultiJoinSpec,
+        k: usize,
+        mut entries: Vec<Entry<QpItem>>,
+    ) {
+        if entries.is_empty() {
+            return;
+        }
+        entries.sort_by_key(|e| (e.rid, e.iid));
+        for i in 0..entries.len() {
+            for j in 0..i {
+                if entries[i].rid != entries[j].rid {
+                    continue;
+                }
+                let (
+                    QpItem::Tagged {
+                        side: sa,
+                        join: ja,
+                        row: ra,
+                        ..
+                    },
+                    QpItem::Tagged {
+                        side: sb,
+                        join: jb,
+                        row: rb,
+                        ..
+                    },
+                ) = (&entries[i].val, &entries[j].val)
+                else {
+                    continue;
+                };
+                if sa == sb || ja != jb {
+                    continue;
+                }
+                let (l, r) = if *sa == Side::Left {
+                    (ra, rb)
+                } else {
+                    (rb, ra)
+                };
+                let joined = l.concat(r);
+                if m.stages[k]
+                    .stage_pred
+                    .as_ref()
+                    .is_none_or(|p| p.matches(&joined))
+                {
+                    let lifetime = entries[i].expires.min(entries[j].expires).since(ctx.now);
+                    self.mj_advance(ctx, qid, m, k, joined, lifetime);
                 }
             }
         }
@@ -568,7 +849,6 @@ impl PierNode {
         for (ns, rid, token) in work {
             self.dht.get(&mut env, ns, rid, token, &mut events);
         }
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -595,11 +875,11 @@ impl PierNode {
             if right_row.get(j.right.join_col.unwrap()) != &join {
                 continue; // resourceID hash collision
             }
-            if !j.right.pred.as_ref().map_or(true, |p| p.matches(right_row)) {
+            if !j.right.pred.as_ref().is_none_or(|p| p.matches(right_row)) {
                 continue;
             }
             let joined = left_row.concat(right_row);
-            if j.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+            if j.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                 let out = Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect());
                 self.emit_result(ctx, qid, initiator, out);
             }
@@ -625,22 +905,13 @@ impl PierNode {
         };
         let rows = self.local_rows(scan);
         let nq = qns::rehash(qid);
-        let mini_base = {
-            let base = self.fresh_iid();
-            self.iid_seq = (self.iid_seq + rows.len() as u32 + 1) & 0x3_FFFF;
-            base
-        };
-        let mut mini_ctr: u32 = 0;
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
         for row in rows {
             let join = row.get(scan.join_col.unwrap()).clone();
             let pkey = row.get(scan.pkey_col).clone();
             let rid = Self::rehash_rid(&join, j.computation_nodes);
-            let iid = mini_base + {
-                mini_ctr += 1;
-                mini_ctr
-            };
+            let iid = self.fresh_iid();
             let item = QpItem::Mini {
                 qid,
                 side,
@@ -657,7 +928,6 @@ impl PierNode {
                 &mut events,
             );
         }
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -747,7 +1017,6 @@ impl PierNode {
             .get(&mut env, j.left.ns, pk_l.hash64(), tl, &mut events);
         self.dht
             .get(&mut env, j.right.ns, pk_r.hash64(), tr, &mut events);
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -797,7 +1066,7 @@ impl PierNode {
         for l in &lefts {
             for r in &rights {
                 let joined = l.concat(r);
-                if j.post_pred.as_ref().map_or(true, |pp| pp.matches(&joined)) {
+                if j.post_pred.as_ref().is_none_or(|pp| pp.matches(&joined)) {
                     let out = Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect());
                     self.emit_result(ctx, qid, initiator, out);
                 }
@@ -846,7 +1115,6 @@ impl PierNode {
                 env.timer(j.bloom_wait, token);
             }
         }
-        drop(env);
         for side in [false, true] {
             self.route_ns(qns::bloom(qid, side), qid, NsRole::BloomCollector(side));
         }
@@ -885,7 +1153,6 @@ impl PierNode {
             },
             &mut events,
         );
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -940,7 +1207,6 @@ impl PierNode {
                 &mut events,
             );
         }
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -971,7 +1237,9 @@ impl PierNode {
             return;
         };
         let agg = match &inst.desc.op {
-            QueryOp::Agg { agg, .. } | QueryOp::JoinAgg { agg, .. } => agg.clone(),
+            QueryOp::Agg { agg, .. }
+            | QueryOp::JoinAgg { agg, .. }
+            | QueryOp::MultiJoinAgg { agg, .. } => agg.clone(),
             _ => return,
         };
         let initiator = inst.desc.initiator;
@@ -995,7 +1263,7 @@ impl PierNode {
         }
         for (group, accs) in merged {
             let virt = accs.output_row(&group);
-            if agg.having.as_ref().map_or(true, |h| h.matches(&virt)) {
+            if agg.having.as_ref().is_none_or(|h| h.matches(&virt)) {
                 let out = Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect());
                 self.emit_result(ctx, qid, initiator, out);
             }
@@ -1033,7 +1301,7 @@ impl PierNode {
             // Root: finalize.
             for (group, accs) in groups {
                 let virt = accs.output_row(&group);
-                if agg.having.as_ref().map_or(true, |h| h.matches(&virt)) {
+                if agg.having.as_ref().is_none_or(|h| h.matches(&virt)) {
                     let out = Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect());
                     self.emit_result(ctx, qid, initiator, out);
                 }
@@ -1068,7 +1336,8 @@ impl PierNode {
         for (qid, role) in routes {
             match role {
                 NsRole::RehashNq => self.probe_nq(ctx, qid, &entry),
-                NsRole::BaseLeft | NsRole::BaseRight => {
+                NsRole::MStage(k) => self.mj_probe(ctx, qid, k as usize, &entry),
+                NsRole::BaseLeft | NsRole::BaseRight | NsRole::MBase(_) => {
                     self.on_base_new_data(ctx, qid, role, &entry)
                 }
                 NsRole::BloomCollector(right) => {
@@ -1106,7 +1375,7 @@ impl PierNode {
         let initiator = inst.desc.initiator;
         match inst.desc.op.clone() {
             QueryOp::Scan { scan, project } => {
-                if scan.pred.as_ref().map_or(true, |p| p.matches(&row)) {
+                if scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
                     let out = Tuple::new(project.iter().map(|e| e.eval(&row)).collect());
                     self.emit_result(ctx, qid, initiator, out);
                 }
@@ -1118,6 +1387,11 @@ impl PierNode {
                     Side::Right
                 };
                 self.rehash_one(ctx, qid, &j, side, row);
+            }
+            QueryOp::MultiJoin(m) | QueryOp::MultiJoinAgg { join: m, .. } => {
+                if let NsRole::MBase(t) = role {
+                    self.mj_rehash_one(ctx, qid, &m, t as usize, row);
+                }
             }
             QueryOp::Agg { .. } => {
                 // One-shot aggregates only; continuous aggregation would
@@ -1144,7 +1418,7 @@ impl PierNode {
             Side::Left => (&j.left, &view.keep_left),
             Side::Right => (&j.right, &view.keep_right),
         };
-        if !scan.pred.as_ref().map_or(true, |p| p.matches(&row)) {
+        if !scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
             return;
         }
         let join = row.get(scan.join_col.unwrap()).clone();
@@ -1168,7 +1442,6 @@ impl PierNode {
             lifetime,
             &mut events,
         );
-        drop(env);
         self.pump(ctx, events);
     }
 
@@ -1238,7 +1511,7 @@ impl PierNode {
                     (rb, ra)
                 };
                 let joined = l.concat(r);
-                if view.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+                if view.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                     let out = Tuple::new(view.project.iter().map(|e| e.eval(&joined)).collect());
                     if is_joinagg {
                         if let Some(ag) = &agg {
@@ -1326,7 +1599,6 @@ impl App for PierNode {
                 let mut env = PierEnv { ctx };
                 let mut events = Vec::new();
                 self.dht.handle_message(&mut env, from, m, &mut events);
-                drop(env);
                 self.pump(ctx, events);
             }
             PierMsg::Result { qid, row } => {
@@ -1341,7 +1613,6 @@ impl App for PierNode {
             let mut env = PierEnv { ctx };
             let mut events = Vec::new();
             self.dht.handle_timer(&mut env, token, &mut events);
-            drop(env);
             self.pump(ctx, events);
             return;
         }
@@ -1383,7 +1654,8 @@ impl App for PierNode {
             Some(TimerAction::AggHarvest { qid }) => self.agg_harvest(ctx, qid),
             Some(TimerAction::JoinAggFlush { qid }) => {
                 let agg = match self.queries.get(&qid).map(|i| &i.desc.op) {
-                    Some(QueryOp::JoinAgg { agg, .. }) => Some(agg.clone()),
+                    Some(QueryOp::JoinAgg { agg, .. })
+                    | Some(QueryOp::MultiJoinAgg { agg, .. }) => Some(agg.clone()),
                     _ => None,
                 };
                 if let Some(agg) = agg {

@@ -78,11 +78,13 @@ impl JoinStats {
         }
     }
 
-    fn results(&self) -> f64 {
-        // R rows passing their predicate, with a partner, whose partner
-        // passes the S predicate; the f() predicate halves again — but a
-        // constant factor common to all strategies can be dropped for
-        // strategy *selection* and kept simple here.
+    /// Estimated result cardinality: R rows passing their predicate,
+    /// with a partner, whose partner passes the S predicate; the f()
+    /// predicate halves again — but a constant factor common to all
+    /// strategies can be dropped for strategy *selection* and kept
+    /// simple here. Also the per-stage cardinality estimate the greedy
+    /// join-order search chains through a pipeline.
+    pub fn results(&self) -> f64 {
         self.rows_r * self.sel_r * self.match_r * self.sel_s
     }
 }
@@ -154,6 +156,88 @@ pub fn traffic_model(strategy: JoinStrategy, s: &JoinStats) -> f64 {
             filters + r_kept * (s.bytes_r + LOOKUP) + s_kept * (s.bytes_s + LOOKUP) + result_traffic
         }
     }
+}
+
+/// Catalog-derived card of one base table, input to the join-order
+/// search: row count, average wire bytes per tuple, and the estimated
+/// selectivity of its pushed-down local predicates.
+#[derive(Clone, Copy, Debug)]
+pub struct TableCard {
+    pub rows: f64,
+    pub bytes: f64,
+    pub sel: f64,
+}
+
+impl TableCard {
+    /// Rows surviving the local selection.
+    fn effective_rows(&self) -> f64 {
+        self.rows * self.sel
+    }
+}
+
+/// Greedy left-deep join-order search for an N-way equi-join.
+///
+/// `edges` are the query's equality predicates as table-index pairs.
+/// Starting from the table with the smallest effective cardinality that
+/// participates in a join edge, the search repeatedly appends the
+/// *connected* table whose stage would move the fewest bytes under the
+/// symmetric-hash [`traffic_model`] (the §5.5.1-validated latency model
+/// is order-insensitive for a pipeline, so traffic is the
+/// discriminating objective), chaining each stage's estimated
+/// [`JoinStats::results`] cardinality into the next. Disconnected
+/// tables, if any, are appended last (lowering will reject the cross
+/// product). Returns a permutation of `0..cards.len()`.
+pub fn greedy_join_order(cards: &[TableCard], edges: &[(usize, usize)]) -> Vec<usize> {
+    let n = cards.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let touches_edge = |i: usize| edges.iter().any(|&(a, b)| a == i || b == i);
+    let argmin = |it: &mut dyn Iterator<Item = usize>, key: &dyn Fn(usize) -> f64| {
+        it.min_by(|&a, &b| key(a).total_cmp(&key(b)))
+    };
+    let start = argmin(&mut (0..n).filter(|&i| touches_edge(i)), &|i| {
+        cards[i].effective_rows()
+    })
+    .unwrap_or(0);
+
+    let mut order = vec![start];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != start).collect();
+    // The accumulated intermediate: its local predicates are already
+    // applied, so sel = 1 from here on.
+    let mut cur_rows = cards[start].effective_rows();
+    let mut cur_bytes = cards[start].bytes;
+    while !remaining.is_empty() {
+        let connected = |i: usize| {
+            edges
+                .iter()
+                .any(|&(a, b)| (a == i && order.contains(&b)) || (b == i && order.contains(&a)))
+        };
+        let stage_stats = |i: usize| JoinStats {
+            rows_r: cur_rows,
+            rows_s: cards[i].rows,
+            bytes_r: cur_bytes,
+            bytes_s: cards[i].bytes,
+            sel_r: 1.0,
+            sel_s: cards[i].sel,
+            match_r: 0.9,
+            bytes_result: cur_bytes + cards[i].bytes,
+            bloom_bytes: 2048.0,
+        };
+        let cost = |i: usize| traffic_model(JoinStrategy::SymmetricHash, &stage_stats(i));
+        let next = argmin(
+            &mut remaining.iter().copied().filter(|&i| connected(i)),
+            &cost,
+        )
+        .or_else(|| argmin(&mut remaining.iter().copied(), &cost))
+        .unwrap();
+        let stats = stage_stats(next);
+        cur_rows = stats.results();
+        cur_bytes += cards[next].bytes;
+        order.push(next);
+        remaining.retain(|&i| i != next);
+    }
+    order
 }
 
 /// Pick the cheapest strategy for the objective.
@@ -235,6 +319,65 @@ mod tests {
         // Traffic objective never picks plain SHJ when semi-join wins.
         let choice = choose_strategy(&p, &s, Objective::Traffic);
         assert_ne!(choice, JoinStrategy::SymmetricHash);
+    }
+
+    #[test]
+    fn greedy_order_starts_small_and_stays_connected() {
+        // A big R, medium S, tiny T in a chain R — S — T.
+        let cards = [
+            TableCard {
+                rows: 100_000.0,
+                bytes: 1024.0,
+                sel: 1.0,
+            },
+            TableCard {
+                rows: 10_000.0,
+                bytes: 100.0,
+                sel: 1.0,
+            },
+            TableCard {
+                rows: 100.0,
+                bytes: 100.0,
+                sel: 1.0,
+            },
+        ];
+        let order = greedy_join_order(&cards, &[(0, 1), (1, 2)]);
+        // T is smallest but only connects to S: start at T, then S, then
+        // the expensive R last.
+        assert_eq!(order, vec![2, 1, 0]);
+        // Two tables: trivial order.
+        assert_eq!(greedy_join_order(&cards[..2], &[(0, 1)]), vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_order_is_always_a_permutation() {
+        let cards = [
+            TableCard {
+                rows: 50.0,
+                bytes: 10.0,
+                sel: 0.5,
+            },
+            TableCard {
+                rows: 5000.0,
+                bytes: 10.0,
+                sel: 1.0,
+            },
+            TableCard {
+                rows: 500.0,
+                bytes: 10.0,
+                sel: 0.5,
+            },
+            TableCard {
+                rows: 5.0,
+                bytes: 10.0,
+                sel: 1.0,
+            },
+        ];
+        // Star centered on table 1, plus a disconnected table 3.
+        let mut order = greedy_join_order(&cards, &[(0, 1), (1, 2)]);
+        assert_eq!(order.last(), Some(&3), "disconnected table goes last");
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
     #[test]

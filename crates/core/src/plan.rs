@@ -131,6 +131,86 @@ impl JoinSpec {
     }
 }
 
+/// One stage of a left-deep multi-way join pipeline.
+///
+/// Stage `k` joins the accumulated intermediate relation (the
+/// concatenation of every table joined so far) with one more base table:
+/// intermediates arrive tagged [`crate::item::Side::Left`] in the stage's
+/// namespace ([`qns::stage`]), the base table's fragments are rehashed
+/// into the same namespace tagged `Right`, and matches are concatenated
+/// and fed to stage `k + 1` — the §4.1 pipelining symmetric hash join,
+/// chained.
+#[derive(Clone, Debug)]
+pub struct JoinStage {
+    /// The base table joined in at this stage; `join_col` names the
+    /// equi-join column within its own schema.
+    pub right: ScanSpec,
+    /// Equi-join column within the accumulated intermediate schema (the
+    /// concatenation of all preceding tables) — any earlier table may
+    /// supply it, so star as well as chain queries lower to a pipeline.
+    pub left_col: usize,
+    /// Predicate over `accumulated ++ right`, applied to each stage
+    /// output: the conjuncts that first become evaluable here.
+    pub stage_pred: Option<Expr>,
+}
+
+/// A left-deep multi-way equi-join pipeline over `1 + stages.len()`
+/// base-table accesses (3 or more tables; binary joins use [`JoinSpec`]
+/// and keep their four-strategy repertoire).
+///
+/// Intermediates are full concatenations of the constituent tuples —
+/// unlike the binary path's [`RehashView`], no per-stage column pruning
+/// is applied yet, so wide pass-through columns (e.g. the workload's
+/// `R.pad`) ride through every stage. Generalizing the rehash-view
+/// narrowing per stage is the known follow-up.
+#[derive(Clone, Debug)]
+pub struct MultiJoinSpec {
+    /// The pipeline head: the first table, scanned and rehashed into
+    /// stage 0 on `stages[0].left_col`.
+    pub base: ScanSpec,
+    /// The remaining tables, joined in left-deep order.
+    pub stages: Vec<JoinStage>,
+    /// Output expressions over the full concatenation of all tables.
+    pub project: Vec<Expr>,
+}
+
+impl MultiJoinSpec {
+    pub fn new(base: ScanSpec, stages: Vec<JoinStage>) -> Self {
+        assert!(!stages.is_empty(), "a pipeline needs at least two tables");
+        assert!(stages[0].left_col < base.arity);
+        MultiJoinSpec {
+            base,
+            stages,
+            project: Vec::new(),
+        }
+    }
+
+    /// Number of base tables in the pipeline.
+    pub fn n_tables(&self) -> usize {
+        1 + self.stages.len()
+    }
+
+    /// Arity of the accumulated schema after stage `k` completes (the
+    /// concatenation of tables `0 ..= k + 1`).
+    pub fn arity_after(&self, k: usize) -> usize {
+        self.base.arity
+            + self.stages[..=k]
+                .iter()
+                .map(|s| s.right.arity)
+                .sum::<usize>()
+    }
+
+    /// Arity of the full concatenation of every table.
+    pub fn arity(&self) -> usize {
+        self.arity_after(self.stages.len() - 1)
+    }
+
+    /// Default projection: every column of every table.
+    pub fn all_columns(&self) -> Vec<Expr> {
+        (0..self.arity()).map(Expr::col).collect()
+    }
+}
+
 /// Aggregate functions (§3.3 lists grouping and aggregation among the
 /// initial operators; the intrusion queries of §2.1 use count and sum).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -186,12 +266,16 @@ impl AggSpec {
 pub enum QueryOp {
     /// Scan-select-project: results flow straight to the initiator.
     Scan { scan: ScanSpec, project: Vec<Expr> },
-    /// Distributed equi-join.
+    /// Distributed binary equi-join.
     Join(JoinSpec),
+    /// Left-deep multi-way join pipeline (3+ tables).
+    MultiJoin(MultiJoinSpec),
     /// Single-table grouped aggregation.
     Agg { scan: ScanSpec, agg: AggSpec },
     /// Join feeding a grouped aggregation (e.g. §2.1's weighted query).
     JoinAgg { join: JoinSpec, agg: AggSpec },
+    /// Multi-way pipeline feeding a grouped aggregation.
+    MultiJoinAgg { join: MultiJoinSpec, agg: AggSpec },
 }
 
 /// A complete query as multicast to all nodes.
@@ -243,13 +327,25 @@ impl QueryDesc {
                 + a.output.iter().map(Expr::wire_size).sum::<usize>()
                 + a.having.as_ref().map_or(0, Expr::wire_size)
         }
+        fn multi_sz(m: &MultiJoinSpec) -> usize {
+            16 + scan_sz(&m.base)
+                + m.stages
+                    .iter()
+                    .map(|s| {
+                        8 + scan_sz(&s.right) + s.stage_pred.as_ref().map_or(0, Expr::wire_size)
+                    })
+                    .sum::<usize>()
+                + m.project.iter().map(Expr::wire_size).sum::<usize>()
+        }
         24 + match &self.op {
             QueryOp::Scan { scan, project } => {
                 scan_sz(scan) + project.iter().map(Expr::wire_size).sum::<usize>()
             }
             QueryOp::Join(j) => join_sz(j),
+            QueryOp::MultiJoin(m) => multi_sz(m),
             QueryOp::Agg { scan, agg } => scan_sz(scan) + agg_sz(agg),
             QueryOp::JoinAgg { join, agg } => join_sz(join) + agg_sz(agg),
+            QueryOp::MultiJoinAgg { join, agg } => multi_sz(join) + agg_sz(agg),
         }
     }
 }
@@ -262,6 +358,13 @@ pub mod qns {
     /// Rehash namespace `NQ` for a join (§4.1).
     pub fn rehash(qid: u64) -> Ns {
         hash2(0x4e51, qid) // "NQ"
+    }
+
+    /// Rehash namespace for stage `k` of a multi-way pipeline: each
+    /// stage's intermediate state lives in its own namespace so probes
+    /// never cross stages.
+    pub fn stage(qid: u64, k: usize) -> Ns {
+        hash2(0x4e53_0000 + k as u64, qid) // "NS" + stage index
     }
 
     /// Bloom collector namespace for one side.
@@ -408,6 +511,50 @@ mod tests {
         assert_ne!(qns::rehash(1), qns::rehash(2));
         assert_ne!(qns::rehash(1), qns::agg(1));
         assert_ne!(qns::bloom(1, false), qns::bloom(1, true));
+        assert_ne!(qns::stage(1, 0), qns::stage(1, 1));
+        assert_ne!(qns::stage(1, 0), qns::stage(2, 0));
+        assert_ne!(qns::stage(1, 0), qns::rehash(1));
+    }
+
+    fn workload_multi() -> MultiJoinSpec {
+        // R ⨝ S on R.num1 = S.pkey, then (R ++ S) ⨝ T on S.num3 = T.pkey.
+        let base = ScanSpec::new("R", 5, 0);
+        let s1 = JoinStage {
+            right: ScanSpec::new("S", 3, 0).with_join_col(0),
+            left_col: 1, // R.num1
+            stage_pred: None,
+        };
+        let s2 = JoinStage {
+            right: ScanSpec::new("T", 3, 0).with_join_col(0),
+            left_col: 7, // S.num3 within R ++ S
+            stage_pred: Some(Expr::gt(Expr::col(9), Expr::lit(50i64))),
+        };
+        let mut m = MultiJoinSpec::new(base, vec![s1, s2]);
+        m.project = vec![Expr::col(0), Expr::col(5), Expr::col(8)];
+        m
+    }
+
+    #[test]
+    fn multi_join_arities_accumulate() {
+        let m = workload_multi();
+        assert_eq!(m.n_tables(), 3);
+        assert_eq!(m.arity_after(0), 8);
+        assert_eq!(m.arity_after(1), 11);
+        assert_eq!(m.arity(), 11);
+        assert_eq!(m.all_columns().len(), 11);
+    }
+
+    #[test]
+    fn multi_join_descriptor_wire_size_is_modest() {
+        let d = QueryDesc::one_shot(11, 0, QueryOp::MultiJoin(workload_multi()));
+        let sz = d.wire_size();
+        assert!(sz > 80 && sz < 1500, "desc size {sz}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn multi_join_requires_at_least_one_stage() {
+        let _ = MultiJoinSpec::new(ScanSpec::new("R", 5, 0), Vec::new());
     }
 
     #[test]

@@ -1,21 +1,54 @@
 //! The declarative top of the stack: SQL in, cost-optimized distributed
 //! plan out. Ties together the parser ([`crate::sql`]), the catalog's
-//! statistics, and the §5.5.1-based cost model ([`crate::optimizer`]).
+//! statistics, and the §5.5.1-based cost model ([`crate::optimizer`]):
+//! binary joins get the cheapest of the four §4 strategies for the
+//! chosen objective; N-way joins additionally get a greedy cost-based
+//! join order ([`crate::optimizer::greedy_join_order`]) before lowering
+//! to a left-deep symmetric-hash pipeline.
 
 use crate::catalog::Catalog;
-use crate::optimizer::{choose_strategy, CostParams, JoinStats, Objective};
+use crate::optimizer::{
+    choose_strategy, greedy_join_order, CostParams, JoinStats, Objective, TableCard,
+};
 use crate::plan::{JoinStrategy, QueryOp};
-use crate::sql::parse_query;
+use crate::sql::{lower_parsed, parse_sql, plan_info};
 
-/// Parse `sql` and, for join queries, pick the cheapest strategy for the
-/// objective using catalog statistics and the network cost parameters.
+/// Parse `sql` and, for join queries, pick the cheapest strategy (and,
+/// for 3+-table queries, the join order) for the objective using catalog
+/// statistics and the network cost parameters.
 pub fn plan_sql(
     sql: &str,
     catalog: &Catalog,
     net: &CostParams,
     objective: Objective,
 ) -> Result<QueryOp, String> {
-    let mut op = parse_query(sql, catalog, JoinStrategy::SymmetricHash)?;
+    let parsed = parse_sql(sql, catalog)?;
+    let from_order: Vec<usize> = (0..parsed.n_tables()).collect();
+    if parsed.n_tables() >= 3 {
+        // Greedy cost-based join-order search over catalog cardinalities
+        // (pipelines chain symmetric-hash stages; the binary strategy
+        // repertoire does not apply).
+        let info = plan_info(&parsed)?;
+        let cards: Vec<TableCard> = info
+            .table_names
+            .iter()
+            .zip(&info.has_pred)
+            .map(|(name, &has_pred)| {
+                let def = catalog
+                    .get(name)
+                    .ok_or_else(|| format!("no stats for {name}"))?;
+                Ok(TableCard {
+                    rows: def.stats.rows as f64,
+                    bytes: def.stats.avg_tuple_bytes as f64,
+                    // The classical 1/2 for predicates we cannot derive.
+                    sel: if has_pred { 0.5 } else { 1.0 },
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let order = greedy_join_order(&cards, &info.edges);
+        return lower_parsed(&parsed, &order, JoinStrategy::SymmetricHash);
+    }
+    let mut op = lower_parsed(&parsed, &from_order, JoinStrategy::SymmetricHash)?;
     let join = match &mut op {
         QueryOp::Join(j) => Some(j),
         QueryOp::JoinAgg { join, .. } => Some(join),
@@ -121,6 +154,38 @@ mod tests {
             let QueryOp::Join(j) = op else { panic!() };
             assert_ne!(j.strategy, JoinStrategy::FetchMatches);
         }
+    }
+
+    #[test]
+    fn multiway_queries_get_a_cost_based_join_order() {
+        // R is huge and wide, S medium, T small: the greedy search must
+        // start the pipeline at T and join the expensive R last.
+        let mut c = catalog();
+        c.set_stats(
+            "T",
+            TableStats {
+                rows: 1000,
+                avg_tuple_bytes: 100,
+            },
+        );
+        let op = plan_sql(
+            "SELECT R.pkey, T.pkey FROM R, S, T \
+             WHERE R.num1 = S.pkey AND S.num3 = T.pkey",
+            &c,
+            &CostParams::paper_baseline(1024.0),
+            Objective::Traffic,
+        )
+        .unwrap();
+        let QueryOp::MultiJoin(m) = op else { panic!() };
+        assert_eq!(m.base.table, "T");
+        assert_eq!(m.stages[0].right.table, "S");
+        assert_eq!(m.stages[1].right.table, "R");
+        // T.pkey sits at accumulated column 0; R joins S.pkey at
+        // accumulated column 3 (T ++ S).
+        assert_eq!(m.stages[0].left_col, 0);
+        assert_eq!(m.stages[1].left_col, 3);
+        // Output columns still follow the SELECT list, not the order.
+        assert_eq!(m.project.len(), 2);
     }
 
     #[test]

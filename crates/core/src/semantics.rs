@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::plan::{AggSpec, JoinSpec, QueryOp};
+use crate::plan::{AggSpec, JoinSpec, MultiJoinSpec, QueryOp};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -18,18 +18,18 @@ pub fn reference_join(j: &JoinSpec, left: &[Tuple], right: &[Tuple]) -> Vec<Tupl
     let jl = j.left.join_col.expect("join col");
     let jr = j.right.join_col.expect("join col");
     for l in left {
-        if !j.left.pred.as_ref().map_or(true, |p| p.matches(l)) {
+        if !j.left.pred.as_ref().is_none_or(|p| p.matches(l)) {
             continue;
         }
         for r in right {
             if l.get(jl) != r.get(jr) {
                 continue;
             }
-            if !j.right.pred.as_ref().map_or(true, |p| p.matches(r)) {
+            if !j.right.pred.as_ref().is_none_or(|p| p.matches(r)) {
                 continue;
             }
             let joined = l.concat(r);
-            if !j.post_pred.as_ref().map_or(true, |p| p.matches(&joined)) {
+            if !j.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                 continue;
             }
             out.push(Tuple::new(
@@ -38,6 +38,42 @@ pub fn reference_join(j: &JoinSpec, left: &[Tuple], right: &[Tuple]) -> Vec<Tupl
         }
     }
     out
+}
+
+/// Centralized left-deep evaluation of a multi-way join pipeline over
+/// named base tables: stage by stage, exactly mirroring the distributed
+/// dataflow's concatenation order, predicates, and final projection.
+pub fn reference_multijoin(m: &MultiJoinSpec, tables: &HashMap<String, Vec<Tuple>>) -> Vec<Tuple> {
+    let empty: Vec<Tuple> = Vec::new();
+    let get = |name: &str| tables.get(name).unwrap_or(&empty);
+    let mut acc: Vec<Tuple> = get(&m.base.table)
+        .iter()
+        .filter(|t| m.base.pred.as_ref().is_none_or(|p| p.matches(t)))
+        .cloned()
+        .collect();
+    for st in &m.stages {
+        let jr = st.right.join_col.expect("stage join col");
+        let right: Vec<&Tuple> = get(&st.right.table)
+            .iter()
+            .filter(|t| st.right.pred.as_ref().is_none_or(|p| p.matches(t)))
+            .collect();
+        let mut next = Vec::new();
+        for a in &acc {
+            for r in &right {
+                if a.get(st.left_col) != r.get(jr) {
+                    continue;
+                }
+                let joined = a.concat(r);
+                if st.stage_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
+                    next.push(joined);
+                }
+            }
+        }
+        acc = next;
+    }
+    acc.iter()
+        .map(|t| Tuple::new(m.project.iter().map(|e| e.eval(t)).collect()))
+        .collect()
 }
 
 /// Centralized evaluation of grouped aggregation over input rows.
@@ -53,7 +89,7 @@ pub fn reference_agg(agg: &AggSpec, rows: &[Tuple]) -> Vec<Tuple> {
     let mut out = Vec::new();
     for (key, accs) in groups {
         let virt = accs.output_row(&key);
-        if agg.having.as_ref().map_or(true, |h| h.matches(&virt)) {
+        if agg.having.as_ref().is_none_or(|h| h.matches(&virt)) {
             out.push(Tuple::new(
                 agg.output.iter().map(|e| e.eval(&virt)).collect(),
             ));
@@ -69,14 +105,18 @@ pub fn reference_eval(op: &QueryOp, tables: &HashMap<String, Vec<Tuple>>) -> Vec
     match op {
         QueryOp::Scan { scan, project } => get(&scan.table)
             .iter()
-            .filter(|t| scan.pred.as_ref().map_or(true, |p| p.matches(t)))
+            .filter(|t| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
             .map(|t| Tuple::new(project.iter().map(|e| e.eval(t)).collect()))
             .collect(),
         QueryOp::Join(j) => reference_join(j, get(&j.left.table), get(&j.right.table)),
+        QueryOp::MultiJoin(m) => reference_multijoin(m, tables),
+        QueryOp::MultiJoinAgg { join, agg } => {
+            reference_agg(agg, &reference_multijoin(join, tables))
+        }
         QueryOp::Agg { scan, agg } => {
             let rows: Vec<Tuple> = get(&scan.table)
                 .iter()
-                .filter(|t| scan.pred.as_ref().map_or(true, |p| p.matches(t)))
+                .filter(|t| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
                 .cloned()
                 .collect();
             reference_agg(agg, &rows)
@@ -138,6 +178,7 @@ mod tests {
     use crate::expr::Expr;
     use crate::plan::{JoinStrategy, ScanSpec};
     use crate::tuple;
+    use std::collections::HashMap;
 
     #[test]
     fn reference_join_applies_all_predicates() {
@@ -158,6 +199,48 @@ mod tests {
             &out,
             &[tuple![1i64, 100i64], tuple![3i64, 100i64]]
         ));
+    }
+
+    #[test]
+    fn reference_multijoin_chains_three_tables() {
+        use crate::plan::{JoinStage, MultiJoinSpec};
+        // A(k, x) ⨝ B(x, y) on A.x = B.x, then ⨝ C(y, v) on B.y = C.y,
+        // with a stage predicate on C.v.
+        let base = ScanSpec::new("A", 2, 0);
+        let s1 = JoinStage {
+            right: ScanSpec::new("B", 2, 0).with_join_col(0),
+            left_col: 1,
+            stage_pred: None,
+        };
+        let s2 = JoinStage {
+            right: ScanSpec::new("C", 2, 0).with_join_col(0),
+            left_col: 3, // B.y within A ++ B
+            stage_pred: Some(Expr::gt(Expr::col(5), Expr::lit(10i64))),
+        };
+        let mut m = MultiJoinSpec::new(base, vec![s1, s2]);
+        m.project = vec![Expr::col(0), Expr::col(5)]; // A.k, C.v
+        let mut tables = HashMap::new();
+        tables.insert(
+            "A".to_string(),
+            vec![tuple![1i64, 7i64], tuple![2i64, 8i64], tuple![3i64, 7i64]],
+        );
+        tables.insert(
+            "B".to_string(),
+            vec![tuple![7i64, 70i64], tuple![8i64, 80i64]],
+        );
+        tables.insert(
+            "C".to_string(),
+            vec![tuple![70i64, 100i64], tuple![80i64, 5i64]],
+        );
+        let out = reference_multijoin(&m, &tables);
+        // A(2) joins B(8) joins C(80) but v = 5 fails the stage pred.
+        assert!(same_multiset(
+            &out,
+            &[tuple![1i64, 100i64], tuple![3i64, 100i64]]
+        ));
+        // And through the QueryOp wrapper.
+        let via_op = reference_eval(&crate::plan::QueryOp::MultiJoin(m), &tables);
+        assert!(same_multiset(&out, &via_op));
     }
 
     #[test]

@@ -5,18 +5,25 @@
 //!
 //! ```sql
 //! SELECT expr [AS name], ...
-//! FROM table [AS t] [, table [AS t]]
-//! [WHERE conjunctive predicates, incl. one cross-table equality]
+//! FROM table [AS t] [, table [AS t] ...]
+//! [WHERE conjunctive predicates, incl. cross-table equalities]
 //! [GROUP BY cols] [HAVING expr]
 //! ```
 //!
 //! which covers all three §2.1 intrusion-detection examples and the §5.1
-//! workload query. The parser resolves names against the [`Catalog`] and
-//! emits a fully index-resolved [`QueryOp`].
+//! workload query, plus N-table equi-join chains and stars. The parser
+//! resolves names against the [`Catalog`] and emits a fully
+//! index-resolved [`QueryOp`]: binary joins keep the four-strategy
+//! repertoire of §4; three or more tables lower to a left-deep
+//! [`MultiJoinSpec`] pipeline of chained symmetric hash joins. Parsing
+//! and lowering are split (`parse_sql` / `lower_parsed`, crate-internal)
+//! so the cost-based planner can choose the join order between the two.
 
 use crate::catalog::Catalog;
 use crate::expr::{BinOp, Expr, Func};
-use crate::plan::{AggCall, AggFunc, AggSpec, JoinSpec, JoinStrategy, QueryOp, ScanSpec};
+use crate::plan::{
+    AggCall, AggFunc, AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, QueryOp, ScanSpec,
+};
 use crate::value::Value;
 
 // ---------------------------------------------------------------------
@@ -347,7 +354,47 @@ fn scalar_func(name: &str) -> Option<Func> {
 // Name resolution & lowering
 // ---------------------------------------------------------------------
 
-struct FromTable {
+/// One FROM-clause table, pre-resolution. Column offsets are *not*
+/// stored here: they depend on the join order chosen at lowering time.
+#[derive(Clone)]
+pub(crate) struct FromTable {
+    alias: String,
+    table: String,
+    schema: crate::tuple::SchemaRef,
+    pkey_col: usize,
+}
+
+/// Parsed SELECT item.
+#[derive(Clone)]
+struct SelectItem {
+    expr: PExpr,
+    alias: Option<String>,
+}
+
+/// A parsed-but-not-yet-lowered query: FROM tables in syntactic order,
+/// the star-expanded SELECT list, the WHERE conjuncts, and grouping.
+///
+/// Lowering ([`lower_parsed`]) binds a *join order* — a permutation of
+/// the FROM tables — before any column index is baked in, which is what
+/// lets the planner reorder N-way joins cost-based while `parse_query`
+/// keeps the syntactic order.
+pub(crate) struct ParsedQuery {
+    tables: Vec<FromTable>,
+    select: Vec<SelectItem>,
+    conjuncts: Vec<PExpr>,
+    group_by: Vec<String>,
+    having: Option<PExpr>,
+}
+
+impl ParsedQuery {
+    pub(crate) fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// A FROM table placed at a definite offset within the concatenated
+/// schema of one particular join order.
+struct ResolvedTable {
     alias: String,
     table: String,
     schema: crate::tuple::SchemaRef,
@@ -356,10 +403,37 @@ struct FromTable {
 }
 
 struct Resolver {
-    tables: Vec<FromTable>,
+    tables: Vec<ResolvedTable>,
 }
 
 impl Resolver {
+    /// Place `tables[order[0]], tables[order[1]], ...` at cumulative
+    /// offsets.
+    fn new(tables: &[FromTable], order: &[usize]) -> Resolver {
+        let mut out = Vec::with_capacity(order.len());
+        let mut offset = 0;
+        for &i in order {
+            let t = &tables[i];
+            out.push(ResolvedTable {
+                alias: t.alias.clone(),
+                table: t.table.clone(),
+                schema: t.schema.clone(),
+                pkey_col: t.pkey_col,
+                offset,
+            });
+            offset += t.schema.arity();
+        }
+        Resolver { tables: out }
+    }
+
+    /// Which ordered table a global column index belongs to.
+    fn table_of(&self, col: usize) -> usize {
+        self.tables
+            .iter()
+            .rposition(|t| t.offset <= col)
+            .expect("column offset")
+    }
+
     /// Resolve a (possibly qualified) column name to a global index over
     /// the concatenated FROM schemas.
     fn col(&self, name: &str) -> Result<usize, String> {
@@ -426,19 +500,9 @@ fn conjuncts(e: PExpr, out: &mut Vec<PExpr>) {
     }
 }
 
-/// Parsed SELECT item.
-struct SelectItem {
-    expr: PExpr,
-    alias: Option<String>,
-}
-
-/// Parse a SQL string against a catalog, producing a resolved query op.
-/// Joins default to the given strategy.
-pub fn parse_query(
-    sql: &str,
-    catalog: &Catalog,
-    strategy: JoinStrategy,
-) -> Result<QueryOp, String> {
+/// Parse a SQL string against a catalog into a [`ParsedQuery`], leaving
+/// join order and strategy unbound.
+pub(crate) fn parse_sql(sql: &str, catalog: &Catalog) -> Result<ParsedQuery, String> {
     let mut p = Parser {
         toks: lex(sql)?,
         pos: 0,
@@ -461,8 +525,7 @@ pub fn parse_query(
         }
     }
     p.expect_kw("FROM")?;
-    let mut resolver = Resolver { tables: Vec::new() };
-    let mut offset = 0;
+    let mut tables: Vec<FromTable> = Vec::new();
     loop {
         let table = p.ident()?;
         let def = catalog
@@ -483,20 +546,15 @@ pub fn parse_query(
         } else {
             table.clone()
         };
-        resolver.tables.push(FromTable {
+        tables.push(FromTable {
             alias,
             table: def.schema.name.clone(),
             schema: def.schema.clone(),
             pkey_col: def.pkey_col,
-            offset,
         });
-        offset += def.schema.arity();
         if !p.sym(",") {
             break;
         }
-    }
-    if resolver.tables.len() > 2 {
-        return Err("at most two tables per query (binary joins only)".into());
     }
 
     let where_expr = if p.kw("WHERE") { Some(p.expr()?) } else { None };
@@ -526,11 +584,12 @@ pub fn parse_query(
         return Err(format!("trailing tokens at {:?}", p.peek()));
     }
 
-    // Expand `*`.
+    // Expand `*` in FROM order so output columns are order-independent:
+    // qualified names re-resolve correctly under any join order.
     let mut select: Vec<SelectItem> = Vec::new();
     for item in items {
         if item.expr == PExpr::Col("*".into()) {
-            for t in &resolver.tables {
+            for t in &tables {
                 for f in &t.schema.fields {
                     select.push(SelectItem {
                         expr: PExpr::Col(format!("{}.{}", t.alias, f.name)),
@@ -543,50 +602,251 @@ pub fn parse_query(
         }
     }
 
-    // Classify WHERE conjuncts.
-    let arity_l = resolver.tables[0].schema.arity();
-    let two = resolver.tables.len() == 2;
-    let mut left_preds = Vec::new();
-    let mut right_preds = Vec::new();
-    let mut post_preds = Vec::new();
-    let mut join_cols: Option<(usize, usize)> = None;
+    let mut cs = Vec::new();
     if let Some(w) = where_expr {
-        let mut cs = Vec::new();
         conjuncts(w, &mut cs);
-        for c in cs {
-            let lowered = resolver.lower(&c)?;
-            let mut cols = Vec::new();
-            lowered.columns(&mut cols);
-            let all_left = cols.iter().all(|&c| c < arity_l);
-            let all_right = two && cols.iter().all(|&c| c >= arity_l);
-            // A cross-table equality is the join condition.
-            if two && join_cols.is_none() {
-                if let Expr::Bin(BinOp::Eq, a, b) = &lowered {
-                    if let (Expr::Col(x), Expr::Col(y)) = (a.as_ref(), b.as_ref()) {
-                        let (x, y) = (*x, *y);
-                        if (x < arity_l) != (y < arity_l) {
-                            let (l, r) = if x < arity_l { (x, y) } else { (y, x) };
-                            join_cols = Some((l, r - arity_l));
-                            continue;
-                        }
-                    }
+    }
+
+    Ok(ParsedQuery {
+        tables,
+        select,
+        conjuncts: cs,
+        group_by,
+        having,
+    })
+}
+
+/// WHERE conjuncts classified against one join order.
+struct Classified {
+    /// Single-table predicates per ordered table, remapped to each
+    /// table's local columns (pushed to the scan).
+    scan_preds: Vec<Vec<Expr>>,
+    /// Cross-table equality edges as global column pairs, the end in the
+    /// earlier-ordered table first; conjunct order preserved.
+    edges: Vec<(usize, usize)>,
+    /// Remaining conjuncts, evaluable only above a join (global basis).
+    cross_preds: Vec<Expr>,
+}
+
+fn classify(resolver: &Resolver, conjs: &[PExpr]) -> Result<Classified, String> {
+    let n = resolver.tables.len();
+    let mut out = Classified {
+        scan_preds: vec![Vec::new(); n],
+        edges: Vec::new(),
+        cross_preds: Vec::new(),
+    };
+    for pe in conjs {
+        let lowered = resolver.lower(pe)?;
+        let mut cols = Vec::new();
+        lowered.columns(&mut cols);
+        let mut ts: Vec<usize> = cols.iter().map(|&c| resolver.table_of(c)).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        if ts.len() <= 1 {
+            // Single-table (or constant) predicate: push to that scan.
+            let t = ts.first().copied().unwrap_or(0);
+            let off = resolver.tables[t].offset;
+            let local = lowered
+                .remap_cols(&|c| Some(c - off))
+                .map_err(|e| e.to_string())?;
+            out.scan_preds[t].push(local);
+            continue;
+        }
+        if let Expr::Bin(BinOp::Eq, a, b) = &lowered {
+            if let (Expr::Col(x), Expr::Col(y)) = (a.as_ref(), b.as_ref()) {
+                let (tx, ty) = (resolver.table_of(*x), resolver.table_of(*y));
+                if tx != ty {
+                    let (lo, hi) = if tx < ty { (*x, *y) } else { (*y, *x) };
+                    out.edges.push((lo, hi));
+                    continue;
                 }
             }
-            if all_left {
-                left_preds.push(lowered);
-            } else if all_right {
-                let shifted = lowered
-                    .remap_cols(&|c| Some(c - arity_l))
-                    .map_err(|e| e.to_string())?;
-                right_preds.push(shifted);
-            } else {
-                post_preds.push(lowered);
+        }
+        out.cross_preds.push(lowered);
+    }
+    Ok(out)
+}
+
+/// Join-graph summary the cost-based planner needs to pick an order:
+/// per-table predicate presence and the equality edges as FROM-order
+/// table-index pairs.
+pub(crate) struct PlanInfo {
+    pub(crate) table_names: Vec<String>,
+    pub(crate) has_pred: Vec<bool>,
+    pub(crate) edges: Vec<(usize, usize)>,
+}
+
+pub(crate) fn plan_info(p: &ParsedQuery) -> Result<PlanInfo, String> {
+    let order: Vec<usize> = (0..p.tables.len()).collect();
+    let resolver = Resolver::new(&p.tables, &order);
+    let cls = classify(&resolver, &p.conjuncts)?;
+    Ok(PlanInfo {
+        table_names: p.tables.iter().map(|t| t.table.clone()).collect(),
+        has_pred: cls.scan_preds.iter().map(|v| !v.is_empty()).collect(),
+        edges: cls
+            .edges
+            .iter()
+            .map(|&(a, b)| (resolver.table_of(a), resolver.table_of(b)))
+            .collect(),
+    })
+}
+
+/// Aggregate lowering: collect distinct aggregate calls from SELECT and
+/// HAVING, then rewrite both onto the `[groups..., aggs...]` basis.
+fn build_agg(
+    resolver: &Resolver,
+    select: &[SelectItem],
+    group_by: &[String],
+    having: &Option<PExpr>,
+) -> Result<AggSpec, String> {
+    let group_cols: Vec<usize> = group_by
+        .iter()
+        .map(|g| resolver.col(g))
+        .collect::<Result<_, _>>()?;
+    // Collect distinct aggregate calls.
+    let mut calls: Vec<(AggFunc, Option<PExpr>)> = Vec::new();
+    fn collect(e: &PExpr, calls: &mut Vec<(AggFunc, Option<PExpr>)>) {
+        match e {
+            PExpr::Agg(f, arg) => {
+                let key = (*f, arg.as_deref().cloned());
+                if !calls.contains(&key) {
+                    calls.push(key);
+                }
+            }
+            PExpr::Bin(_, l, r) => {
+                collect(l, calls);
+                collect(r, calls);
+            }
+            PExpr::Not(i) => collect(i, calls),
+            PExpr::Call(_, args) => args.iter().for_each(|a| collect(a, calls)),
+            _ => {}
+        }
+    }
+    for item in select {
+        collect(&item.expr, &mut calls);
+    }
+    if let Some(h) = having {
+        collect(h, &mut calls);
+    }
+    // Lower an expression onto the [groups..., aggs...] basis.
+    struct AggLower<'a> {
+        resolver: &'a Resolver,
+        group_cols: &'a [usize],
+        calls: &'a [(AggFunc, Option<PExpr>)],
+        aliases: &'a [(String, Expr)],
+    }
+    impl AggLower<'_> {
+        fn lower(&self, e: &PExpr) -> Result<Expr, String> {
+            match e {
+                PExpr::Agg(f, arg) => {
+                    let idx = self
+                        .calls
+                        .iter()
+                        .position(|(cf, ca)| cf == f && ca.as_ref() == arg.as_deref())
+                        .unwrap();
+                    Ok(Expr::Col(self.group_cols.len() + idx))
+                }
+                PExpr::Col(name) => {
+                    // A select alias (e.g. HAVING cnt > 10)?
+                    if let Some((_, e)) = self
+                        .aliases
+                        .iter()
+                        .find(|(a, _)| a.eq_ignore_ascii_case(name))
+                    {
+                        return Ok(e.clone());
+                    }
+                    let base = self.resolver.col(name)?;
+                    self.group_cols
+                        .iter()
+                        .position(|&g| g == base)
+                        .map(Expr::Col)
+                        .ok_or_else(|| format!("column '{name}' not in GROUP BY"))
+                }
+                PExpr::Lit(v) => Ok(Expr::Lit(v.clone())),
+                PExpr::Bin(op, l, r) => Ok(Expr::bin(*op, self.lower(l)?, self.lower(r)?)),
+                PExpr::Not(i) => Ok(Expr::Not(Box::new(self.lower(i)?))),
+                PExpr::Call(f, args) => Ok(Expr::Call(
+                    *f,
+                    args.iter()
+                        .map(|a| self.lower(a))
+                        .collect::<Result<_, _>>()?,
+                )),
             }
         }
     }
+    let agg_calls: Vec<AggCall> = calls
+        .iter()
+        .map(|(f, arg)| {
+            Ok(AggCall {
+                func: *f,
+                arg: arg.as_ref().map(|a| resolver.lower(a)).transpose()?,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    let mut aliases: Vec<(String, Expr)> = Vec::new();
+    let mut output = Vec::new();
+    for item in select {
+        let lower = AggLower {
+            resolver,
+            group_cols: &group_cols,
+            calls: &calls,
+            aliases: &aliases,
+        };
+        let e = lower.lower(&item.expr)?;
+        if let Some(a) = &item.alias {
+            aliases.push((a.clone(), e.clone()));
+        }
+        output.push(e);
+    }
+    let having_expr = having
+        .as_ref()
+        .map(|h| {
+            AggLower {
+                resolver,
+                group_cols: &group_cols,
+                calls: &calls,
+                aliases: &aliases,
+            }
+            .lower(h)
+        })
+        .transpose()?;
+    let mut spec = AggSpec::new(group_cols, agg_calls);
+    spec.output = output;
+    spec.having = having_expr;
+    Ok(spec)
+}
 
-    // Build the scan / join skeleton.
-    let make_scan = |t: &FromTable, preds: Vec<Expr>| {
+/// Lower a parsed query under a specific join order (a permutation of
+/// the FROM tables). One table lowers to a scan or aggregation; two
+/// tables to a binary [`JoinSpec`] under the given strategy; three or
+/// more to a left-deep [`MultiJoinSpec`] pipeline of chained symmetric
+/// hash joins (the `strategy` argument applies to binary joins only).
+pub(crate) fn lower_parsed(
+    p: &ParsedQuery,
+    order: &[usize],
+    strategy: JoinStrategy,
+) -> Result<QueryOp, String> {
+    let n = p.tables.len();
+    {
+        let mut seen = vec![false; n];
+        if order.len() != n {
+            return Err("join order must cover every FROM table".into());
+        }
+        for &i in order {
+            if i >= n || seen[i] {
+                return Err("join order is not a permutation".into());
+            }
+            seen[i] = true;
+        }
+    }
+    let resolver = Resolver::new(&p.tables, order);
+    let mut cls = classify(&resolver, &p.conjuncts)?;
+
+    let has_agg = !p.group_by.is_empty()
+        || p.select.iter().any(|i| contains_agg(&i.expr))
+        || p.having.as_ref().is_some_and(contains_agg);
+
+    let make_scan = |t: &ResolvedTable, preds: Vec<Expr>| {
         let mut s = ScanSpec::new(&t.table, t.schema.arity(), t.pkey_col);
         if !preds.is_empty() {
             s.pred = Some(Expr::conjunction(preds));
@@ -594,171 +854,134 @@ pub fn parse_query(
         s
     };
 
-    let has_agg = !group_by.is_empty()
-        || select.iter().any(|i| contains_agg(&i.expr))
-        || having.as_ref().is_some_and(contains_agg);
-
-    // Aggregate lowering basis: [group cols ..., agg calls ...].
-    let build_agg = |resolver: &Resolver,
-                     select: &[SelectItem],
-                     having: &Option<PExpr>|
-     -> Result<AggSpec, String> {
-        let group_cols: Vec<usize> = group_by
-            .iter()
-            .map(|g| resolver.col(g))
-            .collect::<Result<_, _>>()?;
-        // Collect distinct aggregate calls.
-        let mut calls: Vec<(AggFunc, Option<PExpr>)> = Vec::new();
-        fn collect(e: &PExpr, calls: &mut Vec<(AggFunc, Option<PExpr>)>) {
-            match e {
-                PExpr::Agg(f, arg) => {
-                    let key = (*f, arg.as_deref().cloned());
-                    if !calls.contains(&key) {
-                        calls.push(key);
-                    }
-                }
-                PExpr::Bin(_, l, r) => {
-                    collect(l, calls);
-                    collect(r, calls);
-                }
-                PExpr::Not(i) => collect(i, calls),
-                PExpr::Call(_, args) => args.iter().for_each(|a| collect(a, calls)),
-                _ => {}
-            }
-        }
-        for item in select {
-            collect(&item.expr, &mut calls);
-        }
-        if let Some(h) = having {
-            collect(h, &mut calls);
-        }
-        // Lower an expression onto the [groups..., aggs...] basis.
-        struct AggLower<'a> {
-            resolver: &'a Resolver,
-            group_cols: &'a [usize],
-            calls: &'a [(AggFunc, Option<PExpr>)],
-            aliases: &'a [(String, Expr)],
-        }
-        impl AggLower<'_> {
-            fn lower(&self, e: &PExpr) -> Result<Expr, String> {
-                match e {
-                    PExpr::Agg(f, arg) => {
-                        let idx = self
-                            .calls
-                            .iter()
-                            .position(|(cf, ca)| cf == f && ca.as_ref() == arg.as_deref())
-                            .unwrap();
-                        Ok(Expr::Col(self.group_cols.len() + idx))
-                    }
-                    PExpr::Col(name) => {
-                        // A select alias (e.g. HAVING cnt > 10)?
-                        if let Some((_, e)) = self
-                            .aliases
-                            .iter()
-                            .find(|(a, _)| a.eq_ignore_ascii_case(name))
-                        {
-                            return Ok(e.clone());
-                        }
-                        let base = self.resolver.col(name)?;
-                        self.group_cols
-                            .iter()
-                            .position(|&g| g == base)
-                            .map(Expr::Col)
-                            .ok_or_else(|| format!("column '{name}' not in GROUP BY"))
-                    }
-                    PExpr::Lit(v) => Ok(Expr::Lit(v.clone())),
-                    PExpr::Bin(op, l, r) => Ok(Expr::bin(*op, self.lower(l)?, self.lower(r)?)),
-                    PExpr::Not(i) => Ok(Expr::Not(Box::new(self.lower(i)?))),
-                    PExpr::Call(f, args) => Ok(Expr::Call(
-                        *f,
-                        args.iter()
-                            .map(|a| self.lower(a))
-                            .collect::<Result<_, _>>()?,
-                    )),
-                }
-            }
-        }
-        let agg_calls: Vec<AggCall> = calls
-            .iter()
-            .map(|(f, arg)| {
-                Ok(AggCall {
-                    func: *f,
-                    arg: arg.as_ref().map(|a| resolver.lower(a)).transpose()?,
-                })
-            })
-            .collect::<Result<_, String>>()?;
-        let mut aliases: Vec<(String, Expr)> = Vec::new();
-        let mut output = Vec::new();
-        for item in select {
-            let lower = AggLower {
-                resolver,
-                group_cols: &group_cols,
-                calls: &calls,
-                aliases: &aliases,
-            };
-            let e = lower.lower(&item.expr)?;
-            if let Some(a) = &item.alias {
-                aliases.push((a.clone(), e.clone()));
-            }
-            output.push(e);
-        }
-        let having_expr = having
-            .as_ref()
-            .map(|h| {
-                AggLower {
-                    resolver,
-                    group_cols: &group_cols,
-                    calls: &calls,
-                    aliases: &aliases,
-                }
-                .lower(h)
-            })
-            .transpose()?;
-        let mut spec = AggSpec::new(group_cols, agg_calls);
-        spec.output = output;
-        spec.having = having_expr;
-        Ok(spec)
+    let lower_select = |resolver: &Resolver| -> Result<Vec<Expr>, String> {
+        p.select.iter().map(|i| resolver.lower(&i.expr)).collect()
     };
 
-    if two {
-        let (jl, jr) = join_cols
-            .ok_or_else(|| "two-table query needs an equality join predicate".to_string())?;
-        let left = make_scan(&resolver.tables[0], left_preds).with_join_col(jl);
-        let right = make_scan(&resolver.tables[1], right_preds).with_join_col(jr);
-        let mut join = JoinSpec::new(strategy, left, right);
-        join.post_pred = if post_preds.is_empty() {
-            None
-        } else {
-            Some(Expr::conjunction(post_preds))
-        };
-        if has_agg {
-            // The aggregation consumes full joined rows.
-            join.project = join.all_columns();
-            let agg = build_agg(&resolver, &select, &having)?;
-            Ok(QueryOp::JoinAgg { join, agg })
-        } else {
-            join.project = select
-                .iter()
-                .map(|i| resolver.lower(&i.expr))
-                .collect::<Result<_, _>>()?;
-            Ok(QueryOp::Join(join))
+    match n {
+        1 => {
+            let scan = make_scan(&resolver.tables[0], std::mem::take(&mut cls.scan_preds[0]));
+            if has_agg {
+                let agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                Ok(QueryOp::Agg { scan, agg })
+            } else {
+                Ok(QueryOp::Scan {
+                    scan,
+                    project: lower_select(&resolver)?,
+                })
+            }
         }
-    } else {
-        let scan = make_scan(&resolver.tables[0], left_preds);
-        if !post_preds.is_empty() {
-            return Err("internal: single-table post predicates".into());
+        2 => {
+            let mut edges = cls.edges.into_iter();
+            let (jl, jr_global) = edges
+                .next()
+                .ok_or_else(|| "two-table query needs an equality join predicate".to_string())?;
+            let arity_l = resolver.tables[0].schema.arity();
+            let left = make_scan(&resolver.tables[0], std::mem::take(&mut cls.scan_preds[0]))
+                .with_join_col(jl);
+            let right = make_scan(&resolver.tables[1], std::mem::take(&mut cls.scan_preds[1]))
+                .with_join_col(jr_global - arity_l);
+            let mut join = JoinSpec::new(strategy, left, right);
+            let mut post = cls.cross_preds;
+            // Extra cross-table equalities are checked above the join.
+            for (a, b) in edges {
+                post.push(Expr::eq(Expr::col(a), Expr::col(b)));
+            }
+            join.post_pred = if post.is_empty() {
+                None
+            } else {
+                Some(Expr::conjunction(post))
+            };
+            if has_agg {
+                // The aggregation consumes full joined rows.
+                join.project = join.all_columns();
+                let agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                Ok(QueryOp::JoinAgg { join, agg })
+            } else {
+                join.project = lower_select(&resolver)?;
+                Ok(QueryOp::Join(join))
+            }
         }
-        if has_agg {
-            let agg = build_agg(&resolver, &select, &having)?;
-            Ok(QueryOp::Agg { scan, agg })
-        } else {
-            let project = select
-                .iter()
-                .map(|i| resolver.lower(&i.expr))
-                .collect::<Result<_, _>>()?;
-            Ok(QueryOp::Scan { scan, project })
+        _ => {
+            // Left-deep multi-way pipeline: stage k joins ordered table
+            // k + 1 against the accumulated prefix.
+            let n_stages = n - 1;
+            let mut stage_join: Vec<Option<(usize, usize)>> = vec![None; n_stages];
+            let mut stage_preds: Vec<Vec<Expr>> = vec![Vec::new(); n_stages];
+            for (lo, hi) in cls.edges {
+                let th = resolver.table_of(hi);
+                let k = th - 1;
+                if stage_join[k].is_none() {
+                    stage_join[k] = Some((lo, hi - resolver.tables[th].offset));
+                } else {
+                    // A second edge into the same table: checked as a
+                    // stage predicate over the accumulated schema.
+                    stage_preds[k].push(Expr::eq(Expr::col(lo), Expr::col(hi)));
+                }
+            }
+            for e in cls.cross_preds {
+                let mut cols = Vec::new();
+                e.columns(&mut cols);
+                let k = cols
+                    .iter()
+                    .map(|&c| resolver.table_of(c))
+                    .max()
+                    .expect("cross pred has columns")
+                    - 1;
+                stage_preds[k].push(e);
+            }
+            for (k, sj) in stage_join.iter().enumerate() {
+                if sj.is_none() {
+                    return Err(format!(
+                        "no equality predicate connects table '{}' to the preceding \
+                         tables (cross products are unsupported)",
+                        resolver.tables[k + 1].table
+                    ));
+                }
+            }
+            let base = make_scan(&resolver.tables[0], std::mem::take(&mut cls.scan_preds[0]));
+            let stages: Vec<JoinStage> = (0..n_stages)
+                .map(|k| {
+                    let (left_col, right_col) = stage_join[k].unwrap();
+                    let preds = std::mem::take(&mut cls.scan_preds[k + 1]);
+                    JoinStage {
+                        right: make_scan(&resolver.tables[k + 1], preds).with_join_col(right_col),
+                        left_col,
+                        stage_pred: if stage_preds[k].is_empty() {
+                            None
+                        } else {
+                            Some(Expr::conjunction(std::mem::take(&mut stage_preds[k])))
+                        },
+                    }
+                })
+                .collect();
+            let mut m = MultiJoinSpec::new(base, stages);
+            if has_agg {
+                // The aggregation consumes full joined rows.
+                m.project = m.all_columns();
+                let agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                Ok(QueryOp::MultiJoinAgg { join: m, agg })
+            } else {
+                m.project = lower_select(&resolver)?;
+                Ok(QueryOp::MultiJoin(m))
+            }
         }
     }
+}
+
+/// Parse a SQL string against a catalog, producing a resolved query op
+/// with tables joined in FROM order. Binary joins default to the given
+/// strategy; 3+-table queries lower to a symmetric-hash pipeline. The
+/// cost-based entry point ([`crate::planner::plan_sql`]) additionally
+/// picks the strategy and the join order.
+pub fn parse_query(
+    sql: &str,
+    catalog: &Catalog,
+    strategy: JoinStrategy,
+) -> Result<QueryOp, String> {
+    let parsed = parse_sql(sql, catalog)?;
+    let order: Vec<usize> = (0..parsed.n_tables()).collect();
+    lower_parsed(&parsed, &order, strategy)
 }
 
 #[cfg(test)]
@@ -881,6 +1104,98 @@ mod tests {
     }
 
     #[test]
+    fn parses_a_three_table_chain() {
+        let (wl, _) = catalogs();
+        let op = parse_query(
+            "SELECT R.pkey, S.pkey, T.pkey FROM R, S, T \
+             WHERE R.num1 = S.pkey AND S.num3 = T.pkey \
+             AND R.num2 > 50 AND T.num2 > 50 AND f(R.num3, S.num3) > 30",
+            &wl,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
+        let QueryOp::MultiJoin(m) = op else {
+            panic!("expected multi-join")
+        };
+        assert_eq!(m.n_tables(), 3);
+        assert_eq!(m.stages[0].left_col, 1); // R.num1
+        assert_eq!(m.stages[0].right.join_col, Some(0)); // S.pkey
+        assert_eq!(m.stages[1].left_col, 7); // S.num3 within R ++ S
+        assert_eq!(m.stages[1].right.join_col, Some(0)); // T.pkey
+        assert!(m.base.pred.is_some(), "R.num2 pushed to the R scan");
+        assert!(m.stages[0].right.pred.is_none());
+        assert!(m.stages[1].right.pred.is_some(), "T.num2 pushed to T");
+        assert!(
+            m.stages[0].stage_pred.is_some(),
+            "f() evaluable after stage 0"
+        );
+        assert_eq!(m.project.len(), 3);
+    }
+
+    #[test]
+    fn parses_a_three_table_star_with_aggregation() {
+        let (_, intr) = catalogs();
+        let op = parse_query(
+            "SELECT I.fingerprint, count(*) AS cnt, max(A.severity) \
+             FROM intrusions I, advisories A, reputation R \
+             WHERE I.fingerprint = A.fingerprint AND I.address = R.address \
+             AND A.severity > 6 AND R.weight > 1 \
+             GROUP BY I.fingerprint HAVING cnt > 2",
+            &intr,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap();
+        let QueryOp::MultiJoinAgg { join, agg } = op else {
+            panic!("expected multi-join agg")
+        };
+        // Star: both stages join against intrusions' columns.
+        assert_eq!(join.stages[0].left_col, 1); // I.fingerprint
+        assert_eq!(join.stages[1].left_col, 2); // I.address
+        assert_eq!(join.project.len(), join.arity());
+        assert_eq!(agg.group_cols, vec![1]);
+        assert_eq!(agg.aggs.len(), 2);
+        assert!(agg.having.is_some());
+    }
+
+    #[test]
+    fn multiway_lowering_matches_reference_under_any_order() {
+        let (wl, _) = catalogs();
+        let parsed = parse_sql(
+            "SELECT R.pkey, T.num3 FROM R, S, T \
+             WHERE R.num1 = S.pkey AND S.num3 = T.pkey AND T.num2 > 20",
+            &wl,
+        )
+        .unwrap();
+        let r: Vec<Tuple> = (0..40i64)
+            .map(|k| tuple![k, k % 7, (k * 13) % 100, k % 5, crate::value::Value::Pad(8)])
+            .collect();
+        let s: Vec<Tuple> = (0..7i64).map(|k| tuple![k, 10i64, k % 3]).collect();
+        let t: Vec<Tuple> = (0..3i64).map(|k| tuple![k, 50i64, k + 200]).collect();
+        let mut tables = HashMap::new();
+        tables.insert("R".to_string(), r);
+        tables.insert("S".to_string(), s);
+        tables.insert("T".to_string(), t);
+        let mut baseline: Option<Vec<Tuple>> = None;
+        // Every valid left-deep order yields the same result multiset
+        // with the same output schema.
+        for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0]] {
+            let op = lower_parsed(&parsed, &order, JoinStrategy::SymmetricHash).unwrap();
+            let out = reference_eval(&op, &tables);
+            assert!(!out.is_empty(), "order {order:?}");
+            match &baseline {
+                None => baseline = Some(out),
+                Some(b) => assert!(same_multiset(b, &out), "order {order:?}"),
+            }
+        }
+        // An order that breaks the chain (T before S, never adjacent to
+        // its only edge partner) still connects via the accumulated
+        // prefix, so only truly disconnected queries error:
+        let bad = parse_sql("SELECT R.pkey FROM R, S, T WHERE R.num1 = S.pkey", &wl).unwrap();
+        let err = lower_parsed(&bad, &[0, 1, 2], JoinStrategy::SymmetricHash).unwrap_err();
+        assert!(err.contains("cross products"), "{err}");
+    }
+
+    #[test]
     fn rejects_unknown_names_and_bad_syntax() {
         let (wl, _) = catalogs();
         assert!(
@@ -889,7 +1204,7 @@ mod tests {
                 .contains("unknown column")
         );
         assert!(
-            parse_query("SELECT R.pkey FROM T", &wl, JoinStrategy::SymmetricHash)
+            parse_query("SELECT R.pkey FROM U", &wl, JoinStrategy::SymmetricHash)
                 .unwrap_err()
                 .contains("unknown table")
         );

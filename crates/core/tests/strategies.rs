@@ -131,8 +131,10 @@ fn bloom_filter_join_matches_reference() {
 #[test]
 fn all_strategies_agree_on_a_bigger_network() {
     let mut outputs = Vec::new();
-    for (i, strategy) in JoinStrategy::ALL.iter().enumerate() {
-        let (expected, actual) = run_strategy(*strategy, 24, 100 + i as u64 * 0);
+    // One shared seed: every strategy answers the same workload, so the
+    // result counts must agree across strategies.
+    for strategy in JoinStrategy::ALL.iter() {
+        let (expected, actual) = run_strategy(*strategy, 24, 100);
         assert!(
             same_multiset(&expected, &actual),
             "{}: expected {} got {}",

@@ -278,6 +278,7 @@ impl CanState {
 
     /// We received our zone assignment: install it and introduce
     /// ourselves to the neighborhood.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_join_offer<V: Wire + Clone>(
         &mut self,
         env: &mut dyn DhtEnv<V>,
@@ -435,6 +436,7 @@ impl CanState {
     }
 
     /// Absorb a leaving neighbor's zones and items.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_leave<V: Wire + Clone>(
         &mut self,
         env: &mut dyn DhtEnv<V>,

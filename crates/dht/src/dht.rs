@@ -149,6 +149,7 @@ impl<V: Wire + Clone> Dht<V> {
 
     /// Provider `put` (Table 3): store `val` under (ns, rid, iid) with a
     /// soft-state `lifetime`. Local fast path when we own the key.
+    #[allow(clippy::too_many_arguments)] // Table 3 signature: (ns, rid, iid, item, lifetime)
     pub fn put(
         &mut self,
         env: &mut dyn DhtEnv<V>,
@@ -178,6 +179,7 @@ impl<V: Wire + Clone> Dht<V> {
     /// Provider `renew` (Table 3): identical mechanics to `put` — an
     /// existing (ns, rid, iid) has its value replaced and its lifetime
     /// extended without re-firing `newData`.
+    #[allow(clippy::too_many_arguments)] // Table 3 signature, mirroring `put`
     pub fn renew(
         &mut self,
         env: &mut dyn DhtEnv<V>,
@@ -448,6 +450,7 @@ impl<V: Wire + Clone> Dht<V> {
 
     /// Handle a multicast rectangle we own the center of: deliver, then
     /// recurse into the uncovered sub-rectangles (directed flood).
+    #[allow(clippy::too_many_arguments)]
     fn process_can_mcast(
         &mut self,
         env: &mut dyn DhtEnv<V>,
@@ -884,7 +887,7 @@ impl<V: Wire + Clone> Dht<V> {
 
         // Re-home items we no longer own (every few ticks): the
         // self-healing that follows overlay churn.
-        if self.cfg.rehome && self.is_joined() && self.tick_count % 4 == 0 {
+        if self.cfg.rehome && self.is_joined() && self.tick_count.is_multiple_of(4) {
             let not_mine: std::collections::HashSet<u64> = self
                 .store
                 .iter_all()

@@ -77,8 +77,10 @@ fn graceful_leave_hands_over_zones_and_items() {
 fn mixed_churn_join_leave_fail_converges() {
     // Interleave joins, graceful leaves, and failures, then verify the
     // overlay converges to a clean partition.
-    let mut cfg = DhtConfig::default();
-    cfg.fail_after = Dur::from_secs(10);
+    let cfg = DhtConfig {
+        fail_after: Dur::from_secs(10),
+        ..DhtConfig::default()
+    };
     let mut sim: Sim<DhtNode<V>> = Sim::new(NetConfig::latency_only(3));
     sim.add_node(DhtNode::new(cfg.clone(), 0, None));
     for i in 1..8u32 {

@@ -139,9 +139,7 @@ impl<A: App> Sim<A> {
     }
 
     pub fn alive(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id as usize)
-            .map_or(false, |s| s.app.is_some())
+        self.nodes.get(id as usize).is_some_and(|s| s.app.is_some())
     }
 
     pub fn node_count(&self) -> usize {

@@ -20,9 +20,12 @@ use crate::app::{Action, App, Ctx};
 use crate::time::Time;
 use crate::{NodeId, Wire};
 
+/// A closure shipped to a node thread for execution against its app.
+type NodeCall<A> = Box<dyn FnOnce(&mut A, &mut Ctx<<A as App>::Msg>) + Send>;
+
 enum Envelope<A: App> {
     Msg { from: NodeId, msg: A::Msg },
-    Call(Box<dyn FnOnce(&mut A, &mut Ctx<A::Msg>) + Send>),
+    Call(NodeCall<A>),
     Stop,
 }
 

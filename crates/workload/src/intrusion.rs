@@ -59,6 +59,28 @@ pub fn reputations(distinct_addr: u64, seed: u64) -> Vec<Tuple> {
         .collect()
 }
 
+/// `advisories(fingerprint, severity)`: one security-advisory row per
+/// known attack fingerprint, for the 3-way triage query joining reports
+/// with advisories and reporter reputations:
+///
+/// ```sql
+/// SELECT I.address, A.severity, R.weight
+/// FROM intrusions I, advisories A, reputation R
+/// WHERE I.fingerprint = A.fingerprint AND I.address = R.address
+///   AND A.severity > 6
+/// ```
+pub fn advisories(distinct_fp: u64, seed: u64) -> Vec<Tuple> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0005);
+    (0..distinct_fp)
+        .map(|fp| {
+            Tuple::new(vec![
+                Value::str(&format!("sig-{fp:04}")),
+                Value::I64(rng.gen_range(0..10)),
+            ])
+        })
+        .collect()
+}
+
 /// `spamGateways(id, source, smtpGWDomain)` and
 /// `robots(id, clientDomain)` with controlled domain overlap, so the
 /// compromised-subnet join (§2.1's first query) has answers.
@@ -133,6 +155,22 @@ mod tests {
         let distinct: std::collections::HashSet<String> =
             reps.iter().map(|t| t.get(0).to_string()).collect();
         assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn advisories_cover_every_fingerprint_once() {
+        let advs = advisories(50, 7);
+        assert_eq!(advs.len(), 50);
+        let distinct: std::collections::HashSet<String> =
+            advs.iter().map(|t| t.get(0).to_string()).collect();
+        assert_eq!(distinct.len(), 50);
+        // Fingerprints line up with the intrusions generator's naming.
+        let reports = intrusions(100, 50, 20, 7);
+        let names: std::collections::HashSet<String> =
+            advs.iter().map(|t| t.get(0).to_string()).collect();
+        assert!(reports
+            .iter()
+            .all(|t| names.contains(&t.get(1).to_string())));
     }
 
     #[test]

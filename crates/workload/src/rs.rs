@@ -13,9 +13,16 @@
 //! * Predicate constants chosen for a target selectivity (default 50 %).
 //! * 90 % of R tuples have exactly one matching S tuple; the rest none.
 //! * `R.pad` sizes result tuples to 1 KB.
+//!
+//! Beyond the paper's binary workload, a third table `T(pkey, num2,
+//! num3)` extends the schema for multi-way pipelines: `S.num3` joins
+//! `T.pkey`, and `t_rows` dials the fraction of S rows with a T partner
+//! (`S.num3` is uniform in `0..100`).
 
 use pier_core::expr::{Expr, Func};
-use pier_core::plan::{JoinSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
+use pier_core::plan::{
+    JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, QueryDesc, QueryOp, ScanSpec,
+};
 use pier_core::tuple::Tuple;
 use pier_core::value::Value;
 use rand::rngs::SmallRng;
@@ -37,6 +44,9 @@ pub struct RsParams {
     pub match_pct: u32,
     /// Pad bytes appended to R so result tuples are ~1 KB (paper value).
     pub pad_bytes: u32,
+    /// Number of T tuples (third table for multi-way pipelines). T keys
+    /// cover `0..t_rows`, so `min(t_rows, 100)` % of S rows join a T row.
+    pub t_rows: u64,
     pub seed: u64,
 }
 
@@ -49,6 +59,7 @@ impl Default for RsParams {
             sel_f_pct: 50,
             match_pct: 90,
             pad_bytes: 1000,
+            t_rows: 60,
             seed: 0xF1E1D,
         }
     }
@@ -62,6 +73,8 @@ pub struct RsWorkload {
     pub r: Vec<Tuple>,
     /// `S(pkey, num2, num3)`.
     pub s: Vec<Tuple>,
+    /// `T(pkey, num2, num3)` — the multi-way extension table.
+    pub t: Vec<Tuple>,
 }
 
 impl RsWorkload {
@@ -94,7 +107,18 @@ impl RsWorkload {
                 ])
             })
             .collect();
-        RsWorkload { params, r, s }
+        // T is generated after R and S so binary-workload bytes are
+        // identical per seed whether or not T is used.
+        let t: Vec<Tuple> = (0..params.t_rows as i64)
+            .map(|k| {
+                Tuple::new(vec![
+                    Value::I64(k),
+                    Value::I64(rng.gen_range(0..100i64)),
+                    Value::I64(rng.gen_range(0..100i64)),
+                ])
+            })
+            .collect();
+        RsWorkload { params, r, s, t }
     }
 
     /// Predicate constant for a selectivity in percent over uniform
@@ -136,6 +160,60 @@ impl RsWorkload {
         pier_core::semantics::reference_join(&self.join_spec(strategy), &self.r, &self.s)
     }
 
+    /// The 3-way extension of the §5.1 query, as a left-deep pipeline:
+    ///
+    /// ```sql
+    /// SELECT R.pkey, S.pkey, T.pkey, R.pad
+    /// FROM R, S, T
+    /// WHERE R.num1 = S.pkey AND S.num3 = T.pkey
+    ///   AND R.num2 > constant1 AND T.num2 > constant2
+    ///   AND f(R.num3, S.num3) > constant3
+    /// ```
+    pub fn multi_join_spec(&self) -> MultiJoinSpec {
+        let p = &self.params;
+        let base = ScanSpec::new("R", 5, 0)
+            .with_pred(Expr::gt(Expr::col(2), Expr::lit(Self::cutoff(p.sel_r_pct))));
+        let s_stage = JoinStage {
+            right: ScanSpec::new("S", 3, 0).with_join_col(0),
+            left_col: 1, // R.num1
+            // f(R.num3, S.num3) > c3 becomes evaluable at this stage.
+            stage_pred: Some(Expr::gt(
+                Expr::Call(Func::WorkloadF, vec![Expr::col(3), Expr::col(7)]),
+                Expr::lit(Self::cutoff(p.sel_f_pct)),
+            )),
+        };
+        let t_stage = JoinStage {
+            right: ScanSpec::new("T", 3, 0)
+                .with_pred(Expr::gt(Expr::col(1), Expr::lit(Self::cutoff(p.sel_s_pct))))
+                .with_join_col(0),
+            left_col: 7, // S.num3 within R ++ S
+            stage_pred: None,
+        };
+        let mut m = MultiJoinSpec::new(base, vec![s_stage, t_stage]);
+        // SELECT R.pkey, S.pkey, T.pkey, R.pad
+        m.project = vec![Expr::col(0), Expr::col(5), Expr::col(8), Expr::col(4)];
+        m
+    }
+
+    /// A complete one-shot 3-way pipeline query descriptor.
+    pub fn multi_query(&self, qid: u64, initiator: u32) -> QueryDesc {
+        QueryDesc::one_shot(qid, initiator, QueryOp::MultiJoin(self.multi_join_spec()))
+    }
+
+    /// Ground-truth multiset for [`Self::multi_join_spec`].
+    pub fn expected_multi(&self) -> Vec<Tuple> {
+        pier_core::semantics::reference_multijoin(&self.multi_join_spec(), &self.tables())
+    }
+
+    /// The base tables keyed by name, as the reference evaluator wants.
+    pub fn tables(&self) -> std::collections::HashMap<String, Vec<Tuple>> {
+        let mut m = std::collections::HashMap::new();
+        m.insert("R".to_string(), self.r.clone());
+        m.insert("S".to_string(), self.s.clone());
+        m.insert("T".to_string(), self.t.clone());
+        m
+    }
+
     /// Total wire bytes of the base tables (the paper's "database size").
     pub fn total_bytes(&self) -> u64 {
         let sum = |ts: &[Tuple]| ts.iter().map(|t| t.wire_size() as u64).sum::<u64>();
@@ -164,6 +242,52 @@ mod tests {
         assert!((frac - 0.9).abs() < 0.05, "match fraction {frac}");
         // R tuples are ~1 KB on the wire.
         assert!(wl.r[0].wire_size() > 1000);
+    }
+
+    #[test]
+    fn third_table_and_multiway_ground_truth() {
+        let wl = RsWorkload::generate(RsParams {
+            s_rows: 100,
+            t_rows: 60,
+            ..Default::default()
+        });
+        assert_eq!(wl.t.len(), 60);
+        // ~60% of S rows have num3 < 60 and thus a T partner.
+        let matched =
+            wl.s.iter()
+                .filter(|t| t.get(2).as_i64().unwrap() < 60)
+                .count() as f64
+                / wl.s.len() as f64;
+        assert!((matched - 0.6).abs() < 0.15, "S→T match fraction {matched}");
+        let out = wl.expected_multi();
+        assert!(!out.is_empty());
+        // Every result row passed all three stages: 4 output columns.
+        assert!(out.iter().all(|r| r.arity() == 4));
+        // Cross-check the reference pipeline with a manual triple loop.
+        let c1 = 99 - wl.params.sel_r_pct as i64;
+        let c2 = 99 - wl.params.sel_s_pct as i64;
+        let c3 = 99 - wl.params.sel_f_pct as i64;
+        let mut manual = 0usize;
+        for r in &wl.r {
+            if r.get(2).as_i64().unwrap() <= c1 {
+                continue;
+            }
+            for s in &wl.s {
+                if r.get(1) != s.get(0) {
+                    continue;
+                }
+                let f = (r.get(3).as_i64().unwrap() + s.get(2).as_i64().unwrap()) % 100;
+                if f <= c3 {
+                    continue;
+                }
+                for t in &wl.t {
+                    if s.get(2) == t.get(0) && t.get(1).as_i64().unwrap() > c2 {
+                        manual += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(out.len(), manual);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Cross-engine parity: the same seeded query must yield the *identical
+//! result multiset* on the discrete-event simulator and on the threaded
+//! wall-clock cluster. Both engines drive the same `PierNode` automaton,
+//! so any divergence is an engine bug, not query-processor behavior.
+
+use pier::qp::plan::JoinStrategy;
+use pier::qp::semantics::same_multiset;
+use pier::qp::testkit::*;
+use pier::qp::{PierNode, Tuple};
+use pier::simnet::threaded::Cluster;
+use pier::simnet::time::{Dur, Time};
+use pier::simnet::{NetConfig, NodeId};
+use pier::workload::{RsParams, RsWorkload};
+use pier_dht::DhtConfig;
+
+fn workload() -> RsWorkload {
+    RsWorkload::generate(RsParams {
+        s_rows: 15,
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+/// Round-robin partitioning shared by both engines so each node holds
+/// the same fragment under either engine.
+fn fragments(rows: &[Tuple], n: usize) -> Vec<Vec<Tuple>> {
+    let mut per_node: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+    for (i, row) in rows.iter().enumerate() {
+        per_node[i % n].push(row.clone());
+    }
+    per_node
+}
+
+fn run_on_sim(wl: &RsWorkload, n: usize) -> Vec<Tuple> {
+    let mut sim = stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::latency_only(77));
+    publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+    publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+    let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
+    rows_of(&run_query(&mut sim, 0, desc, Dur::from_secs(60)))
+}
+
+fn run_on_cluster(wl: &RsWorkload, n: usize) -> Vec<Tuple> {
+    let cfg = DhtConfig::static_network();
+    let states = pier_dht::can::balanced_overlay(n, cfg.dims, Time::ZERO);
+    let apps: Vec<PierNode> = states
+        .into_iter()
+        .enumerate()
+        .map(|(i, st)| {
+            PierNode::with_dht(pier_dht::Dht::with_can(cfg.clone(), i as NodeId, st), None)
+        })
+        .collect();
+    let cluster = Cluster::spawn(apps, 77);
+    let r_frags = fragments(&wl.r, n);
+    let s_frags = fragments(&wl.s, n);
+    for (i, (r, s)) in r_frags.into_iter().zip(s_frags).enumerate() {
+        cluster.call(i as NodeId, move |node, ctx| {
+            node.publish_rows(ctx, "R", r, 0, Dur::from_secs(100_000));
+            node.publish_rows(ctx, "S", s, 0, Dur::from_secs(100_000));
+        });
+    }
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
+    cluster.call(0, move |node, ctx| node.submit(ctx, desc));
+    // Wait until the result count is stable for a while (wall clock).
+    let mut last = 0;
+    let mut stable = 0;
+    for _ in 0..200 {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let c = cluster.call(0, |node, _| node.query_results(1).len());
+        if c == last && c > 0 {
+            stable += 1;
+            if stable > 10 {
+                break;
+            }
+        } else {
+            stable = 0;
+        }
+        last = c;
+    }
+    let rows = cluster.call(0, |node, _| {
+        node.query_results(1)
+            .iter()
+            .map(|(_, r)| r.clone())
+            .collect::<Vec<_>>()
+    });
+    cluster.shutdown();
+    rows
+}
+
+#[test]
+fn sim_and_cluster_agree_on_the_workload_join() {
+    let wl = workload();
+    let n = 6;
+    let expected = wl.expected(JoinStrategy::SymmetricHash);
+    assert!(!expected.is_empty());
+    let sim_rows = run_on_sim(&wl, n);
+    let cluster_rows = run_on_cluster(&wl, n);
+    // Each engine matches the centralized reference...
+    assert!(
+        same_multiset(&expected, &sim_rows),
+        "sim vs reference: {} vs {}",
+        sim_rows.len(),
+        expected.len()
+    );
+    assert!(
+        same_multiset(&expected, &cluster_rows),
+        "cluster vs reference: {} vs {}",
+        cluster_rows.len(),
+        expected.len()
+    );
+    // ...and therefore each other: identical multisets across engines.
+    assert!(same_multiset(&sim_rows, &cluster_rows));
+}
