@@ -12,6 +12,7 @@ fn main() {
     e::fig7();
     e::fig8();
     e::multiway();
+    e::pruning();
     e::ablation_dims();
     e::chord_vs_can();
     e::agg_flat_vs_hier();

@@ -1,0 +1,8 @@
+//! Schema-aware projection pushdown: the 3-way padded workload with
+//! pruning on vs off. Asserts pruned rehash traffic beats the unpruned
+//! baseline (CI gate) and writes `results/BENCH_pruning.json`. See
+//! DESIGN.md for the experiment index; `PIER_PRUNE=on|off|both` selects
+//! the runs, `PIER_FULL=1` the paper-scale parameters.
+fn main() {
+    pier_bench::experiments::pruning();
+}

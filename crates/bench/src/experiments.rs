@@ -16,7 +16,8 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 use crate::{
-    average, full_scale, run_join, run_multi_join, strategy_label, JoinRun, ResultTable, RunMetrics,
+    average, full_scale, results_dir, run_join, run_multi_join, run_multi_join_pruning,
+    strategy_label, JoinRun, ResultTable, RunMetrics,
 };
 
 fn seeds() -> Vec<u64> {
@@ -580,6 +581,114 @@ pub fn multiway() {
         ]);
     }
     tab.emit();
+}
+
+// ---------------------------------------------------------------------
+// E9 — schema-aware projection pushdown (the §4.2 byte argument)
+// ---------------------------------------------------------------------
+
+/// The 3-way padded workload (`R` carries a 1 KB pad nobody downstream
+/// reads) with schema-aware pruning on vs off: aggregate rehash traffic
+/// must collapse once intermediates stop carrying the pad. Besides the
+/// CSV table, writes machine-readable `results/BENCH_pruning.json` (the
+/// repo's perf-trajectory artifact) and hard-asserts the win, so CI
+/// fails if the optimization silently regresses.
+///
+/// `PIER_PRUNE=on|off|both` (default `both`) selects which runs happen;
+/// the assertion only fires when both sides are measured.
+pub fn pruning() {
+    let mode = std::env::var("PIER_PRUNE").unwrap_or_else(|_| "both".into());
+    let node_counts: Vec<usize> = if full_scale() {
+        vec![16, 64, 256]
+    } else {
+        vec![8, 16]
+    };
+    let mut tab = ResultTable::new(
+        "e9_pruning",
+        &[
+            "nodes",
+            "pruned_rehash_mb",
+            "unpruned_rehash_mb",
+            "ratio",
+            "pruned_recall",
+            "unpruned_recall",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for &n in &node_counts {
+        let cfg = |seed| {
+            let mut params = params_for_nodes(n, seed);
+            params.t_rows = 80;
+            let mut run = JoinRun::new(
+                n,
+                JoinStrategy::SymmetricHash,
+                params,
+                NetConfig::paper_baseline(seed),
+            );
+            run.settle = Dur::from_secs(600);
+            run
+        };
+        let measure = |prune: bool| -> Option<Vec<RunMetrics>> {
+            let want = mode == "both" || mode == if prune { "on" } else { "off" };
+            want.then(|| {
+                seeds()
+                    .iter()
+                    .map(|&s| run_multi_join_pruning(&cfg(s), prune))
+                    .collect()
+            })
+        };
+        let pruned = measure(true);
+        let unpruned = measure(false);
+        let avg = |v: &Option<Vec<RunMetrics>>, pick: &dyn Fn(&RunMetrics) -> f64| {
+            v.as_ref().map_or(f64::NAN, |v| {
+                v.iter().map(pick).sum::<f64>() / v.len() as f64
+            })
+        };
+        let p_mb = avg(&pruned, &|m| m.rehash_mb);
+        let u_mb = avg(&unpruned, &|m| m.rehash_mb);
+        let p_rec = avg(&pruned, &|m| m.recall);
+        let u_rec = avg(&unpruned, &|m| m.recall);
+        let ratio = u_mb / p_mb;
+        tab.row(vec![
+            n.to_string(),
+            ResultTable::fmt_cell(p_mb),
+            ResultTable::fmt_cell(u_mb),
+            ResultTable::fmt_cell(ratio),
+            ResultTable::fmt_cell(p_rec),
+            ResultTable::fmt_cell(u_rec),
+        ]);
+        json_rows.push(format!(
+            "    {{\"nodes\": {n}, \"pruned_rehash_mb\": {p_mb:.4}, \
+             \"unpruned_rehash_mb\": {u_mb:.4}, \"ratio\": {ratio:.2}, \
+             \"pruned_recall\": {p_rec:.4}, \"unpruned_recall\": {u_rec:.4}}}"
+        ));
+        if let (Some(_), Some(_)) = (&pruned, &unpruned) {
+            assert!(
+                (p_rec - 1.0).abs() < 1e-9 && (u_rec - 1.0).abs() < 1e-9,
+                "pruning must not change results: recall {p_rec} / {u_rec}"
+            );
+            assert!(
+                p_mb < u_mb,
+                "pruned rehash traffic ({p_mb:.3} MB) must beat unpruned ({u_mb:.3} MB)"
+            );
+        }
+    }
+    tab.emit();
+    if mode != "both" {
+        // A single-side run has NaN for the unmeasured side; don't
+        // clobber the committed artifact with invalid JSON.
+        println!("PIER_PRUNE={mode}: BENCH_pruning.json not rewritten (needs both sides)");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"pruning\",\n  \"query\": \
+         \"SELECT R.pkey, S.pkey, T.pkey FROM R, S, T (R carries a 1 KB pad)\",\n  \
+         \"metric\": \"aggregate DHT-layer rehash traffic, MB\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    std::fs::write(dir.join("BENCH_pruning.json"), json).expect("write BENCH_pruning.json");
 }
 
 // ---------------------------------------------------------------------

@@ -50,6 +50,11 @@ pub struct RunMetrics {
     /// Aggregate query traffic in MB (Fig. 4 metric): lookups, rehash
     /// and fetch data, multicasts — overlay upkeep excluded.
     pub traffic_mb: f64,
+    /// DHT-layer query traffic only (rehash puts, stage republishes,
+    /// lookups, fetches) — the direct result-delivery bytes excluded,
+    /// so projection-pushdown savings are visible even when the final
+    /// ship dominates.
+    pub rehash_mb: f64,
     /// Maximum inbound bytes at any single node, MB.
     pub max_inbound_mb: f64,
     pub recall: f64,
@@ -88,7 +93,7 @@ pub fn run_join(cfg: &JoinRun) -> RunMetrics {
     let expected = wl.expected(cfg.strategy);
     let mut join = wl.join_spec(cfg.strategy);
     join.computation_nodes = cfg.computation_nodes;
-    execute_workload_query(cfg, &wl, QueryOp::Join(join), expected, false)
+    execute_workload_query(cfg, &wl, QueryOp::Join(join), expected, false, true)
 }
 
 /// Execute the 3-way pipeline extension of the workload (R ⨝ S ⨝ T as
@@ -98,7 +103,17 @@ pub fn run_multi_join(cfg: &JoinRun) -> RunMetrics {
     let wl = RsWorkload::generate(cfg.params);
     let expected = wl.expected_multi();
     let op = QueryOp::MultiJoin(wl.multi_join_spec());
-    execute_workload_query(cfg, &wl, op, expected, true)
+    execute_workload_query(cfg, &wl, op, expected, true, true)
+}
+
+/// Execute the narrow-SELECT 3-way pipeline (`R.pad` published but read
+/// by nobody downstream) with schema-aware pruning on or off — the
+/// `exp_pruning` measurement core.
+pub fn run_multi_join_pruning(cfg: &JoinRun, prune: bool) -> RunMetrics {
+    let wl = RsWorkload::generate(cfg.params);
+    let expected = wl.expected_multi_narrow();
+    let op = QueryOp::MultiJoin(wl.multi_join_spec_narrow());
+    execute_workload_query(cfg, &wl, op, expected, true, prune)
 }
 
 /// Shared measurement core: publish the workload tables, snapshot the
@@ -109,6 +124,7 @@ fn execute_workload_query(
     op: QueryOp,
     expected: Vec<pier_core::Tuple>,
     with_t: bool,
+    prune: bool,
 ) -> RunMetrics {
     let mut sim: Sim<PierNode> = stabilized_pier_sim(cfg.n_nodes, cfg.dht.clone(), cfg.net.clone());
     publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
@@ -125,7 +141,7 @@ fn execute_workload_query(
         .map(|i| sim.app(i as u32).unwrap().dht.meter.query_traffic())
         .sum();
 
-    let mut desc = QueryDesc::one_shot(1, 0, op);
+    let mut desc = QueryDesc::one_shot(1, 0, op).with_prune(prune);
     desc.n_nodes = cfg.n_nodes as u32;
     let results = run_query(&mut sim, 0, desc, cfg.settle);
 
@@ -152,6 +168,7 @@ fn execute_workload_query(
         t_30th: time_to_kth(&results, 30).map_or(f64::NAN, |d| d.as_secs_f64()),
         t_last: time_to_last(&results).map_or(f64::NAN, |d| d.as_secs_f64()),
         traffic_mb: traffic as f64 / 1e6,
+        rehash_mb: (meter_post - meter_pre) as f64 / 1e6,
         max_inbound_mb: engine.max_inbound() as f64 / 1e6,
         recall: pier_core::semantics::recall(&expected, &actual),
     }

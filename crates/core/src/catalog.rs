@@ -35,6 +35,48 @@ pub struct TableDef {
     pub stats: TableStats,
 }
 
+impl TableDef {
+    /// Estimated wire bytes per column — the per-column resolution the
+    /// byte-accurate cost model needs. Fixed-width types report their
+    /// exact [`crate::tuple::ColType::wire_width`]; the residual of
+    /// `avg_tuple_bytes` (minus the per-tuple header) is spread over
+    /// the variable-width columns (`Str`, `Pad`), so a table whose
+    /// stats say "1 KB tuples" attributes the bulk to its pad column.
+    pub fn col_widths(&self) -> Vec<u32> {
+        const MIN_VAR_WIDTH: u32 = 4;
+        let fixed: u32 = self
+            .schema
+            .fields
+            .iter()
+            .filter_map(|f| f.ty.wire_width())
+            .sum();
+        let n_var = self
+            .schema
+            .fields
+            .iter()
+            .filter(|f| f.ty.wire_width().is_none())
+            .count() as u32;
+        let residual = (self.stats.avg_tuple_bytes as u32)
+            .saturating_sub(crate::tuple::TUPLE_HEADER_BYTES as u32 + fixed)
+            .checked_div(n_var)
+            .unwrap_or(0)
+            .max(MIN_VAR_WIDTH);
+        self.schema
+            .fields
+            .iter()
+            .map(|f| f.ty.wire_width().unwrap_or(residual))
+            .collect()
+    }
+
+    /// Predicted wire bytes of a tuple pruned to `cols` (header
+    /// included) — what a rehash of this table ships per row.
+    pub fn ship_bytes(&self, cols: &[usize]) -> u64 {
+        let widths = self.col_widths();
+        crate::tuple::TUPLE_HEADER_BYTES as u64
+            + cols.iter().map(|&c| widths[c] as u64).sum::<u64>()
+    }
+}
+
 /// Name → table registry.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
@@ -186,6 +228,24 @@ mod tests {
     fn pkey_must_be_in_schema() {
         let mut c = Catalog::new();
         c.register_simple("T", &[("a", ColType::I64)], 3);
+    }
+
+    #[test]
+    fn per_column_widths_attribute_pad_residual() {
+        let mut c = Catalog::workload();
+        c.set_stats(
+            "R",
+            TableStats {
+                rows: 1000,
+                avg_tuple_bytes: 1024,
+            },
+        );
+        let def = c.get("R").unwrap();
+        let w = def.col_widths();
+        assert_eq!(&w[..4], &[8, 8, 8, 8], "fixed i64 columns");
+        assert_eq!(w[4], 1024 - 4 - 32, "pad soaks up the residual");
+        assert_eq!(def.ship_bytes(&[0, 1]), 4 + 16);
+        assert_eq!(def.ship_bytes(&[0, 4]), 4 + 8 + (1024 - 4 - 32) as u64);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub use optimizer::{
     choose_strategy, greedy_join_order, CostParams, JoinStats, Objective, TableCard,
 };
 pub use plan::{
-    AggCall, AggFunc, AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, QueryDesc,
-    QueryOp, ScanSpec,
+    AggCall, AggFunc, AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, PipelineSchema,
+    QueryDesc, QueryOp, ScanSpec, StageCol, StageSchema, StageView,
 };
 pub use planner::plan_sql;
 pub use sql::parse_query;

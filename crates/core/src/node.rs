@@ -7,6 +7,7 @@
 //! result tuples flow directly to the initiating node.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pier_dht::env::DhtEnv;
 use pier_dht::event::DhtEvent;
@@ -21,7 +22,8 @@ use crate::agg::GroupAccs;
 use crate::bloom::BloomFilter;
 use crate::item::{PierMsg, QpItem, Side};
 use crate::plan::{
-    qns, AggSpec, JoinSpec, JoinStrategy, MultiJoinSpec, QueryDesc, QueryOp, RehashView, ScanSpec,
+    qns, AggSpec, JoinSpec, JoinStrategy, MultiJoinSpec, PipelineSchema, QueryDesc, QueryOp,
+    ScanSpec,
 };
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -75,8 +77,10 @@ enum TimerAction {
 /// Per-query operator state at one node.
 struct QueryInstance {
     desc: QueryDesc,
-    /// Remapped expressions for strategies that rehash projections.
-    view: Option<RehashView>,
+    /// Schema-aware projection plan: what every rehash, stage republish,
+    /// and initiator ship carries, with expressions remapped onto the
+    /// pruned layouts (binary joins and pipelines alike).
+    view: Option<Arc<PipelineSchema>>,
     /// OR-ed Bloom filters received per summarized side.
     filters: [Option<BloomFilter>; 2],
     /// Whether each local side has been rehashed (Bloom strategy gates
@@ -296,7 +300,12 @@ impl PierNode {
             return; // duplicate multicast delivery
         }
         let view = match &desc.op {
-            QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => Some(RehashView::build(j)),
+            QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
+                Some(Arc::new(PipelineSchema::binary(j, desc.prune)))
+            }
+            QueryOp::MultiJoin(m) | QueryOp::MultiJoinAgg { join: m, .. } => {
+                Some(Arc::new(PipelineSchema::build(m, desc.prune)))
+            }
             _ => None,
         };
         let inst = QueryInstance {
@@ -447,9 +456,10 @@ impl PierNode {
         }
         inst.rehashed[side as usize] = true;
         let view = inst.view.clone().expect("join view");
+        let stage = &view.stages[0];
         let (scan, keep, join_idx) = match side {
-            Side::Left => (&j.left, &view.keep_left, view.join_idx_left),
-            Side::Right => (&j.right, &view.keep_right, view.join_idx_right),
+            Side::Left => (&j.left, &view.keep_base, stage.join_idx_left),
+            Side::Right => (&j.right, &stage.keep_right, stage.join_idx_right),
         };
         let window = self.queries[&qid].desc.window;
         let rows = self.local_rows(scan);
@@ -546,8 +556,13 @@ impl PierNode {
                 Side::Left => row.concat(&other),
                 Side::Right => other.concat(row),
             };
-            if view.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
-                let out = Tuple::new(view.project.iter().map(|e| e.eval(&joined)).collect());
+            let stage = &view.stages[0];
+            if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
+                // The initiator ship goes through the projected schema:
+                // emit the surviving columns, then evaluate the output
+                // expressions over that pruned basis.
+                let shipped = joined.project(&stage.emit);
+                let out = Tuple::new(view.project.iter().map(|e| e.eval(&shipped)).collect());
                 if is_joinagg {
                     if let Some(a) = &agg {
                         self.accumulate(qid, a, &out);
@@ -584,9 +599,14 @@ impl PierNode {
 
     /// Rehash this node's local fragment of pipeline table `t` into its
     /// stage namespace (the bulk, install-time analogue of
-    /// [`Self::mj_rehash_one`]).
+    /// [`Self::mj_rehash_one`]), projected onto the stage schema: only
+    /// the columns some later stage or the final SELECT reads ship.
     fn mj_rehash_table(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, m: &MultiJoinSpec, t: usize) {
+        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+            return;
+        };
         let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
+        let keep = view.keep_for_table(t);
         let rows = self.local_rows(scan);
         let ns = qns::stage(qid, stage_k);
         let lifetime = self.mj_lifetime(qid);
@@ -602,7 +622,7 @@ impl PierNode {
                         qid,
                         side,
                         join,
-                        row,
+                        row: row.project(keep),
                     },
                 )
             })
@@ -626,6 +646,9 @@ impl PierNode {
         t: usize,
         row: Tuple,
     ) {
+        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+            return;
+        };
         let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
         if !scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
             return;
@@ -638,7 +661,7 @@ impl PierNode {
             qid,
             side,
             join: join.clone(),
-            row,
+            row: row.project(view.keep_for_table(t)),
         };
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
@@ -675,6 +698,9 @@ impl PierNode {
         };
         let (side, join, row) = (*side, join.clone(), row.clone());
         let Some(m) = self.mj_spec(qid) else { return };
+        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+            return;
+        };
         let matches: Vec<(Tuple, Time)> = self
             .dht
             .store
@@ -693,32 +719,41 @@ impl PierNode {
             .collect();
         for (other, other_expires) in matches {
             // The accumulated intermediate is always the left operand.
+            // Both operands are already projected onto the stage schema.
             let joined = match side {
                 Side::Left => row.concat(&other),
                 Side::Right => other.concat(&row),
             };
-            if m.stages[k]
-                .stage_pred
-                .as_ref()
-                .is_none_or(|p| p.matches(&joined))
-            {
+            let stage = &view.stages[k];
+            if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                 // A joined tuple lives only as long as its shortest-lived
                 // constituent: restarting the window here would let late
                 // arrivals join state that already aged out.
                 let lifetime = entry.expires.min(other_expires).since(ctx.now);
-                self.mj_advance(ctx, qid, &m, k, joined, lifetime);
+                self.mj_advance(
+                    ctx,
+                    qid,
+                    &m,
+                    &view,
+                    k,
+                    joined.project(&stage.emit),
+                    lifetime,
+                );
             }
         }
     }
 
-    /// A stage-k match: feed the next stage, or finalize. `lifetime`
-    /// is the remaining life of the shortest-lived constituent, so
-    /// windowed pipelines never resurrect aged-out state downstream.
+    /// A stage-k match (already projected onto the stage's outgoing
+    /// schema): feed the next stage, or finalize. `lifetime` is the
+    /// remaining life of the shortest-lived constituent, so windowed
+    /// pipelines never resurrect aged-out state downstream.
+    #[allow(clippy::too_many_arguments)]
     fn mj_advance(
         &mut self,
         ctx: &mut Ctx<PierMsg>,
         qid: u64,
         m: &MultiJoinSpec,
+        view: &PipelineSchema,
         k: usize,
         row: Tuple,
         lifetime: Dur,
@@ -729,7 +764,7 @@ impl PierNode {
             }
             // Publish the intermediate as soft state in the next stage's
             // namespace, keyed by its join value there.
-            let join = row.get(m.stages[k + 1].left_col).clone();
+            let join = row.get(view.stages[k + 1].join_idx_left).clone();
             let iid = self.fresh_iid();
             let item = QpItem::Tagged {
                 qid,
@@ -754,7 +789,7 @@ impl PierNode {
                 return;
             };
             let initiator = inst.desc.initiator;
-            let out = Tuple::new(m.project.iter().map(|e| e.eval(&row)).collect());
+            let out = Tuple::new(view.project.iter().map(|e| e.eval(&row)).collect());
             match &inst.desc.op {
                 QueryOp::MultiJoinAgg { agg, .. } => {
                     let agg = agg.clone();
@@ -779,6 +814,9 @@ impl PierNode {
         if entries.is_empty() {
             return;
         }
+        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+            return;
+        };
         entries.sort_by_key(|e| (e.rid, e.iid));
         for i in 0..entries.len() {
             for j in 0..i {
@@ -811,13 +849,10 @@ impl PierNode {
                     (rb, ra)
                 };
                 let joined = l.concat(r);
-                if m.stages[k]
-                    .stage_pred
-                    .as_ref()
-                    .is_none_or(|p| p.matches(&joined))
-                {
+                let stage = &view.stages[k];
+                if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                     let lifetime = entries[i].expires.min(entries[j].expires).since(ctx.now);
-                    self.mj_advance(ctx, qid, m, k, joined, lifetime);
+                    self.mj_advance(ctx, qid, m, &view, k, joined.project(&stage.emit), lifetime);
                 }
             }
         }
@@ -1415,8 +1450,8 @@ impl PierNode {
         let view = inst.view.clone().expect("join view");
         let window = inst.desc.window;
         let (scan, keep) = match side {
-            Side::Left => (&j.left, &view.keep_left),
-            Side::Right => (&j.right, &view.keep_right),
+            Side::Left => (&j.left, &view.keep_base),
+            Side::Right => (&j.right, &view.stages[0].keep_right),
         };
         if !scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
             return;
@@ -1511,8 +1546,10 @@ impl PierNode {
                     (rb, ra)
                 };
                 let joined = l.concat(r);
-                if view.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
-                    let out = Tuple::new(view.project.iter().map(|e| e.eval(&joined)).collect());
+                let stage = &view.stages[0];
+                if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
+                    let shipped = joined.project(&stage.emit);
+                    let out = Tuple::new(view.project.iter().map(|e| e.eval(&shipped)).collect());
                     if is_joinagg {
                         if let Some(ag) = &agg {
                             self.accumulate(qid, ag, &out);

@@ -44,9 +44,18 @@ impl CostParams {
 pub struct JoinStats {
     pub rows_r: f64,
     pub rows_s: f64,
-    /// On-the-wire tuple sizes.
+    /// On-the-wire sizes of *full* base tuples — what a Fetch Matches
+    /// get or a semi-join fetch moves (those retrieve published rows,
+    /// which the query cannot prune).
     pub bytes_r: f64,
     pub bytes_s: f64,
+    /// On-the-wire sizes of the *pruned* rehash projections — what the
+    /// schema-aware dataflow actually rehashes per tuple (join key ∪
+    /// residual-predicate ∪ output columns; see
+    /// [`crate::plan::StageSchema`]). Equal to `bytes_*` when nothing
+    /// can be pruned.
+    pub ship_r: f64,
+    pub ship_s: f64,
     /// Selectivity of the local predicates.
     pub sel_r: f64,
     pub sel_s: f64,
@@ -70,6 +79,10 @@ impl JoinStats {
             rows_s,
             bytes_r: 1024.0,
             bytes_s: 100.0,
+            // The workload projects R.pad into the result, so pruning
+            // cannot drop it: rehashes ship (nearly) full tuples.
+            ship_r: 1024.0,
+            ship_s: 100.0,
             sel_r: 0.5,
             sel_s,
             match_r: 0.9,
@@ -127,9 +140,10 @@ pub fn traffic_model(strategy: JoinStrategy, s: &JoinStats) -> f64 {
     const LOOKUP: f64 = 80.0;
     match strategy {
         JoinStrategy::SymmetricHash => {
-            // Both tables rehashed after local selections.
-            s.rows_r * s.sel_r * (s.bytes_r + LOOKUP)
-                + s.rows_s * s.sel_s * (s.bytes_s + LOOKUP)
+            // Both tables rehashed after local selections, pruned to
+            // the columns downstream operators read.
+            s.rows_r * s.sel_r * (s.ship_r + LOOKUP)
+                + s.rows_s * s.sel_s * (s.ship_s + LOOKUP)
                 + result_traffic
         }
         JoinStrategy::FetchMatches => {
@@ -153,18 +167,24 @@ pub fn traffic_model(strategy: JoinStrategy, s: &JoinStats) -> f64 {
             let filters = 2.0 * s.bloom_bytes * 8.0;
             let r_kept = s.rows_r * s.sel_r * (s.match_r * s.sel_s + 0.03);
             let s_kept = s.rows_s * s.sel_s;
-            filters + r_kept * (s.bytes_r + LOOKUP) + s_kept * (s.bytes_s + LOOKUP) + result_traffic
+            filters + r_kept * (s.ship_r + LOOKUP) + s_kept * (s.ship_s + LOOKUP) + result_traffic
         }
     }
 }
 
 /// Catalog-derived card of one base table, input to the join-order
-/// search: row count, average wire bytes per tuple, and the estimated
-/// selectivity of its pushed-down local predicates.
+/// search: row count, average wire bytes per tuple, the wire bytes of
+/// the columns the query actually ships (join keys, residual-predicate
+/// and output columns — what survives projection pushdown), and the
+/// estimated selectivity of its pushed-down local predicates.
 #[derive(Clone, Copy, Debug)]
 pub struct TableCard {
     pub rows: f64,
+    /// Full tuple width on the wire.
     pub bytes: f64,
+    /// Pruned width: what a rehash of this table contributes to an
+    /// intermediate. `bytes` when the query reads every column.
+    pub ship_bytes: f64,
     pub sel: f64,
 }
 
@@ -184,9 +204,13 @@ impl TableCard {
 /// symmetric-hash [`traffic_model`] (the §5.5.1-validated latency model
 /// is order-insensitive for a pipeline, so traffic is the
 /// discriminating objective), chaining each stage's estimated
-/// [`JoinStats::results`] cardinality into the next. Disconnected
-/// tables, if any, are appended last (lowering will reject the cross
-/// product). Returns a permutation of `0..cards.len()`.
+/// [`JoinStats::results`] cardinality into the next. Byte accounting
+/// uses the *pruned* [`TableCard::ship_bytes`] widths, so the order
+/// reacts to where wide columns get dropped: a table whose 1 KB pad is
+/// projected into the result is expensive to pipeline early, while the
+/// same table with the pad pruned is cheap. Disconnected tables, if
+/// any, are appended last (lowering will reject the cross product).
+/// Returns a permutation of `0..cards.len()`.
 pub fn greedy_join_order(cards: &[TableCard], edges: &[(usize, usize)]) -> Vec<usize> {
     let n = cards.len();
     if n <= 2 {
@@ -204,9 +228,10 @@ pub fn greedy_join_order(cards: &[TableCard], edges: &[(usize, usize)]) -> Vec<u
     let mut order = vec![start];
     let mut remaining: Vec<usize> = (0..n).filter(|&i| i != start).collect();
     // The accumulated intermediate: its local predicates are already
-    // applied, so sel = 1 from here on.
+    // applied, so sel = 1 from here on; its width is the sum of the
+    // *pruned* contributions of the tables joined so far.
     let mut cur_rows = cards[start].effective_rows();
-    let mut cur_bytes = cards[start].bytes;
+    let mut cur_bytes = cards[start].ship_bytes;
     while !remaining.is_empty() {
         let connected = |i: usize| {
             edges
@@ -218,10 +243,12 @@ pub fn greedy_join_order(cards: &[TableCard], edges: &[(usize, usize)]) -> Vec<u
             rows_s: cards[i].rows,
             bytes_r: cur_bytes,
             bytes_s: cards[i].bytes,
+            ship_r: cur_bytes,
+            ship_s: cards[i].ship_bytes,
             sel_r: 1.0,
             sel_s: cards[i].sel,
             match_r: 0.9,
-            bytes_result: cur_bytes + cards[i].bytes,
+            bytes_result: cur_bytes + cards[i].ship_bytes,
             bloom_bytes: 2048.0,
         };
         let cost = |i: usize| traffic_model(JoinStrategy::SymmetricHash, &stage_stats(i));
@@ -233,7 +260,7 @@ pub fn greedy_join_order(cards: &[TableCard], edges: &[(usize, usize)]) -> Vec<u
         .unwrap();
         let stats = stage_stats(next);
         cur_rows = stats.results();
-        cur_bytes += cards[next].bytes;
+        cur_bytes += cards[next].ship_bytes;
         order.push(next);
         remaining.retain(|&i| i != next);
     }
@@ -321,25 +348,23 @@ mod tests {
         assert_ne!(choice, JoinStrategy::SymmetricHash);
     }
 
+    /// A card whose query ships every column (no pruning opportunity).
+    fn full_card(rows: f64, bytes: f64, sel: f64) -> TableCard {
+        TableCard {
+            rows,
+            bytes,
+            ship_bytes: bytes,
+            sel,
+        }
+    }
+
     #[test]
     fn greedy_order_starts_small_and_stays_connected() {
         // A big R, medium S, tiny T in a chain R — S — T.
         let cards = [
-            TableCard {
-                rows: 100_000.0,
-                bytes: 1024.0,
-                sel: 1.0,
-            },
-            TableCard {
-                rows: 10_000.0,
-                bytes: 100.0,
-                sel: 1.0,
-            },
-            TableCard {
-                rows: 100.0,
-                bytes: 100.0,
-                sel: 1.0,
-            },
+            full_card(100_000.0, 1024.0, 1.0),
+            full_card(10_000.0, 100.0, 1.0),
+            full_card(100.0, 100.0, 1.0),
         ];
         let order = greedy_join_order(&cards, &[(0, 1), (1, 2)]);
         // T is smallest but only connects to S: start at T, then S, then
@@ -350,28 +375,39 @@ mod tests {
     }
 
     #[test]
+    fn greedy_order_reacts_to_dropped_wide_columns() {
+        // A star centered on S (table 1): R — S — T, where R is wide
+        // (1 KB pad) and T has many more rows than R.
+        let wide_r = full_card(1000.0, 1024.0, 1.0);
+        let s = full_card(100.0, 28.0, 1.0);
+        let t = full_card(4000.0, 28.0, 1.0);
+        let edges = [(0, 1), (1, 2)];
+        // Pad projected into the result: R's rehash ships ~1 KB per
+        // row, so the greedy order defers R to the end.
+        let order = greedy_join_order(&[wide_r, s, t], &edges);
+        assert_eq!(order.len(), 3);
+        assert_eq!(*order.last().unwrap(), 0, "wide R pipelines last");
+        // Same tables, but the query never reads the pad: R's pruned
+        // ship width collapses and T (more rows to move) goes last.
+        let narrow_r = TableCard {
+            ship_bytes: 20.0,
+            ..wide_r
+        };
+        let order = greedy_join_order(&[narrow_r, s, t], &edges);
+        assert_eq!(
+            *order.last().unwrap(),
+            2,
+            "row count dominates once the pad is pruned"
+        );
+    }
+
+    #[test]
     fn greedy_order_is_always_a_permutation() {
         let cards = [
-            TableCard {
-                rows: 50.0,
-                bytes: 10.0,
-                sel: 0.5,
-            },
-            TableCard {
-                rows: 5000.0,
-                bytes: 10.0,
-                sel: 1.0,
-            },
-            TableCard {
-                rows: 500.0,
-                bytes: 10.0,
-                sel: 0.5,
-            },
-            TableCard {
-                rows: 5.0,
-                bytes: 10.0,
-                sel: 1.0,
-            },
+            full_card(50.0, 10.0, 0.5),
+            full_card(5000.0, 10.0, 1.0),
+            full_card(500.0, 10.0, 0.5),
+            full_card(5.0, 10.0, 1.0),
         ];
         // Star centered on table 1, plus a disconnected table 3.
         let mut order = greedy_join_order(&cards, &[(0, 1), (1, 2)]);

@@ -4,14 +4,20 @@
 //! same [`QueryDesc`] and plays its part — scanning local fragments,
 //! rehashing, probing, fetching, aggregating — with results flowing
 //! directly to the initiator. Expressions in a descriptor are indexed
-//! over the *full* `left ++ right` base schemas; strategies that rehash
-//! projected tuples remap them via [`RehashView`].
+//! over the *full* concatenation of the base schemas; the schema-aware
+//! dataflow layer ([`PipelineSchema`] / [`StageSchema`]) computes, per
+//! dataflow edge, the minimal column set any downstream operator still
+//! reads, and remaps every expression onto that pruned layout. The
+//! §4.2 lesson — on a DHT, *what bytes you rehash* dominates cost — is
+//! thereby an architectural invariant: no operator ships a column
+//! nobody downstream reads.
 
 use pier_dht::{ns_of, Ns};
 use pier_simnet::time::Dur;
 use pier_simnet::NodeId;
 
 use crate::expr::Expr;
+use crate::tuple::ColType;
 
 /// The four distributed equi-join strategies of §4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -158,11 +164,13 @@ pub struct JoinStage {
 /// base-table accesses (3 or more tables; binary joins use [`JoinSpec`]
 /// and keep their four-strategy repertoire).
 ///
-/// Intermediates are full concatenations of the constituent tuples —
-/// unlike the binary path's [`RehashView`], no per-stage column pruning
-/// is applied yet, so wide pass-through columns (e.g. the workload's
-/// `R.pad`) ride through every stage. Generalizing the rehash-view
-/// narrowing per stage is the known follow-up.
+/// Expressions (`stage_pred`, `project`) are indexed over the *full*
+/// concatenation of the constituent tuples; the executed dataflow ships
+/// pruned tuples under [`PipelineSchema::build`], which keeps per stage
+/// only the join keys still needed later, the columns of
+/// not-yet-evaluable predicates, and the final SELECT columns — so wide
+/// pass-through columns (e.g. the workload's `R.pad`) stop riding
+/// stages that never read them.
 #[derive(Clone, Debug)]
 pub struct MultiJoinSpec {
     /// The pipeline head: the first table, scanned and rehashed into
@@ -293,6 +301,12 @@ pub struct QueryDesc {
     /// How many nodes participate (used by hierarchical aggregation to
     /// shape its tree; harnesses set it when building the query).
     pub n_nodes: u32,
+    /// Schema-aware column pruning: when set (the default), every
+    /// rehash, stage republish, and initiator ship carries only the
+    /// columns some downstream operator still reads
+    /// ([`PipelineSchema::build`]). `false` reinstates full-width
+    /// intermediates — kept as a measurable baseline (`exp_pruning`).
+    pub prune: bool,
 }
 
 impl QueryDesc {
@@ -304,7 +318,14 @@ impl QueryDesc {
             continuous: false,
             window: None,
             n_nodes: 0,
+            prune: true,
         }
+    }
+
+    /// Toggle schema-aware pruning (`true` is the default).
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
     }
 
     /// Rough wire size of the descriptor for the multicast payload.
@@ -378,74 +399,301 @@ pub mod qns {
     }
 }
 
-/// How a strategy that rehashes projected tuples views the join exprs.
-///
-/// The rehash copies "with only the relevant columns remaining" (§4.1):
-/// we keep the join column plus every column mentioned by the post-join
-/// predicate or the output projection, and remap those expressions onto
-/// the narrower concatenated layout.
+/// One typed column of a [`StageSchema`], with its wire width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageCol {
+    /// Column index over the full concatenation of the pipeline tables.
+    pub global: usize,
+    pub ty: ColType,
+    /// Estimated wire bytes of one value of this column.
+    pub width: u32,
+}
+
+/// The schema of one dataflow edge: the ordered, typed column list a
+/// tuple carries at that point, with per-column byte widths — the unit
+/// the byte-accurate traffic model ([`crate::optimizer`]) and the wire
+/// audits reason about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSchema {
+    /// Columns in tuple order (ascending global index).
+    pub cols: Vec<StageCol>,
+}
+
+impl StageSchema {
+    /// Assemble from kept global columns and per-table `(type, width)`
+    /// column info, where `tables[t]` describes pipeline table `t` and
+    /// `offsets[t]` is its global offset.
+    fn assemble(
+        globals: &[usize],
+        tables: &[Vec<(ColType, u32)>],
+        offsets: &[usize],
+    ) -> StageSchema {
+        let cols = globals
+            .iter()
+            .map(|&g| {
+                let t = offsets
+                    .iter()
+                    .rposition(|&o| o <= g)
+                    .expect("global column offset");
+                let (ty, width) = tables[t][g - offsets[t]];
+                StageCol {
+                    global: g,
+                    ty,
+                    width,
+                }
+            })
+            .collect();
+        StageSchema { cols }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Predicted wire bytes of one tuple on this edge (values plus the
+    /// per-tuple header of [`crate::tuple::Tuple::wire_size`]).
+    pub fn wire_bytes(&self) -> usize {
+        crate::tuple::TUPLE_HEADER_BYTES + self.cols.iter().map(|c| c.width as usize).sum::<usize>()
+    }
+
+    /// Position of a global column within this schema, if kept.
+    pub fn position(&self, global: usize) -> Option<usize> {
+        self.cols.iter().position(|c| c.global == global)
+    }
+}
+
+/// One stage of a [`PipelineSchema`]: what the stage's right input
+/// ships, where the join values sit in the pruned layouts, the stage
+/// predicate over the pruned concatenation, and the projection applied
+/// to matches before they are republished (or shipped to the initiator).
 #[derive(Clone, Debug)]
-pub struct RehashView {
-    /// Base columns kept from the left / right tuples.
-    pub keep_left: Vec<usize>,
+pub struct StageView {
+    /// Columns of the stage's right base table kept when rehashing
+    /// (local indices, ascending).
     pub keep_right: Vec<usize>,
-    /// Position of the join value within each kept projection.
+    /// Position of the join value within the pruned left intermediate.
     pub join_idx_left: usize,
+    /// Position of the join value within the pruned right projection.
     pub join_idx_right: usize,
-    /// `post_pred` remapped over `keep_left ++ keep_right`.
-    pub post_pred: Option<Expr>,
-    /// `project` remapped over `keep_left ++ keep_right`.
+    /// Stage predicate remapped over `pruned_left ++ pruned_right`.
+    pub pred: Option<Expr>,
+    /// Positions of `pruned_left ++ pruned_right` that survive into the
+    /// outgoing intermediate, ascending by global column.
+    pub emit: Vec<usize>,
+    /// Global columns of the outgoing intermediate (what `emit` keeps).
+    pub out_globals: Vec<usize>,
+}
+
+/// Schema-aware projection plan for a join pipeline — the one pruning
+/// mechanism behind every strategy and every pipeline stage. A binary
+/// join is the one-stage case ([`PipelineSchema::binary`]); an N-way
+/// pipeline gets one [`StageView`] per [`JoinStage`]
+/// ([`PipelineSchema::build`]).
+///
+/// The minimal column set per edge is: join keys still needed by later
+/// stages ∪ columns of not-yet-evaluable residual predicates ∪ final
+/// SELECT (or GROUP BY / aggregate-argument) columns — computed by a
+/// backward pass, then every expression is remapped onto the pruned
+/// layouts by a forward pass. Built deterministically from the shipped
+/// spec, so every node derives the same layouts without coordination.
+#[derive(Clone, Debug)]
+pub struct PipelineSchema {
+    /// Columns of the pipeline head (the base / left table) kept when
+    /// rehashing into stage 0 (local indices, ascending).
+    pub keep_base: Vec<usize>,
+    pub stages: Vec<StageView>,
+    /// Output expressions remapped over the final pruned intermediate.
     pub project: Vec<Expr>,
 }
 
-impl RehashView {
-    pub fn build(spec: &JoinSpec) -> RehashView {
-        let la = spec.left.arity;
-        let mut used: Vec<usize> = Vec::new();
-        if let Some(p) = &spec.post_pred {
-            p.columns(&mut used);
-        }
-        for e in &spec.project {
-            e.columns(&mut used);
-        }
-        let jl = spec.left.join_col.expect("join col");
-        let jr = spec.right.join_col.expect("join col") + la;
-        if !used.contains(&jl) {
-            used.push(jl);
-        }
-        if !used.contains(&jr) {
-            used.push(jr);
-        }
-        used.sort_unstable();
-        let keep_left: Vec<usize> = used.iter().copied().filter(|&c| c < la).collect();
-        let keep_right: Vec<usize> = used
+/// Per-stage inputs to the shared required-columns analysis.
+struct StageInput<'a> {
+    arity: usize,
+    /// Join column within the right table's own schema.
+    join_col: usize,
+    /// Join column within the accumulated schema (global index).
+    left_col: usize,
+    /// Predicate over `accumulated ++ right`, global basis.
+    pred: Option<&'a Expr>,
+}
+
+impl PipelineSchema {
+    /// The pruning plan of a multi-way pipeline; `prune = false` keeps
+    /// every column on every edge (the measurable full-width baseline).
+    pub fn build(m: &MultiJoinSpec, prune: bool) -> PipelineSchema {
+        let mut off = m.base.arity;
+        let stages: Vec<StageInput> = m
+            .stages
             .iter()
-            .copied()
-            .filter(|&c| c >= la)
-            .map(|c| c - la)
+            .map(|s| {
+                let inp = StageInput {
+                    arity: s.right.arity,
+                    join_col: s.right.join_col.expect("stage join col"),
+                    left_col: s.left_col,
+                    pred: s.stage_pred.as_ref(),
+                };
+                off += s.right.arity;
+                inp
+            })
             .collect();
-        let map = |c: usize| -> Option<usize> {
-            if c < la {
-                keep_left.iter().position(|&k| k == c)
-            } else {
-                keep_right
-                    .iter()
-                    .position(|&k| k == c - la)
-                    .map(|p| p + keep_left.len())
-            }
+        Self::analyze(m.base.arity, &stages, &m.project, prune)
+    }
+
+    /// The pruning plan of a binary join: the one-stage pipeline whose
+    /// base is the left table and whose single stage joins the right.
+    pub fn binary(j: &JoinSpec, prune: bool) -> PipelineSchema {
+        let stage = StageInput {
+            arity: j.right.arity,
+            join_col: j.right.join_col.expect("join col"),
+            left_col: j.left.join_col.expect("join col"),
+            pred: j.post_pred.as_ref(),
         };
-        RehashView {
-            join_idx_left: keep_left.iter().position(|&k| k == jl).unwrap(),
-            join_idx_right: keep_right.iter().position(|&k| k == jr - la).unwrap(),
-            post_pred: spec.post_pred.as_ref().map(|p| p.remap_cols(&map).unwrap()),
-            project: spec
-                .project
-                .iter()
-                .map(|e| e.remap_cols(&map).unwrap())
-                .collect(),
-            keep_left,
-            keep_right,
+        Self::analyze(j.left.arity, &[stage], &j.project, prune)
+    }
+
+    fn analyze(
+        base_arity: usize,
+        stages: &[StageInput],
+        project: &[Expr],
+        prune: bool,
+    ) -> PipelineSchema {
+        let n = stages.len();
+        // Global offset of each stage's right table.
+        let mut offsets = Vec::with_capacity(n);
+        let mut o = base_arity;
+        for s in stages {
+            offsets.push(o);
+            o += s.arity;
         }
+
+        // Backward pass: `needed_after[k]` = global columns the
+        // intermediate republished after stage k must carry.
+        let mut needed_after: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut keep_right: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut keep_base: Vec<usize> = Vec::new();
+        {
+            let mut proj_cols = Vec::new();
+            for e in project {
+                e.columns(&mut proj_cols);
+            }
+            needed_after[n - 1] = proj_cols;
+        }
+        for k in (0..n).rev() {
+            if prune {
+                let mut in_play = needed_after[k].clone();
+                if let Some(p) = stages[k].pred {
+                    p.columns(&mut in_play);
+                }
+                in_play.push(stages[k].left_col);
+                in_play.push(offsets[k] + stages[k].join_col);
+                in_play.sort_unstable();
+                in_play.dedup();
+                keep_right[k] = in_play
+                    .iter()
+                    .copied()
+                    .filter(|&c| c >= offsets[k])
+                    .map(|c| c - offsets[k])
+                    .collect();
+                let need_left: Vec<usize> =
+                    in_play.into_iter().filter(|&c| c < offsets[k]).collect();
+                if k > 0 {
+                    needed_after[k - 1] = need_left;
+                } else {
+                    keep_base = need_left;
+                }
+            } else {
+                needed_after[k] = (0..offsets[k] + stages[k].arity).collect();
+                keep_right[k] = (0..stages[k].arity).collect();
+                if k == 0 {
+                    keep_base = (0..base_arity).collect();
+                }
+            }
+        }
+
+        // Forward pass: remap every expression onto the pruned layouts.
+        let mut in_left: Vec<usize> = keep_base.clone();
+        let mut views = Vec::with_capacity(n);
+        for k in 0..n {
+            let basis: Vec<usize> = in_left
+                .iter()
+                .copied()
+                .chain(keep_right[k].iter().map(|&c| c + offsets[k]))
+                .collect();
+            let pos = |g: usize| basis.iter().position(|&b| b == g);
+            let mut out_globals = std::mem::take(&mut needed_after[k]);
+            out_globals.sort_unstable();
+            views.push(StageView {
+                join_idx_left: in_left
+                    .iter()
+                    .position(|&c| c == stages[k].left_col)
+                    .expect("left join column kept"),
+                join_idx_right: keep_right[k]
+                    .iter()
+                    .position(|&c| c == stages[k].join_col)
+                    .expect("right join column kept"),
+                pred: stages[k]
+                    .pred
+                    .map(|p| p.remap_cols(&pos).expect("stage pred columns kept")),
+                emit: out_globals
+                    .iter()
+                    .map(|&g| pos(g).expect("emitted column kept"))
+                    .collect(),
+                keep_right: std::mem::take(&mut keep_right[k]),
+                out_globals: out_globals.clone(),
+            });
+            in_left = out_globals;
+        }
+        let pos = |g: usize| in_left.iter().position(|&b| b == g);
+        PipelineSchema {
+            keep_base,
+            project: project
+                .iter()
+                .map(|e| e.remap_cols(&pos).expect("projected column kept"))
+                .collect(),
+            stages: views,
+        }
+    }
+
+    /// Kept columns of pipeline table `t` (local indices): `t = 0` is
+    /// the base; `t >= 1` is stage `t - 1`'s right input.
+    pub fn keep_for_table(&self, t: usize) -> &[usize] {
+        if t == 0 {
+            &self.keep_base
+        } else {
+            &self.stages[t - 1].keep_right
+        }
+    }
+
+    /// Global offset of each pipeline table within the concatenation.
+    fn table_offsets(tables: &[Vec<(ColType, u32)>]) -> Vec<usize> {
+        tables
+            .iter()
+            .scan(0, |o, cols| {
+                let cur = *o;
+                *o += cols.len();
+                Some(cur)
+            })
+            .collect()
+    }
+
+    /// Typed, byte-width schema of what table `t`'s rehash ships, given
+    /// per-table `(type, width)` column info in pipeline order.
+    pub fn rehash_schema(&self, t: usize, tables: &[Vec<(ColType, u32)>]) -> StageSchema {
+        let offsets = Self::table_offsets(tables);
+        let globals: Vec<usize> = self
+            .keep_for_table(t)
+            .iter()
+            .map(|&c| c + offsets[t])
+            .collect();
+        StageSchema::assemble(&globals, tables, &offsets)
+    }
+
+    /// Typed, byte-width schema of the intermediate republished after
+    /// stage `k` (for the last stage: what the initiator ship carries,
+    /// before output expressions are evaluated).
+    pub fn intermediate_schema(&self, k: usize, tables: &[Vec<(ColType, u32)>]) -> StageSchema {
+        let offsets = Self::table_offsets(tables);
+        StageSchema::assemble(&self.stages[k].out_globals, tables, &offsets)
     }
 }
 
@@ -473,37 +721,133 @@ mod tests {
     }
 
     #[test]
-    fn rehash_view_keeps_only_relevant_columns() {
+    fn binary_schema_keeps_only_relevant_columns() {
         let j = workload_join(JoinStrategy::SymmetricHash);
-        let v = RehashView::build(&j);
+        let v = PipelineSchema::binary(&j, true);
         // Left keeps pkey(0), num1(1, join), num3(3), pad(4).
-        assert_eq!(v.keep_left, vec![0, 1, 3, 4]);
+        assert_eq!(v.keep_base, vec![0, 1, 3, 4]);
         // Right keeps pkey(0, join+projected), num3(2).
-        assert_eq!(v.keep_right, vec![0, 2]);
-        assert_eq!(v.join_idx_left, 1);
-        assert_eq!(v.join_idx_right, 0);
+        assert_eq!(v.stages[0].keep_right, vec![0, 2]);
+        assert_eq!(v.stages[0].join_idx_left, 1);
+        assert_eq!(v.stages[0].join_idx_right, 0);
+        // Unpruned baseline keeps everything in place.
+        let full = PipelineSchema::binary(&j, false);
+        assert_eq!(full.keep_base, vec![0, 1, 2, 3, 4]);
+        assert_eq!(full.stages[0].keep_right, vec![0, 1, 2]);
+        assert_eq!(full.project, j.project);
     }
 
     #[test]
-    fn rehash_view_remaps_exprs_consistently() {
+    fn binary_schema_remaps_exprs_consistently() {
         let j = workload_join(JoinStrategy::SymmetricHash);
-        let v = RehashView::build(&j);
+        let v = PipelineSchema::binary(&j, true);
         // Build a full joined row and its projected counterpart; both
         // evaluations must agree.
         let full = crate::tuple![1i64, 10i64, 60i64, 7i64, 1000i64, 10i64, 60i64, 8i64];
+        let st = &v.stages[0];
         let narrow_vals: Vec<crate::value::Value> = v
-            .keep_left
+            .keep_base
             .iter()
             .map(|&c| full.vals[c].clone())
-            .chain(v.keep_right.iter().map(|&c| full.vals[c + 5].clone()))
+            .chain(st.keep_right.iter().map(|&c| full.vals[c + 5].clone()))
             .collect();
         let narrow = crate::tuple::Tuple::new(narrow_vals);
         let full_pred = j.post_pred.as_ref().unwrap();
-        let narrow_pred = v.post_pred.as_ref().unwrap();
+        let narrow_pred = st.pred.as_ref().unwrap();
         assert_eq!(full_pred.matches(&full), narrow_pred.matches(&narrow));
+        // The initiator ship: emit the surviving columns, then project.
+        let out = narrow.project(&st.emit);
         for (fe, ne) in j.project.iter().zip(&v.project) {
-            assert_eq!(fe.eval(&full), ne.eval(&narrow));
+            assert_eq!(fe.eval(&full), ne.eval(&out));
         }
+    }
+
+    #[test]
+    fn pipeline_schema_drops_pad_nobody_reads() {
+        // workload_multi projects R.pkey, S.pkey, T.num2 — never R.pad.
+        let m = workload_multi();
+        let v = PipelineSchema::build(&m, true);
+        // R ships only pkey (projected) and num1 (stage-0 join key).
+        assert_eq!(v.keep_base, vec![0, 1]);
+        // S ships pkey (join + projected) and num3 (stage-1 join key).
+        assert_eq!(v.stages[0].keep_right, vec![0, 2]);
+        // T ships pkey (join + projected) and num2 (stage predicate).
+        assert_eq!(v.stages[1].keep_right, vec![0, 1]);
+        // The stage-0 intermediate carries R.pkey, S.pkey, S.num3 only;
+        // the stage-0 join key R.num1 is dropped once consumed.
+        assert_eq!(v.stages[0].out_globals, vec![0, 5, 7]);
+        // After stage 1 the predicate column T.num2 is dropped too.
+        assert_eq!(v.stages[1].out_globals, vec![0, 5, 8]);
+        assert_eq!(v.stages[1].join_idx_left, 2, "S.num3 within [0, 5, 7]");
+    }
+
+    #[test]
+    fn pipeline_schema_matches_full_evaluation() {
+        let m = workload_multi();
+        let v = PipelineSchema::build(&m, true);
+        // One full R ++ S ++ T row that survives the stage predicate.
+        let full = crate::tuple![
+            1i64, 10i64, 60i64, 7i64, 1000i64, // R
+            10i64, 60i64, 8i64, // S
+            8i64, 70i64, 3i64 // T
+        ];
+        // Walk the pruned dataflow by hand.
+        let base = full.project(&v.keep_base);
+        let s_row = crate::tuple::Tuple::new(
+            v.stages[0]
+                .keep_right
+                .iter()
+                .map(|&c| full.vals[c + 5].clone())
+                .collect(),
+        );
+        let mid = base.concat(&s_row).project(&v.stages[0].emit);
+        let t_row = crate::tuple::Tuple::new(
+            v.stages[1]
+                .keep_right
+                .iter()
+                .map(|&c| full.vals[c + 8].clone())
+                .collect(),
+        );
+        let joined = mid.concat(&t_row);
+        assert_eq!(
+            v.stages[1].pred.as_ref().unwrap().matches(&joined),
+            m.stages[1].stage_pred.as_ref().unwrap().matches(&full)
+        );
+        let out = joined.project(&v.stages[1].emit);
+        for (fe, ne) in m.project.iter().zip(&v.project) {
+            assert_eq!(fe.eval(&full), ne.eval(&out));
+        }
+    }
+
+    #[test]
+    fn stage_schema_predicts_wire_bytes() {
+        use crate::tuple::ColType;
+        let m = workload_multi();
+        let v = PipelineSchema::build(&m, true);
+        let i64w = (ColType::I64, 8u32);
+        let tables = vec![
+            vec![i64w, i64w, i64w, i64w, (ColType::Pad, 1000)], // R
+            vec![i64w, i64w, i64w],                             // S
+            vec![i64w, i64w, i64w],                             // T
+        ];
+        // R's rehash ships two i64 columns — the 1 KB pad is dropped.
+        let r_ship = v.rehash_schema(0, &tables);
+        assert_eq!(r_ship.arity(), 2);
+        assert_eq!(r_ship.wire_bytes(), 4 + 16);
+        assert_eq!(r_ship.cols[0].ty, ColType::I64);
+        // And the prediction matches the actual projected tuple.
+        let r_row = crate::tuple![3i64, 4i64, 5i64, 6i64, crate::value::Value::Pad(1000)];
+        assert_eq!(r_row.project(&v.keep_base).wire_size(), r_ship.wire_bytes());
+        // Stage intermediates stay three i64 columns wide.
+        for k in 0..2 {
+            let mid = v.intermediate_schema(k, &tables);
+            assert_eq!(mid.wire_bytes(), 4 + 24, "stage {k}");
+            assert!(mid.position(4).is_none(), "pad is on no edge");
+        }
+        // Unpruned, the same edges carry the pad.
+        let full = PipelineSchema::build(&m, false);
+        assert_eq!(full.rehash_schema(0, &tables).wire_bytes(), 4 + 32 + 1000);
+        assert!(full.intermediate_schema(0, &tables).position(4).is_some());
     }
 
     #[test]

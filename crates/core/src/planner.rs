@@ -4,13 +4,17 @@
 //! binary joins get the cheapest of the four §4 strategies for the
 //! chosen objective; N-way joins additionally get a greedy cost-based
 //! join order ([`crate::optimizer::greedy_join_order`]) before lowering
-//! to a left-deep symmetric-hash pipeline.
+//! to a left-deep symmetric-hash pipeline. Costing is byte-accurate:
+//! the required-columns analysis of the SQL layer combines with the
+//! catalog's per-column widths ([`crate::catalog::TableDef::col_widths`])
+//! so both the join order and the strategy choice react to *where wide
+//! columns get dropped* by projection pushdown.
 
 use crate::catalog::Catalog;
 use crate::optimizer::{
     choose_strategy, greedy_join_order, CostParams, JoinStats, Objective, TableCard,
 };
-use crate::plan::{JoinStrategy, QueryOp};
+use crate::plan::{JoinStrategy, PipelineSchema, QueryOp};
 use crate::sql::{lower_parsed, parse_sql, plan_info};
 
 /// Parse `sql` and, for join queries, pick the cheapest strategy (and,
@@ -27,19 +31,22 @@ pub fn plan_sql(
     if parsed.n_tables() >= 3 {
         // Greedy cost-based join-order search over catalog cardinalities
         // (pipelines chain symmetric-hash stages; the binary strategy
-        // repertoire does not apply).
+        // repertoire does not apply). Widths are per-column: a table
+        // contributes only its *shipped* columns to intermediates.
         let info = plan_info(&parsed)?;
         let cards: Vec<TableCard> = info
             .table_names
             .iter()
             .zip(&info.has_pred)
-            .map(|(name, &has_pred)| {
+            .zip(&info.ship_cols)
+            .map(|((name, &has_pred), ship)| {
                 let def = catalog
                     .get(name)
                     .ok_or_else(|| format!("no stats for {name}"))?;
                 Ok(TableCard {
                     rows: def.stats.rows as f64,
                     bytes: def.stats.avg_tuple_bytes as f64,
+                    ship_bytes: def.ship_bytes(ship) as f64,
                     // The classical 1/2 for predicates we cannot derive.
                     sel: if has_pred { 0.5 } else { 1.0 },
                 })
@@ -64,15 +71,25 @@ pub fn plan_sql(
         // Default selectivity estimate for predicates we cannot derive:
         // the classical 1/2 for range predicates, 1 when absent.
         let sel = |has_pred: bool| if has_pred { 0.5 } else { 1.0 };
+        // Byte-accurate widths: rehashes ship the pruned projection the
+        // executor will actually use; fetches move full base tuples.
+        let schema = PipelineSchema::binary(j, true);
+        let result_cols = &schema.stages[0].out_globals;
+        let la = j.left.arity;
+        let (res_l, res_r): (Vec<usize>, Vec<usize>) =
+            result_cols.iter().copied().partition(|&c| c < la);
+        let res_r: Vec<usize> = res_r.into_iter().map(|c| c - la).collect();
         let stats = JoinStats {
             rows_r: left.stats.rows as f64,
             rows_s: right.stats.rows as f64,
             bytes_r: left.stats.avg_tuple_bytes as f64,
             bytes_s: right.stats.avg_tuple_bytes as f64,
+            ship_r: left.ship_bytes(&schema.keep_base) as f64,
+            ship_s: right.ship_bytes(&schema.stages[0].keep_right) as f64,
             sel_r: sel(j.left.pred.is_some()),
             sel_s: sel(j.right.pred.is_some()),
             match_r: 0.9,
-            bytes_result: (left.stats.avg_tuple_bytes + right.stats.avg_tuple_bytes) as f64,
+            bytes_result: (left.ship_bytes(&res_l) + right.ship_bytes(&res_r)) as f64,
             bloom_bytes: (left.stats.rows as f64).max(2048.0),
         };
         j.strategy = choose_strategy(net, &stats, objective);

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::plan::{AggSpec, JoinSpec, MultiJoinSpec, QueryOp};
+use crate::plan::{AggSpec, JoinSpec, MultiJoinSpec, PipelineSchema, QueryOp};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -73,6 +73,51 @@ pub fn reference_multijoin(m: &MultiJoinSpec, tables: &HashMap<String, Vec<Tuple
     }
     acc.iter()
         .map(|t| Tuple::new(m.project.iter().map(|e| e.eval(t)).collect()))
+        .collect()
+}
+
+/// Centralized evaluation of a multi-way pipeline *through the pruned
+/// dataflow*: tuples are projected onto the same per-edge
+/// [`PipelineSchema`] layouts the distributed executor ships, and every
+/// predicate and output expression is evaluated in its remapped form.
+/// Agreement with [`reference_multijoin`] (which works over full-width
+/// concatenations) certifies that projection pushdown preserves the
+/// result multiset — the invariant the proptests pin.
+pub fn reference_pipeline(m: &MultiJoinSpec, tables: &HashMap<String, Vec<Tuple>>) -> Vec<Tuple> {
+    let v = PipelineSchema::build(m, true);
+    let empty: Vec<Tuple> = Vec::new();
+    let get = |name: &str| tables.get(name).unwrap_or(&empty);
+    // Base rehash: scan predicate on the full row, then project.
+    let mut acc: Vec<Tuple> = get(&m.base.table)
+        .iter()
+        .filter(|t| m.base.pred.as_ref().is_none_or(|p| p.matches(t)))
+        .map(|t| t.project(&v.keep_base))
+        .collect();
+    for (k, st) in m.stages.iter().enumerate() {
+        let view = &v.stages[k];
+        let jr = view.join_idx_right;
+        let jl = view.join_idx_left;
+        let right: Vec<Tuple> = get(&st.right.table)
+            .iter()
+            .filter(|t| st.right.pred.as_ref().is_none_or(|p| p.matches(t)))
+            .map(|t| t.project(&view.keep_right))
+            .collect();
+        let mut next = Vec::new();
+        for a in &acc {
+            for r in &right {
+                if a.get(jl) != r.get(jr) {
+                    continue;
+                }
+                let joined = a.concat(r);
+                if view.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
+                    next.push(joined.project(&view.emit));
+                }
+            }
+        }
+        acc = next;
+    }
+    acc.iter()
+        .map(|t| Tuple::new(v.project.iter().map(|e| e.eval(t)).collect()))
         .collect()
 }
 
@@ -239,8 +284,11 @@ mod tests {
             &[tuple![1i64, 100i64], tuple![3i64, 100i64]]
         ));
         // And through the QueryOp wrapper.
-        let via_op = reference_eval(&crate::plan::QueryOp::MultiJoin(m), &tables);
+        let via_op = reference_eval(&crate::plan::QueryOp::MultiJoin(m.clone()), &tables);
         assert!(same_multiset(&out, &via_op));
+        // The pruned dataflow agrees with the full-width evaluation.
+        let pruned = reference_pipeline(&m, &tables);
+        assert!(same_multiset(&out, &pruned));
     }
 
     #[test]

@@ -667,19 +667,96 @@ fn classify(resolver: &Resolver, conjs: &[PExpr]) -> Result<Classified, String> 
     Ok(out)
 }
 
+/// Columns a parsed expression reads, descending into aggregate
+/// arguments (which scalar lowering rejects), as global indices.
+fn pexpr_columns(resolver: &Resolver, e: &PExpr, out: &mut Vec<usize>) -> Result<(), String> {
+    match e {
+        PExpr::Col(name) => {
+            let c = resolver.col(name)?;
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        PExpr::Lit(_) => {}
+        PExpr::Not(i) => pexpr_columns(resolver, i, out)?,
+        PExpr::Bin(_, l, r) => {
+            pexpr_columns(resolver, l, out)?;
+            pexpr_columns(resolver, r, out)?;
+        }
+        PExpr::Call(_, args) => {
+            for a in args {
+                pexpr_columns(resolver, a, out)?;
+            }
+        }
+        PExpr::Agg(_, arg) => {
+            if let Some(a) = arg {
+                pexpr_columns(resolver, a, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Join-graph summary the cost-based planner needs to pick an order:
-/// per-table predicate presence and the equality edges as FROM-order
-/// table-index pairs.
+/// per-table predicate presence, the equality edges as FROM-order
+/// table-index pairs, and the required-columns analysis — which columns
+/// of each table the dataflow must ever ship (join keys, columns of
+/// residual cross-table predicates, and SELECT / GROUP BY /
+/// aggregate-argument columns; columns read only by pushed-down scan
+/// predicates are evaluated at the data's home node and never ship).
 pub(crate) struct PlanInfo {
     pub(crate) table_names: Vec<String>,
     pub(crate) has_pred: Vec<bool>,
     pub(crate) edges: Vec<(usize, usize)>,
+    /// Per FROM-order table: shipped columns as local indices, sorted.
+    pub(crate) ship_cols: Vec<Vec<usize>>,
 }
 
 pub(crate) fn plan_info(p: &ParsedQuery) -> Result<PlanInfo, String> {
     let order: Vec<usize> = (0..p.tables.len()).collect();
     let resolver = Resolver::new(&p.tables, &order);
     let cls = classify(&resolver, &p.conjuncts)?;
+    let mut shipped: Vec<usize> = Vec::new();
+    for item in &p.select {
+        pexpr_columns(&resolver, &item.expr, &mut shipped)?;
+    }
+    for g in &p.group_by {
+        let c = resolver.col(g)?;
+        if !shipped.contains(&c) {
+            shipped.push(c);
+        }
+    }
+    if let Some(h) = &p.having {
+        // HAVING may reference select aliases; those resolve to columns
+        // already collected from the SELECT list, so skip unknown names.
+        let mut cols = Vec::new();
+        if pexpr_columns(&resolver, h, &mut cols).is_ok() {
+            for c in cols {
+                if !shipped.contains(&c) {
+                    shipped.push(c);
+                }
+            }
+        }
+    }
+    for e in &cls.cross_preds {
+        e.columns(&mut shipped);
+    }
+    for &(a, b) in &cls.edges {
+        for c in [a, b] {
+            if !shipped.contains(&c) {
+                shipped.push(c);
+            }
+        }
+    }
+    let mut ship_cols: Vec<Vec<usize>> = vec![Vec::new(); p.tables.len()];
+    for c in shipped {
+        let t = resolver.table_of(c);
+        ship_cols[t].push(c - resolver.tables[t].offset);
+    }
+    for cols in &mut ship_cols {
+        cols.sort_unstable();
+        cols.dedup();
+    }
     Ok(PlanInfo {
         table_names: p.tables.iter().map(|t| t.table.clone()).collect(),
         has_pred: cls.scan_preds.iter().map(|v| !v.is_empty()).collect(),
@@ -688,6 +765,7 @@ pub(crate) fn plan_info(p: &ParsedQuery) -> Result<PlanInfo, String> {
             .iter()
             .map(|&(a, b)| (resolver.table_of(a), resolver.table_of(b)))
             .collect(),
+        ship_cols,
     })
 }
 
@@ -816,6 +894,30 @@ fn build_agg(
     Ok(spec)
 }
 
+/// Narrow a join's output projection to the columns its aggregation
+/// reads (GROUP BY keys and aggregate arguments), remapping the
+/// [`AggSpec`] onto the narrowed basis — the required-columns analysis
+/// for aggregate queries, so the schema-aware dataflow never ships a
+/// column the aggregation ignores. Returns the projection expressions.
+fn narrow_agg_input(agg: &mut AggSpec) -> Vec<Expr> {
+    let mut used = agg.group_cols.clone();
+    for call in &agg.aggs {
+        if let Some(a) = &call.arg {
+            a.columns(&mut used);
+        }
+    }
+    used.sort_unstable();
+    used.dedup();
+    let map = |c: usize| used.iter().position(|&u| u == c);
+    agg.group_cols = agg.group_cols.iter().map(|&c| map(c).unwrap()).collect();
+    for call in &mut agg.aggs {
+        if let Some(a) = &mut call.arg {
+            *a = a.remap_cols(&map).expect("agg argument column kept");
+        }
+    }
+    used.into_iter().map(Expr::col).collect()
+}
+
 /// Lower a parsed query under a specific join order (a permutation of
 /// the FROM tables). One table lowers to a scan or aggregation; two
 /// tables to a binary [`JoinSpec`] under the given strategy; three or
@@ -893,9 +995,9 @@ pub(crate) fn lower_parsed(
                 Some(Expr::conjunction(post))
             };
             if has_agg {
-                // The aggregation consumes full joined rows.
-                join.project = join.all_columns();
-                let agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                // The aggregation consumes only the columns it reads.
+                let mut agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                join.project = narrow_agg_input(&mut agg);
                 Ok(QueryOp::JoinAgg { join, agg })
             } else {
                 join.project = lower_select(&resolver)?;
@@ -957,9 +1059,9 @@ pub(crate) fn lower_parsed(
                 .collect();
             let mut m = MultiJoinSpec::new(base, stages);
             if has_agg {
-                // The aggregation consumes full joined rows.
-                m.project = m.all_columns();
-                let agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                // The aggregation consumes only the columns it reads.
+                let mut agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                m.project = narrow_agg_input(&mut agg);
                 Ok(QueryOp::MultiJoinAgg { join: m, agg })
             } else {
                 m.project = lower_select(&resolver)?;
@@ -1151,8 +1253,12 @@ mod tests {
         // Star: both stages join against intrusions' columns.
         assert_eq!(join.stages[0].left_col, 1); // I.fingerprint
         assert_eq!(join.stages[1].left_col, 2); // I.address
-        assert_eq!(join.project.len(), join.arity());
-        assert_eq!(agg.group_cols, vec![1]);
+                                                // The join ships only what the aggregation reads: the GROUP BY
+                                                // key I.fingerprint and the max() argument A.severity.
+        assert_eq!(join.project.len(), 2);
+        assert_eq!(join.project[0], Expr::col(1)); // I.fingerprint
+        assert_eq!(join.project[1], Expr::col(4)); // A.severity
+        assert_eq!(agg.group_cols, vec![0], "remapped onto the narrow basis");
         assert_eq!(agg.aggs.len(), 2);
         assert!(agg.having.is_some());
     }

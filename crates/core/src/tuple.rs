@@ -5,6 +5,13 @@ use std::sync::Arc;
 
 use crate::value::Value;
 
+/// Wire bytes of the per-tuple header — shared by the actual accounting
+/// ([`Tuple::wire_size`]) and the predictions
+/// ([`crate::plan::StageSchema::wire_bytes`],
+/// [`crate::catalog::TableDef::ship_bytes`]) so "predicted bytes ==
+/// shipped bytes" holds by construction.
+pub const TUPLE_HEADER_BYTES: usize = 4;
+
 /// A relational tuple: a flat vector of values.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Tuple {
@@ -39,7 +46,7 @@ impl Tuple {
 
     /// Wire bytes: values plus a small per-tuple header.
     pub fn wire_size(&self) -> usize {
-        4 + self.vals.iter().map(Value::wire_size).sum::<usize>()
+        TUPLE_HEADER_BYTES + self.vals.iter().map(Value::wire_size).sum::<usize>()
     }
 }
 
@@ -72,6 +79,20 @@ pub enum ColType {
     F64,
     Str,
     Pad,
+}
+
+impl ColType {
+    /// Wire bytes of one value of this type, when statically known
+    /// (mirrors [`crate::value::Value::wire_size`]); `None` for
+    /// variable-width types (`Str`, `Pad`), whose widths come from
+    /// catalog statistics.
+    pub fn wire_width(&self) -> Option<u32> {
+        match self {
+            ColType::Bool => Some(1),
+            ColType::I64 | ColType::F64 => Some(8),
+            ColType::Str | ColType::Pad => None,
+        }
+    }
 }
 
 /// A named, typed column.

@@ -205,6 +205,35 @@ impl RsWorkload {
         pier_core::semantics::reference_multijoin(&self.multi_join_spec(), &self.tables())
     }
 
+    /// The 3-way query with a narrow SELECT — `R.pad` is published with
+    /// every R tuple but read by nobody downstream, the projection-
+    /// pushdown showcase (`exp_pruning`):
+    ///
+    /// ```sql
+    /// SELECT R.pkey, S.pkey, T.pkey FROM R, S, T ...
+    /// ```
+    pub fn multi_join_spec_narrow(&self) -> MultiJoinSpec {
+        let mut m = self.multi_join_spec();
+        m.project = vec![Expr::col(0), Expr::col(5), Expr::col(8)];
+        m
+    }
+
+    /// A one-shot descriptor for [`Self::multi_join_spec_narrow`];
+    /// `prune = false` reinstates full-width intermediates (baseline).
+    pub fn multi_query_narrow(&self, qid: u64, initiator: u32, prune: bool) -> QueryDesc {
+        QueryDesc::one_shot(
+            qid,
+            initiator,
+            QueryOp::MultiJoin(self.multi_join_spec_narrow()),
+        )
+        .with_prune(prune)
+    }
+
+    /// Ground-truth multiset for [`Self::multi_join_spec_narrow`].
+    pub fn expected_multi_narrow(&self) -> Vec<Tuple> {
+        pier_core::semantics::reference_multijoin(&self.multi_join_spec_narrow(), &self.tables())
+    }
+
     /// The base tables keyed by name, as the reference evaluator wants.
     pub fn tables(&self) -> std::collections::HashMap<String, Vec<Tuple>> {
         let mut m = std::collections::HashMap::new();
