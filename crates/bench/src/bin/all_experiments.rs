@@ -13,6 +13,7 @@ fn main() {
     e::fig8();
     e::multiway();
     e::pruning();
+    e::continuous();
     e::ablation_dims();
     e::chord_vs_can();
     e::agg_flat_vs_hier();

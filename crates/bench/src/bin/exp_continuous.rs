@@ -1,0 +1,9 @@
+//! Continuous-query soft-state lifecycle: the §2.1 intrusion triage as
+//! a standing 3-way join-aggregate re-emitting per-attacker groups
+//! every epoch, run for ≥ 3× the legacy 600 s rehash horizon with
+//! reports trickling in. Hard-asserts per-epoch recall and precision
+//! 1.0 against the `reference_epochs` oracle (CI gate for the
+//! rehash-renewal loop) and writes `results/BENCH_continuous.json`.
+fn main() {
+    pier_bench::experiments::continuous();
+}

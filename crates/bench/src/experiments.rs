@@ -692,6 +692,165 @@ pub fn pruning() {
 }
 
 // ---------------------------------------------------------------------
+// E10 — continuous-query soft-state lifecycle (standing triage query)
+// ---------------------------------------------------------------------
+
+/// The §2.1 intrusion triage run as a *standing* 3-way join-aggregate:
+/// reports trickle in every epoch while the query re-emits per-attacker
+/// `count(*)` / `max(severity)` groups, for ≥ 3× the legacy 600 s
+/// rehash horizon. The rehash-renewal loop keeps advisory/reputation
+/// join state alive, so per-epoch recall and precision stay 1.0 against
+/// `reference_epochs` — hard-asserted (CI gate; pre-renewal, rehashed
+/// state silently aged out and late reports lost their joins). Prints
+/// recall and DHT traffic per epoch and writes
+/// `results/BENCH_continuous.json`.
+pub fn continuous() {
+    use pier_core::semantics::{precision, recall, reference_epochs, TimedRows};
+    use pier_core::sql::parse_continuous_query;
+    use pier_core::Catalog;
+    use std::collections::HashMap;
+
+    let n = 16usize;
+    let epoch = Dur::from_secs(120);
+    // 16 epochs × 120 s = 1920 s ≈ 3.2 × the old 600 s fallback.
+    let n_epochs: usize = if full_scale() { 24 } else { 16 };
+    let legacy_horizon_s = 600.0;
+    let per_batch = 24usize;
+    let distinct_fp = 10u64;
+    let distinct_addr = 20u64;
+    let seed = 4242u64;
+
+    let catalog = Catalog::intrusion();
+    let desc = parse_continuous_query(
+        &intrusion::triage_standing_sql(None, epoch.as_micros() / 1_000_000),
+        &catalog,
+        JoinStrategy::SymmetricHash,
+        1010,
+        0,
+    )
+    .expect("standing triage SQL");
+    let op = desc.op.clone();
+
+    let mut sim: Sim<PierNode> = stabilized_pier_sim(
+        n,
+        DhtConfig::static_network(),
+        NetConfig::latency_only(seed),
+    );
+    // The renewal loop every node runs; the rehash fallback horizon
+    // derives from it (3 × 150 s = 450 s ≪ the run length).
+    for i in 0..n {
+        sim.with_app(i as NodeId, |node, ctx| {
+            node.start_renewals(ctx, Dur::from_secs(150));
+        });
+    }
+    let advisories = intrusion::advisories(distinct_fp, seed);
+    let reputation = intrusion::reputations(distinct_addr, seed);
+    let batch0 = intrusion::intrusions_from(0, per_batch, distinct_fp, distinct_addr, seed);
+    let life = Dur::from_secs(100_000);
+    publish_round_robin(&mut sim, "advisories", &advisories, 0, life);
+    publish_round_robin(&mut sim, "reputation", &reputation, 0, life);
+    publish_round_robin(&mut sim, "intrusions", &batch0, 0, life);
+    settle_publish(&mut sim);
+
+    let t0 = sim.now();
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    let mut timed_reports: TimedRows = batch0.iter().map(|r| (Time::ZERO, r.clone())).collect();
+    // Per-epoch traffic: bytes delivered between consecutive boundaries.
+    let mut boundary_bytes = vec![sim.stats().bytes];
+    for k in 1..=n_epochs {
+        sim.run_until(t0 + epoch.saturating_mul(k as u64));
+        boundary_bytes.push(sim.stats().bytes);
+        if k < n_epochs {
+            // A fresh report batch lands shortly after each boundary —
+            // the late ones long after unrenewed state would be gone.
+            sim.run_for(Dur::from_secs(10));
+            let batch = intrusion::intrusions_from(
+                (k * per_batch) as i64,
+                per_batch,
+                distinct_fp,
+                distinct_addr,
+                seed ^ k as u64,
+            );
+            publish_round_robin(&mut sim, "intrusions", &batch, 0, life);
+            let at = sim.now().since(t0);
+            timed_reports.extend(batch.iter().map(|r| (Time::ZERO + at, r.clone())));
+        }
+    }
+
+    let mut timed: HashMap<String, TimedRows> = HashMap::new();
+    timed.insert("intrusions".to_string(), timed_reports);
+    for (name, rows) in [("advisories", &advisories), ("reputation", &reputation)] {
+        timed.insert(
+            name.to_string(),
+            rows.iter().map(|r| (Time::ZERO, r.clone())).collect(),
+        );
+    }
+    let expected = reference_epochs(&op, &timed, None, epoch, n_epochs);
+
+    let mut got: Vec<Vec<pier_core::Tuple>> = vec![Vec::new(); n_epochs];
+    for (at, row) in sim.app(0).unwrap().query_results(1010) {
+        let k = (at.since(t0).as_micros() / epoch.as_micros()) as usize;
+        if k < n_epochs {
+            got[k].push(row.clone());
+        }
+    }
+
+    let mut tab = ResultTable::new(
+        "e10_continuous",
+        &["epoch", "t_s", "groups", "recall", "precision", "epoch_mb"],
+    );
+    let mut json_rows = Vec::new();
+    let mut min_recall = f64::INFINITY;
+    let mut min_precision = f64::INFINITY;
+    for k in 0..n_epochs {
+        let r = recall(&expected[k], &got[k]);
+        let p = precision(&expected[k], &got[k]);
+        min_recall = min_recall.min(r);
+        min_precision = min_precision.min(p);
+        let mb = (boundary_bytes[k + 1] - boundary_bytes[k]) as f64 / 1e6;
+        let t_s = epoch.as_secs_f64() * k as f64;
+        tab.row(vec![
+            k.to_string(),
+            format!("{t_s:.0}"),
+            expected[k].len().to_string(),
+            ResultTable::fmt_cell(r),
+            ResultTable::fmt_cell(p),
+            ResultTable::fmt_cell(mb),
+        ]);
+        json_rows.push(format!(
+            "    {{\"epoch\": {k}, \"t_s\": {t_s:.0}, \"groups\": {}, \
+             \"recall\": {r:.4}, \"precision\": {p:.4}, \"epoch_mb\": {mb:.4}}}",
+            expected[k].len()
+        ));
+        assert!(!expected[k].is_empty(), "oracle epoch {k} must have groups");
+    }
+    tab.emit();
+
+    let run_s = epoch.as_secs_f64() * n_epochs as f64;
+    assert!(
+        run_s >= 3.0 * legacy_horizon_s,
+        "the run must cover ≥ 3 legacy horizons ({run_s} s)"
+    );
+    assert!(
+        (min_recall - 1.0).abs() < 1e-9 && (min_precision - 1.0).abs() < 1e-9,
+        "a standing query must keep recall/precision 1.0 across every epoch \
+         (got min recall {min_recall}, min precision {min_precision})"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"continuous\",\n  \"query\": \
+         \"standing 3-way intrusion triage: count(*), max(severity) per attacker, EPOCH 120 s\",\n  \
+         \"run_s\": {run_s:.0},\n  \"legacy_horizon_s\": {legacy_horizon_s:.0},\n  \
+         \"metric\": \"per-epoch recall/precision vs reference_epochs; DHT traffic per epoch, MB\",\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    std::fs::write(dir.join("BENCH_continuous.json"), json).expect("write BENCH_continuous.json");
+}
+
+// ---------------------------------------------------------------------
 // A1 — ablation: CAN dimensionality
 // ---------------------------------------------------------------------
 

@@ -42,15 +42,18 @@ impl AggState {
                     *s += v;
                 }
             }
+            // SQL semantics: MIN/MAX range over non-null inputs only.
+            // `Value::Null` sorts below every value, so folding it in
+            // would make every null-bearing MIN collapse to NULL.
             AggState::Min(m) => {
-                if let Some(v) = v {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
                     if m.as_ref().is_none_or(|cur| v < cur) {
                         *m = Some(v.clone());
                     }
                 }
             }
             AggState::Max(m) => {
-                if let Some(v) = v {
+                if let Some(v) = v.filter(|v| !v.is_null()) {
                     if m.as_ref().is_none_or(|cur| v > cur) {
                         *m = Some(v.clone());
                     }
@@ -72,14 +75,14 @@ impl AggState {
             (AggState::SumI(a), AggState::SumI(b)) => *a += b,
             (AggState::SumF(a), AggState::SumF(b)) => *a += b,
             (AggState::Min(a), AggState::Min(b)) => {
-                if let Some(bv) = b {
+                if let Some(bv) = b.as_ref().filter(|bv| !bv.is_null()) {
                     if a.as_ref().is_none_or(|av| bv < av) {
                         *a = Some(bv.clone());
                     }
                 }
             }
             (AggState::Max(a), AggState::Max(b)) => {
-                if let Some(bv) = b {
+                if let Some(bv) = b.as_ref().filter(|bv| !bv.is_null()) {
                     if a.as_ref().is_none_or(|av| bv > av) {
                         *a = Some(bv.clone());
                     }
@@ -241,6 +244,43 @@ mod tests {
         assert_eq!(out.get(0), &Value::I64(0));
         assert_eq!(out.get(2), &Value::Null);
         assert_eq!(out.get(4), &Value::Null);
+    }
+
+    #[test]
+    fn min_max_skip_nulls() {
+        // Regression: Value::Null sorts below everything, so a single
+        // NULL input used to turn MIN into NULL instead of the least
+        // non-null value.
+        let calls = calls();
+        let mut g = GroupAccs::new(&calls);
+        for v in [Value::Null, Value::I64(4), Value::Null, Value::I64(2)] {
+            g.update(&calls, &Tuple::new(vec![v]));
+        }
+        let out = g.output_row(&[]);
+        assert_eq!(out.get(0), &Value::I64(4), "count(*) still counts rows");
+        assert_eq!(out.get(2), &Value::I64(2), "min skips nulls");
+        assert_eq!(out.get(3), &Value::I64(4), "max skips nulls");
+        // All-null input finalizes to NULL, like the empty group.
+        let mut all_null = GroupAccs::new(&calls);
+        all_null.update(&calls, &tuple![Value::Null]);
+        assert_eq!(all_null.output_row(&[]).get(2), &Value::Null);
+        assert_eq!(all_null.output_row(&[]).get(3), &Value::Null);
+    }
+
+    #[test]
+    fn merge_skips_null_min_max_partials() {
+        let calls = calls();
+        let mut a = GroupAccs::new(&calls);
+        a.update(&calls, &tuple![7i64]);
+        // A partial whose MIN/MAX never saw a non-null value merges as a
+        // no-op (and a hand-built Some(Null) partial must not win).
+        let mut b = GroupAccs::new(&calls);
+        b.states[2] = AggState::Min(Some(Value::Null));
+        b.states[3] = AggState::Max(Some(Value::Null));
+        a.merge(&b);
+        let out = a.output_row(&[]);
+        assert_eq!(out.get(2), &Value::I64(7));
+        assert_eq!(out.get(3), &Value::I64(7));
     }
 
     #[test]

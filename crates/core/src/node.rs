@@ -65,10 +65,13 @@ enum TimerAction {
     /// Bloom collector: OR the collected fragments and multicast.
     BloomFlush { qid: u64, side: Side },
     /// Flat aggregation: finalize locally-owned groups, emit results.
+    /// Re-armed every epoch for continuous aggregation.
     AggHarvest { qid: u64 },
-    /// Join-aggregation: push locally accumulated partials into `NA`.
-    JoinAggFlush { qid: u64 },
-    /// Hierarchical aggregation: send merged partials to the tree parent.
+    /// Push locally accumulated partials into `NA` (join-aggregation
+    /// halfway flush; epoch-boundary flush for continuous aggregates).
+    PartialFlush { qid: u64 },
+    /// Hierarchical aggregation: send merged partials to the tree
+    /// parent. Re-armed every epoch for continuous aggregation.
     HierFlush { qid: u64 },
     /// Republish all soft state (the renewal loop of §3.2.3 / Fig. 6).
     Renew,
@@ -96,6 +99,17 @@ struct QueryInstance {
     pairs: HashMap<u64, PairFetch>,
     /// Local pre-aggregation (join-agg at NQ nodes, hierarchical agg).
     local_groups: HashMap<Vec<Value>, GroupAccs>,
+    /// Epoch-driven *windowed* aggregation: every input contribution (a
+    /// base row or a join output) with the instant it ages out of the
+    /// sliding window. The per-epoch flush re-aggregates the still-live
+    /// contributions, so expired ones fall out of the window between
+    /// epochs. Bounded by the window length.
+    win_rows: Vec<(Time, Tuple)>,
+    /// Epoch-driven *unwindowed* aggregation: persistent running
+    /// accumulators, folded incrementally and snapshotted (not drained)
+    /// at each epoch flush — O(groups) state, O(new rows) per epoch,
+    /// where a contribution buffer would grow forever.
+    run_groups: HashMap<Vec<Value>, GroupAccs>,
 }
 
 struct PairFetch {
@@ -129,6 +143,17 @@ struct PubRecord {
     lifetime: Dur,
 }
 
+/// Rehash / stage-namespace soft state this node published on behalf of
+/// a continuous, unwindowed query — republished by the renewal loop so
+/// a standing join outlives the fallback horizon (lifetime is derived
+/// at renewal time from the renewal period).
+struct SoftPub {
+    ns: Ns,
+    rid: Rid,
+    iid: u32,
+    item: QpItem,
+}
+
 /// One PIER node.
 pub struct PierNode {
     pub dht: Dht<QpItem>,
@@ -141,6 +166,10 @@ pub struct PierNode {
     timer_actions: HashMap<u64, TimerAction>,
     next_token: u64,
     published: Vec<PubRecord>,
+    /// Rehash/stage state to republish per continuous unwindowed query
+    /// (base publications renew via `published`; without this, rehashed
+    /// join state silently aged out at the fallback horizon).
+    rehash_pubs: HashMap<u64, Vec<SoftPub>>,
     renew_every: Option<Dur>,
     iid_seq: u32,
 }
@@ -163,6 +192,7 @@ impl PierNode {
             timer_actions: HashMap::new(),
             next_token: 1,
             published: Vec::new(),
+            rehash_pubs: HashMap::new(),
             renew_every: None,
             iid_seq: 0,
         }
@@ -242,6 +272,25 @@ impl PierNode {
                 &mut events,
             );
         }
+        // Continuous unwindowed queries: rehash and stage-namespace soft
+        // state is renewed alongside base publications, so standing
+        // joins keep full recall past the fallback horizon. Renewal
+        // replaces the same (ns, rid, iid) without re-firing `newData`,
+        // so no probe runs twice.
+        let horizon = self.fallback_horizon();
+        for pubs in self.rehash_pubs.values() {
+            for rec in pubs {
+                self.dht.renew(
+                    &mut env,
+                    rec.ns,
+                    rec.rid,
+                    rec.iid,
+                    rec.item.clone(),
+                    horizon,
+                    &mut events,
+                );
+            }
+        }
         if let Some(every) = self.renew_every {
             let token = self.token();
             self.timer_actions.insert(token, TimerAction::Renew);
@@ -253,6 +302,47 @@ impl PierNode {
     /// Number of rows this node has published (for harness assertions).
     pub fn published_count(&self) -> usize {
         self.published.len()
+    }
+
+    /// Soft-state horizon for rehashed tuples when no window applies:
+    /// three renewal periods when the renewal loop runs (state must
+    /// comfortably outlive the gap between renewals), else the legacy
+    /// 600 s for nodes that never renew.
+    fn fallback_horizon(&self) -> Dur {
+        self.renew_every
+            .map_or(Dur::from_secs(600), |every| every.saturating_mul(3))
+    }
+
+    /// Lifetime of rehash / stage / semi-join soft state for a query:
+    /// the sliding window when set (windowed state must age out), else
+    /// the renewal-derived fallback horizon.
+    fn soft_lifetime(&self, qid: u64) -> Dur {
+        self.queries
+            .get(&qid)
+            .and_then(|i| i.desc.window)
+            .unwrap_or_else(|| self.fallback_horizon())
+    }
+
+    /// Does this query's rehash-layer state get renewed? Continuous and
+    /// unwindowed only: windowed state must age out, and one-shot
+    /// queries complete well inside the horizon.
+    fn renews_rehash_state(&self, qid: u64) -> bool {
+        self.queries
+            .get(&qid)
+            .is_some_and(|i| i.desc.continuous && i.desc.window.is_none())
+    }
+
+    /// Retain a rehash-layer put for the renewal loop (see
+    /// [`Self::renews_rehash_state`]).
+    fn record_rehash(&mut self, qid: u64, ns: Ns, rid: Rid, iid: u32, item: &QpItem) {
+        if self.renews_rehash_state(qid) {
+            self.rehash_pubs.entry(qid).or_default().push(SoftPub {
+                ns,
+                rid,
+                iid,
+                item: item.clone(),
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -317,13 +407,15 @@ impl PierNode {
             bloom_waits: [0, 0],
             pairs: HashMap::new(),
             local_groups: HashMap::new(),
+            win_rows: Vec::new(),
+            run_groups: HashMap::new(),
         };
         self.queries.insert(qid, inst);
 
         match &desc.op {
             QueryOp::Scan { scan, project } => {
                 self.route_ns(scan.ns, qid, NsRole::BaseLeft);
-                let rows = self.local_rows(scan);
+                let rows = self.local_rows(scan, ctx.now);
                 for row in rows {
                     let out = Tuple::new(project.iter().map(|e| e.eval(&row)).collect());
                     self.emit_result(ctx, qid, desc.initiator, out);
@@ -383,15 +475,26 @@ impl PierNode {
             }
             QueryOp::Agg { scan, agg } => {
                 self.route_ns(scan.ns, qid, NsRole::BaseLeft);
-                let rows = self.local_rows(scan);
+                let now = ctx.now;
+                let window = desc.window;
+                let entries = self.local_entries(scan, now);
                 let agg = agg.clone();
-                for row in rows {
-                    self.accumulate(qid, &agg, &row);
+                for (expires, row) in entries {
+                    // A windowed contribution ages out `window` after it
+                    // is first seen, and never outlives its base row.
+                    let valid = match window {
+                        Some(w) => expires.min(now + w),
+                        None => Time::MAX,
+                    };
+                    self.accumulate(qid, &agg, &row, valid);
                 }
                 if agg.hierarchical {
                     self.schedule_hier_flush(ctx, qid, &agg);
                 } else {
-                    self.flush_partials(ctx, qid, &agg);
+                    if agg.epoch.is_none() {
+                        // Epoch queries flush on their timer instead.
+                        self.flush_partials(ctx, qid, &agg);
+                    }
                     self.schedule_agg_timers(ctx, qid, agg, false);
                 }
             }
@@ -405,15 +508,26 @@ impl PierNode {
         }
     }
 
-    /// Locally stored, selection-passing rows of a base table.
-    fn local_rows(&self, scan: &ScanSpec) -> Vec<Tuple> {
+    /// Locally stored, live, selection-passing rows of a base table with
+    /// their soft-state expiries. Expired-but-unswept rows (the sweep
+    /// runs on the maintenance tick) never enter a dataflow.
+    fn local_entries(&self, scan: &ScanSpec, now: Time) -> Vec<(Time, Tuple)> {
         self.dht
             .lscan(scan.ns)
+            .filter(|e| e.expires > now)
             .filter_map(|e| match &e.val {
-                QpItem::Row(t) => Some(t.clone()),
+                QpItem::Row(t) => Some((e.expires, t.clone())),
                 _ => None,
             })
-            .filter(|t| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
+            .filter(|(_, t)| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
+            .collect()
+    }
+
+    /// [`Self::local_entries`] without the expiries.
+    fn local_rows(&self, scan: &ScanSpec, now: Time) -> Vec<Tuple> {
+        self.local_entries(scan, now)
+            .into_iter()
+            .map(|(_, t)| t)
             .collect()
     }
 
@@ -461,10 +575,9 @@ impl PierNode {
             Side::Left => (&j.left, &view.keep_base, stage.join_idx_left),
             Side::Right => (&j.right, &stage.keep_right, stage.join_idx_right),
         };
-        let window = self.queries[&qid].desc.window;
-        let rows = self.local_rows(scan);
+        let rows = self.local_rows(scan, ctx.now);
         let nq = qns::rehash(qid);
-        let lifetime = window.unwrap_or(Dur::from_secs(600));
+        let lifetime = self.soft_lifetime(qid);
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
         for row in rows {
@@ -484,6 +597,7 @@ impl PierNode {
                 join,
                 row: projected,
             };
+            self.record_rehash(qid, nq, rid, iid, &item);
             self.dht
                 .put(&mut env, nq, rid, iid, item, lifetime, &mut events);
         }
@@ -500,7 +614,17 @@ impl PierNode {
                 side, join, row, ..
             } => {
                 let (side, join, row) = (*side, join.clone(), row.clone());
-                self.probe_tagged(ctx, qid, entry.ns, entry.rid, entry.iid, side, &join, &row);
+                self.probe_tagged(
+                    ctx,
+                    qid,
+                    entry.ns,
+                    entry.rid,
+                    entry.iid,
+                    entry.expires,
+                    side,
+                    &join,
+                    &row,
+                );
             }
             QpItem::Mini {
                 side, pkey, join, ..
@@ -512,7 +636,7 @@ impl PierNode {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // one newData probe: storage coords + tagged payload
     fn probe_tagged(
         &mut self,
         ctx: &mut Ctx<PierMsg>,
@@ -520,6 +644,7 @@ impl PierNode {
         ns: Ns,
         rid: Rid,
         my_iid: u32,
+        my_expires: Time,
         side: Side,
         join: &Value,
         row: &Tuple,
@@ -534,24 +659,28 @@ impl PierNode {
             QueryOp::JoinAgg { agg, .. } => Some(agg.clone()),
             _ => None,
         };
-        // Local probe of the opposite hash-table partition.
-        let matches: Vec<Tuple> = self
+        let now = ctx.now;
+        // Local probe of the opposite hash-table partition. The same
+        // shortest-lived-constituent rule as `mj_probe` applies: a
+        // partner whose window state already aged out (but is not yet
+        // swept — the sweep runs on the maintenance tick) must not join.
+        let matches: Vec<(Tuple, Time)> = self
             .dht
             .store
             .get(ns, rid)
             .iter()
-            .filter(|e| e.iid != my_iid)
+            .filter(|e| e.iid != my_iid && e.expires > now)
             .filter_map(|e| match &e.val {
                 QpItem::Tagged {
                     side: s,
                     join: jv,
                     row: r,
                     ..
-                } if *s == side.opposite() && jv == join => Some(r.clone()),
+                } if *s == side.opposite() && jv == join => Some((r.clone(), e.expires)),
                 _ => None,
             })
             .collect();
-        for other in matches {
+        for (other, other_expires) in matches {
             let joined = match side {
                 Side::Left => row.concat(&other),
                 Side::Right => other.concat(row),
@@ -565,12 +694,23 @@ impl PierNode {
                 let out = Tuple::new(view.project.iter().map(|e| e.eval(&shipped)).collect());
                 if is_joinagg {
                     if let Some(a) = &agg {
-                        self.accumulate(qid, a, &out);
+                        let valid = self.window_valid(qid, my_expires.min(other_expires));
+                        self.accumulate(qid, a, &out, valid);
                     }
                 } else {
                     self.emit_result(ctx, qid, initiator, out);
                 }
             }
+        }
+    }
+
+    /// Window validity of an aggregate contribution: joined tuples live
+    /// only as long as their shortest-lived constituent when the query
+    /// is windowed; unwindowed continuous aggregates are running totals.
+    fn window_valid(&self, qid: u64, until: Time) -> Time {
+        match self.queries.get(&qid).and_then(|i| i.desc.window) {
+            Some(_) => until,
+            None => Time::MAX,
         }
     }
 
@@ -607,9 +747,9 @@ impl PierNode {
         };
         let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
         let keep = view.keep_for_table(t);
-        let rows = self.local_rows(scan);
+        let rows = self.local_rows(scan, ctx.now);
         let ns = qns::stage(qid, stage_k);
-        let lifetime = self.mj_lifetime(qid);
+        let lifetime = self.soft_lifetime(qid);
         let puts: Vec<(Rid, u32, QpItem)> = rows
             .into_iter()
             .map(|row| {
@@ -630,6 +770,7 @@ impl PierNode {
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
         for (rid, iid, item) in puts {
+            self.record_rehash(qid, ns, rid, iid, &item);
             self.dht
                 .put(&mut env, ns, rid, iid, item, lifetime, &mut events);
         }
@@ -655,7 +796,7 @@ impl PierNode {
         }
         let join = row.get(join_col).clone();
         let ns = qns::stage(qid, stage_k);
-        let lifetime = self.mj_lifetime(qid);
+        let lifetime = self.soft_lifetime(qid);
         let iid = self.fresh_iid();
         let item = QpItem::Tagged {
             qid,
@@ -663,28 +804,13 @@ impl PierNode {
             join: join.clone(),
             row: row.project(view.keep_for_table(t)),
         };
+        let rid = join.hash64();
+        self.record_rehash(qid, ns, rid, iid, &item);
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
-        self.dht.put(
-            &mut env,
-            ns,
-            join.hash64(),
-            iid,
-            item,
-            lifetime,
-            &mut events,
-        );
+        self.dht
+            .put(&mut env, ns, rid, iid, item, lifetime, &mut events);
         self.pump(ctx, events);
-    }
-
-    /// Soft-state lifetime of rehashed/intermediate pipeline tuples: the
-    /// query window when set (sliding-window semantics), else a renewal
-    /// horizon.
-    fn mj_lifetime(&self, qid: u64) -> Dur {
-        self.queries
-            .get(&qid)
-            .and_then(|i| i.desc.window)
-            .unwrap_or(Dur::from_secs(600))
     }
 
     /// Probe an arriving stage-k entry against the opposite side — the
@@ -758,10 +884,13 @@ impl PierNode {
         row: Tuple,
         lifetime: Dur,
     ) {
+        if lifetime == Dur::ZERO {
+            // A constituent already aged out (expired-but-unswept soft
+            // state): neither republish nor emit — a last-stage match
+            // against expired state would be a phantom result.
+            return;
+        }
         if k + 1 < m.stages.len() {
-            if lifetime == Dur::ZERO {
-                return; // a constituent already expired
-            }
             // Publish the intermediate as soft state in the next stage's
             // namespace, keyed by its join value there.
             let join = row.get(view.stages[k + 1].join_idx_left).clone();
@@ -772,17 +901,13 @@ impl PierNode {
                 join: join.clone(),
                 row,
             };
+            let ns = qns::stage(qid, k + 1);
+            let rid = join.hash64();
+            self.record_rehash(qid, ns, rid, iid, &item);
             let mut env = PierEnv { ctx };
             let mut events = Vec::new();
-            self.dht.put(
-                &mut env,
-                qns::stage(qid, k + 1),
-                join.hash64(),
-                iid,
-                item,
-                lifetime,
-                &mut events,
-            );
+            self.dht
+                .put(&mut env, ns, rid, iid, item, lifetime, &mut events);
             self.pump(ctx, events);
         } else {
             let Some(inst) = self.queries.get(&qid) else {
@@ -793,7 +918,8 @@ impl PierNode {
             match &inst.desc.op {
                 QueryOp::MultiJoinAgg { agg, .. } => {
                     let agg = agg.clone();
-                    self.accumulate(qid, &agg, &out);
+                    let valid = self.window_valid(qid, ctx.now + lifetime);
+                    self.accumulate(qid, &agg, &out, valid);
                 }
                 _ => self.emit_result(ctx, qid, initiator, out),
             }
@@ -870,7 +996,7 @@ impl PierNode {
             Some(j.right.pkey_col),
             "Fetch Matches requires the fetched table hashed on the join key"
         );
-        let rows = self.local_rows(&j.left);
+        let rows = self.local_rows(&j.left, ctx.now);
         let mut work = Vec::new();
         for left_row in rows {
             let join = left_row.get(j.left.join_col.unwrap()).clone();
@@ -938,8 +1064,9 @@ impl PierNode {
             Side::Left => &j.left,
             Side::Right => &j.right,
         };
-        let rows = self.local_rows(scan);
+        let rows = self.local_rows(scan, ctx.now);
         let nq = qns::rehash(qid);
+        let lifetime = self.soft_lifetime(qid);
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
         for row in rows {
@@ -953,15 +1080,9 @@ impl PierNode {
                 pkey,
                 join,
             };
-            self.dht.put(
-                &mut env,
-                nq,
-                rid,
-                iid,
-                item,
-                Dur::from_secs(600),
-                &mut events,
-            );
+            self.record_rehash(qid, nq, rid, iid, &item);
+            self.dht
+                .put(&mut env, nq, rid, iid, item, lifetime, &mut events);
         }
         self.pump(ctx, events);
     }
@@ -981,13 +1102,16 @@ impl PierNode {
         if self.join_spec(qid).is_none() {
             return;
         }
-        // Find opposite-side minis with the same join value.
+        // Find live opposite-side minis with the same join value
+        // (expired-but-unswept projections must not pair, same as
+        // `probe_tagged`).
+        let now = ctx.now;
         let partners: Vec<Value> = self
             .dht
             .store
             .get(ns, rid)
             .iter()
-            .filter(|e| e.iid != my_iid)
+            .filter(|e| e.iid != my_iid && e.expires > now)
             .filter_map(|e| match &e.val {
                 QpItem::Mini {
                     side: s,
@@ -1114,11 +1238,15 @@ impl PierNode {
     // ------------------------------------------------------------------
 
     fn bloom_start(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, j: &JoinSpec) {
-        // Publish a filter fragment per local side.
+        // Publish a filter fragment per local side. Fragments are
+        // collector metadata, not window state: they live to the
+        // fallback horizon regardless of the query window so a slow
+        // collector never ORs an already-expired fragment set.
+        let lifetime = self.fallback_horizon();
         let mut work = Vec::new();
         for (side, scan) in [(Side::Left, &j.left), (Side::Right, &j.right)] {
             let mut filter = BloomFilter::new(j.bloom_bits, 4);
-            for row in self.local_rows(scan) {
+            for row in self.local_rows(scan, ctx.now) {
                 filter.insert(row.get(scan.join_col.unwrap()).hash64());
             }
             work.push((side, filter));
@@ -1134,7 +1262,7 @@ impl PierNode {
                 0,
                 me,
                 QpItem::Bloom { qid, side, filter },
-                Dur::from_secs(600),
+                lifetime,
                 &mut events,
             );
         }
@@ -1207,26 +1335,77 @@ impl PierNode {
     // Aggregation (flat DHT grouping + hierarchical extension)
     // ------------------------------------------------------------------
 
-    fn accumulate(&mut self, qid: u64, agg: &AggSpec, row: &Tuple) {
+    /// Fold one input row into the query's aggregation state. One-shot
+    /// aggregates fold directly into the (drained-at-flush) group
+    /// accumulators. Windowed epoch queries buffer `(valid_until, row)`
+    /// so each epoch flush can re-aggregate exactly the contributions
+    /// still inside the window; unwindowed epoch queries fold into
+    /// persistent running accumulators snapshotted at each flush.
+    fn accumulate(&mut self, qid: u64, agg: &AggSpec, row: &Tuple, valid_until: Time) {
         let Some(inst) = self.queries.get_mut(&qid) else {
             return;
         };
+        let windowed = inst.desc.window.is_some();
+        let groups = if agg.epoch.is_some() {
+            if windowed {
+                inst.win_rows.push((valid_until, row.clone()));
+                return;
+            }
+            &mut inst.run_groups
+        } else {
+            &mut inst.local_groups
+        };
         let group: Vec<Value> = agg.group_cols.iter().map(|&c| row.get(c).clone()).collect();
-        let accs = inst
-            .local_groups
+        groups
             .entry(group)
-            .or_insert_with(|| GroupAccs::new(&agg.aggs));
-        accs.update(&agg.aggs, row);
+            .or_insert_with(|| GroupAccs::new(&agg.aggs))
+            .update(&agg.aggs, row);
+    }
+
+    /// Groups to report at a flush instant: the transient accumulators
+    /// drained (one-shot inputs; received hierarchical child partials),
+    /// plus — for epoch queries — either a fresh aggregation of every
+    /// window contribution still alive (expired contributions thereby
+    /// age out of the window between epochs) or a snapshot of the
+    /// running totals.
+    fn harvest_groups(
+        &mut self,
+        qid: u64,
+        agg: &AggSpec,
+        now: Time,
+    ) -> Vec<(Vec<Value>, GroupAccs)> {
+        let Some(inst) = self.queries.get_mut(&qid) else {
+            return Vec::new();
+        };
+        let mut groups: HashMap<Vec<Value>, GroupAccs> = inst.local_groups.drain().collect();
+        if agg.epoch.is_some() {
+            inst.win_rows.retain(|(valid, _)| *valid > now);
+            for (_, row) in &inst.win_rows {
+                let group: Vec<Value> =
+                    agg.group_cols.iter().map(|&c| row.get(c).clone()).collect();
+                groups
+                    .entry(group)
+                    .or_insert_with(|| GroupAccs::new(&agg.aggs))
+                    .update(&agg.aggs, row);
+            }
+            for (group, accs) in &inst.run_groups {
+                groups
+                    .entry(group.clone())
+                    .and_modify(|g| g.merge(accs))
+                    .or_insert_with(|| accs.clone());
+            }
+        }
+        groups.into_iter().collect()
     }
 
     /// Push local partials into the NA namespace (flat aggregation).
+    /// Epoch queries re-publish under the same instanceID every epoch —
+    /// a renewal — with a one-epoch lifetime, so a group that ages out
+    /// of this node's window stops contributing by the next harvest.
     fn flush_partials(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, agg: &AggSpec) {
-        let Some(inst) = self.queries.get_mut(&qid) else {
-            return;
-        };
-        let groups: Vec<(Vec<Value>, GroupAccs)> = inst.local_groups.drain().collect();
+        let groups = self.harvest_groups(qid, agg, ctx.now);
         let na = qns::agg(qid);
-        let harvest = agg.harvest;
+        let lifetime = agg.epoch.unwrap_or_else(|| agg.harvest.saturating_mul(4));
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
         for (group, accs) in groups {
@@ -1238,7 +1417,7 @@ impl PierNode {
                 rid,
                 me,
                 QpItem::Partial { qid, group, accs },
-                harvest.saturating_mul(4),
+                lifetime,
                 &mut events,
             );
         }
@@ -1252,17 +1431,62 @@ impl PierNode {
         agg: AggSpec,
         joinagg: bool,
     ) {
+        if let Some(epoch) = agg.epoch {
+            // Epoch-driven continuous aggregation: partials flush just
+            // after each epoch boundary (the short lag lets the join
+            // outputs probed right after the query multicast — rehash
+            // puts are still in flight at install — make epoch 0), and
+            // every surviving group is harvested and re-emitted half an
+            // epoch later. Both timers re-arm on fire, so the standing
+            // query never tears down.
+            let lag = Dur::from_micros((epoch.as_micros() / 4).min(5_000_000));
+            let token = self.token();
+            self.timer_actions
+                .insert(token, TimerAction::PartialFlush { qid });
+            ctx.set_timer(lag, token);
+            let token = self.token();
+            self.timer_actions
+                .insert(token, TimerAction::AggHarvest { qid });
+            ctx.set_timer(Dur::from_micros(epoch.as_micros() / 2), token);
+            return;
+        }
         if joinagg {
             // NQ nodes accumulate join outputs, then flush halfway.
             let token = self.token();
             self.timer_actions
-                .insert(token, TimerAction::JoinAggFlush { qid });
+                .insert(token, TimerAction::PartialFlush { qid });
             ctx.set_timer(Dur::from_micros(agg.harvest.as_micros() / 2), token);
         }
         let token = self.token();
         self.timer_actions
             .insert(token, TimerAction::AggHarvest { qid });
         ctx.set_timer(agg.harvest, token);
+    }
+
+    /// The query's aggregation spec, whatever the operator shape.
+    fn agg_spec(&self, qid: u64) -> Option<AggSpec> {
+        match self.queries.get(&qid).map(|i| &i.desc.op) {
+            Some(QueryOp::Agg { agg, .. })
+            | Some(QueryOp::JoinAgg { agg, .. })
+            | Some(QueryOp::MultiJoinAgg { agg, .. }) => Some(agg.clone()),
+            _ => None,
+        }
+    }
+
+    /// Continuous aggregation re-arms its timers every epoch instead of
+    /// tearing the query down after one harvest. An epoch spec inside a
+    /// non-continuous descriptor does not re-arm: the query emits one
+    /// round and falls silent like any other one-shot.
+    fn rearm_epoch(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, action: TimerAction) {
+        if !self.queries.get(&qid).is_some_and(|i| i.desc.continuous) {
+            return;
+        }
+        let epoch = self.agg_spec(qid).and_then(|a| a.epoch);
+        if let Some(epoch) = epoch {
+            let token = self.token();
+            self.timer_actions.insert(token, action);
+            ctx.set_timer(epoch, token);
+        }
     }
 
     /// Finalize every group whose partials landed here; apply HAVING;
@@ -1279,8 +1503,12 @@ impl PierNode {
         };
         let initiator = inst.desc.initiator;
         let na = qns::agg(qid);
+        let now = ctx.now;
         let mut merged: HashMap<Vec<Value>, GroupAccs> = HashMap::new();
-        for e in self.dht.store.lscan(na) {
+        // Expired partials (a publisher whose group aged out of its
+        // window, or a dead node) are skipped even before the sweep
+        // collects them.
+        for e in self.dht.store.lscan(na).filter(|e| e.expires > now) {
             if let QpItem::Partial {
                 group,
                 accs,
@@ -1307,6 +1535,7 @@ impl PierNode {
 
     /// Hierarchical aggregation: stagger flushes so deeper nodes send
     /// before their parents, merging along a binary tree over node ids.
+    /// Epoch queries stagger within each epoch and re-arm every epoch.
     fn schedule_hier_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, agg: &AggSpec) {
         let n = self.queries[&qid].desc.n_nodes.max(1);
         let max_depth = 64 - (n as u64).leading_zeros() as u64;
@@ -1314,7 +1543,8 @@ impl PierNode {
         let depth = 64 - (me + 1).leading_zeros() as u64;
         // Deeper levels flush earlier.
         let slot = max_depth.saturating_sub(depth) + 1;
-        let delay = Dur::from_micros(agg.harvest.as_micros() * slot / (max_depth + 2));
+        let span = agg.epoch.unwrap_or(agg.harvest);
+        let delay = Dur::from_micros(span.as_micros() * slot / (max_depth + 2));
         let token = self.token();
         self.timer_actions
             .insert(token, TimerAction::HierFlush { qid });
@@ -1322,7 +1552,7 @@ impl PierNode {
     }
 
     fn hier_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.queries.get(&qid) else {
             return;
         };
         let agg = match &inst.desc.op {
@@ -1330,7 +1560,7 @@ impl PierNode {
             _ => return,
         };
         let initiator = inst.desc.initiator;
-        let groups: Vec<(Vec<Value>, GroupAccs)> = inst.local_groups.drain().collect();
+        let groups = self.harvest_groups(qid, &agg, ctx.now);
         let me = self.dht.me();
         if me == 0 {
             // Root: finalize.
@@ -1408,6 +1638,7 @@ impl PierNode {
         let QpItem::Row(row) = &entry.val else { return };
         let row = row.clone();
         let initiator = inst.desc.initiator;
+        let window = inst.desc.window;
         match inst.desc.op.clone() {
             QueryOp::Scan { scan, project } => {
                 if scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
@@ -1428,9 +1659,22 @@ impl PierNode {
                     self.mj_rehash_one(ctx, qid, &m, t as usize, row);
                 }
             }
-            QueryOp::Agg { .. } => {
-                // One-shot aggregates only; continuous aggregation would
-                // need retraction or periodic re-emission.
+            QueryOp::Agg { scan, agg } => {
+                // Epoch-driven continuous aggregation: a newly published
+                // base row joins the window and is (re-)reported at the
+                // next epoch flush. Without an epoch the aggregate stays
+                // one-shot — there is no re-emission to carry the update.
+                if agg.epoch.is_none() {
+                    return;
+                }
+                if !scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
+                    return;
+                }
+                let valid = match window {
+                    Some(w) => entry.expires.min(ctx.now + w),
+                    None => Time::MAX,
+                };
+                self.accumulate(qid, &agg, &row, valid);
             }
         }
     }
@@ -1448,7 +1692,6 @@ impl PierNode {
             return;
         };
         let view = inst.view.clone().expect("join view");
-        let window = inst.desc.window;
         let (scan, keep) = match side {
             Side::Left => (&j.left, &view.keep_base),
             Side::Right => (&j.right, &view.stages[0].keep_right),
@@ -1458,7 +1701,7 @@ impl PierNode {
         }
         let join = row.get(scan.join_col.unwrap()).clone();
         let rid = Self::rehash_rid(&join, j.computation_nodes);
-        let lifetime = window.unwrap_or(Dur::from_secs(600));
+        let lifetime = self.soft_lifetime(qid);
         let iid = self.fresh_iid();
         let item = QpItem::Tagged {
             qid,
@@ -1466,17 +1709,12 @@ impl PierNode {
             join,
             row: row.project(keep),
         };
+        let ns = qns::rehash(qid);
+        self.record_rehash(qid, ns, rid, iid, &item);
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
-        self.dht.put(
-            &mut env,
-            qns::rehash(qid),
-            rid,
-            iid,
-            item,
-            lifetime,
-            &mut events,
-        );
+        self.dht
+            .put(&mut env, ns, rid, iid, item, lifetime, &mut events);
         self.pump(ctx, events);
     }
 
@@ -1515,6 +1753,11 @@ impl PierNode {
         let Some(inst) = self.queries.get(&qid) else {
             return;
         };
+        // Replay happens at install time: state stored before the query
+        // arrived may have already aged out of its window.
+        if a.expires <= ctx.now || b.expires <= ctx.now {
+            return;
+        }
         match (&a.val, &b.val) {
             (
                 QpItem::Tagged {
@@ -1552,7 +1795,8 @@ impl PierNode {
                     let out = Tuple::new(view.project.iter().map(|e| e.eval(&shipped)).collect());
                     if is_joinagg {
                         if let Some(ag) = &agg {
-                            self.accumulate(qid, ag, &out);
+                            let valid = self.window_valid(qid, a.expires.min(b.expires));
+                            self.accumulate(qid, ag, &out, valid);
                         }
                     } else {
                         self.emit_result(ctx, qid, initiator, out);
@@ -1688,18 +1932,20 @@ impl App for PierNode {
                     self.bloom_flush(ctx, qid, side);
                 }
             }
-            Some(TimerAction::AggHarvest { qid }) => self.agg_harvest(ctx, qid),
-            Some(TimerAction::JoinAggFlush { qid }) => {
-                let agg = match self.queries.get(&qid).map(|i| &i.desc.op) {
-                    Some(QueryOp::JoinAgg { agg, .. })
-                    | Some(QueryOp::MultiJoinAgg { agg, .. }) => Some(agg.clone()),
-                    _ => None,
-                };
-                if let Some(agg) = agg {
+            Some(TimerAction::AggHarvest { qid }) => {
+                self.agg_harvest(ctx, qid);
+                self.rearm_epoch(ctx, qid, TimerAction::AggHarvest { qid });
+            }
+            Some(TimerAction::PartialFlush { qid }) => {
+                if let Some(agg) = self.agg_spec(qid) {
                     self.flush_partials(ctx, qid, &agg);
                 }
+                self.rearm_epoch(ctx, qid, TimerAction::PartialFlush { qid });
             }
-            Some(TimerAction::HierFlush { qid }) => self.hier_flush(ctx, qid),
+            Some(TimerAction::HierFlush { qid }) => {
+                self.hier_flush(ctx, qid);
+                self.rearm_epoch(ctx, qid, TimerAction::HierFlush { qid });
+            }
             Some(TimerAction::Renew) => self.renew_all(ctx),
             None => {}
         }

@@ -253,6 +253,14 @@ pub struct AggSpec {
     pub hierarchical: bool,
     /// How long owners wait before finalizing groups (one-shot queries).
     pub harvest: Dur,
+    /// Continuous aggregation (§3.2.3 soft state + §7 "continuous
+    /// queries over streams"): when set, the flush/harvest timers re-arm
+    /// every epoch and every surviving group is re-emitted, instead of
+    /// the query tearing down after one harvest. Combined with
+    /// [`QueryDesc::window`], contributions age out of the sliding
+    /// window between epochs; without a window the aggregate is a
+    /// running total over everything the standing query has seen.
+    pub epoch: Option<Dur>,
 }
 
 impl AggSpec {
@@ -265,7 +273,14 @@ impl AggSpec {
             having: None,
             hierarchical: false,
             harvest: Dur::from_secs(5),
+            epoch: None,
         }
+    }
+
+    /// Turn this spec into an epoch-driven continuous aggregation.
+    pub fn with_epoch(mut self, epoch: Dur) -> Self {
+        self.epoch = Some(epoch);
+        self
     }
 }
 
@@ -322,6 +337,19 @@ impl QueryDesc {
         }
     }
 
+    /// A standing (continuous) query: stays installed after the initial
+    /// dataflow; newly published base tuples flow through incrementally,
+    /// and `window` bounds the lifetime of rehashed soft state (a
+    /// sliding time window). Unwindowed continuous state is kept alive
+    /// by the rehash-renewal loop ([`crate::node::PierNode`]).
+    pub fn standing(qid: u64, initiator: NodeId, op: QueryOp, window: Option<Dur>) -> Self {
+        QueryDesc {
+            window,
+            continuous: true,
+            ..Self::one_shot(qid, initiator, op)
+        }
+    }
+
     /// Toggle schema-aware pruning (`true` is the default).
     pub fn with_prune(mut self, prune: bool) -> Self {
         self.prune = prune;
@@ -347,6 +375,7 @@ impl QueryDesc {
                     .sum::<usize>()
                 + a.output.iter().map(Expr::wire_size).sum::<usize>()
                 + a.having.as_ref().map_or(0, Expr::wire_size)
+                + if a.epoch.is_some() { 8 } else { 0 }
         }
         fn multi_sz(m: &MultiJoinSpec) -> usize {
             16 + scan_sz(&m.base)

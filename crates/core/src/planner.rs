@@ -27,6 +27,12 @@ pub fn plan_sql(
     objective: Objective,
 ) -> Result<QueryOp, String> {
     let parsed = parse_sql(sql, catalog)?;
+    if parsed.window.is_some() || parsed.epoch.is_some() {
+        // A bare QueryOp has nowhere to carry the window, and an epoch
+        // only makes sense on a standing descriptor; see
+        // `sql::parse_continuous_query` for standing queries.
+        return Err("WINDOW/EPOCH make a query continuous — use parse_continuous_query".into());
+    }
     let from_order: Vec<usize> = (0..parsed.n_tables()).collect();
     if parsed.n_tables() >= 3 {
         // Greedy cost-based join-order search over catalog cardinalities
@@ -203,6 +209,20 @@ mod tests {
         assert_eq!(m.stages[1].left_col, 3);
         // Output columns still follow the SELECT list, not the order.
         assert_eq!(m.project.len(), 2);
+    }
+
+    #[test]
+    fn plan_sql_rejects_continuous_clauses() {
+        // plan_sql returns a bare QueryOp, which cannot carry a window
+        // and must not silently wrap an epoch in a one-shot.
+        let net = CostParams::paper_baseline(64.0);
+        for sql in [
+            "SELECT pkey FROM S WINDOW 10 SECONDS",
+            "SELECT num2, count(*) FROM S GROUP BY num2 EPOCH 15 SECONDS",
+        ] {
+            let err = plan_sql(sql, &catalog(), &net, Objective::Latency).unwrap_err();
+            assert!(err.contains("parse_continuous_query"), "{err}");
+        }
     }
 
     #[test]

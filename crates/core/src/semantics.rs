@@ -8,9 +8,16 @@
 
 use std::collections::HashMap;
 
+use pier_simnet::time::{Dur, Time};
+
 use crate::plan::{AggSpec, JoinSpec, MultiJoinSpec, PipelineSchema, QueryOp};
 use crate::tuple::Tuple;
 use crate::value::Value;
+
+/// Rows of one table with their publication instants (relative to the
+/// query's submission) — the input shape of the windowed and per-epoch
+/// oracles.
+pub type TimedRows = Vec<(Time, Tuple)>;
 
 /// Centralized nested-loop evaluation of a join spec over full tables.
 pub fn reference_join(j: &JoinSpec, left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
@@ -118,6 +125,128 @@ pub fn reference_pipeline(m: &MultiJoinSpec, tables: &HashMap<String, Vec<Tuple>
     }
     acc.iter()
         .map(|t| Tuple::new(v.project.iter().map(|e| e.eval(t)).collect()))
+        .collect()
+}
+
+/// Centralized evaluation of a continuous *windowed* binary equi-join:
+/// a pair joins iff the two rows were ever simultaneously inside the
+/// window — the later arrival probes while the earlier one's rehashed
+/// soft state (lifetime = window) is still live, i.e.
+/// `|t_left − t_right| < window`. This is the engine's expiry-correct
+/// probe rule, stated declaratively.
+pub fn reference_windowed_join(
+    j: &JoinSpec,
+    left: &TimedRows,
+    right: &TimedRows,
+    window: Dur,
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let jl = j.left.join_col.expect("join col");
+    let jr = j.right.join_col.expect("join col");
+    for (tl, l) in left {
+        if !j.left.pred.as_ref().is_none_or(|p| p.matches(l)) {
+            continue;
+        }
+        for (tr, r) in right {
+            if l.get(jl) != r.get(jr) {
+                continue;
+            }
+            if !j.right.pred.as_ref().is_none_or(|p| p.matches(r)) {
+                continue;
+            }
+            let (early, late) = if tl <= tr { (*tl, *tr) } else { (*tr, *tl) };
+            if late.since(early) >= window {
+                continue; // never co-live inside the window
+            }
+            let joined = l.concat(r);
+            if !j.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
+                continue;
+            }
+            out.push(Tuple::new(
+                j.project.iter().map(|e| e.eval(&joined)).collect(),
+            ));
+        }
+    }
+    out
+}
+
+/// Centralized evaluation of a continuous *windowed* multi-way
+/// pipeline. A result exists iff every constituent was simultaneously
+/// inside the window, i.e. `max(t) − min(t) < window`: intermediates
+/// inherit the shortest-lived constituent's remaining lifetime, so the
+/// pairwise rule composes across stages into exactly this span check.
+pub fn reference_windowed_multijoin(
+    m: &MultiJoinSpec,
+    tables: &HashMap<String, TimedRows>,
+    window: Dur,
+) -> Vec<Tuple> {
+    let empty: TimedRows = Vec::new();
+    let get = |name: &str| tables.get(name).unwrap_or(&empty);
+    // Accumulated intermediates carry their constituents' time span.
+    let mut acc: Vec<(Time, Time, Tuple)> = get(&m.base.table)
+        .iter()
+        .filter(|(_, t)| m.base.pred.as_ref().is_none_or(|p| p.matches(t)))
+        .map(|(at, t)| (*at, *at, t.clone()))
+        .collect();
+    for st in &m.stages {
+        let jr = st.right.join_col.expect("stage join col");
+        let right: Vec<&(Time, Tuple)> = get(&st.right.table)
+            .iter()
+            .filter(|(_, t)| st.right.pred.as_ref().is_none_or(|p| p.matches(t)))
+            .collect();
+        let mut next = Vec::new();
+        for (min_t, max_t, a) in &acc {
+            for (rt, r) in &right {
+                if a.get(st.left_col) != r.get(jr) {
+                    continue;
+                }
+                let (lo, hi) = ((*min_t).min(*rt), (*max_t).max(*rt));
+                if hi.since(lo) >= window {
+                    continue;
+                }
+                let joined = a.concat(r);
+                if st.stage_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
+                    next.push((lo, hi, joined));
+                }
+            }
+        }
+        acc = next;
+    }
+    acc.iter()
+        .map(|(_, _, t)| Tuple::new(m.project.iter().map(|e| e.eval(t)).collect()))
+        .collect()
+}
+
+/// Per-epoch oracle for epoch-driven continuous aggregation: epoch `k`
+/// (k = 0, 1, …) reports the query evaluated over every row published
+/// at or before `k * epoch` that has not yet aged out of the sliding
+/// window (`publish + window > k * epoch`; no window means a running
+/// aggregate over everything seen so far). The engine emits epoch `k`'s
+/// groups about half an epoch after the boundary, so results bucketed
+/// by `floor(arrival / epoch)` line up with this oracle's epochs.
+pub fn reference_epochs(
+    op: &QueryOp,
+    tables: &HashMap<String, TimedRows>,
+    window: Option<Dur>,
+    epoch: Dur,
+    n_epochs: usize,
+) -> Vec<Vec<Tuple>> {
+    (0..n_epochs)
+        .map(|k| {
+            let at = Time::ZERO + epoch.saturating_mul(k as u64);
+            let snap: HashMap<String, Vec<Tuple>> = tables
+                .iter()
+                .map(|(name, rows)| {
+                    let live: Vec<Tuple> = rows
+                        .iter()
+                        .filter(|(t, _)| *t <= at && window.is_none_or(|w| *t + w > at))
+                        .map(|(_, r)| r.clone())
+                        .collect();
+                    (name.clone(), live)
+                })
+                .collect();
+            reference_eval(op, &snap)
+        })
         .collect()
 }
 
@@ -289,6 +418,100 @@ mod tests {
         // The pruned dataflow agrees with the full-width evaluation.
         let pruned = reference_pipeline(&m, &tables);
         assert!(same_multiset(&out, &pruned));
+    }
+
+    #[test]
+    fn windowed_join_requires_co_live_state() {
+        let left = ScanSpec::new("L", 2, 0).with_join_col(1);
+        let right = ScanSpec::new("R", 2, 0).with_join_col(1);
+        let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+        j.project = vec![Expr::col(0), Expr::col(2)];
+        let at = |s: u64| pier_simnet::time::Time(s * 1_000_000);
+        let l = vec![(at(0), tuple![1i64, 7i64]), (at(100), tuple![2i64, 7i64])];
+        let r = vec![(at(20), tuple![3i64, 7i64]), (at(130), tuple![4i64, 7i64])];
+        let w = pier_simnet::time::Dur::from_secs(40);
+        let out = reference_windowed_join(&j, &l, &r, w);
+        // (1,3): gap 20 < 40 ✓; (1,4): 130 ✗; (2,3): 80 ✗; (2,4): 30 ✓.
+        assert!(same_multiset(
+            &out,
+            &[tuple![1i64, 3i64], tuple![2i64, 4i64]]
+        ));
+    }
+
+    #[test]
+    fn windowed_multijoin_bounds_the_constituent_span() {
+        use crate::plan::{JoinStage, MultiJoinSpec};
+        let base = ScanSpec::new("A", 2, 0);
+        let s1 = JoinStage {
+            right: ScanSpec::new("B", 2, 0).with_join_col(0),
+            left_col: 1,
+            stage_pred: None,
+        };
+        let s2 = JoinStage {
+            right: ScanSpec::new("C", 2, 0).with_join_col(0),
+            left_col: 3,
+            stage_pred: None,
+        };
+        let mut m = MultiJoinSpec::new(base, vec![s1, s2]);
+        m.project = vec![Expr::col(0), Expr::col(5)];
+        let at = |s: u64| pier_simnet::time::Time(s * 1_000_000);
+        let mut tables = HashMap::new();
+        tables.insert("A".to_string(), vec![(at(0), tuple![1i64, 7i64])]);
+        tables.insert("B".to_string(), vec![(at(30), tuple![7i64, 9i64])]);
+        tables.insert(
+            "C".to_string(),
+            vec![
+                (at(50), tuple![9i64, 100i64]),
+                (at(70), tuple![9i64, 200i64]),
+            ],
+        );
+        let w = pier_simnet::time::Dur::from_secs(60);
+        // A@0, B@30, C@50 span 50 < 60 ✓; with C@70 the span is 70 ✗ —
+        // even though B@30 and C@70 pairwise miss co-living with A only.
+        let out = reference_windowed_multijoin(&m, &tables, w);
+        assert!(same_multiset(&out, &[tuple![1i64, 100i64]]));
+    }
+
+    #[test]
+    fn epoch_oracle_slides_the_window() {
+        use crate::plan::{AggCall, AggFunc};
+        let scan = ScanSpec::new("F", 2, 0);
+        let agg = AggSpec::new(
+            vec![1],
+            vec![AggCall {
+                func: AggFunc::Count,
+                arg: None,
+            }],
+        );
+        let op = QueryOp::Agg { scan, agg };
+        let at = |s: u64| pier_simnet::time::Time(s * 1_000_000);
+        let mut tables = HashMap::new();
+        tables.insert(
+            "F".to_string(),
+            vec![
+                (at(0), tuple![1i64, 5i64]),
+                (at(25), tuple![2i64, 5i64]),
+                (at(45), tuple![3i64, 5i64]),
+            ],
+        );
+        let e = pier_simnet::time::Dur::from_secs(20);
+        let w = pier_simnet::time::Dur::from_secs(50);
+        // Epochs at t = 0, 20, 40, 60, 80.
+        let per_epoch = reference_epochs(&op, &tables, Some(w), e, 5);
+        let counts: Vec<i64> = per_epoch
+            .iter()
+            .map(|rows| rows.first().map_or(0, |r| r.get(1).as_i64().unwrap()))
+            .collect();
+        // t=0: {0}; t=20: {0}; t=40: {0,25}; t=60: {25,45} (0 aged out);
+        // t=80: {45}.
+        assert_eq!(counts, vec![1, 1, 2, 2, 1]);
+        // Unwindowed: a running total.
+        let running = reference_epochs(&op, &tables, None, e, 5);
+        let counts: Vec<i64> = running
+            .iter()
+            .map(|rows| rows.first().map_or(0, |r| r.get(1).as_i64().unwrap()))
+            .collect();
+        assert_eq!(counts, vec![1, 1, 2, 3, 3]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! FROM table [AS t] [, table [AS t] ...]
 //! [WHERE conjunctive predicates, incl. cross-table equalities]
 //! [GROUP BY cols] [HAVING expr]
+//! [WINDOW n [SECONDS|MS|MINUTES]] [EPOCH n [SECONDS|MS|MINUTES]]
 //! ```
 //!
 //! which covers all three §2.1 intrusion-detection examples and the §5.1
@@ -18,11 +19,23 @@
 //! [`MultiJoinSpec`] pipeline of chained symmetric hash joins. Parsing
 //! and lowering are split (`parse_sql` / `lower_parsed`, crate-internal)
 //! so the cost-based planner can choose the join order between the two.
+//!
+//! `WINDOW` and `EPOCH` make a query *standing* (continuous, §3.2.3 /
+//! §7): `WINDOW` bounds the lifetime of rehashed soft state (a sliding
+//! time window), and `EPOCH` — aggregates only — re-emits every
+//! surviving group each epoch ([`crate::plan::AggSpec::epoch`]). Use
+//! [`parse_continuous_query`] to get the full [`QueryDesc`];
+//! [`parse_query`] (and the planner) reject both clauses since a bare
+//! [`QueryOp`] cannot honor them.
+
+use pier_simnet::time::Dur;
+use pier_simnet::NodeId;
 
 use crate::catalog::Catalog;
 use crate::expr::{BinOp, Expr, Func};
 use crate::plan::{
-    AggCall, AggFunc, AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, QueryOp, ScanSpec,
+    AggCall, AggFunc, AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, QueryDesc,
+    QueryOp, ScanSpec,
 };
 use crate::value::Value;
 
@@ -199,6 +212,29 @@ impl Parser {
             Some(Tok::Ident(w)) => Ok(w),
             other => Err(format!("expected identifier, got {other:?}")),
         }
+    }
+
+    /// A duration literal with an optional unit (seconds by default).
+    fn duration(&mut self) -> Result<Dur, String> {
+        let n = match self.next() {
+            Some(Tok::Int(i)) if i >= 0 => i as f64,
+            Some(Tok::Float(x)) if x >= 0.0 => x,
+            other => return Err(format!("expected a duration, got {other:?}")),
+        };
+        let scale = if self.kw("SECONDS") || self.kw("S") {
+            1.0
+        } else if self.kw("MS") || self.kw("MILLISECONDS") {
+            1e-3
+        } else if self.kw("MINUTES") {
+            60.0
+        } else {
+            1.0
+        };
+        let d = Dur::from_secs_f64(n * scale);
+        if d == Dur::ZERO {
+            return Err("durations must be positive".into());
+        }
+        Ok(d)
     }
 
     // expr := or
@@ -384,6 +420,10 @@ pub(crate) struct ParsedQuery {
     conjuncts: Vec<PExpr>,
     group_by: Vec<String>,
     having: Option<PExpr>,
+    /// `WINDOW n`: sliding soft-state window of a standing query.
+    pub(crate) window: Option<Dur>,
+    /// `EPOCH n`: re-emission period of a continuous aggregate.
+    pub(crate) epoch: Option<Dur>,
 }
 
 impl ParsedQuery {
@@ -536,7 +576,7 @@ pub(crate) fn parse_sql(sql: &str, catalog: &Catalog) -> Result<ParsedQuery, Str
             p.ident()?
         } else if let Some(Tok::Ident(w)) = p.peek() {
             let kw = [
-                "WHERE", "GROUP", "HAVING", "AND", "OR", "AS", "SELECT", "FROM",
+                "WHERE", "GROUP", "HAVING", "AND", "OR", "AS", "SELECT", "FROM", "WINDOW", "EPOCH",
             ];
             if kw.iter().any(|k| w.eq_ignore_ascii_case(k)) {
                 table.clone()
@@ -580,6 +620,16 @@ pub(crate) fn parse_sql(sql: &str, catalog: &Catalog) -> Result<ParsedQuery, Str
     } else {
         None
     };
+    let window = if p.kw("WINDOW") {
+        Some(p.duration()?)
+    } else {
+        None
+    };
+    let epoch = if p.kw("EPOCH") {
+        Some(p.duration()?)
+    } else {
+        None
+    };
     if p.peek().is_some() {
         return Err(format!("trailing tokens at {:?}", p.peek()));
     }
@@ -613,6 +663,8 @@ pub(crate) fn parse_sql(sql: &str, catalog: &Catalog) -> Result<ParsedQuery, Str
         conjuncts: cs,
         group_by,
         having,
+        window,
+        epoch,
     })
 }
 
@@ -947,6 +999,9 @@ pub(crate) fn lower_parsed(
     let has_agg = !p.group_by.is_empty()
         || p.select.iter().any(|i| contains_agg(&i.expr))
         || p.having.as_ref().is_some_and(contains_agg);
+    if p.epoch.is_some() && !has_agg {
+        return Err("EPOCH requires aggregation (GROUP BY or aggregate calls)".into());
+    }
 
     let make_scan = |t: &ResolvedTable, preds: Vec<Expr>| {
         let mut s = ScanSpec::new(&t.table, t.schema.arity(), t.pkey_col);
@@ -964,7 +1019,8 @@ pub(crate) fn lower_parsed(
         1 => {
             let scan = make_scan(&resolver.tables[0], std::mem::take(&mut cls.scan_preds[0]));
             if has_agg {
-                let agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                let mut agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                agg.epoch = p.epoch;
                 Ok(QueryOp::Agg { scan, agg })
             } else {
                 Ok(QueryOp::Scan {
@@ -997,6 +1053,7 @@ pub(crate) fn lower_parsed(
             if has_agg {
                 // The aggregation consumes only the columns it reads.
                 let mut agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                agg.epoch = p.epoch;
                 join.project = narrow_agg_input(&mut agg);
                 Ok(QueryOp::JoinAgg { join, agg })
             } else {
@@ -1061,6 +1118,7 @@ pub(crate) fn lower_parsed(
             if has_agg {
                 // The aggregation consumes only the columns it reads.
                 let mut agg = build_agg(&resolver, &p.select, &p.group_by, &p.having)?;
+                agg.epoch = p.epoch;
                 m.project = narrow_agg_input(&mut agg);
                 Ok(QueryOp::MultiJoinAgg { join: m, agg })
             } else {
@@ -1082,8 +1140,33 @@ pub fn parse_query(
     strategy: JoinStrategy,
 ) -> Result<QueryOp, String> {
     let parsed = parse_sql(sql, catalog)?;
+    if parsed.window.is_some() || parsed.epoch.is_some() {
+        // A bare QueryOp has nowhere to carry the window, and an epoch
+        // only makes sense on a standing descriptor — silently wrapping
+        // either in a one-shot would be a different query.
+        return Err("WINDOW/EPOCH make a query continuous — use parse_continuous_query".into());
+    }
     let order: Vec<usize> = (0..parsed.n_tables()).collect();
     lower_parsed(&parsed, &order, strategy)
+}
+
+/// Parse a SQL string with optional `WINDOW` / `EPOCH` clauses into a
+/// complete standing [`QueryDesc`]: continuous, with the window bound to
+/// the descriptor (rehashed soft-state lifetime) and the epoch bound to
+/// the aggregation spec (per-epoch re-emission). Plain SQL parses too —
+/// the result is then a continuous query with no window and no epoch.
+pub fn parse_continuous_query(
+    sql: &str,
+    catalog: &Catalog,
+    strategy: JoinStrategy,
+    qid: u64,
+    initiator: NodeId,
+) -> Result<QueryDesc, String> {
+    let parsed = parse_sql(sql, catalog)?;
+    let order: Vec<usize> = (0..parsed.n_tables()).collect();
+    let window = parsed.window;
+    let op = lower_parsed(&parsed, &order, strategy)?;
+    Ok(QueryDesc::standing(qid, initiator, op, window))
 }
 
 #[cfg(test)]
@@ -1299,6 +1382,94 @@ mod tests {
         let bad = parse_sql("SELECT R.pkey FROM R, S, T WHERE R.num1 = S.pkey", &wl).unwrap();
         let err = lower_parsed(&bad, &[0, 1, 2], JoinStrategy::SymmetricHash).unwrap_err();
         assert!(err.contains("cross products"), "{err}");
+    }
+
+    #[test]
+    fn window_and_epoch_clauses_build_a_standing_query() {
+        let (_, intr) = catalogs();
+        let desc = super::parse_continuous_query(
+            "SELECT I.fingerprint, count(*) AS cnt FROM intrusions I \
+             GROUP BY I.fingerprint HAVING cnt > 2 \
+             WINDOW 90 SECONDS EPOCH 30 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            7,
+            3,
+        )
+        .unwrap();
+        assert!(desc.continuous);
+        assert_eq!(desc.qid, 7);
+        assert_eq!(desc.initiator, 3);
+        assert_eq!(desc.window, Some(pier_simnet::time::Dur::from_secs(90)));
+        let QueryOp::Agg { agg, .. } = &desc.op else {
+            panic!("expected agg")
+        };
+        assert_eq!(agg.epoch, Some(pier_simnet::time::Dur::from_secs(30)));
+
+        // Units: MS and MINUTES; bare numbers default to seconds.
+        let desc = super::parse_continuous_query(
+            "SELECT count(*) FROM intrusions WINDOW 2 MINUTES EPOCH 500 MS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            8,
+            0,
+        )
+        .unwrap();
+        assert_eq!(desc.window, Some(pier_simnet::time::Dur::from_secs(120)));
+        let QueryOp::Agg { agg, .. } = &desc.op else {
+            panic!()
+        };
+        assert_eq!(agg.epoch, Some(pier_simnet::time::Dur::from_millis(500)));
+
+        // Plain SQL through the continuous entry: standing, unwindowed.
+        let desc = super::parse_continuous_query(
+            "SELECT address FROM intrusions",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            9,
+            0,
+        )
+        .unwrap();
+        assert!(desc.continuous && desc.window.is_none());
+    }
+
+    #[test]
+    fn epoch_requires_aggregation_and_window_requires_continuous() {
+        let (_, intr) = catalogs();
+        // Through the one-shot entry points both clauses are rejected.
+        let err = parse_query(
+            "SELECT address FROM intrusions EPOCH 10 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap_err();
+        assert!(err.contains("parse_continuous_query"), "{err}");
+        // EPOCH on a non-aggregate query is rejected at lowering.
+        let err = super::parse_continuous_query(
+            "SELECT address FROM intrusions EPOCH 10 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            1,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("EPOCH requires aggregation"), "{err}");
+        let err = parse_query(
+            "SELECT address FROM intrusions WINDOW 10 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap_err();
+        assert!(err.contains("parse_continuous_query"), "{err}");
+        // Zero and negative durations are rejected.
+        assert!(super::parse_continuous_query(
+            "SELECT count(*) FROM intrusions EPOCH 0",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            1,
+            0,
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! The continuous-query soft-state lifecycle, end to end: expiry-correct
+//! probes (regression tests for the expired-but-unswept bugs),
+//! epoch-driven re-emission of aggregates against the
+//! [`reference_epochs`] oracle, sliding-window aging, and the
+//! rehash-renewal loop keeping a standing join-aggregate at recall 1.0
+//! far past the fallback horizon.
+
+use std::collections::HashMap;
+
+use pier_core::catalog::Catalog;
+use pier_core::expr::Expr;
+use pier_core::node::PierNode;
+use pier_core::plan::{
+    AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, QueryDesc, QueryOp, ScanSpec,
+};
+use pier_core::semantics::{precision, recall, reference_epochs, same_multiset, TimedRows};
+use pier_core::sql::parse_continuous_query;
+use pier_core::testkit::*;
+use pier_core::tuple;
+use pier_core::tuple::Tuple;
+use pier_core::value::Value;
+use pier_dht::DhtConfig;
+use pier_simnet::time::{Dur, Time};
+use pier_simnet::{NetConfig, NodeId, Sim};
+
+/// A config whose maintenance tick (and thus expiry sweep) is very
+/// rare, so expired-but-unswept soft state lingers in the stores — the
+/// regime the expiry-correct probe rules must handle.
+fn lazy_sweep_cfg() -> DhtConfig {
+    let mut cfg = DhtConfig::static_network();
+    cfg.tick = Dur::from_secs(300);
+    cfg
+}
+
+/// Bucket timed results into epochs of length `epoch` (emissions for
+/// epoch k arrive about half an epoch after the k-th boundary).
+fn per_epoch(results: &[(Dur, Tuple)], epoch: Dur, n_epochs: usize) -> Vec<Vec<Tuple>> {
+    let mut out = vec![Vec::new(); n_epochs];
+    for (at, row) in results {
+        let k = (at.as_micros() / epoch.as_micros()) as usize;
+        if k < n_epochs {
+            out[k].push(row.clone());
+        }
+    }
+    out
+}
+
+/// Assert every epoch's emissions equal the oracle's, with recall and
+/// precision 1.0 (no lost groups, no phantom groups).
+fn assert_epochs_match(got: &[Vec<Tuple>], expected: &[Vec<Tuple>]) {
+    assert_eq!(got.len(), expected.len());
+    for (k, (g, e)) in got.iter().zip(expected).enumerate() {
+        assert!(
+            same_multiset(g, e),
+            "epoch {k}: got {g:?} expected {e:?} (recall {}, precision {})",
+            recall(e, g),
+            precision(e, g)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression: expired-but-unswept probes (binary and final stage)
+// ---------------------------------------------------------------------
+
+#[test]
+fn binary_probe_skips_expired_unswept_partner() {
+    // A continuous symmetric-hash join with a 20 s window on a network
+    // that sweeps expired state only every 300 s: a tuple arriving 35 s
+    // after its partner must NOT join the partner's expired (but still
+    // stored) window state.
+    let left = ScanSpec::new("A", 2, 0).with_join_col(1);
+    let right = ScanSpec::new("B", 2, 0).with_join_col(1);
+    let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+    j.project = vec![Expr::col(0), Expr::col(2)];
+    let desc = QueryDesc::standing(90, 0, QueryOp::Join(j), Some(Dur::from_secs(20)));
+
+    let mut sim: Sim<PierNode> =
+        stabilized_pier_sim(8, lazy_sweep_cfg(), NetConfig::latency_only(17));
+    sim.run_for(Dur::from_secs(2));
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(Dur::from_secs(3));
+
+    // a1 published now; its rehashed window state expires 20 s later.
+    publish_round_robin(&mut sim, "A", &[tuple![1i64, 7i64]], 0, Dur::from_secs(600));
+    sim.run_for(Dur::from_secs(35));
+    // b1 arrives with a1 expired but unswept (next sweep is at t=300).
+    publish_round_robin(&mut sim, "B", &[tuple![2i64, 7i64]], 0, Dur::from_secs(600));
+    sim.run_for(Dur::from_secs(10));
+    assert_eq!(
+        sim.app(0).unwrap().query_results(90).len(),
+        0,
+        "expired-but-unswept state must not join"
+    );
+
+    // Control: a co-live pair on a different join value still joins.
+    publish_round_robin(&mut sim, "A", &[tuple![3i64, 8i64]], 0, Dur::from_secs(600));
+    sim.run_for(Dur::from_secs(5));
+    publish_round_robin(&mut sim, "B", &[tuple![4i64, 8i64]], 0, Dur::from_secs(600));
+    sim.run_for(Dur::from_secs(10));
+    let rows: Vec<Tuple> = sim
+        .app(0)
+        .unwrap()
+        .query_results(90)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert!(same_multiset(&rows, &[tuple![3i64, 4i64]]));
+}
+
+#[test]
+fn final_stage_match_against_expired_intermediate_is_dropped() {
+    // 3-way pipeline A ⨝ B ⨝ C with a 25 s window, lazy sweep. A and B
+    // join early; the intermediate republished into the last stage ages
+    // out before C arrives — the last-stage match must not emit.
+    let base = ScanSpec::new("A", 2, 0);
+    let s1 = JoinStage {
+        right: ScanSpec::new("B", 2, 0).with_join_col(0),
+        left_col: 1,
+        stage_pred: None,
+    };
+    let s2 = JoinStage {
+        right: ScanSpec::new("C", 2, 0).with_join_col(0),
+        left_col: 3,
+        stage_pred: None,
+    };
+    let mut m = MultiJoinSpec::new(base, vec![s1, s2]);
+    m.project = vec![Expr::col(0), Expr::col(5)];
+    let desc = QueryDesc::standing(91, 0, QueryOp::MultiJoin(m), Some(Dur::from_secs(25)));
+
+    let mut sim: Sim<PierNode> =
+        stabilized_pier_sim(8, lazy_sweep_cfg(), NetConfig::latency_only(19));
+    sim.run_for(Dur::from_secs(2));
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(Dur::from_secs(3));
+
+    publish_round_robin(&mut sim, "A", &[tuple![1i64, 7i64]], 0, Dur::from_secs(600));
+    publish_round_robin(&mut sim, "B", &[tuple![7i64, 9i64]], 0, Dur::from_secs(600));
+    // 55 s later the A⋈B intermediate (lifetime ≤ 25 s) has expired but
+    // not been swept; a fresh C must not resurrect it.
+    sim.run_for(Dur::from_secs(55));
+    publish_round_robin(
+        &mut sim,
+        "C",
+        &[tuple![9i64, 100i64]],
+        0,
+        Dur::from_secs(600),
+    );
+    sim.run_for(Dur::from_secs(10));
+    assert_eq!(
+        sim.app(0).unwrap().query_results(91).len(),
+        0,
+        "a last-stage match against an aged-out constituent is a phantom"
+    );
+
+    // Control: a fully co-live chain emits exactly once.
+    publish_round_robin(&mut sim, "A", &[tuple![2i64, 8i64]], 0, Dur::from_secs(600));
+    publish_round_robin(
+        &mut sim,
+        "B",
+        &[tuple![8i64, 11i64]],
+        0,
+        Dur::from_secs(600),
+    );
+    sim.run_for(Dur::from_secs(5));
+    publish_round_robin(
+        &mut sim,
+        "C",
+        &[tuple![11i64, 200i64]],
+        0,
+        Dur::from_secs(600),
+    );
+    sim.run_for(Dur::from_secs(10));
+    let rows: Vec<Tuple> = sim
+        .app(0)
+        .unwrap()
+        .query_results(91)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert!(same_multiset(&rows, &[tuple![2i64, 200i64]]));
+}
+
+#[test]
+fn null_min_max_match_reference_end_to_end() {
+    // MIN/MAX over a column with NULLs: the engine's distributed answer
+    // equals the (null-skipping) reference. Fails pre-fix, where any
+    // NULL made MIN collapse to NULL.
+    let rows: Vec<Tuple> = (0..24i64)
+        .map(|i| {
+            let v = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::I64(i)
+            };
+            tuple![i, i % 2, v]
+        })
+        .collect();
+    let scan = ScanSpec::new("vals", 3, 0);
+    let agg = AggSpec::new(
+        vec![1],
+        vec![
+            pier_core::plan::AggCall {
+                func: pier_core::plan::AggFunc::Min,
+                arg: Some(Expr::col(2)),
+            },
+            pier_core::plan::AggCall {
+                func: pier_core::plan::AggFunc::Max,
+                arg: Some(Expr::col(2)),
+            },
+        ],
+    );
+    let op = QueryOp::Agg { scan, agg };
+    let mut tables = HashMap::new();
+    tables.insert("vals".to_string(), rows.clone());
+    let expected = pier_core::semantics::reference_eval(&op, &tables);
+    // Sanity: the reference itself skips nulls.
+    for row in &expected {
+        assert_ne!(row.get(1), &Value::Null, "min must skip nulls: {row}");
+    }
+
+    let mut sim = stabilized_pier_sim(8, DhtConfig::static_network(), NetConfig::latency_only(5));
+    publish_round_robin(&mut sim, "vals", &rows, 0, Dur::from_secs(3600));
+    settle_publish(&mut sim);
+    let desc = QueryDesc::one_shot(92, 0, op);
+    let results = run_query(&mut sim, 0, desc, Dur::from_secs(30));
+    assert!(same_multiset(&expected, &rows_of(&results)));
+}
+
+// ---------------------------------------------------------------------
+// Epoch-driven continuous aggregation vs the reference_epochs oracle
+// ---------------------------------------------------------------------
+
+/// Deterministic intrusion reports: `id`, fingerprint, address.
+fn reports(start: i64, n: usize) -> Vec<Tuple> {
+    (start..start + n as i64)
+        .map(|i| {
+            tuple![
+                i,
+                format!("fp{}", i % 3).as_str(),
+                format!("10.0.0.{}", i % 5).as_str()
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn flat_epoch_aggregate_reemits_and_matches_oracle() {
+    let catalog = Catalog::intrusion();
+    let epoch = Dur::from_secs(30);
+    let desc = parse_continuous_query(
+        "SELECT I.address, count(*) AS cnt FROM intrusions I \
+         GROUP BY I.address EPOCH 30 SECONDS",
+        &catalog,
+        JoinStrategy::SymmetricHash,
+        93,
+        0,
+    )
+    .unwrap();
+    let op = desc.op.clone();
+
+    let mut sim = stabilized_pier_sim(8, DhtConfig::static_network(), NetConfig::latency_only(29));
+    let batch0 = reports(0, 24);
+    publish_round_robin(&mut sim, "intrusions", &batch0, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+
+    let t0 = sim.now();
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    // A second batch lands mid-epoch-1 (clear of the boundary flush),
+    // visible from epoch 2 on.
+    sim.run_for(Dur::from_secs(42));
+    let batch1 = reports(100, 10);
+    publish_round_robin(&mut sim, "intrusions", &batch1, 0, Dur::from_secs(100_000));
+    let t_batch1 = sim.now().since(t0);
+    sim.run_for(Dur::from_secs(65)); // through epoch 2's emission
+
+    let mut timed: HashMap<String, TimedRows> = HashMap::new();
+    timed.insert(
+        "intrusions".to_string(),
+        batch0
+            .iter()
+            .map(|r| (Time::ZERO, r.clone()))
+            .chain(batch1.iter().map(|r| (Time::ZERO + t_batch1, r.clone())))
+            .collect(),
+    );
+    let expected = reference_epochs(&op, &timed, None, epoch, 3);
+    assert!(!expected[0].is_empty() && expected[2].len() >= expected[0].len());
+
+    let results: Vec<(Dur, Tuple)> = sim
+        .app(0)
+        .unwrap()
+        .query_results(93)
+        .iter()
+        .map(|(t, r)| (t.since(t0), r.clone()))
+        .collect();
+    let got = per_epoch(&results, epoch, 3);
+    assert_epochs_match(&got, &expected);
+}
+
+#[test]
+fn windowed_epoch_aggregate_ages_contributions_out() {
+    // WINDOW 45 EPOCH 30: a batch published before the query counts in
+    // epochs 0 and 1, then slides out; a mid-stream batch counts in
+    // epoch 2 only. Emissions must match the oracle epoch by epoch —
+    // including the *empty* later epochs (no lingering groups).
+    let catalog = Catalog::intrusion();
+    let epoch = Dur::from_secs(30);
+    let desc = parse_continuous_query(
+        "SELECT I.address, count(*) AS cnt FROM intrusions I \
+         GROUP BY I.address WINDOW 45 SECONDS EPOCH 30 SECONDS",
+        &catalog,
+        JoinStrategy::SymmetricHash,
+        94,
+        0,
+    )
+    .unwrap();
+    let op = desc.op.clone();
+
+    let mut sim = stabilized_pier_sim(8, DhtConfig::static_network(), NetConfig::latency_only(31));
+    let batch0 = reports(0, 15);
+    publish_round_robin(&mut sim, "intrusions", &batch0, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+
+    let t0 = sim.now();
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(Dur::from_secs(42));
+    let batch1 = reports(100, 8);
+    publish_round_robin(&mut sim, "intrusions", &batch1, 0, Dur::from_secs(100_000));
+    let t_batch1 = sim.now().since(t0);
+    sim.run_for(Dur::from_secs(95)); // through epoch 3's (empty) slot
+
+    let mut timed: HashMap<String, TimedRows> = HashMap::new();
+    timed.insert(
+        "intrusions".to_string(),
+        batch0
+            .iter()
+            .map(|r| (Time::ZERO, r.clone()))
+            .chain(batch1.iter().map(|r| (Time::ZERO + t_batch1, r.clone())))
+            .collect(),
+    );
+    let expected = reference_epochs(&op, &timed, Some(Dur::from_secs(45)), epoch, 4);
+    assert!(!expected[0].is_empty());
+    assert!(
+        expected[3].is_empty(),
+        "everything should have aged out by epoch 3"
+    );
+
+    let results: Vec<(Dur, Tuple)> = sim
+        .app(0)
+        .unwrap()
+        .query_results(94)
+        .iter()
+        .map(|(t, r)| (t.since(t0), r.clone()))
+        .collect();
+    let got = per_epoch(&results, epoch, 4);
+    assert_epochs_match(&got, &expected);
+}
+
+#[test]
+fn hierarchical_epoch_aggregate_reemits_per_epoch() {
+    // The in-network (tree) aggregation path also re-arms per epoch:
+    // the root re-emits growing counts as new reports stream in.
+    let mut agg = AggSpec::new(
+        vec![1],
+        vec![pier_core::plan::AggCall {
+            func: pier_core::plan::AggFunc::Count,
+            arg: None,
+        }],
+    )
+    .with_epoch(Dur::from_secs(30));
+    agg.hierarchical = true;
+    let scan = ScanSpec::new("intrusions", 3, 0);
+    let mut desc = QueryDesc::standing(95, 0, QueryOp::Agg { scan, agg }, None);
+    desc.n_nodes = 8;
+
+    let mut sim = stabilized_pier_sim(8, DhtConfig::static_network(), NetConfig::latency_only(37));
+    publish_round_robin(
+        &mut sim,
+        "intrusions",
+        &reports(0, 16),
+        0,
+        Dur::from_secs(100_000),
+    );
+    settle_publish(&mut sim);
+    let t0 = sim.now();
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(Dur::from_secs(35));
+    publish_round_robin(
+        &mut sim,
+        "intrusions",
+        &reports(100, 16),
+        0,
+        Dur::from_secs(100_000),
+    );
+    sim.run_for(Dur::from_secs(60));
+
+    let results: Vec<(Dur, Tuple)> = sim
+        .app(0)
+        .unwrap()
+        .query_results(95)
+        .iter()
+        .map(|(t, r)| (t.since(t0), r.clone()))
+        .collect();
+    let got = per_epoch(&results, Dur::from_secs(30), 3);
+    let count_sum =
+        |rows: &[Tuple]| -> i64 { rows.iter().map(|r| r.get(1).as_i64().unwrap()).sum() };
+    assert_eq!(count_sum(&got[0]), 16, "epoch 0 sees the first batch");
+    assert_eq!(
+        count_sum(&got[2]),
+        32,
+        "the standing tree re-emits with the second batch folded in"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The renewal loop: standing queries outliving the horizon
+// ---------------------------------------------------------------------
+
+#[test]
+fn standing_binary_join_renews_post_install_rehash_state() {
+    // Regression: the continuous binary-join newData path (`rehash_one`)
+    // must put with the renewal-derived lifetime AND enroll the state in
+    // the renewal loop. A left row published after install joins a right
+    // row arriving well past the fallback horizon (3 × 30 s = 90 s).
+    let left = ScanSpec::new("A", 2, 0).with_join_col(1);
+    let right = ScanSpec::new("B", 2, 0).with_join_col(1);
+    let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, left, right);
+    j.project = vec![Expr::col(0), Expr::col(2)];
+    let desc = QueryDesc::standing(97, 0, QueryOp::Join(j), None);
+
+    let n = 8;
+    let mut sim: Sim<PierNode> =
+        stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::latency_only(43));
+    for i in 0..n {
+        sim.with_app(i as NodeId, |node, ctx| {
+            node.start_renewals(ctx, Dur::from_secs(30));
+        });
+    }
+    sim.run_for(Dur::from_secs(2));
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    sim.run_for(Dur::from_secs(3));
+
+    // Published AFTER install: flows through rehash_one, not rehash_side.
+    publish_round_robin(
+        &mut sim,
+        "A",
+        &[tuple![1i64, 7i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    // Past the legacy 600 s lifetime and many renewal horizons later,
+    // the partner arrives.
+    sim.run_for(Dur::from_secs(650));
+    publish_round_robin(
+        &mut sim,
+        "B",
+        &[tuple![2i64, 7i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    sim.run_for(Dur::from_secs(10));
+    let rows: Vec<Tuple> = sim
+        .app(0)
+        .unwrap()
+        .query_results(97)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert!(
+        same_multiset(&rows, &[tuple![1i64, 2i64]]),
+        "post-install rehash state must be renewed past the horizon: {rows:?}"
+    );
+}
+
+#[test]
+fn standing_triage_joinagg_outlives_fallback_horizon() {
+    // The paper's intrusion triage as a standing 3-way join-aggregate
+    // (scaled down: renewals every 30 s derive a 90 s fallback horizon;
+    // the run covers 300 s ≈ 3.3 horizons). Recall and precision stay
+    // 1.0 against the per-epoch oracle — pre-renewal, rehashed advisory
+    // and reputation state aged out and late reports lost their joins.
+    let n = 10usize;
+    let epoch = Dur::from_secs(60);
+    let n_epochs = 5usize;
+    let catalog = Catalog::intrusion();
+    let desc = parse_continuous_query(
+        &pier_workload_sql(None, 60),
+        &catalog,
+        JoinStrategy::SymmetricHash,
+        96,
+        0,
+    )
+    .unwrap();
+    let op = desc.op.clone();
+
+    let mut sim = stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::latency_only(41));
+    for i in 0..n {
+        sim.with_app(i as NodeId, |node, ctx| {
+            node.start_renewals(ctx, Dur::from_secs(30));
+        });
+    }
+    let advisories: Vec<Tuple> = (0..3i64)
+        .map(|f| tuple![format!("fp{f}").as_str(), f + 5])
+        .collect();
+    let reputation: Vec<Tuple> = (0..5i64)
+        .map(|a| tuple![format!("10.0.0.{a}").as_str(), a % 3])
+        .collect();
+    publish_round_robin(
+        &mut sim,
+        "advisories",
+        &advisories,
+        0,
+        Dur::from_secs(100_000),
+    );
+    publish_round_robin(
+        &mut sim,
+        "reputation",
+        &reputation,
+        0,
+        Dur::from_secs(100_000),
+    );
+    let batch0 = reports(0, 12);
+    publish_round_robin(&mut sim, "intrusions", &batch0, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+
+    let t0 = sim.now();
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    let mut timed_reports: TimedRows = batch0.iter().map(|r| (Time::ZERO, r.clone())).collect();
+    // A fresh batch of reports early in every epoch: the late ones land
+    // long after the unrenewed state would have expired.
+    for k in 1..n_epochs {
+        sim.run_until(t0 + epoch.saturating_mul(k as u64) + Dur::from_secs(10));
+        let batch = reports(k as i64 * 100, 12);
+        publish_round_robin(&mut sim, "intrusions", &batch, 0, Dur::from_secs(100_000));
+        let at = sim.now().since(t0);
+        timed_reports.extend(batch.iter().map(|r| (Time::ZERO + at, r.clone())));
+    }
+    sim.run_until(t0 + epoch.saturating_mul(n_epochs as u64));
+
+    let mut timed: HashMap<String, TimedRows> = HashMap::new();
+    timed.insert("intrusions".to_string(), timed_reports);
+    timed.insert(
+        "advisories".to_string(),
+        advisories.iter().map(|r| (Time::ZERO, r.clone())).collect(),
+    );
+    timed.insert(
+        "reputation".to_string(),
+        reputation.iter().map(|r| (Time::ZERO, r.clone())).collect(),
+    );
+    let expected = reference_epochs(&op, &timed, None, epoch, n_epochs);
+    assert!(expected.iter().all(|e| !e.is_empty()));
+
+    let results: Vec<(Dur, Tuple)> = sim
+        .app(0)
+        .unwrap()
+        .query_results(96)
+        .iter()
+        .map(|(t, r)| (t.since(t0), r.clone()))
+        .collect();
+    let got = per_epoch(&results, epoch, n_epochs);
+    assert_epochs_match(&got, &expected);
+}
+
+/// The workload crate owns the canonical standing-triage SQL; tests in
+/// `pier_core` re-state it here to avoid a dev-dependency cycle.
+fn pier_workload_sql(window_secs: Option<u64>, epoch_secs: u64) -> String {
+    let window = window_secs.map_or(String::new(), |w| format!(" WINDOW {w} SECONDS"));
+    format!(
+        "SELECT I.address, count(*) AS reports, max(A.severity) AS sev \
+         FROM intrusions I, advisories A, reputation R \
+         WHERE I.fingerprint = A.fingerprint AND I.address = R.address \
+         GROUP BY I.address{window} EPOCH {epoch_secs} SECONDS"
+    )
+}
