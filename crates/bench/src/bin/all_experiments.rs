@@ -14,6 +14,7 @@ fn main() {
     e::multiway();
     e::pruning();
     e::continuous();
+    e::multitenant();
     e::ablation_dims();
     e::chord_vs_can();
     e::agg_flat_vs_hier();

@@ -1,0 +1,11 @@
+//! Multi-tenant standing-query lifecycle: ≥ 200 staggered standing
+//! queries (flat, 2-way, and 3-way per-fingerprint tenants, the joins
+//! carrying per-query `RENEW` periods) install, live for 3–5 epochs,
+//! and uninstall over a shared 12-node DHT. Hard-asserts per-epoch
+//! recall/precision 1.0 for every tenant while live, and zero residual
+//! soft state in every tenant's `qns::*` namespaces one lifetime after
+//! its uninstall (per-namespace storage audit). Writes
+//! `results/BENCH_multitenant.json` (CI bench-trajectory artifact).
+fn main() {
+    pier_bench::experiments::multitenant();
+}

@@ -851,6 +851,300 @@ pub fn continuous() {
 }
 
 // ---------------------------------------------------------------------
+// E11 — multi-tenant standing-query lifecycle (install → epochs → uninstall)
+// ---------------------------------------------------------------------
+
+/// The "millions of users" scale path, miniaturized: hundreds of
+/// staggered standing queries — flat per-fingerprint aggregates plus
+/// 2-way and 3-way join aggregates carrying per-query `RENEW` periods —
+/// are installed in waves, live for 3–5 epochs while reports stream in,
+/// and are uninstalled again, continuously, over a shared 12-node DHT
+/// with *no* node-global renewal loop. Hard-asserts (CI gate):
+///
+/// * ≥ 200 tenants, per-epoch recall and precision 1.0 for every tenant
+///   while it is live (oracle: [`pier_core::semantics::reference_epochs_at`] restricted to
+///   each query's own install→uninstall span), and
+/// * zero residual soft state in every tenant's `qns::*` namespaces one
+///   lifetime after its uninstall (per-namespace storage audit) — the
+///   §3.3 reclamation-by-expiry answer to distributed garbage
+///   collection, now driven by explicit teardown.
+///
+/// Writes `results/BENCH_multitenant.json` (headlines: `min_recall`,
+/// `traffic_mb`) for the bench-trajectory gate.
+pub fn multitenant() {
+    use pier_core::semantics::{precision, recall, reference_epochs_at, TimedRows};
+    use pier_core::sql::parse_continuous_query;
+    use pier_core::Catalog;
+    use std::collections::HashMap;
+
+    let n = 12usize;
+    let epoch = Dur::from_secs(30);
+    let per_wave = 8usize;
+    let n_tenants: usize = if full_scale() { 280 } else { 220 };
+    let distinct_fp = 10u64;
+    let distinct_addr = 16u64;
+    let renew_secs = 40u64; // per-query horizon: 3 × 40 = 120 s
+    let reclaim = Dur::from_secs(130); // one horizon + sweep margin
+    let rows_per_batch = 16usize;
+    let seed = 7171u64;
+
+    let catalog = Catalog::intrusion();
+    let strategy = JoinStrategy::SymmetricHash;
+    // Tenant i: fingerprint i % distinct_fp; one in twenty runs the full
+    // 3-way triage, two in twenty the 2-way severity join (both with
+    // per-query renewal), the rest the flat per-address count.
+    let class_of = |i: usize| match i % 20 {
+        0 => "3way",
+        1 | 2 => "2way",
+        _ => "flat",
+    };
+    let sql_of = |i: usize| {
+        let fp = i as u64 % distinct_fp;
+        match class_of(i) {
+            "3way" => intrusion::tenant_triage_sql(fp, 30, renew_secs),
+            "2way" => intrusion::tenant_severity_sql(fp, 30, renew_secs),
+            _ => intrusion::tenant_count_sql(fp, 30),
+        }
+    };
+    let qid_of = |i: usize| 5000 + i as u64;
+    // Lifetimes: 3, 4, or 5 epochs, staggered across install waves.
+    let epochs_of = |i: usize| 3 + (i % 3);
+
+    let mut sim: Sim<PierNode> = stabilized_pier_sim(
+        n,
+        DhtConfig::static_network(),
+        NetConfig::latency_only(seed),
+    );
+    let life = Dur::from_secs(100_000);
+    let advisories = intrusion::advisories(distinct_fp, seed);
+    let reputation = intrusion::reputations(distinct_addr, seed);
+    let batch0 = intrusion::intrusions_from(0, rows_per_batch, distinct_fp, distinct_addr, seed);
+    publish_round_robin(&mut sim, "advisories", &advisories, 0, life);
+    publish_round_robin(&mut sim, "reputation", &reputation, 0, life);
+    publish_round_robin(&mut sim, "intrusions", &batch0, 0, life);
+    settle_publish(&mut sim);
+    let t0 = sim.now();
+    let bytes0 = sim.stats().bytes;
+
+    // Timeline: tenant i installs at wave i / per_wave (every 30 s, on
+    // the epoch grid so its flush instants stay ≥ 5 s clear of the
+    // publish instants at +10), is uninstalled 10 s past its last
+    // epoch boundary, and is audited one reclamation horizon later.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Ev {
+        Publish,
+        Uninstall(usize),
+        Install(usize),
+        Audit(usize),
+    }
+    let install_at = |i: usize| t0 + epoch.saturating_mul((i / per_wave) as u64);
+    let uninstall_at =
+        |i: usize| install_at(i) + epoch.saturating_mul(epochs_of(i) as u64) + Dur::from_secs(10);
+    let mut events: Vec<(Time, Ev)> = (0..n_tenants)
+        .flat_map(|i| {
+            [
+                (install_at(i), Ev::Install(i)),
+                (uninstall_at(i), Ev::Uninstall(i)),
+                (uninstall_at(i) + reclaim, Ev::Audit(i)),
+            ]
+        })
+        .collect();
+    let last_wave = (n_tenants - 1) / per_wave;
+    for k in 0..last_wave + 6 {
+        events.push((
+            t0 + epoch.saturating_mul(k as u64) + Dur::from_secs(10),
+            Ev::Publish,
+        ));
+    }
+    events.sort();
+
+    let mut timed_reports: TimedRows = batch0.iter().map(|r| (Time::ZERO, r.clone())).collect();
+    let mut next_batch = 1usize;
+    let mut peak_installed = 0usize;
+    let mut audited = 0usize;
+    for (at, ev) in events {
+        sim.run_until(at);
+        match ev {
+            Ev::Install(i) => {
+                let desc = parse_continuous_query(&sql_of(i), &catalog, strategy, qid_of(i), 0)
+                    .expect("tenant SQL");
+                sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+                peak_installed =
+                    peak_installed.max(sim.app(0).map_or(0, |nd| nd.installed_query_count()) + 1);
+            }
+            Ev::Publish => {
+                let batch = intrusion::intrusions_from(
+                    (next_batch * rows_per_batch) as i64,
+                    rows_per_batch,
+                    distinct_fp,
+                    distinct_addr,
+                    seed ^ next_batch as u64,
+                );
+                next_batch += 1;
+                publish_round_robin(&mut sim, "intrusions", &batch, 0, life);
+                let rel = sim.now().since(t0);
+                timed_reports.extend(batch.iter().map(|r| (Time::ZERO + rel, r.clone())));
+            }
+            Ev::Uninstall(i) => {
+                let qid = qid_of(i);
+                sim.with_app(0, |node, ctx| node.cancel(ctx, qid));
+            }
+            Ev::Audit(i) => {
+                // Per-namespace storage audit one lifetime after the
+                // uninstall: the tenant must have left nothing behind.
+                let now = sim.now();
+                let left: usize = (0..n as NodeId)
+                    .filter_map(|id| sim.app(id))
+                    .map(|node| node.query_soft_state(now, qid_of(i), 2))
+                    .sum();
+                audited += 1;
+                assert_eq!(
+                    left,
+                    0,
+                    "tenant {i} ({}) left {left} soft-state items one lifetime after uninstall",
+                    class_of(i)
+                );
+            }
+        }
+    }
+    assert_eq!(audited, n_tenants);
+    // Whole-system occupancy audit: with every tenant audited, the only
+    // namespaces still holding live items anywhere are the three base
+    // tables — no query left soft state in *any* namespace, known or
+    // not (stronger than the per-tenant qns::* checks above).
+    let base_ns: Vec<pier_dht::Ns> = ["intrusions", "advisories", "reputation"]
+        .iter()
+        .map(|t| pier_dht::ns_of(t))
+        .collect();
+    let end = sim.now();
+    for id in 0..n as NodeId {
+        for (ns, count) in sim.app(id).unwrap().dht.store.occupancy(end) {
+            assert!(
+                base_ns.contains(&ns),
+                "node {id}: namespace {ns:#x} still holds {count} live items after all uninstalls"
+            );
+        }
+    }
+    let traffic_mb = (sim.stats().bytes - bytes0) as f64 / 1e6;
+    let run_s = sim.now().since(t0).as_secs_f64();
+
+    // Ground truth per tenant, restricted to its live span: epochs are
+    // relative to its own install; rows that predate it count from its
+    // epoch 0.
+    let mut timed: HashMap<String, TimedRows> = HashMap::new();
+    timed.insert("intrusions".to_string(), timed_reports);
+    for (name, rows) in [("advisories", &advisories), ("reputation", &reputation)] {
+        timed.insert(
+            name.to_string(),
+            rows.iter().map(|r| (Time::ZERO, r.clone())).collect(),
+        );
+    }
+    let mut per_class: HashMap<&str, (usize, f64, f64)> = HashMap::new();
+    let mut nonempty = 0usize;
+    let mut tenant_epochs = 0usize;
+    for i in 0..n_tenants {
+        let desc = parse_continuous_query(&sql_of(i), &catalog, strategy, qid_of(i), 0).unwrap();
+        let install = install_at(i);
+        let rel_tables: HashMap<String, TimedRows> = timed
+            .iter()
+            .map(|(name, rows)| {
+                let shifted: TimedRows = rows
+                    .iter()
+                    .map(|(t, r)| {
+                        (
+                            Time::ZERO + t.since(Time::ZERO + install.since(t0)),
+                            r.clone(),
+                        )
+                    })
+                    .collect();
+                (name.clone(), shifted)
+            })
+            .collect();
+        let k = epochs_of(i);
+        let instants: Vec<Time> = (0..k)
+            .map(|e| Time::ZERO + epoch.saturating_mul(e as u64))
+            .collect();
+        let expected = reference_epochs_at(&desc.op, &rel_tables, None, &instants);
+        let mut got: Vec<Vec<pier_core::Tuple>> = vec![Vec::new(); k];
+        for (t, row) in sim.app(0).unwrap().query_results(qid_of(i)) {
+            let e = (t.since(install).as_micros() / epoch.as_micros()) as usize;
+            if *t >= install && e < k {
+                got[e].push(row.clone());
+            }
+        }
+        let entry = per_class
+            .entry(class_of(i))
+            .or_insert((0, f64::INFINITY, f64::INFINITY));
+        entry.0 += 1;
+        for e in 0..k {
+            let r = recall(&expected[e], &got[e]);
+            let p = precision(&expected[e], &got[e]);
+            entry.1 = entry.1.min(r);
+            entry.2 = entry.2.min(p);
+            tenant_epochs += 1;
+            if !expected[e].is_empty() {
+                nonempty += 1;
+            }
+            assert!(
+                (r - 1.0).abs() < 1e-9 && (p - 1.0).abs() < 1e-9,
+                "tenant {i} ({}) epoch {e}: recall {r} precision {p}, \
+                 expected {:?} got {:?}",
+                class_of(i),
+                expected[e],
+                got[e]
+            );
+        }
+    }
+    assert!(n_tenants >= 200, "the scale path needs ≥ 200 tenants");
+    assert!(
+        nonempty * 10 >= tenant_epochs * 3,
+        "the workload must keep most tenants busy ({nonempty}/{tenant_epochs} non-empty)"
+    );
+
+    let mut tab = ResultTable::new(
+        "e11_multitenant",
+        &["class", "tenants", "min_recall", "min_precision"],
+    );
+    let mut json_rows = Vec::new();
+    let mut min_recall = f64::INFINITY;
+    let mut min_precision = f64::INFINITY;
+    for class in ["flat", "2way", "3way"] {
+        let (count, r, p) = per_class[class];
+        min_recall = min_recall.min(r);
+        min_precision = min_precision.min(p);
+        tab.row(vec![
+            class.into(),
+            count.to_string(),
+            ResultTable::fmt_cell(r),
+            ResultTable::fmt_cell(p),
+        ]);
+        json_rows.push(format!(
+            "    {{\"class\": \"{class}\", \"tenants\": {count}, \
+             \"min_recall\": {r:.4}, \"min_precision\": {p:.4}}}"
+        ));
+    }
+    tab.emit();
+    println!(
+        "multitenant: {n_tenants} tenants over {run_s:.0} s, peak {peak_installed} \
+         concurrent, {traffic_mb:.2} MB"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"multitenant\",\n  \"workload\": \
+         \"{n_tenants} staggered standing queries (flat / 2-way / 3-way, per-query RENEW) \
+         over {n} nodes, EPOCH 30 s\",\n  \
+         \"run_s\": {run_s:.0},\n  \"peak_concurrent\": {peak_installed},\n  \
+         \"traffic_mb\": {traffic_mb:.4},\n  \
+         \"metric\": \"per-tenant per-epoch recall/precision over each live span; \
+         zero residual soft state one lifetime after uninstall\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    std::fs::write(dir.join("BENCH_multitenant.json"), json).expect("write BENCH_multitenant.json");
+}
+
+// ---------------------------------------------------------------------
 // A1 — ablation: CAN dimensionality
 // ---------------------------------------------------------------------
 

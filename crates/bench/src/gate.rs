@@ -1,0 +1,299 @@
+//! Bench-trajectory gate: compare freshly produced `results/BENCH_*.json`
+//! artifacts against the committed baselines and fail on a >15%
+//! regression in any experiment's headline metric, so the perf
+//! trajectory recorded in `results/` cannot silently decay.
+//!
+//! The artifacts are hand-formatted JSON written by the `exp_*` bins;
+//! rather than pull in a JSON dependency (the container is offline), the
+//! gate extracts `"key": <number>` pairs textually — exactly the shape
+//! those writers emit — and aggregates them per metric.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Which direction is an improvement for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Better {
+    Higher,
+    Lower,
+}
+
+/// How multiple per-row samples of a metric fold into one headline value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fold {
+    Min,
+    Mean,
+    Sum,
+}
+
+/// One headline metric of one experiment artifact.
+#[derive(Clone, Copy, Debug)]
+pub struct Headline {
+    /// `BENCH_<experiment>.json` this metric lives in.
+    pub experiment: &'static str,
+    /// JSON key extracted from the artifact's rows.
+    pub key: &'static str,
+    pub fold: Fold,
+    pub better: Better,
+}
+
+/// Maximum tolerated headline regression: 15%.
+pub const TOLERANCE: f64 = 0.15;
+
+/// The headline metric(s) per experiment: traffic must not grow, and
+/// recall/ratio must not shrink, by more than [`TOLERANCE`].
+pub const HEADLINES: &[Headline] = &[
+    Headline {
+        experiment: "pruning",
+        key: "ratio",
+        fold: Fold::Mean,
+        better: Better::Higher,
+    },
+    Headline {
+        experiment: "pruning",
+        key: "pruned_rehash_mb",
+        fold: Fold::Sum,
+        better: Better::Lower,
+    },
+    Headline {
+        experiment: "continuous",
+        key: "recall",
+        fold: Fold::Min,
+        better: Better::Higher,
+    },
+    Headline {
+        experiment: "continuous",
+        key: "epoch_mb",
+        fold: Fold::Sum,
+        better: Better::Lower,
+    },
+    Headline {
+        experiment: "multitenant",
+        key: "min_recall",
+        fold: Fold::Min,
+        better: Better::Higher,
+    },
+    Headline {
+        experiment: "multitenant",
+        key: "traffic_mb",
+        fold: Fold::Sum,
+        better: Better::Lower,
+    },
+];
+
+/// Every `"key": <number>` occurrence in the artifact text.
+pub fn extract(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let trimmed = rest.trim_start();
+        let end = trimmed
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(trimmed.len());
+        if let Ok(v) = trimmed[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn fold(vals: &[f64], how: Fold) -> Option<f64> {
+    if vals.is_empty() {
+        return None;
+    }
+    Some(match how {
+        Fold::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+        Fold::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+        Fold::Sum => vals.iter().sum(),
+    })
+}
+
+/// Compare one experiment artifact pair against every headline that
+/// applies to it. Returns human-readable verdict lines; `Err` lines are
+/// regressions beyond [`TOLERANCE`].
+pub fn compare(experiment: &str, baseline: &str, fresh: &str) -> Result<Vec<String>, Vec<String>> {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    if !HEADLINES.iter().any(|h| h.experiment == experiment) {
+        // An artifact nobody registered a headline for would otherwise
+        // pass silently — the exact decay this gate exists to prevent.
+        return Err(vec![format!(
+            "FAIL {experiment}: no headline metrics registered in gate::HEADLINES \
+             for this BENCH artifact"
+        )]);
+    }
+    for h in HEADLINES.iter().filter(|h| h.experiment == experiment) {
+        let (Some(old), Some(new)) = (
+            fold(&extract(baseline, h.key), h.fold),
+            fold(&extract(fresh, h.key), h.fold),
+        ) else {
+            failures.push(format!(
+                "{experiment}: headline '{}' missing from baseline or fresh artifact",
+                h.key
+            ));
+            continue;
+        };
+        let ok = match h.better {
+            // A zero baseline cannot shrink below tolerance; any finite
+            // growth over a zero baseline is treated as within bounds
+            // only when the absolute value stays negligible.
+            Better::Higher => new >= old * (1.0 - TOLERANCE),
+            Better::Lower => new <= old * (1.0 + TOLERANCE) || new - old < 1e-9,
+        };
+        let line = format!(
+            "{experiment}.{} ({:?}, {:?} is better): baseline {old:.4} -> fresh {new:.4}",
+            h.key, h.fold, h.better
+        );
+        if ok {
+            report.push(format!("OK   {line}"));
+        } else {
+            failures.push(format!(
+                "FAIL {line} (>{:.0}% regression)",
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        failures.extend(report);
+        Err(failures)
+    }
+}
+
+/// Gate a whole results directory: every committed `BENCH_*.json` in
+/// `baseline_dir` must have a fresh counterpart in `fresh_dir` whose
+/// headline metrics have not regressed. Returns the full report, or the
+/// failure lines.
+pub fn check_dirs(baseline_dir: &Path, fresh_dir: &Path) -> Result<String, String> {
+    let mut report = String::new();
+    let mut failed = false;
+    let mut entries: Vec<_> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("read {}: {e}", baseline_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines under {}",
+            baseline_dir.display()
+        ));
+    }
+    for name in entries {
+        let experiment = name
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .to_string();
+        let old = std::fs::read_to_string(baseline_dir.join(&name))
+            .map_err(|e| format!("read baseline {name}: {e}"))?;
+        let fresh_path = fresh_dir.join(&name);
+        let new = match std::fs::read_to_string(&fresh_path) {
+            Ok(s) => s,
+            Err(e) => {
+                failed = true;
+                let _ = writeln!(report, "FAIL {experiment}: fresh artifact missing ({e})");
+                continue;
+            }
+        };
+        match compare(&experiment, &old, &new) {
+            Ok(lines) => {
+                for l in lines {
+                    let _ = writeln!(report, "{l}");
+                }
+            }
+            Err(lines) => {
+                failed = true;
+                for l in lines {
+                    let _ = writeln!(report, "{l}");
+                }
+            }
+        }
+    }
+    if failed {
+        Err(report)
+    } else {
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn continuous_artifact(recall: f64, mb: f64) -> String {
+        format!(
+            "{{\n  \"experiment\": \"continuous\",\n  \"rows\": [\n    \
+             {{\"epoch\": 0, \"recall\": {recall:.4}, \"precision\": 1.0, \"epoch_mb\": {mb:.4}}},\n    \
+             {{\"epoch\": 1, \"recall\": 1.0000, \"precision\": 1.0, \"epoch_mb\": {mb:.4}}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn extract_reads_every_occurrence() {
+        let j = continuous_artifact(0.98, 1.5);
+        assert_eq!(extract(&j, "recall"), vec![0.98, 1.0]);
+        assert_eq!(extract(&j, "epoch_mb"), vec![1.5, 1.5]);
+        assert!(extract(&j, "absent").is_empty());
+    }
+
+    #[test]
+    fn unchanged_artifacts_pass() {
+        let j = continuous_artifact(1.0, 2.0);
+        assert!(compare("continuous", &j, &j).is_ok());
+    }
+
+    #[test]
+    fn injected_traffic_regression_fails_the_gate() {
+        // +20% traffic (> the 15% tolerance) must fail…
+        let old = continuous_artifact(1.0, 2.0);
+        let worse = continuous_artifact(1.0, 2.4);
+        let err = compare("continuous", &old, &worse).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|l| l.contains("FAIL") && l.contains("epoch_mb")),
+            "{err:?}"
+        );
+        // …while +10% stays within bounds.
+        let slightly = continuous_artifact(1.0, 2.2);
+        assert!(compare("continuous", &old, &slightly).is_ok());
+    }
+
+    #[test]
+    fn injected_recall_regression_fails_the_gate() {
+        let old = continuous_artifact(1.0, 2.0);
+        let worse = continuous_artifact(0.80, 2.0);
+        let err = compare("continuous", &old, &worse).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("recall")), "{err:?}");
+    }
+
+    #[test]
+    fn missing_headline_is_a_failure() {
+        let old = continuous_artifact(1.0, 2.0);
+        assert!(compare("continuous", &old, "{}").is_err());
+    }
+
+    #[test]
+    fn unregistered_experiment_is_a_failure() {
+        // A new BENCH_*.json with no HEADLINES entry must not pass
+        // silently.
+        let j = "{\"experiment\": \"newexp\", \"rows\": [{\"metric\": 1.0}]}";
+        let err = compare("newexp", j, j).unwrap_err();
+        assert!(err[0].contains("no headline metrics"), "{err:?}");
+    }
+
+    #[test]
+    fn pruning_ratio_shrink_fails() {
+        let mk = |ratio: f64| {
+            format!(
+                "{{\"experiment\": \"pruning\", \"rows\": [{{\"nodes\": 8, \
+                 \"pruned_rehash_mb\": 1.0, \"ratio\": {ratio:.2}}}]}}"
+            )
+        };
+        assert!(compare("pruning", &mk(3.2), &mk(3.0)).is_ok());
+        assert!(compare("pruning", &mk(3.2), &mk(2.0)).is_err());
+    }
+}

@@ -17,6 +17,8 @@
 //! traffic, recall) — are shared by the experiments and reusable from
 //! tests.
 
+pub mod gate;
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 

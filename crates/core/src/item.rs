@@ -66,6 +66,11 @@ pub enum QpItem {
     },
     /// A query descriptor (multicast payload).
     Query(QueryDesc),
+    /// Best-effort uninstall notice (multicast payload): receivers tear
+    /// the query down — cancel timers, stop renewing, drop operator
+    /// state — and its DHT soft state then ages out within one lifetime
+    /// (§3.2.3 reclamation-by-expiry; there is no distributed delete).
+    Cancel { qid: u64 },
 }
 
 impl Wire for QpItem {
@@ -79,6 +84,7 @@ impl Wire for QpItem {
                 10 + group.iter().map(Value::wire_size).sum::<usize>() + accs.wire_size()
             }
             QpItem::Query(d) => d.wire_size(),
+            QpItem::Cancel { .. } => 10,
         }
     }
 }

@@ -60,6 +60,15 @@ enum GetPurpose {
     SemiFetch { qid: u64, pair: u64, side: Side },
 }
 
+impl GetPurpose {
+    /// The query this fetch belongs to (uninstall drops its fetches).
+    fn qid(&self) -> u64 {
+        match self {
+            GetPurpose::FmProbe { qid, .. } | GetPurpose::SemiFetch { qid, .. } => *qid,
+        }
+    }
+}
+
 /// Deferred work bound to a timer token.
 enum TimerAction {
     /// Bloom collector: OR the collected fragments and multicast.
@@ -75,6 +84,26 @@ enum TimerAction {
     HierFlush { qid: u64 },
     /// Republish all soft state (the renewal loop of §3.2.3 / Fig. 6).
     Renew,
+    /// Per-query renewal loop: republish one standing query's rehash
+    /// soft state every [`QueryDesc::renew_every`], independent of the
+    /// node-global loop. Cancelled by uninstall, so renewal stops and
+    /// the query's DHT state ages out within one horizon.
+    RenewQuery { qid: u64 },
+}
+
+impl TimerAction {
+    /// The query a timer action belongs to, if any — uninstall cancels
+    /// exactly these.
+    fn qid(&self) -> Option<u64> {
+        match self {
+            TimerAction::BloomFlush { qid, .. }
+            | TimerAction::AggHarvest { qid }
+            | TimerAction::PartialFlush { qid }
+            | TimerAction::HierFlush { qid }
+            | TimerAction::RenewQuery { qid } => Some(*qid),
+            TimerAction::Renew => None,
+        }
+    }
 }
 
 /// Per-query operator state at one node.
@@ -110,6 +139,33 @@ struct QueryInstance {
     /// at each epoch flush — O(groups) state, O(new rows) per epoch,
     /// where a contribution buffer would grow forever.
     run_groups: HashMap<Vec<Value>, GroupAccs>,
+    /// Rehash / stage soft state this node published for the query and
+    /// must renew ([`PierNode::record_rehash`]). Dropped at uninstall,
+    /// so renewal stops and the state ages out within one horizon.
+    rehash_pubs: Vec<SoftPub>,
+    /// Outstanding timer tokens of this query. Uninstall cancels them
+    /// all (removes their [`TimerAction`]s), so a torn-down query holds
+    /// no entry in any node-level map.
+    timers: Vec<u64>,
+}
+
+impl QueryInstance {
+    fn new(desc: QueryDesc, view: Option<Arc<PipelineSchema>>) -> Self {
+        QueryInstance {
+            desc,
+            view,
+            filters: [None, None],
+            rehashed: [false, false],
+            bloom_flushed: [false, false],
+            bloom_waits: [0, 0],
+            pairs: HashMap::new(),
+            local_groups: HashMap::new(),
+            win_rows: Vec::new(),
+            run_groups: HashMap::new(),
+            rehash_pubs: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
 }
 
 struct PairFetch {
@@ -154,25 +210,72 @@ struct SoftPub {
     item: QpItem,
 }
 
+/// The node's ledger of installed queries: every per-query structure —
+/// operator state, rehash publications, timer tokens (inside each
+/// [`QueryInstance`]) and the namespace routing table — lives here, so
+/// install and uninstall are single entry points and a torn-down query
+/// leaves nothing behind. Before this registry the same state was
+/// scattered across per-qid maps on [`PierNode`] with no removal path
+/// at all. Teardown is driven by [`PierNode::cancel`] (any shape) or by
+/// one-shot aggregates retiring at their terminal harvest; a one-shot
+/// *join* has no terminal event — its results trickle until the soft
+/// state ages out — so it stays installed until explicitly cancelled.
+#[derive(Default)]
+struct QueryRegistry {
+    queries: HashMap<u64, QueryInstance>,
+    /// Why each namespace is interesting, and to which queries: drives
+    /// `newData` dispatch; stripped per query at uninstall.
+    ns_routes: HashMap<Ns, Vec<(u64, NsRole)>>,
+}
+
+impl QueryRegistry {
+    fn install(&mut self, qid: u64, inst: QueryInstance) {
+        self.queries.insert(qid, inst);
+    }
+
+    fn route(&mut self, ns: Ns, qid: u64, role: NsRole) {
+        let routes = self.ns_routes.entry(ns).or_default();
+        if !routes.contains(&(qid, role)) {
+            routes.push((qid, role));
+        }
+    }
+
+    /// Remove a query and every route pointing at it. Returns the
+    /// instance so the caller can cancel its timers.
+    fn uninstall(&mut self, qid: u64) -> Option<QueryInstance> {
+        let inst = self.queries.remove(&qid)?;
+        self.ns_routes.retain(|_, routes| {
+            routes.retain(|&(q, _)| q != qid);
+            !routes.is_empty()
+        });
+        Some(inst)
+    }
+}
+
 /// One PIER node.
 pub struct PierNode {
     pub dht: Dht<QpItem>,
     bootstrap: Option<NodeId>,
-    queries: HashMap<u64, QueryInstance>,
-    ns_routes: HashMap<Ns, Vec<(u64, NsRole)>>,
+    /// Every installed query's state, owned in one place.
+    reg: QueryRegistry,
     /// Result log at the initiator: arrival time and tuple, per query.
+    /// Survives uninstall, so an initiator can tear a query down and
+    /// still read what it produced.
     pub results: HashMap<u64, Vec<(Time, Tuple)>>,
     get_purpose: HashMap<u64, GetPurpose>,
     timer_actions: HashMap<u64, TimerAction>,
+    /// Recently cancelled qids (bounded FIFO): a `Cancel` that overtakes
+    /// its query's still-in-flight install multicast must not let the
+    /// late-arriving descriptor resurrect the query and renew forever.
+    cancelled: std::collections::VecDeque<u64>,
     next_token: u64,
     published: Vec<PubRecord>,
-    /// Rehash/stage state to republish per continuous unwindowed query
-    /// (base publications renew via `published`; without this, rehashed
-    /// join state silently aged out at the fallback horizon).
-    rehash_pubs: HashMap<u64, Vec<SoftPub>>,
     renew_every: Option<Dur>,
     iid_seq: u32,
 }
+
+/// How many cancelled qids the tombstone FIFO remembers.
+const CANCEL_TOMBSTONES: usize = 512;
 
 impl PierNode {
     /// A node that creates (`bootstrap = None`) or joins an overlay.
@@ -185,14 +288,13 @@ impl PierNode {
         PierNode {
             dht,
             bootstrap,
-            queries: HashMap::new(),
-            ns_routes: HashMap::new(),
+            reg: QueryRegistry::default(),
             results: HashMap::new(),
             get_purpose: HashMap::new(),
             timer_actions: HashMap::new(),
+            cancelled: std::collections::VecDeque::new(),
             next_token: 1,
             published: Vec::new(),
-            rehash_pubs: HashMap::new(),
             renew_every: None,
             iid_seq: 0,
         }
@@ -276,10 +378,15 @@ impl PierNode {
         // state is renewed alongside base publications, so standing
         // joins keep full recall past the fallback horizon. Renewal
         // replaces the same (ns, rid, iid) without re-firing `newData`,
-        // so no probe runs twice.
+        // so no probe runs twice. Queries carrying their own renewal
+        // period ([`QueryDesc::renew_every`]) run a dedicated loop
+        // instead ([`Self::renew_query`]) and are skipped here.
         let horizon = self.fallback_horizon();
-        for pubs in self.rehash_pubs.values() {
-            for rec in pubs {
+        for inst in self.reg.queries.values() {
+            if inst.desc.renew_every.is_some() {
+                continue;
+            }
+            for rec in &inst.rehash_pubs {
                 self.dht.renew(
                     &mut env,
                     rec.ns,
@@ -313,21 +420,35 @@ impl PierNode {
             .map_or(Dur::from_secs(600), |every| every.saturating_mul(3))
     }
 
+    /// Soft-state horizon of one query: three of its *own* renewal
+    /// periods when the descriptor carries one ([`QueryDesc::renew_every`]
+    /// — per-query renewal replaced the single node-global period), else
+    /// the node-global fallback.
+    fn query_horizon(&self, qid: u64) -> Dur {
+        self.reg
+            .queries
+            .get(&qid)
+            .and_then(|i| i.desc.renew_every)
+            .map_or_else(|| self.fallback_horizon(), |every| every.saturating_mul(3))
+    }
+
     /// Lifetime of rehash / stage / semi-join soft state for a query:
     /// the sliding window when set (windowed state must age out), else
-    /// the renewal-derived fallback horizon.
+    /// the renewal-derived per-query horizon.
     fn soft_lifetime(&self, qid: u64) -> Dur {
-        self.queries
+        self.reg
+            .queries
             .get(&qid)
             .and_then(|i| i.desc.window)
-            .unwrap_or_else(|| self.fallback_horizon())
+            .unwrap_or_else(|| self.query_horizon(qid))
     }
 
     /// Does this query's rehash-layer state get renewed? Continuous and
     /// unwindowed only: windowed state must age out, and one-shot
     /// queries complete well inside the horizon.
     fn renews_rehash_state(&self, qid: u64) -> bool {
-        self.queries
+        self.reg
+            .queries
             .get(&qid)
             .is_some_and(|i| i.desc.continuous && i.desc.window.is_none())
     }
@@ -336,13 +457,44 @@ impl PierNode {
     /// [`Self::renews_rehash_state`]).
     fn record_rehash(&mut self, qid: u64, ns: Ns, rid: Rid, iid: u32, item: &QpItem) {
         if self.renews_rehash_state(qid) {
-            self.rehash_pubs.entry(qid).or_default().push(SoftPub {
-                ns,
-                rid,
-                iid,
-                item: item.clone(),
-            });
+            if let Some(inst) = self.reg.queries.get_mut(&qid) {
+                inst.rehash_pubs.push(SoftPub {
+                    ns,
+                    rid,
+                    iid,
+                    item: item.clone(),
+                });
+            }
         }
+    }
+
+    /// Per-query renewal ([`TimerAction::RenewQuery`]): republish this
+    /// standing query's rehash soft state with its own 3× horizon and
+    /// re-arm. Runs even on nodes that never started the node-global
+    /// loop — a descriptor's renewal period is self-contained.
+    fn renew_query(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
+        let Some(inst) = self.reg.queries.get(&qid) else {
+            return; // uninstalled between arm and fire
+        };
+        let Some(every) = inst.desc.renew_every else {
+            return;
+        };
+        let horizon = every.saturating_mul(3);
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        for rec in &inst.rehash_pubs {
+            self.dht.renew(
+                &mut env,
+                rec.ns,
+                rec.rid,
+                rec.iid,
+                rec.item.clone(),
+                horizon,
+                &mut events,
+            );
+        }
+        self.arm_timer(ctx, qid, every, TimerAction::RenewQuery { qid });
+        self.pump(ctx, events);
     }
 
     // ------------------------------------------------------------------
@@ -359,6 +511,137 @@ impl PierNode {
         self.pump(ctx, events);
     }
 
+    /// Tear a query down: multicast a best-effort [`QpItem::Cancel`] so
+    /// every node (this one included, via its own multicast delivery)
+    /// uninstalls the query. There is no distributed delete — peers stop
+    /// renewing and probing, and the query's DHT soft state ages out
+    /// within one lifetime (§3.2.3 reclamation-by-expiry). Results
+    /// already collected at the initiator stay readable.
+    pub fn cancel(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
+        let mut env = PierEnv { ctx };
+        let mut events = Vec::new();
+        self.dht
+            .multicast(&mut env, QpItem::Cancel { qid }, &mut events);
+        self.pump(ctx, events);
+    }
+
+    /// Local uninstall: remove the query from the registry (dropping its
+    /// operator state and rehash-renewal ledger, so renewal stops),
+    /// cancel its outstanding timers, forget its in-flight fetches, and
+    /// purge the local store's share of the query's derived namespaces.
+    /// Shares held by peers that missed the cancel still age out within
+    /// one [`Self::soft_lifetime`] — expiry is the reclamation fallback,
+    /// not the only path. A bounded tombstone guards against a `Cancel`
+    /// overtaking its query's still-in-flight install multicast.
+    fn uninstall_query(&mut self, qid: u64) {
+        if self.cancelled.len() == CANCEL_TOMBSTONES {
+            self.cancelled.pop_front();
+        }
+        if !self.cancelled.contains(&qid) {
+            self.cancelled.push_back(qid);
+        }
+        let stages = match self.reg.queries.get(&qid).map(|i| &i.desc.op) {
+            Some(QueryOp::MultiJoin(m)) | Some(QueryOp::MultiJoinAgg { join: m, .. }) => {
+                m.stages.len()
+            }
+            _ => 0,
+        };
+        if let Some(inst) = self.reg.uninstall(qid) {
+            for token in inst.timers {
+                self.timer_actions.remove(&token);
+            }
+            let mut nss = vec![
+                qns::rehash(qid),
+                qns::agg(qid),
+                qns::bloom(qid, false),
+                qns::bloom(qid, true),
+            ];
+            nss.extend((0..stages).map(|k| qns::stage(qid, k)));
+            for ns in nss {
+                self.dht.store.remove_ns(ns);
+            }
+        }
+        self.get_purpose.retain(|_, p| p.qid() != qid);
+    }
+
+    /// One-shot queries complete at their terminal harvest; retire them
+    /// so `timer_actions`, the registry, and the routing table return to
+    /// baseline instead of growing for the process lifetime.
+    fn retire_if_one_shot(&mut self, qid: u64) {
+        if self
+            .reg
+            .queries
+            .get(&qid)
+            .is_some_and(|i| !i.desc.continuous)
+        {
+            self.uninstall_query(qid);
+        }
+    }
+
+    /// Arm a timer owned by one query: the token is recorded on the
+    /// instance so uninstall can cancel it.
+    fn arm_timer(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, after: Dur, action: TimerAction) {
+        let token = self.token();
+        self.timer_actions.insert(token, action);
+        if let Some(inst) = self.reg.queries.get_mut(&qid) {
+            inst.timers.push(token);
+        }
+        ctx.set_timer(after, token);
+    }
+
+    /// Forget a fired token on its owning query (the timer no longer
+    /// needs cancelling at uninstall).
+    fn release_timer(&mut self, qid: u64, token: u64) {
+        if let Some(inst) = self.reg.queries.get_mut(&qid) {
+            inst.timers.retain(|&t| t != token);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle introspection (tests, benches, storage audits)
+    // ------------------------------------------------------------------
+
+    /// Number of queries currently installed at this node.
+    pub fn installed_query_count(&self) -> usize {
+        self.reg.queries.len()
+    }
+
+    /// Is a query currently installed here?
+    pub fn has_query(&self, qid: u64) -> bool {
+        self.reg.queries.contains_key(&qid)
+    }
+
+    /// Outstanding deferred-work timers (renewal loop included) — the
+    /// map the one-shot-timer regression pins to baseline.
+    pub fn timer_action_count(&self) -> usize {
+        self.timer_actions.len()
+    }
+
+    /// Rehash publications this node would renew for a query.
+    pub fn rehash_pub_count(&self, qid: u64) -> usize {
+        self.reg
+            .queries
+            .get(&qid)
+            .map_or(0, |i| i.rehash_pubs.len())
+    }
+
+    /// Storage audit: items still stored here under any of the query's
+    /// derived namespaces ([`qns`]) that are live at `now` — rehash,
+    /// per-stage, both Bloom collectors, and aggregation partials. Zero
+    /// one lifetime after uninstall is the reclamation invariant.
+    pub fn query_soft_state(&self, now: Time, qid: u64, max_stages: usize) -> usize {
+        let mut nss = vec![
+            qns::rehash(qid),
+            qns::agg(qid),
+            qns::bloom(qid, false),
+            qns::bloom(qid, true),
+        ];
+        nss.extend((0..max_stages).map(|k| qns::stage(qid, k)));
+        nss.iter()
+            .map(|&ns| self.dht.store.ns_len_live(ns, now))
+            .sum()
+    }
+
     // ------------------------------------------------------------------
     // Event pump
     // ------------------------------------------------------------------
@@ -368,6 +651,7 @@ impl PierNode {
             match ev {
                 DhtEvent::Multicast { origin: _, payload } => match payload {
                     QpItem::Query(desc) => self.install_query(ctx, desc),
+                    QpItem::Cancel { qid } => self.uninstall_query(qid),
                     QpItem::Bloom { qid, side, filter } => {
                         self.on_bloom_filter(ctx, qid, side, filter)
                     }
@@ -386,8 +670,11 @@ impl PierNode {
 
     fn install_query(&mut self, ctx: &mut Ctx<PierMsg>, desc: QueryDesc) {
         let qid = desc.qid;
-        if self.queries.contains_key(&qid) {
-            return; // duplicate multicast delivery
+        if self.reg.queries.contains_key(&qid) || self.cancelled.contains(&qid) {
+            // Duplicate multicast delivery, or a descriptor whose Cancel
+            // (or one-shot retirement) already happened here — a late
+            // install must not resurrect a torn-down query.
+            return;
         }
         let view = match &desc.op {
             QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
@@ -398,19 +685,16 @@ impl PierNode {
             }
             _ => None,
         };
-        let inst = QueryInstance {
-            desc: desc.clone(),
-            view,
-            filters: [None, None],
-            rehashed: [false, false],
-            bloom_flushed: [false, false],
-            bloom_waits: [0, 0],
-            pairs: HashMap::new(),
-            local_groups: HashMap::new(),
-            win_rows: Vec::new(),
-            run_groups: HashMap::new(),
-        };
-        self.queries.insert(qid, inst);
+        self.reg
+            .install(qid, QueryInstance::new(desc.clone(), view));
+        // A standing unwindowed query carrying its own renewal period
+        // runs a per-query renewal loop from install on — no node-global
+        // `start_renewals` required.
+        if desc.continuous && desc.window.is_none() {
+            if let Some(every) = desc.renew_every {
+                self.arm_timer(ctx, qid, every, TimerAction::RenewQuery { qid });
+            }
+        }
 
         match &desc.op {
             QueryOp::Scan { scan, project } => {
@@ -502,10 +786,7 @@ impl PierNode {
     }
 
     fn route_ns(&mut self, ns: Ns, qid: u64, role: NsRole) {
-        let routes = self.ns_routes.entry(ns).or_default();
-        if !routes.contains(&(qid, role)) {
-            routes.push((qid, role));
-        }
+        self.reg.route(ns, qid, role);
     }
 
     /// Locally stored, live, selection-passing rows of a base table with
@@ -532,7 +813,7 @@ impl PierNode {
     }
 
     fn join_spec(&self, qid: u64) -> Option<JoinSpec> {
-        match &self.queries.get(&qid)?.desc.op {
+        match &self.reg.queries.get(&qid)?.desc.op {
             QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => Some(j.clone()),
             _ => None,
         }
@@ -562,7 +843,7 @@ impl PierNode {
         filter: Option<&BloomFilter>,
     ) {
         let Some(j) = self.join_spec(qid) else { return };
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
         if inst.rehashed[side as usize] {
@@ -649,7 +930,7 @@ impl PierNode {
         join: &Value,
         row: &Tuple,
     ) {
-        let Some(inst) = self.queries.get(&qid) else {
+        let Some(inst) = self.reg.queries.get(&qid) else {
             return;
         };
         let view = inst.view.clone().expect("join view");
@@ -708,7 +989,7 @@ impl PierNode {
     /// only as long as their shortest-lived constituent when the query
     /// is windowed; unwindowed continuous aggregates are running totals.
     fn window_valid(&self, qid: u64, until: Time) -> Time {
-        match self.queries.get(&qid).and_then(|i| i.desc.window) {
+        match self.reg.queries.get(&qid).and_then(|i| i.desc.window) {
             Some(_) => until,
             None => Time::MAX,
         }
@@ -719,7 +1000,7 @@ impl PierNode {
     // ------------------------------------------------------------------
 
     fn mj_spec(&self, qid: u64) -> Option<MultiJoinSpec> {
-        match &self.queries.get(&qid)?.desc.op {
+        match &self.reg.queries.get(&qid)?.desc.op {
             QueryOp::MultiJoin(m) | QueryOp::MultiJoinAgg { join: m, .. } => Some(m.clone()),
             _ => None,
         }
@@ -742,7 +1023,7 @@ impl PierNode {
     /// [`Self::mj_rehash_one`]), projected onto the stage schema: only
     /// the columns some later stage or the final SELECT reads ship.
     fn mj_rehash_table(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, m: &MultiJoinSpec, t: usize) {
-        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+        let Some(view) = self.reg.queries.get(&qid).and_then(|i| i.view.clone()) else {
             return;
         };
         let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
@@ -787,7 +1068,7 @@ impl PierNode {
         t: usize,
         row: Tuple,
     ) {
-        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+        let Some(view) = self.reg.queries.get(&qid).and_then(|i| i.view.clone()) else {
             return;
         };
         let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
@@ -824,7 +1105,7 @@ impl PierNode {
         };
         let (side, join, row) = (*side, join.clone(), row.clone());
         let Some(m) = self.mj_spec(qid) else { return };
-        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+        let Some(view) = self.reg.queries.get(&qid).and_then(|i| i.view.clone()) else {
             return;
         };
         let matches: Vec<(Tuple, Time)> = self
@@ -910,7 +1191,7 @@ impl PierNode {
                 .put(&mut env, ns, rid, iid, item, lifetime, &mut events);
             self.pump(ctx, events);
         } else {
-            let Some(inst) = self.queries.get(&qid) else {
+            let Some(inst) = self.reg.queries.get(&qid) else {
                 return;
             };
             let initiator = inst.desc.initiator;
@@ -940,7 +1221,7 @@ impl PierNode {
         if entries.is_empty() {
             return;
         }
-        let Some(view) = self.queries.get(&qid).and_then(|i| i.view.clone()) else {
+        let Some(view) = self.reg.queries.get(&qid).and_then(|i| i.view.clone()) else {
             return;
         };
         entries.sort_by_key(|e| (e.rid, e.iid));
@@ -1021,7 +1302,7 @@ impl PierNode {
         items: Vec<Entry<QpItem>>,
     ) {
         let Some(j) = self.join_spec(qid) else { return };
-        let Some(inst) = self.queries.get(&qid) else {
+        let Some(inst) = self.reg.queries.get(&qid) else {
             return;
         };
         let initiator = inst.desc.initiator;
@@ -1053,7 +1334,7 @@ impl PierNode {
 
     fn semi_rehash(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, side: Side) {
         let Some(j) = self.join_spec(qid) else { return };
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
         if inst.rehashed[side as usize] {
@@ -1140,7 +1421,7 @@ impl PierNode {
     fn semi_pair(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, pk_l: Value, pk_r: Value) {
         let Some(j) = self.join_spec(qid) else { return };
         let pair = self.token();
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
         inst.pairs.insert(
@@ -1188,7 +1469,7 @@ impl PierNode {
         items: Vec<Entry<QpItem>>,
     ) {
         let Some(j) = self.join_spec(qid) else { return };
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
         let Some(p) = inst.pairs.get_mut(&pair) else {
@@ -1239,10 +1520,12 @@ impl PierNode {
 
     fn bloom_start(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, j: &JoinSpec) {
         // Publish a filter fragment per local side. Fragments are
-        // collector metadata, not window state: they live to the
-        // fallback horizon regardless of the query window so a slow
-        // collector never ORs an already-expired fragment set.
-        let lifetime = self.fallback_horizon();
+        // collector metadata, not window or renewal state: whatever the
+        // query's horizon, they must outlive the collector's flush
+        // deadline — including every congestion extension (≤ 60 ×
+        // bloom_wait) — so a slow collector never ORs an
+        // already-expired fragment set.
+        let lifetime = self.query_horizon(qid).max(j.bloom_wait.saturating_mul(64));
         let mut work = Vec::new();
         for (side, scan) in [(Side::Left, &j.left), (Side::Right, &j.right)] {
             let mut filter = BloomFilter::new(j.bloom_bits, 4);
@@ -1272,10 +1555,12 @@ impl PierNode {
         for side in [Side::Left, Side::Right] {
             let ns = qns::bloom(qid, side == Side::Right);
             if self.dht.owns_key(pier_dht::key_of(ns, 0)) {
-                let token = self.token();
-                self.timer_actions
-                    .insert(token, TimerAction::BloomFlush { qid, side });
-                env.timer(j.bloom_wait, token);
+                self.arm_timer(
+                    ctx,
+                    qid,
+                    j.bloom_wait,
+                    TimerAction::BloomFlush { qid, side },
+                );
             }
         }
         for side in [false, true] {
@@ -1287,7 +1572,7 @@ impl PierNode {
     fn bloom_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, side: Side) {
         let Some(j) = self.join_spec(qid) else { return };
         {
-            let Some(inst) = self.queries.get_mut(&qid) else {
+            let Some(inst) = self.reg.queries.get_mut(&qid) else {
                 return;
             };
             if inst.bloom_flushed[side as usize] {
@@ -1320,7 +1605,7 @@ impl PierNode {
     }
 
     fn on_bloom_filter(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, side: Side, f: BloomFilter) {
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
         if inst.filters[side as usize].is_some() {
@@ -1342,7 +1627,7 @@ impl PierNode {
     /// still inside the window; unwindowed epoch queries fold into
     /// persistent running accumulators snapshotted at each flush.
     fn accumulate(&mut self, qid: u64, agg: &AggSpec, row: &Tuple, valid_until: Time) {
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
         let windowed = inst.desc.window.is_some();
@@ -1374,7 +1659,7 @@ impl PierNode {
         agg: &AggSpec,
         now: Time,
     ) -> Vec<(Vec<Value>, GroupAccs)> {
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return Vec::new();
         };
         let mut groups: HashMap<Vec<Value>, GroupAccs> = inst.local_groups.drain().collect();
@@ -1440,32 +1725,22 @@ impl PierNode {
             // epoch later. Both timers re-arm on fire, so the standing
             // query never tears down.
             let lag = Dur::from_micros((epoch.as_micros() / 4).min(5_000_000));
-            let token = self.token();
-            self.timer_actions
-                .insert(token, TimerAction::PartialFlush { qid });
-            ctx.set_timer(lag, token);
-            let token = self.token();
-            self.timer_actions
-                .insert(token, TimerAction::AggHarvest { qid });
-            ctx.set_timer(Dur::from_micros(epoch.as_micros() / 2), token);
+            self.arm_timer(ctx, qid, lag, TimerAction::PartialFlush { qid });
+            let half = Dur::from_micros(epoch.as_micros() / 2);
+            self.arm_timer(ctx, qid, half, TimerAction::AggHarvest { qid });
             return;
         }
         if joinagg {
             // NQ nodes accumulate join outputs, then flush halfway.
-            let token = self.token();
-            self.timer_actions
-                .insert(token, TimerAction::PartialFlush { qid });
-            ctx.set_timer(Dur::from_micros(agg.harvest.as_micros() / 2), token);
+            let half = Dur::from_micros(agg.harvest.as_micros() / 2);
+            self.arm_timer(ctx, qid, half, TimerAction::PartialFlush { qid });
         }
-        let token = self.token();
-        self.timer_actions
-            .insert(token, TimerAction::AggHarvest { qid });
-        ctx.set_timer(agg.harvest, token);
+        self.arm_timer(ctx, qid, agg.harvest, TimerAction::AggHarvest { qid });
     }
 
     /// The query's aggregation spec, whatever the operator shape.
     fn agg_spec(&self, qid: u64) -> Option<AggSpec> {
-        match self.queries.get(&qid).map(|i| &i.desc.op) {
+        match self.reg.queries.get(&qid).map(|i| &i.desc.op) {
             Some(QueryOp::Agg { agg, .. })
             | Some(QueryOp::JoinAgg { agg, .. })
             | Some(QueryOp::MultiJoinAgg { agg, .. }) => Some(agg.clone()),
@@ -1478,21 +1753,24 @@ impl PierNode {
     /// non-continuous descriptor does not re-arm: the query emits one
     /// round and falls silent like any other one-shot.
     fn rearm_epoch(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, action: TimerAction) {
-        if !self.queries.get(&qid).is_some_and(|i| i.desc.continuous) {
+        if !self
+            .reg
+            .queries
+            .get(&qid)
+            .is_some_and(|i| i.desc.continuous)
+        {
             return;
         }
         let epoch = self.agg_spec(qid).and_then(|a| a.epoch);
         if let Some(epoch) = epoch {
-            let token = self.token();
-            self.timer_actions.insert(token, action);
-            ctx.set_timer(epoch, token);
+            self.arm_timer(ctx, qid, epoch, action);
         }
     }
 
     /// Finalize every group whose partials landed here; apply HAVING;
     /// ship results to the initiator.
     fn agg_harvest(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
-        let Some(inst) = self.queries.get(&qid) else {
+        let Some(inst) = self.reg.queries.get(&qid) else {
             return;
         };
         let agg = match &inst.desc.op {
@@ -1537,7 +1815,7 @@ impl PierNode {
     /// before their parents, merging along a binary tree over node ids.
     /// Epoch queries stagger within each epoch and re-arm every epoch.
     fn schedule_hier_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, agg: &AggSpec) {
-        let n = self.queries[&qid].desc.n_nodes.max(1);
+        let n = self.reg.queries[&qid].desc.n_nodes.max(1);
         let max_depth = 64 - (n as u64).leading_zeros() as u64;
         let me = self.dht.me() as u64;
         let depth = 64 - (me + 1).leading_zeros() as u64;
@@ -1545,14 +1823,11 @@ impl PierNode {
         let slot = max_depth.saturating_sub(depth) + 1;
         let span = agg.epoch.unwrap_or(agg.harvest);
         let delay = Dur::from_micros(span.as_micros() * slot / (max_depth + 2));
-        let token = self.token();
-        self.timer_actions
-            .insert(token, TimerAction::HierFlush { qid });
-        ctx.set_timer(delay, token);
+        self.arm_timer(ctx, qid, delay, TimerAction::HierFlush { qid });
     }
 
     fn hier_flush(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64) {
-        let Some(inst) = self.queries.get(&qid) else {
+        let Some(inst) = self.reg.queries.get(&qid) else {
             return;
         };
         let agg = match &inst.desc.op {
@@ -1580,7 +1855,7 @@ impl PierNode {
     }
 
     fn on_agg_up(&mut self, qid: u64, group: Vec<Value>, accs: GroupAccs) {
-        let Some(inst) = self.queries.get_mut(&qid) else {
+        let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
         inst.local_groups
@@ -1594,7 +1869,7 @@ impl PierNode {
     // ------------------------------------------------------------------
 
     fn on_new_data(&mut self, ctx: &mut Ctx<PierMsg>, entry: Entry<QpItem>) {
-        let Some(routes) = self.ns_routes.get(&entry.ns) else {
+        let Some(routes) = self.reg.ns_routes.get(&entry.ns) else {
             return;
         };
         let routes = routes.clone();
@@ -1608,6 +1883,7 @@ impl PierNode {
                 NsRole::BloomCollector(right) => {
                     // Early flush once every participant's fragment is in.
                     let n_expected = self
+                        .reg
                         .queries
                         .get(&qid)
                         .map_or(0, |i| i.desc.n_nodes as usize);
@@ -1629,7 +1905,7 @@ impl PierNode {
         role: NsRole,
         entry: &Entry<QpItem>,
     ) {
-        let Some(inst) = self.queries.get(&qid) else {
+        let Some(inst) = self.reg.queries.get(&qid) else {
             return;
         };
         if !inst.desc.continuous {
@@ -1688,7 +1964,7 @@ impl PierNode {
         side: Side,
         row: Tuple,
     ) {
-        let Some(inst) = self.queries.get(&qid) else {
+        let Some(inst) = self.reg.queries.get(&qid) else {
             return;
         };
         let view = inst.view.clone().expect("join view");
@@ -1750,7 +2026,7 @@ impl PierNode {
         a: &Entry<QpItem>,
         b: &Entry<QpItem>,
     ) {
-        let Some(inst) = self.queries.get(&qid) else {
+        let Some(inst) = self.reg.queries.get(&qid) else {
             return;
         };
         // Replay happens at install time: state stored before the query
@@ -1897,12 +2173,16 @@ impl App for PierNode {
             self.pump(ctx, events);
             return;
         }
-        match self.timer_actions.remove(&token) {
+        let fired = self.timer_actions.remove(&token);
+        if let Some(qid) = fired.as_ref().and_then(TimerAction::qid) {
+            self.release_timer(qid, token);
+        }
+        match fired {
             Some(TimerAction::BloomFlush { qid, side }) => {
                 // A collector's deadline: if we know how many fragments to
                 // expect and they are still in flight (congestion), extend
                 // the window instead of multicasting a truncated filter.
-                let extend = if let Some(inst) = self.queries.get_mut(&qid) {
+                let extend = if let Some(inst) = self.reg.queries.get_mut(&qid) {
                     let expecting = inst.desc.n_nodes as usize;
                     let ns = qns::bloom(qid, side == Side::Right);
                     let have = self.dht.store.ns_len(ns);
@@ -1920,14 +2200,11 @@ impl App for PierNode {
                     false
                 };
                 if extend {
-                    let wait = match &self.queries[&qid].desc.op {
+                    let wait = match &self.reg.queries[&qid].desc.op {
                         QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => j.bloom_wait,
                         _ => Dur::from_secs(10),
                     };
-                    let t = self.token();
-                    self.timer_actions
-                        .insert(t, TimerAction::BloomFlush { qid, side });
-                    ctx.set_timer(wait, t);
+                    self.arm_timer(ctx, qid, wait, TimerAction::BloomFlush { qid, side });
                 } else {
                     self.bloom_flush(ctx, qid, side);
                 }
@@ -1935,6 +2212,8 @@ impl App for PierNode {
             Some(TimerAction::AggHarvest { qid }) => {
                 self.agg_harvest(ctx, qid);
                 self.rearm_epoch(ctx, qid, TimerAction::AggHarvest { qid });
+                // The harvest is a one-shot aggregate's terminal event.
+                self.retire_if_one_shot(qid);
             }
             Some(TimerAction::PartialFlush { qid }) => {
                 if let Some(agg) = self.agg_spec(qid) {
@@ -1945,8 +2224,12 @@ impl App for PierNode {
             Some(TimerAction::HierFlush { qid }) => {
                 self.hier_flush(ctx, qid);
                 self.rearm_epoch(ctx, qid, TimerAction::HierFlush { qid });
+                // A one-shot tree flush is this node's terminal event
+                // (parents flush after their children sent partials up).
+                self.retire_if_one_shot(qid);
             }
             Some(TimerAction::Renew) => self.renew_all(ctx),
+            Some(TimerAction::RenewQuery { qid }) => self.renew_query(ctx, qid),
             None => {}
         }
     }

@@ -313,6 +313,12 @@ pub struct QueryDesc {
     /// For continuous joins: rehashed state ages out of the DHT after
     /// this long, implementing a sliding time window via soft state.
     pub window: Option<Dur>,
+    /// Per-query renewal period (SQL: `RENEW n SECONDS`): an unwindowed
+    /// standing query republishes its rehash soft state this often, with
+    /// the 3× fallback horizon derived from it — replacing the single
+    /// node-global renewal period, so tenants with different liveness
+    /// needs coexist. `None` falls back to the node-global loop.
+    pub renew_every: Option<Dur>,
     /// How many nodes participate (used by hierarchical aggregation to
     /// shape its tree; harnesses set it when building the query).
     pub n_nodes: u32,
@@ -332,6 +338,7 @@ impl QueryDesc {
             op,
             continuous: false,
             window: None,
+            renew_every: None,
             n_nodes: 0,
             prune: true,
         }
@@ -353,6 +360,14 @@ impl QueryDesc {
     /// Toggle schema-aware pruning (`true` is the default).
     pub fn with_prune(mut self, prune: bool) -> Self {
         self.prune = prune;
+        self
+    }
+
+    /// Give a standing unwindowed query its own renewal period (see
+    /// [`QueryDesc::renew_every`]). Windowed state must age out, so the
+    /// combination with a window is rejected at the SQL layer.
+    pub fn with_renewal(mut self, every: Dur) -> Self {
+        self.renew_every = Some(every);
         self
     }
 
@@ -387,16 +402,17 @@ impl QueryDesc {
                     .sum::<usize>()
                 + m.project.iter().map(Expr::wire_size).sum::<usize>()
         }
-        24 + match &self.op {
-            QueryOp::Scan { scan, project } => {
-                scan_sz(scan) + project.iter().map(Expr::wire_size).sum::<usize>()
+        24 + if self.renew_every.is_some() { 8 } else { 0 }
+            + match &self.op {
+                QueryOp::Scan { scan, project } => {
+                    scan_sz(scan) + project.iter().map(Expr::wire_size).sum::<usize>()
+                }
+                QueryOp::Join(j) => join_sz(j),
+                QueryOp::MultiJoin(m) => multi_sz(m),
+                QueryOp::Agg { scan, agg } => scan_sz(scan) + agg_sz(agg),
+                QueryOp::JoinAgg { join, agg } => join_sz(join) + agg_sz(agg),
+                QueryOp::MultiJoinAgg { join, agg } => multi_sz(join) + agg_sz(agg),
             }
-            QueryOp::Join(j) => join_sz(j),
-            QueryOp::MultiJoin(m) => multi_sz(m),
-            QueryOp::Agg { scan, agg } => scan_sz(scan) + agg_sz(agg),
-            QueryOp::JoinAgg { join, agg } => join_sz(join) + agg_sz(agg),
-            QueryOp::MultiJoinAgg { join, agg } => multi_sz(join) + agg_sz(agg),
-        }
     }
 }
 

@@ -27,11 +27,13 @@ pub fn plan_sql(
     objective: Objective,
 ) -> Result<QueryOp, String> {
     let parsed = parse_sql(sql, catalog)?;
-    if parsed.window.is_some() || parsed.epoch.is_some() {
+    if parsed.window.is_some() || parsed.epoch.is_some() || parsed.renew.is_some() {
         // A bare QueryOp has nowhere to carry the window, and an epoch
-        // only makes sense on a standing descriptor; see
-        // `sql::parse_continuous_query` for standing queries.
-        return Err("WINDOW/EPOCH make a query continuous — use parse_continuous_query".into());
+        // or renewal period only makes sense on a standing descriptor;
+        // see `sql::parse_continuous_query` for standing queries.
+        return Err(
+            "WINDOW/EPOCH/RENEW make a query continuous — use parse_continuous_query".into(),
+        );
     }
     let from_order: Vec<usize> = (0..parsed.n_tables()).collect();
     if parsed.n_tables() >= 3 {

@@ -231,9 +231,27 @@ pub fn reference_epochs(
     epoch: Dur,
     n_epochs: usize,
 ) -> Vec<Vec<Tuple>> {
-    (0..n_epochs)
-        .map(|k| {
-            let at = Time::ZERO + epoch.saturating_mul(k as u64);
+    let instants: Vec<Time> = (0..n_epochs)
+        .map(|k| Time::ZERO + epoch.saturating_mul(k as u64))
+        .collect();
+    reference_epochs_at(op, tables, window, &instants)
+}
+
+/// [`reference_epochs`] at arbitrary evaluation instants — the oracle of
+/// a query that is only *live* for part of a run: pass the epoch
+/// boundaries of its own install→uninstall span (row times relative to
+/// its install), and nothing past its teardown is ever expected. This
+/// is what restricts a multi-tenant workload's ground truth to each
+/// standing query's lifetime.
+pub fn reference_epochs_at(
+    op: &QueryOp,
+    tables: &HashMap<String, TimedRows>,
+    window: Option<Dur>,
+    instants: &[Time],
+) -> Vec<Vec<Tuple>> {
+    instants
+        .iter()
+        .map(|&at| {
             let snap: HashMap<String, Vec<Tuple>> = tables
                 .iter()
                 .map(|(name, rows)| {

@@ -9,6 +9,7 @@
 //! [WHERE conjunctive predicates, incl. cross-table equalities]
 //! [GROUP BY cols] [HAVING expr]
 //! [WINDOW n [SECONDS|MS|MINUTES]] [EPOCH n [SECONDS|MS|MINUTES]]
+//! [RENEW n [SECONDS|MS|MINUTES]]
 //! ```
 //!
 //! which covers all three §2.1 intrusion-detection examples and the §5.1
@@ -20,13 +21,16 @@
 //! and lowering are split (`parse_sql` / `lower_parsed`, crate-internal)
 //! so the cost-based planner can choose the join order between the two.
 //!
-//! `WINDOW` and `EPOCH` make a query *standing* (continuous, §3.2.3 /
-//! §7): `WINDOW` bounds the lifetime of rehashed soft state (a sliding
-//! time window), and `EPOCH` — aggregates only — re-emits every
-//! surviving group each epoch ([`crate::plan::AggSpec::epoch`]). Use
-//! [`parse_continuous_query`] to get the full [`QueryDesc`];
-//! [`parse_query`] (and the planner) reject both clauses since a bare
-//! [`QueryOp`] cannot honor them.
+//! `WINDOW`, `EPOCH`, and `RENEW` make a query *standing* (continuous,
+//! §3.2.3 / §7): `WINDOW` bounds the lifetime of rehashed soft state (a
+//! sliding time window), `EPOCH` — aggregates only — re-emits every
+//! surviving group each epoch ([`crate::plan::AggSpec::epoch`]), and
+//! `RENEW` — unwindowed queries only — gives the query its own renewal
+//! period for that soft state ([`crate::plan::QueryDesc::renew_every`]),
+//! so multi-tenant standing queries need no node-global renewal loop.
+//! Use [`parse_continuous_query`] to get the full [`QueryDesc`];
+//! [`parse_query`] (and the planner) reject all three clauses since a
+//! bare [`QueryOp`] cannot honor them.
 
 use pier_simnet::time::Dur;
 use pier_simnet::NodeId;
@@ -424,6 +428,9 @@ pub(crate) struct ParsedQuery {
     pub(crate) window: Option<Dur>,
     /// `EPOCH n`: re-emission period of a continuous aggregate.
     pub(crate) epoch: Option<Dur>,
+    /// `RENEW n`: per-query renewal period of an unwindowed standing
+    /// query's rehash soft state.
+    pub(crate) renew: Option<Dur>,
 }
 
 impl ParsedQuery {
@@ -577,6 +584,7 @@ pub(crate) fn parse_sql(sql: &str, catalog: &Catalog) -> Result<ParsedQuery, Str
         } else if let Some(Tok::Ident(w)) = p.peek() {
             let kw = [
                 "WHERE", "GROUP", "HAVING", "AND", "OR", "AS", "SELECT", "FROM", "WINDOW", "EPOCH",
+                "RENEW",
             ];
             if kw.iter().any(|k| w.eq_ignore_ascii_case(k)) {
                 table.clone()
@@ -630,6 +638,11 @@ pub(crate) fn parse_sql(sql: &str, catalog: &Catalog) -> Result<ParsedQuery, Str
     } else {
         None
     };
+    let renew = if p.kw("RENEW") {
+        Some(p.duration()?)
+    } else {
+        None
+    };
     if p.peek().is_some() {
         return Err(format!("trailing tokens at {:?}", p.peek()));
     }
@@ -665,6 +678,7 @@ pub(crate) fn parse_sql(sql: &str, catalog: &Catalog) -> Result<ParsedQuery, Str
         having,
         window,
         epoch,
+        renew,
     })
 }
 
@@ -1140,21 +1154,26 @@ pub fn parse_query(
     strategy: JoinStrategy,
 ) -> Result<QueryOp, String> {
     let parsed = parse_sql(sql, catalog)?;
-    if parsed.window.is_some() || parsed.epoch.is_some() {
+    if parsed.window.is_some() || parsed.epoch.is_some() || parsed.renew.is_some() {
         // A bare QueryOp has nowhere to carry the window, and an epoch
-        // only makes sense on a standing descriptor — silently wrapping
-        // either in a one-shot would be a different query.
-        return Err("WINDOW/EPOCH make a query continuous — use parse_continuous_query".into());
+        // or renewal period only makes sense on a standing descriptor —
+        // silently wrapping either in a one-shot would be a different
+        // query.
+        return Err(
+            "WINDOW/EPOCH/RENEW make a query continuous — use parse_continuous_query".into(),
+        );
     }
     let order: Vec<usize> = (0..parsed.n_tables()).collect();
     lower_parsed(&parsed, &order, strategy)
 }
 
-/// Parse a SQL string with optional `WINDOW` / `EPOCH` clauses into a
-/// complete standing [`QueryDesc`]: continuous, with the window bound to
-/// the descriptor (rehashed soft-state lifetime) and the epoch bound to
-/// the aggregation spec (per-epoch re-emission). Plain SQL parses too —
-/// the result is then a continuous query with no window and no epoch.
+/// Parse a SQL string with optional `WINDOW` / `EPOCH` / `RENEW`
+/// clauses into a complete standing [`QueryDesc`]: continuous, with the
+/// window bound to the descriptor (rehashed soft-state lifetime), the
+/// epoch bound to the aggregation spec (per-epoch re-emission), and the
+/// renewal period bound to the descriptor (per-query soft-state
+/// renewal). Plain SQL parses too — the result is then a continuous
+/// query with no window, epoch, or renewal period.
 pub fn parse_continuous_query(
     sql: &str,
     catalog: &Catalog,
@@ -1163,10 +1182,18 @@ pub fn parse_continuous_query(
     initiator: NodeId,
 ) -> Result<QueryDesc, String> {
     let parsed = parse_sql(sql, catalog)?;
+    if parsed.renew.is_some() && parsed.window.is_some() {
+        // Windowed soft state must age out of the DHT — renewing it
+        // would widen the window arbitrarily.
+        return Err("RENEW applies to unwindowed queries (windowed state must age out)".into());
+    }
     let order: Vec<usize> = (0..parsed.n_tables()).collect();
     let window = parsed.window;
+    let renew = parsed.renew;
     let op = lower_parsed(&parsed, &order, strategy)?;
-    Ok(QueryDesc::standing(qid, initiator, op, window))
+    let mut desc = QueryDesc::standing(qid, initiator, op, window);
+    desc.renew_every = renew;
+    Ok(desc)
 }
 
 #[cfg(test)]
@@ -1431,6 +1458,70 @@ mod tests {
         )
         .unwrap();
         assert!(desc.continuous && desc.window.is_none());
+    }
+
+    #[test]
+    fn renew_clause_binds_a_per_query_renewal_period() {
+        let (_, intr) = catalogs();
+        let desc = super::parse_continuous_query(
+            "SELECT I.address, count(*) FROM intrusions I, advisories A \
+             WHERE I.fingerprint = A.fingerprint \
+             GROUP BY I.address EPOCH 30 SECONDS RENEW 45 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            11,
+            0,
+        )
+        .unwrap();
+        assert!(desc.continuous);
+        assert_eq!(
+            desc.renew_every,
+            Some(pier_simnet::time::Dur::from_secs(45))
+        );
+
+        // RENEW alone makes a query standing (a renewed continuous join).
+        let desc = super::parse_continuous_query(
+            "SELECT I.address, R.weight FROM intrusions I, reputation R \
+             WHERE I.address = R.address RENEW 20 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            12,
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            desc.renew_every,
+            Some(pier_simnet::time::Dur::from_secs(20))
+        );
+        assert!(desc.window.is_none());
+
+        // One-shot entry points reject it…
+        let err = parse_query(
+            "SELECT address FROM intrusions RENEW 10 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+        )
+        .unwrap_err();
+        assert!(err.contains("parse_continuous_query"), "{err}");
+        // …and a window excludes renewal (windowed state must age out).
+        let err = super::parse_continuous_query(
+            "SELECT count(*) FROM intrusions WINDOW 60 SECONDS EPOCH 30 SECONDS RENEW 10 SECONDS",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            13,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("unwindowed"), "{err}");
+        // Zero renewal periods are rejected like any other duration.
+        assert!(super::parse_continuous_query(
+            "SELECT count(*) FROM intrusions EPOCH 30 SECONDS RENEW 0",
+            &intr,
+            JoinStrategy::SymmetricHash,
+            14,
+            0,
+        )
+        .is_err());
     }
 
     #[test]

@@ -561,6 +561,274 @@ fn standing_triage_joinagg_outlives_fallback_horizon() {
     assert_epochs_match(&got, &expected);
 }
 
+// ---------------------------------------------------------------------
+// Query lifecycle: uninstall, per-query renewal, one-shot retirement
+// ---------------------------------------------------------------------
+
+/// Total live soft state a query left across the whole network.
+fn residual(sim: &Sim<PierNode>, qid: u64, stages: usize) -> usize {
+    let now = sim.now();
+    (0..sim.node_count() as NodeId)
+        .filter_map(|i| sim.app(i))
+        .map(|node| node.query_soft_state(now, qid, stages))
+        .sum()
+}
+
+#[test]
+fn uninstall_reclaims_state_and_leaves_other_tenants_running() {
+    // Two standing unwindowed joins share an overlay with a 30 s
+    // renewal loop (fallback horizon 3 × 30 = 90 s). Cancelling one
+    // must (a) stop its dataflow, (b) cancel its timers and free its
+    // renewal ledger everywhere, (c) leave zero residual soft state in
+    // its qns::* namespaces one horizon later, and (d) leave the other
+    // tenant at full recall — teardown is per-query, not per-node. The
+    // cancelled tenant runs the Bloom strategy, so the reclamation also
+    // covers the long-lived collector-fragment namespaces.
+    let mk = |qid: u64, strategy: JoinStrategy, left: &str, right: &str| {
+        let l = ScanSpec::new(left, 2, 0).with_join_col(1);
+        let r = ScanSpec::new(right, 2, 0).with_join_col(1);
+        let mut j = JoinSpec::new(strategy, l, r);
+        j.project = vec![Expr::col(0), Expr::col(2)];
+        QueryDesc::standing(qid, 0, QueryOp::Join(j), None)
+    };
+    let n = 8;
+    let mut sim: Sim<PierNode> =
+        stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::latency_only(53));
+    for i in 0..n {
+        sim.with_app(i as NodeId, |node, ctx| {
+            node.start_renewals(ctx, Dur::from_secs(30));
+        });
+    }
+    sim.run_for(Dur::from_secs(2));
+    sim.with_app(0, |node, ctx| {
+        node.submit(ctx, mk(200, JoinStrategy::BloomFilter, "A", "B"))
+    });
+    sim.with_app(0, |node, ctx| {
+        node.submit(ctx, mk(201, JoinStrategy::SymmetricHash, "C", "D"))
+    });
+    sim.run_for(Dur::from_secs(3));
+
+    publish_round_robin(
+        &mut sim,
+        "A",
+        &[tuple![1i64, 7i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    publish_round_robin(
+        &mut sim,
+        "C",
+        &[tuple![5i64, 9i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    sim.run_for(Dur::from_secs(5));
+    assert!(
+        residual(&sim, 200, 0) > 0,
+        "standing state exists pre-cancel"
+    );
+
+    // Tear query 200 down.
+    sim.with_app(0, |node, ctx| node.cancel(ctx, 200));
+    sim.run_for(Dur::from_secs(5));
+    for i in 0..n as NodeId {
+        let node = sim.app(i).unwrap();
+        assert!(!node.has_query(200), "node {i} still has the query");
+        assert_eq!(node.rehash_pub_count(200), 0, "renewal ledger freed");
+        assert_eq!(
+            node.timer_action_count(),
+            1,
+            "node {i}: only the node-global renewal timer remains"
+        );
+        assert!(node.has_query(201), "the other tenant survives");
+    }
+
+    // A partner arriving after the cancel must not join…
+    publish_round_robin(
+        &mut sim,
+        "B",
+        &[tuple![2i64, 7i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    sim.run_for(Dur::from_secs(10));
+    assert_eq!(
+        sim.app(0).unwrap().query_results(200).len(),
+        0,
+        "a cancelled query must not produce results"
+    );
+    // …while the surviving tenant still joins far past the horizon.
+    sim.run_for(Dur::from_secs(200));
+    publish_round_robin(
+        &mut sim,
+        "D",
+        &[tuple![6i64, 9i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    sim.run_for(Dur::from_secs(10));
+    let rows: Vec<Tuple> = sim
+        .app(0)
+        .unwrap()
+        .query_results(201)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert!(same_multiset(&rows, &[tuple![5i64, 6i64]]));
+
+    // One horizon (90 s) after the cancel, the cancelled query's soft
+    // state has aged out of every store — reclamation by expiry.
+    assert_eq!(residual(&sim, 200, 0), 0, "zero residual soft state");
+}
+
+#[test]
+fn per_query_renewal_outlives_horizon_without_node_loop() {
+    // A standing join carrying its own RENEW period must keep its
+    // rehash state alive with *no* node-global renewal loop running —
+    // while an identical query without one ages out at the legacy
+    // 600 s horizon. Fails before per-query renewal existed.
+    let mk = |qid: u64, left: &str, right: &str, renew: Option<Dur>| {
+        let l = ScanSpec::new(left, 2, 0).with_join_col(1);
+        let r = ScanSpec::new(right, 2, 0).with_join_col(1);
+        let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, l, r);
+        j.project = vec![Expr::col(0), Expr::col(2)];
+        let mut d = QueryDesc::standing(qid, 0, QueryOp::Join(j), None);
+        d.renew_every = renew;
+        d
+    };
+    let mut sim: Sim<PierNode> =
+        stabilized_pier_sim(8, DhtConfig::static_network(), NetConfig::latency_only(59));
+    sim.run_for(Dur::from_secs(2));
+    let renewed = mk(210, "A", "B", Some(Dur::from_secs(60)));
+    let unrenewed = mk(211, "C", "D", None);
+    sim.with_app(0, |node, ctx| node.submit(ctx, renewed));
+    sim.with_app(0, |node, ctx| node.submit(ctx, unrenewed));
+    sim.run_for(Dur::from_secs(3));
+    publish_round_robin(
+        &mut sim,
+        "A",
+        &[tuple![1i64, 7i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    publish_round_robin(
+        &mut sim,
+        "C",
+        &[tuple![3i64, 8i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    // Far past the legacy 600 s fallback, the partners arrive.
+    sim.run_for(Dur::from_secs(700));
+    publish_round_robin(
+        &mut sim,
+        "B",
+        &[tuple![2i64, 7i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    publish_round_robin(
+        &mut sim,
+        "D",
+        &[tuple![4i64, 8i64]],
+        0,
+        Dur::from_secs(100_000),
+    );
+    sim.run_for(Dur::from_secs(10));
+    let rows: Vec<Tuple> = sim
+        .app(0)
+        .unwrap()
+        .query_results(210)
+        .iter()
+        .map(|(_, r)| r.clone())
+        .collect();
+    assert!(
+        same_multiset(&rows, &[tuple![1i64, 2i64]]),
+        "per-query renewal must keep the standing join alive: {rows:?}"
+    );
+    assert_eq!(
+        sim.app(0).unwrap().query_results(211).len(),
+        0,
+        "without any renewal the same join ages out at the fallback horizon"
+    );
+}
+
+#[test]
+fn one_shot_queries_release_timers_and_instances() {
+    // Regression for unbounded map growth: one-shot aggregate queries
+    // (flat, join-fed, and Bloom-strategy join-fed) must retire at
+    // their terminal harvest — timer_actions AND the query registry
+    // return to baseline at every node. Pre-fix, every instance,
+    // ns-route, and any yet-unfired timer (e.g. a Bloom collector
+    // deadline outlived by its early count-based flush) stayed for the
+    // process lifetime.
+    let n = 8;
+    let mut sim: Sim<PierNode> =
+        stabilized_pier_sim(n, DhtConfig::static_network(), NetConfig::latency_only(61));
+    let rows: Vec<Tuple> = (0..16i64).map(|i| tuple![i, i % 4, i % 3]).collect();
+    publish_round_robin(&mut sim, "E", &rows, 0, Dur::from_secs(100_000));
+    publish_round_robin(&mut sim, "F", &rows, 0, Dur::from_secs(100_000));
+    settle_publish(&mut sim);
+    let baseline: Vec<usize> = (0..n as NodeId)
+        .map(|i| sim.app(i).unwrap().timer_action_count())
+        .collect();
+    assert!(baseline.iter().all(|&c| c == 0));
+
+    let agg = || {
+        AggSpec::new(
+            vec![1],
+            vec![pier_core::plan::AggCall {
+                func: pier_core::plan::AggFunc::Count,
+                arg: None,
+            }],
+        )
+    };
+    // Flat one-shot aggregates.
+    for qid in 220..226 {
+        let desc = QueryDesc::one_shot(
+            qid,
+            0,
+            QueryOp::Agg {
+                scan: ScanSpec::new("E", 3, 0),
+                agg: agg(),
+            },
+        );
+        sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+    }
+    // A Bloom-strategy join aggregate: its collector deadline timers
+    // (10 s) outlive the 5 s harvest unless retirement drains them.
+    let left = ScanSpec::new("E", 3, 0).with_join_col(1);
+    let right = ScanSpec::new("F", 3, 0).with_join_col(1);
+    let mut j = JoinSpec::new(JoinStrategy::BloomFilter, left, right);
+    j.project = vec![Expr::col(1), Expr::col(2)];
+    let mut agg2 = agg();
+    agg2.group_cols = vec![0];
+    agg2.aggs[0].arg = None;
+    let mut desc = QueryDesc::one_shot(226, 0, QueryOp::JoinAgg { join: j, agg: agg2 });
+    desc.n_nodes = n as u32;
+    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+
+    // Past every harvest (5 s default) but *before* the 10 s Bloom
+    // deadline would fire on its own.
+    sim.run_for(Dur::from_secs(8));
+    for i in 0..n as NodeId {
+        let node = sim.app(i).unwrap();
+        assert_eq!(
+            node.timer_action_count(),
+            baseline[i as usize],
+            "node {i}: timer_actions must return to baseline"
+        );
+        assert_eq!(
+            node.installed_query_count(),
+            0,
+            "node {i}: one-shot instances must retire after their harvest"
+        );
+    }
+    // The queries actually produced results before retiring.
+    assert!(!sim.app(0).unwrap().query_results(220).is_empty());
+    assert!(!sim.app(0).unwrap().query_results(226).is_empty());
+}
+
 /// The workload crate owns the canonical standing-triage SQL; tests in
 /// `pier_core` re-state it here to avoid a dev-dependency cycle.
 fn pier_workload_sql(window_secs: Option<u64>, epoch_secs: u64) -> String {

@@ -263,6 +263,257 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Lifecycle: random install/uninstall interleavings reclaim everything
+// ---------------------------------------------------------------------
+
+/// The query shapes a tenant can take in the lifecycle interleavings.
+#[derive(Clone, Copy)]
+enum TenantKind {
+    /// 2-way standing join (windowed or renewed).
+    Binary,
+    /// 3-way standing pipeline.
+    MultiWay,
+    /// Flat epoch-driven aggregate.
+    Aggregate,
+}
+
+/// Build one standing tenant query over tables A(pk, x), B(x, y),
+/// C(y, v). `scale` stretches every duration (1 = seconds for the Sim
+/// engine; sub-second values drive the wall-clock Cluster engine).
+fn tenant_desc(kind: TenantKind, qid: u64, rng: &mut SmallRng, scale_us: u64) -> QueryDesc {
+    let d = |units: u64| Dur::from_micros(units * scale_us);
+    let windowed = rng.gen_range(0..2) == 0;
+    let window = windowed.then(|| d(rng.gen_range(10..30u64)));
+    let renew = (!windowed).then(|| d(rng.gen_range(5..15u64)));
+    let mut desc = match kind {
+        TenantKind::Binary => {
+            let l = ScanSpec::new("A", 2, 0).with_join_col(1);
+            let r = ScanSpec::new("B", 2, 0).with_join_col(0);
+            let mut j = JoinSpec::new(JoinStrategy::SymmetricHash, l, r);
+            j.project = vec![Expr::col(0), Expr::col(3)];
+            QueryDesc::standing(qid, 0, QueryOp::Join(j), window)
+        }
+        TenantKind::MultiWay => {
+            let base = ScanSpec::new("A", 2, 0);
+            let s1 = JoinStage {
+                right: ScanSpec::new("B", 2, 0).with_join_col(0),
+                left_col: 1,
+                stage_pred: None,
+            };
+            let s2 = JoinStage {
+                right: ScanSpec::new("C", 2, 0).with_join_col(0),
+                left_col: 3,
+                stage_pred: None,
+            };
+            let mut m = MultiJoinSpec::new(base, vec![s1, s2]);
+            m.project = vec![Expr::col(0), Expr::col(5)];
+            QueryDesc::standing(qid, 0, QueryOp::MultiJoin(m), window)
+        }
+        TenantKind::Aggregate => {
+            let agg = AggSpec::new(
+                vec![1],
+                vec![AggCall {
+                    func: AggFunc::Count,
+                    arg: None,
+                }],
+            )
+            .with_epoch(d(rng.gen_range(8..16u64)));
+            QueryDesc::standing(
+                qid,
+                0,
+                QueryOp::Agg {
+                    scan: ScanSpec::new("A", 2, 0),
+                    agg,
+                },
+                window,
+            )
+        }
+    };
+    desc.renew_every = renew;
+    desc
+}
+
+/// The longest soft-state lifetime any tenant built by [`tenant_desc`]
+/// can put into the DHT: window ≤ 30, 3 × renew ≤ 45, epoch ≤ 16 (agg
+/// partials), in `scale_us` units. One sweep past this and every
+/// uninstalled query's namespaces must read zero.
+const TENANT_HORIZON_UNITS: u64 = 50;
+
+#[derive(Clone, Copy)]
+enum LifecycleEvent {
+    Install(usize),
+    Publish,
+    Uninstall(usize),
+}
+
+/// A random interleaving: every tenant is installed, rows trickle in
+/// between, and every tenant is eventually uninstalled.
+fn interleaving(rng: &mut SmallRng, n_tenants: usize) -> Vec<LifecycleEvent> {
+    let mut events = Vec::new();
+    for t in 0..n_tenants {
+        events.push(LifecycleEvent::Install(t));
+        for _ in 0..rng.gen_range(1..3usize) {
+            events.push(LifecycleEvent::Publish);
+        }
+    }
+    // Uninstalls land in shuffled order, interleaved with more traffic.
+    let mut order: Vec<usize> = (0..n_tenants).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for t in order {
+        if rng.gen_range(0..2) == 0 {
+            events.push(LifecycleEvent::Publish);
+        }
+        events.push(LifecycleEvent::Uninstall(t));
+    }
+    events
+}
+
+fn random_row(rng: &mut SmallRng, next_id: &mut i64) -> (String, Tuple) {
+    let id = *next_id;
+    *next_id += 1;
+    match rng.gen_range(0..3u8) {
+        0 => ("A".into(), pier_core::tuple![id, rng.gen_range(0..2i64)]),
+        1 => (
+            "B".into(),
+            pier_core::tuple![rng.gen_range(0..2i64), rng.gen_range(0..2i64)],
+        ),
+        _ => ("C".into(), pier_core::tuple![rng.gen_range(0..2i64), id]),
+    }
+}
+
+const KINDS: [TenantKind; 3] = [
+    TenantKind::Binary,
+    TenantKind::MultiWay,
+    TenantKind::Aggregate,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sim engine: after a random install/publish/uninstall
+    /// interleaving of 2-way, N-way, and aggregate standing queries,
+    /// one sweep horizon past the last uninstall every `qns::*`
+    /// namespace of every tenant reads zero on every node, the
+    /// registries are empty, and no deferred-work timer remains.
+    #[test]
+    fn lifecycle_interleaving_reclaims_all_soft_state(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x71FE);
+        let n_tenants = rng.gen_range(3..6usize);
+        let kinds: Vec<TenantKind> =
+            (0..n_tenants).map(|t| KINDS[(t + rng.gen_range(0..3usize)) % 3]).collect();
+        let scale_us = 1_000_000; // tenant units are seconds on the Sim
+        let mut sim = stabilized_pier_sim(8, random_cfg(&mut rng), NetConfig::latency_only(seed));
+        sim.run_for(Dur::from_secs(2));
+        let mut next_id = 0i64;
+        for ev in interleaving(&mut rng, n_tenants) {
+            sim.run_for(Dur::from_secs(rng.gen_range(1..6u64)));
+            match ev {
+                LifecycleEvent::Install(t) => {
+                    let desc = tenant_desc(kinds[t], 300 + t as u64, &mut rng, scale_us);
+                    sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+                }
+                LifecycleEvent::Publish => {
+                    let (table, row) = random_row(&mut rng, &mut next_id);
+                    let publisher = rng.gen_range(0..8) as NodeId;
+                    sim.with_app(publisher, |node, ctx| {
+                        node.publish_rows(ctx, &table, vec![row], 0, Dur::from_secs(100_000));
+                    });
+                }
+                LifecycleEvent::Uninstall(t) => {
+                    sim.with_app(0, |node, ctx| node.cancel(ctx, 300 + t as u64));
+                }
+            }
+        }
+        // One horizon (50 units) plus the laziest sweep tick (61 s).
+        sim.run_for(Dur::from_micros(TENANT_HORIZON_UNITS * scale_us) + Dur::from_secs(65));
+        let now = sim.now();
+        for i in 0..8 as NodeId {
+            let node = sim.app(i).unwrap();
+            prop_assert_eq!(node.installed_query_count(), 0, "node {} registry", i);
+            prop_assert_eq!(node.timer_action_count(), 0, "node {} timers", i);
+            for t in 0..n_tenants {
+                let left = node.query_soft_state(now, 300 + t as u64, 2);
+                prop_assert_eq!(left, 0, "node {} tenant {} residual {}", i, t, left);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Cluster engine: the same reclamation law holds on the threaded
+    /// wall-clock deployment (sub-second windows/epochs/renewals).
+    #[test]
+    fn lifecycle_interleaving_reclaims_on_cluster(seed in any::<u64>()) {
+        use pier_simnet::threaded::Cluster;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC1C5);
+        let n = 3usize;
+        let n_tenants = 3usize;
+        let kinds: Vec<TenantKind> =
+            (0..n_tenants).map(|t| KINDS[(t + rng.gen_range(0..3usize)) % 3]).collect();
+        let scale_us = 20_000; // tenant units are 20 ms wall-clock
+        let mut cfg = DhtConfig::static_network();
+        cfg.tick = Dur::from_millis(100);
+        let states = pier_dht::can::balanced_overlay(n, cfg.dims, Time::ZERO);
+        let apps: Vec<PierNode> = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| {
+                PierNode::with_dht(pier_dht::Dht::with_can(cfg.clone(), i as NodeId, st), None)
+            })
+            .collect();
+        let cluster = Cluster::spawn(apps, seed);
+        let mut next_id = 0i64;
+        for ev in interleaving(&mut rng, n_tenants) {
+            std::thread::sleep(std::time::Duration::from_millis(rng.gen_range(20..60u64)));
+            match ev {
+                LifecycleEvent::Install(t) => {
+                    let desc = tenant_desc(kinds[t], 400 + t as u64, &mut rng, scale_us);
+                    cluster.cast(0, move |node, ctx| node.submit(ctx, desc));
+                }
+                LifecycleEvent::Publish => {
+                    let (table, row) = random_row(&mut rng, &mut next_id);
+                    let publisher = rng.gen_range(0..n) as NodeId;
+                    cluster.cast(publisher, move |node, ctx| {
+                        node.publish_rows(ctx, &table, vec![row], 0, Dur::from_secs(100_000));
+                    });
+                }
+                LifecycleEvent::Uninstall(t) => {
+                    let qid = 400 + t as u64;
+                    cluster.cast(0, move |node, ctx| node.cancel(ctx, qid));
+                }
+            }
+        }
+        // One horizon (50 × 20 ms = 1 s) plus sweep ticks and margin.
+        std::thread::sleep(std::time::Duration::from_millis(
+            TENANT_HORIZON_UNITS * 20 + 500,
+        ));
+        for i in 0..n as NodeId {
+            let (installed, timers, residuals) = cluster.call(i, move |node, ctx| {
+                let now = ctx.now;
+                let residuals: Vec<usize> = (0..n_tenants)
+                    .map(|t| node.query_soft_state(now, 400 + t as u64, 2))
+                    .collect();
+                (
+                    node.installed_query_count(),
+                    node.timer_action_count(),
+                    residuals,
+                )
+            });
+            prop_assert_eq!(installed, 0, "node {} registry", i);
+            prop_assert_eq!(timers, 0, "node {} timers", i);
+            for (t, left) in residuals.into_iter().enumerate() {
+                prop_assert_eq!(left, 0, "node {} tenant {} residual {}", i, t, left);
+            }
+        }
+        cluster.shutdown();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 

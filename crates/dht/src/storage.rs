@@ -72,6 +72,19 @@ impl<V> StorageManager<V> {
             .map_or(&[], |v| v.as_slice())
     }
 
+    /// Remove every item in a namespace (query teardown reclaims the
+    /// local share of a query's derived namespaces immediately; remote
+    /// shares on unreachable peers still age out by expiry). Returns
+    /// how many items were removed.
+    pub fn remove_ns(&mut self, ns: Ns) -> usize {
+        let removed = self
+            .by_ns
+            .remove(&ns)
+            .map_or(0, |m| m.values().map(Vec::len).sum());
+        self.len -= removed;
+        removed
+    }
+
     /// Remove every item under (ns, rid). Returns how many were removed.
     pub fn remove(&mut self, ns: Ns, rid: Rid) -> usize {
         let Some(m) = self.by_ns.get_mut(&ns) else {
@@ -109,6 +122,30 @@ impl<V> StorageManager<V> {
         self.by_ns
             .get(&ns)
             .map_or(0, |m| m.values().map(Vec::len).sum())
+    }
+
+    /// Count of *live* items in one namespace — expired-but-unswept
+    /// entries (the sweep runs on the maintenance tick) are excluded,
+    /// so an audit right after an expiry horizon is exact.
+    pub fn ns_len_live(&self, ns: Ns, now: Time) -> usize {
+        self.by_ns.get(&ns).map_or(0, |m| {
+            m.values().flatten().filter(|e| e.expires > now).count()
+        })
+    }
+
+    /// Per-namespace occupancy audit: every namespace holding at least
+    /// one live item, with its live count — the reclamation invariant's
+    /// measurement unit (a torn-down query must leave all of its
+    /// derived namespaces at zero within one soft-state lifetime).
+    pub fn occupancy(&self, now: Time) -> Vec<(Ns, usize)> {
+        let mut out: Vec<(Ns, usize)> = self
+            .by_ns
+            .keys()
+            .map(|&ns| (ns, self.ns_len_live(ns, now)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Drop expired items (soft-state aging, §3.2.3). Returns the number
@@ -203,6 +240,35 @@ mod tests {
         assert_eq!(s.ns_len(1), 2);
         assert_eq!(s.ns_len(2), 1);
         assert_eq!(s.lscan(3).count(), 0);
+    }
+
+    #[test]
+    fn remove_ns_drops_a_whole_namespace() {
+        let mut s = StorageManager::new();
+        s.store(entry(1, 10, 0, 1, 1000, 1));
+        s.store(entry(1, 11, 0, 2, 1000, 2));
+        s.store(entry(2, 10, 0, 3, 1000, 3));
+        assert_eq!(s.remove_ns(1), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ns_len(1), 0);
+        assert_eq!(s.ns_len(2), 1);
+        assert_eq!(s.remove_ns(7), 0);
+    }
+
+    #[test]
+    fn live_occupancy_excludes_expired_unswept_items() {
+        let mut s = StorageManager::new();
+        s.store(entry(1, 10, 0, 1, 100, 1));
+        s.store(entry(1, 11, 0, 2, 400, 2));
+        s.store(entry(2, 20, 0, 3, 50, 3));
+        // No sweep has run: raw counts still see everything…
+        assert_eq!(s.ns_len(1), 2);
+        assert_eq!(s.ns_len(2), 1);
+        // …but the live audit is expiry-exact.
+        assert_eq!(s.ns_len_live(1, Time(150)), 1);
+        assert_eq!(s.ns_len_live(2, Time(150)), 0);
+        assert_eq!(s.occupancy(Time(150)), vec![(1, 1)]);
+        assert_eq!(s.occupancy(Time(500)), vec![]);
     }
 
     #[test]

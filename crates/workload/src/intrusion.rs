@@ -69,6 +69,43 @@ pub fn triage_standing_sql(window_secs: Option<u64>, epoch_secs: u64) -> String 
     )
 }
 
+/// One tenant of a multi-tenant standing-query workload: a flat
+/// per-epoch aggregate watching a single attack fingerprint — hundreds
+/// of these coexist, each with its own lifecycle (install → epochs →
+/// uninstall).
+pub fn tenant_count_sql(fp: u64, epoch_secs: u64) -> String {
+    format!(
+        "SELECT I.address, count(*) AS reports FROM intrusions I \
+         WHERE I.fingerprint = 'sig-{fp:04}' \
+         GROUP BY I.address EPOCH {epoch_secs} SECONDS"
+    )
+}
+
+/// A join-shaped tenant: reports for one fingerprint joined with its
+/// advisory, carrying a per-query `RENEW` period so the standing join's
+/// rehash soft state outlives the fallback horizon without any
+/// node-global renewal loop.
+pub fn tenant_severity_sql(fp: u64, epoch_secs: u64, renew_secs: u64) -> String {
+    format!(
+        "SELECT I.address, count(*) AS reports, max(A.severity) AS sev \
+         FROM intrusions I, advisories A \
+         WHERE I.fingerprint = A.fingerprint AND I.fingerprint = 'sig-{fp:04}' \
+         GROUP BY I.address EPOCH {epoch_secs} SECONDS RENEW {renew_secs} SECONDS"
+    )
+}
+
+/// A 3-way tenant: the full triage pipeline (reports ⨝ advisories ⨝
+/// reputations) for one fingerprint, with a per-query renewal period.
+pub fn tenant_triage_sql(fp: u64, epoch_secs: u64, renew_secs: u64) -> String {
+    format!(
+        "SELECT I.address, count(*) AS reports, max(A.severity) AS sev \
+         FROM intrusions I, advisories A, reputation R \
+         WHERE I.fingerprint = A.fingerprint AND I.address = R.address \
+         AND I.fingerprint = 'sig-{fp:04}' \
+         GROUP BY I.address EPOCH {epoch_secs} SECONDS RENEW {renew_secs} SECONDS"
+    )
+}
+
 /// `reputation(address, weight)`: an organization's stored judgment of
 /// reporters (§2.1's weighted query).
 pub fn reputations(distinct_addr: u64, seed: u64) -> Vec<Tuple> {
@@ -223,6 +260,34 @@ mod tests {
             0,
         )
         .is_ok());
+    }
+
+    #[test]
+    fn tenant_sql_parses_with_per_query_renewal() {
+        use pier_core::plan::QueryOp;
+        let catalog = pier_core::catalog::Catalog::intrusion();
+        let parse = |sql: &str, qid| {
+            pier_core::sql::parse_continuous_query(
+                sql,
+                &catalog,
+                pier_core::plan::JoinStrategy::SymmetricHash,
+                qid,
+                0,
+            )
+            .unwrap()
+        };
+        let flat = parse(&tenant_count_sql(3, 30), 1);
+        assert!(flat.continuous && flat.renew_every.is_none());
+        assert!(matches!(flat.op, QueryOp::Agg { .. }));
+        let two = parse(&tenant_severity_sql(3, 30, 40), 2);
+        assert_eq!(two.renew_every.unwrap().as_secs_f64(), 40.0);
+        assert!(matches!(two.op, QueryOp::JoinAgg { .. }));
+        let three = parse(&tenant_triage_sql(3, 30, 40), 3);
+        assert_eq!(three.renew_every.unwrap().as_secs_f64(), 40.0);
+        let QueryOp::MultiJoinAgg { join, .. } = &three.op else {
+            panic!("expected a 3-way join aggregate")
+        };
+        assert_eq!(join.n_tables(), 3);
     }
 
     #[test]
