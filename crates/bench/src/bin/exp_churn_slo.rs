@@ -1,0 +1,11 @@
+//! Recall-vs-churn SLO: seeded kill scripts (low/mid/high churn tiers)
+//! against a 48-node CAN holding once-published items with no renewal
+//! loop, at replication k ∈ {1, 2, 3} over the *same* kill schedule per
+//! tier. Hard-asserts the SLO frontier: worst-case scan recall ≥ 0.99
+//! at k = 2 under mid churn (where the k = 1 soft-state baseline
+//! measurably degrades below 0.99) and zero duplicate scan rows at
+//! every k. Writes `results/BENCH_churn_slo.json` (CI bench-trajectory
+//! artifact, gated on `slo_recall` and `duplicates`).
+fn main() {
+    pier_bench::experiments::churn_slo();
+}

@@ -79,6 +79,22 @@ pub const HEADLINES: &[Headline] = &[
         fold: Fold::Sum,
         better: Better::Lower,
     },
+    // churn_slo: the replicated (k ≥ 2) recall frontier under scripted
+    // churn must not sink, and scans must stay duplicate-free. The
+    // artifact carries `slo_recall` only in k ≥ 2 rows, so the Min fold
+    // tracks the SLO surface without the k = 1 baseline dragging it down.
+    Headline {
+        experiment: "churn_slo",
+        key: "slo_recall",
+        fold: Fold::Min,
+        better: Better::Higher,
+    },
+    Headline {
+        experiment: "churn_slo",
+        key: "duplicates",
+        fold: Fold::Sum,
+        better: Better::Lower,
+    },
 ];
 
 /// Every `"key": <number>` occurrence in the artifact text.
@@ -283,6 +299,45 @@ mod tests {
         let j = "{\"experiment\": \"newexp\", \"rows\": [{\"metric\": 1.0}]}";
         let err = compare("newexp", j, j).unwrap_err();
         assert!(err[0].contains("no headline metrics"), "{err:?}");
+    }
+
+    fn churn_artifact(k2_recall: f64, dups: usize) -> String {
+        format!(
+            "{{\"experiment\": \"churn_slo\", \"rows\": [\n  \
+             {{\"tier\": \"mid\", \"kills\": 4, \"k\": 1, \"recall\": 0.9167, \"duplicates\": 0}},\n  \
+             {{\"tier\": \"mid\", \"kills\": 4, \"k\": 2, \"recall\": {k2_recall:.4}, \
+             \"slo_recall\": {k2_recall:.4}, \"duplicates\": {dups}}}\n]}}"
+        )
+    }
+
+    #[test]
+    fn churn_slo_recall_regression_fails_the_gate() {
+        let old = churn_artifact(1.0, 0);
+        // The k = 1 baseline row must not leak into the slo_recall fold…
+        assert_eq!(extract(&old, "slo_recall"), vec![1.0]);
+        // …and a sunk k ≥ 2 frontier fails.
+        let worse = churn_artifact(0.80, 0);
+        let err = compare("churn_slo", &old, &worse).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|l| l.contains("FAIL") && l.contains("slo_recall")),
+            "{err:?}"
+        );
+        assert!(compare("churn_slo", &old, &old).is_ok());
+    }
+
+    #[test]
+    fn churn_slo_duplicates_over_zero_baseline_fail() {
+        // Any duplicate over a zero baseline is a regression (the
+        // Better::Lower zero-baseline branch tolerates only < 1e-9).
+        let old = churn_artifact(1.0, 0);
+        let dup = churn_artifact(1.0, 2);
+        let err = compare("churn_slo", &old, &dup).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|l| l.contains("FAIL") && l.contains("duplicates")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -99,6 +99,12 @@ pub enum PierMsg {
     /// "sent to ... the initiating site of the query").
     Result {
         qid: u64,
+        /// Logical identity of the result (derived from the constituent
+        /// instanceIDs). Under `replication > 1` a healed replica can
+        /// re-run a probe a dead primary already answered; the initiator
+        /// drops re-emissions by this identity. `0` = never deduplicated
+        /// (aggregate emissions, which legitimately repeat every epoch).
+        ident: u64,
         row: Tuple,
     },
     /// A partial aggregate climbing the hierarchical aggregation tree.
@@ -113,7 +119,7 @@ impl Wire for PierMsg {
     fn wire_size(&self) -> usize {
         match self {
             PierMsg::Dht(m) => m.wire_size(),
-            PierMsg::Result { row, .. } => pier_dht::msg::HEADER_BYTES + 8 + row.wire_size(),
+            PierMsg::Result { row, .. } => pier_dht::msg::HEADER_BYTES + 16 + row.wire_size(),
             PierMsg::AggUp { group, accs, .. } => {
                 pier_dht::msg::HEADER_BYTES
                     + 8
@@ -133,7 +139,11 @@ mod tests {
     fn padded_result_tuple_is_1kb_on_the_wire() {
         // The workload pads result tuples to 1 KB via R.pad (§5.1).
         let row = tuple![1i64, 2i64, Value::Pad(1000)];
-        let msg = PierMsg::Result { qid: 1, row };
+        let msg = PierMsg::Result {
+            qid: 1,
+            ident: 0,
+            row,
+        };
         assert!(msg.wire_size() > 1000 && msg.wire_size() < 1120);
     }
 

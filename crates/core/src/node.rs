@@ -54,8 +54,14 @@ impl<'a, 'b> DhtEnv<QpItem> for PierEnv<'a, 'b> {
 
 /// What an outstanding DHT `get` was issued for.
 enum GetPurpose {
-    /// Fetch Matches: probing the right table for one left tuple.
-    FmProbe { qid: u64, left_row: Tuple },
+    /// Fetch Matches: probing the right table for one left tuple
+    /// (`left_iid` is the probing tuple's instanceID, kept so the
+    /// result identity can name both constituents).
+    FmProbe {
+        qid: u64,
+        left_iid: u32,
+        left_row: Tuple,
+    },
     /// Symmetric semi-join: fetching one side of a matched pair.
     SemiFetch { qid: u64, pair: u64, side: Side },
 }
@@ -143,6 +149,11 @@ struct QueryInstance {
     /// must renew ([`PierNode::record_rehash`]). Dropped at uninstall,
     /// so renewal stops and the state ages out within one horizon.
     rehash_pubs: Vec<SoftPub>,
+    /// Contribution identities already folded into this query's
+    /// aggregation state (`replication > 1` only): a probe re-run by a
+    /// healed replica must not double-count a join output or base row
+    /// the dead primary's probe already accumulated here.
+    acc_seen: std::collections::HashSet<u64>,
     /// Outstanding timer tokens of this query. Uninstall cancels them
     /// all (removes their [`TimerAction`]s), so a torn-down query holds
     /// no entry in any node-level map.
@@ -163,6 +174,7 @@ impl QueryInstance {
             win_rows: Vec::new(),
             run_groups: HashMap::new(),
             rehash_pubs: Vec::new(),
+            acc_seen: std::collections::HashSet::new(),
             timers: Vec::new(),
         }
     }
@@ -173,6 +185,9 @@ struct PairFetch {
     right: Option<Vec<Tuple>>,
     pkey_left: Value,
     pkey_right: Value,
+    /// Identity of the mini pair that triggered the fetches — the
+    /// emitted results inherit it for initiator-side dedup.
+    ident: u64,
 }
 
 /// Why a namespace is interesting to a query at this node.
@@ -262,6 +277,11 @@ pub struct PierNode {
     /// Survives uninstall, so an initiator can tear a query down and
     /// still read what it produced.
     pub results: HashMap<u64, Vec<(Time, Tuple)>>,
+    /// Result identities already logged, per query (`replication > 1`
+    /// only — see [`PierMsg::Result`]). A healed replica re-running a
+    /// probe the dead primary already answered re-sends the same
+    /// logical result; the initiator drops the re-emission here.
+    results_seen: HashMap<u64, std::collections::HashSet<u64>>,
     get_purpose: HashMap<u64, GetPurpose>,
     timer_actions: HashMap<u64, TimerAction>,
     /// Recently cancelled qids (bounded FIFO): a `Cancel` that overtakes
@@ -290,6 +310,7 @@ impl PierNode {
             bootstrap,
             reg: QueryRegistry::default(),
             results: HashMap::new(),
+            results_seen: HashMap::new(),
             get_purpose: HashMap::new(),
             timer_actions: HashMap::new(),
             cancelled: std::collections::VecDeque::new(),
@@ -311,6 +332,37 @@ impl PierNode {
     fn fresh_iid(&mut self) -> u32 {
         self.iid_seq = (self.iid_seq + 1) & 0x3_FFFF;
         (self.dht.me() << 18) | self.iid_seq
+    }
+
+    /// Is the exactly-once machinery for churn active? Under the paper's
+    /// `replication = 1` every identity below stays a fresh instanceID
+    /// and no dedup set is consulted, bit-for-bit the old behavior.
+    fn replicated(&self) -> bool {
+        self.dht.cfg.replication > 1
+    }
+
+    /// InstanceID of a derived publication (rehash, mini, stage tuple)
+    /// under replication: a deterministic function of the *source*
+    /// entry's globally-unique instanceID and a salt naming the role
+    /// (side / pipeline table / stage). When anti-entropy heals a base
+    /// row onto a new owner, its re-rehash then lands on the SAME
+    /// (ns, rid, iid) as the dead owner's publication — a renewal, not
+    /// new data — so downstream probes do not fire twice. The salt keeps
+    /// a self-join's two sides from colliding on one instanceID.
+    fn derived_iid(&mut self, source_iid: u32, salt: u64) -> u32 {
+        if self.replicated() {
+            pier_dht::geom::hash2(source_iid as u64, 0x5eed_0000 | salt) as u32
+        } else {
+            self.fresh_iid()
+        }
+    }
+
+    /// Identity of a two-constituent result: the constituent instanceIDs
+    /// packed order-independently (probe direction must not matter).
+    /// Exact — two results collide only if built from the same pair.
+    fn pair_ident(a: u32, b: u32) -> u64 {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        ((lo as u64) << 32) | hi as u64
     }
 
     /// Results received so far for a query this node initiated.
@@ -699,10 +751,10 @@ impl PierNode {
         match &desc.op {
             QueryOp::Scan { scan, project } => {
                 self.route_ns(scan.ns, qid, NsRole::BaseLeft);
-                let rows = self.local_rows(scan, ctx.now);
-                for row in rows {
+                let rows = self.local_live(scan, ctx.now);
+                for (iid, _, row) in rows {
                     let out = Tuple::new(project.iter().map(|e| e.eval(&row)).collect());
-                    self.emit_result(ctx, qid, desc.initiator, out);
+                    self.emit_result(ctx, qid, desc.initiator, iid as u64, out);
                 }
             }
             QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
@@ -761,16 +813,16 @@ impl PierNode {
                 self.route_ns(scan.ns, qid, NsRole::BaseLeft);
                 let now = ctx.now;
                 let window = desc.window;
-                let entries = self.local_entries(scan, now);
+                let entries = self.local_live(scan, now);
                 let agg = agg.clone();
-                for (expires, row) in entries {
+                for (iid, expires, row) in entries {
                     // A windowed contribution ages out `window` after it
                     // is first seen, and never outlives its base row.
                     let valid = match window {
                         Some(w) => expires.min(now + w),
                         None => Time::MAX,
                     };
-                    self.accumulate(qid, &agg, &row, valid);
+                    self.accumulate(qid, &agg, &row, valid, iid as u64);
                 }
                 if agg.hierarchical {
                     self.schedule_hier_flush(ctx, qid, &agg);
@@ -792,23 +844,23 @@ impl PierNode {
     /// Locally stored, live, selection-passing rows of a base table with
     /// their soft-state expiries. Expired-but-unswept rows (the sweep
     /// runs on the maintenance tick) never enter a dataflow.
-    fn local_entries(&self, scan: &ScanSpec, now: Time) -> Vec<(Time, Tuple)> {
+    fn local_live(&self, scan: &ScanSpec, now: Time) -> Vec<(u32, Time, Tuple)> {
         self.dht
             .lscan(scan.ns)
             .filter(|e| e.expires > now)
             .filter_map(|e| match &e.val {
-                QpItem::Row(t) => Some((e.expires, t.clone())),
+                QpItem::Row(t) => Some((e.iid, e.expires, t.clone())),
                 _ => None,
             })
-            .filter(|(_, t)| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
+            .filter(|(_, _, t)| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
             .collect()
     }
 
     /// [`Self::local_entries`] without the expiries.
     fn local_rows(&self, scan: &ScanSpec, now: Time) -> Vec<Tuple> {
-        self.local_entries(scan, now)
+        self.local_live(scan, now)
             .into_iter()
-            .map(|(_, t)| t)
+            .map(|(_, _, t)| t)
             .collect()
     }
 
@@ -856,28 +908,35 @@ impl PierNode {
             Side::Left => (&j.left, &view.keep_base, stage.join_idx_left),
             Side::Right => (&j.right, &stage.keep_right, stage.join_idx_right),
         };
-        let rows = self.local_rows(scan, ctx.now);
+        let rows = self.local_live(scan, ctx.now);
         let nq = qns::rehash(qid);
         let lifetime = self.soft_lifetime(qid);
+        let join_col = scan.join_col.unwrap();
+        let puts: Vec<(Rid, u32, QpItem)> = rows
+            .into_iter()
+            .filter_map(|(base_iid, _, row)| {
+                let join = row.get(join_col).clone();
+                if let Some(f) = filter {
+                    if !f.contains(join.hash64()) {
+                        return None;
+                    }
+                }
+                let projected = row.project(keep);
+                debug_assert_eq!(projected.get(join_idx), &join);
+                let rid = Self::rehash_rid(&join, j.computation_nodes);
+                let iid = self.derived_iid(base_iid, side as u64);
+                let item = QpItem::Tagged {
+                    qid,
+                    side,
+                    join,
+                    row: projected,
+                };
+                Some((rid, iid, item))
+            })
+            .collect();
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
-        for row in rows {
-            let join = row.get(scan.join_col.unwrap()).clone();
-            if let Some(f) = filter {
-                if !f.contains(join.hash64()) {
-                    continue;
-                }
-            }
-            let projected = row.project(keep);
-            debug_assert_eq!(projected.get(join_idx), &join);
-            let rid = Self::rehash_rid(&join, j.computation_nodes);
-            let iid = self.fresh_iid();
-            let item = QpItem::Tagged {
-                qid,
-                side,
-                join,
-                row: projected,
-            };
+        for (rid, iid, item) in puts {
             self.record_rehash(qid, nq, rid, iid, &item);
             self.dht
                 .put(&mut env, nq, rid, iid, item, lifetime, &mut events);
@@ -945,7 +1004,7 @@ impl PierNode {
         // shortest-lived-constituent rule as `mj_probe` applies: a
         // partner whose window state already aged out (but is not yet
         // swept — the sweep runs on the maintenance tick) must not join.
-        let matches: Vec<(Tuple, Time)> = self
+        let matches: Vec<(u32, Tuple, Time)> = self
             .dht
             .store
             .get(ns, rid)
@@ -957,11 +1016,11 @@ impl PierNode {
                     join: jv,
                     row: r,
                     ..
-                } if *s == side.opposite() && jv == join => Some((r.clone(), e.expires)),
+                } if *s == side.opposite() && jv == join => Some((e.iid, r.clone(), e.expires)),
                 _ => None,
             })
             .collect();
-        for (other, other_expires) in matches {
+        for (other_iid, other, other_expires) in matches {
             let joined = match side {
                 Side::Left => row.concat(&other),
                 Side::Right => other.concat(row),
@@ -973,13 +1032,14 @@ impl PierNode {
                 // expressions over that pruned basis.
                 let shipped = joined.project(&stage.emit);
                 let out = Tuple::new(view.project.iter().map(|e| e.eval(&shipped)).collect());
+                let ident = Self::pair_ident(my_iid, other_iid);
                 if is_joinagg {
                     if let Some(a) = &agg {
                         let valid = self.window_valid(qid, my_expires.min(other_expires));
-                        self.accumulate(qid, a, &out, valid);
+                        self.accumulate(qid, a, &out, valid, ident);
                     }
                 } else {
-                    self.emit_result(ctx, qid, initiator, out);
+                    self.emit_result(ctx, qid, initiator, ident, out);
                 }
             }
         }
@@ -1006,6 +1066,12 @@ impl PierNode {
         }
     }
 
+    /// [`Self::derived_iid`] salt of pipeline table `t` — the bulk and
+    /// the incremental rehash of the same base row must coincide.
+    fn mj_salt(t: usize) -> u64 {
+        0x100 + t as u64
+    }
+
     /// Which stage namespace table `t` feeds, on which side, and via
     /// which of its own columns.
     fn mj_table_role(m: &MultiJoinSpec, t: usize) -> (&ScanSpec, usize, Side, usize) {
@@ -1028,14 +1094,14 @@ impl PierNode {
         };
         let (scan, stage_k, side, join_col) = Self::mj_table_role(m, t);
         let keep = view.keep_for_table(t);
-        let rows = self.local_rows(scan, ctx.now);
+        let rows = self.local_live(scan, ctx.now);
         let ns = qns::stage(qid, stage_k);
         let lifetime = self.soft_lifetime(qid);
         let puts: Vec<(Rid, u32, QpItem)> = rows
             .into_iter()
-            .map(|row| {
+            .map(|(base_iid, _, row)| {
                 let join = row.get(join_col).clone();
-                let iid = self.fresh_iid();
+                let iid = self.derived_iid(base_iid, Self::mj_salt(t));
                 (
                     join.hash64(),
                     iid,
@@ -1066,6 +1132,7 @@ impl PierNode {
         qid: u64,
         m: &MultiJoinSpec,
         t: usize,
+        base_iid: u32,
         row: Tuple,
     ) {
         let Some(view) = self.reg.queries.get(&qid).and_then(|i| i.view.clone()) else {
@@ -1078,7 +1145,7 @@ impl PierNode {
         let join = row.get(join_col).clone();
         let ns = qns::stage(qid, stage_k);
         let lifetime = self.soft_lifetime(qid);
-        let iid = self.fresh_iid();
+        let iid = self.derived_iid(base_iid, Self::mj_salt(t));
         let item = QpItem::Tagged {
             qid,
             side,
@@ -1108,7 +1175,7 @@ impl PierNode {
         let Some(view) = self.reg.queries.get(&qid).and_then(|i| i.view.clone()) else {
             return;
         };
-        let matches: Vec<(Tuple, Time)> = self
+        let matches: Vec<(u32, Tuple, Time)> = self
             .dht
             .store
             .get(entry.ns, entry.rid)
@@ -1120,11 +1187,11 @@ impl PierNode {
                     join: jv,
                     row: r,
                     ..
-                } if *s == side.opposite() && jv == &join => Some((r.clone(), e.expires)),
+                } if *s == side.opposite() && jv == &join => Some((e.iid, r.clone(), e.expires)),
                 _ => None,
             })
             .collect();
-        for (other, other_expires) in matches {
+        for (other_iid, other, other_expires) in matches {
             // The accumulated intermediate is always the left operand.
             // Both operands are already projected onto the stage schema.
             let joined = match side {
@@ -1145,6 +1212,7 @@ impl PierNode {
                     k,
                     joined.project(&stage.emit),
                     lifetime,
+                    Self::pair_ident(entry.iid, other_iid),
                 );
             }
         }
@@ -1153,7 +1221,11 @@ impl PierNode {
     /// A stage-k match (already projected onto the stage's outgoing
     /// schema): feed the next stage, or finalize. `lifetime` is the
     /// remaining life of the shortest-lived constituent, so windowed
-    /// pipelines never resurrect aged-out state downstream.
+    /// pipelines never resurrect aged-out state downstream. `ident`
+    /// names the match by its constituent instanceIDs: under
+    /// replication the republished intermediate's iid and the final
+    /// result's dedup identity both derive from it, so a probe re-run
+    /// by a healed stage replica renews rather than duplicates.
     #[allow(clippy::too_many_arguments)]
     fn mj_advance(
         &mut self,
@@ -1164,6 +1236,7 @@ impl PierNode {
         k: usize,
         row: Tuple,
         lifetime: Dur,
+        ident: u64,
     ) {
         if lifetime == Dur::ZERO {
             // A constituent already aged out (expired-but-unswept soft
@@ -1175,7 +1248,11 @@ impl PierNode {
             // Publish the intermediate as soft state in the next stage's
             // namespace, keyed by its join value there.
             let join = row.get(view.stages[k + 1].join_idx_left).clone();
-            let iid = self.fresh_iid();
+            let iid = if self.replicated() {
+                pier_dht::geom::hash2(ident, 0x6d6a_0000 | k as u64) as u32
+            } else {
+                self.fresh_iid()
+            };
             let item = QpItem::Tagged {
                 qid,
                 side: Side::Left,
@@ -1200,9 +1277,9 @@ impl PierNode {
                 QueryOp::MultiJoinAgg { agg, .. } => {
                     let agg = agg.clone();
                     let valid = self.window_valid(qid, ctx.now + lifetime);
-                    self.accumulate(qid, &agg, &out, valid);
+                    self.accumulate(qid, &agg, &out, valid, ident);
                 }
-                _ => self.emit_result(ctx, qid, initiator, out),
+                _ => self.emit_result(ctx, qid, initiator, ident, out),
             }
         }
     }
@@ -1259,7 +1336,17 @@ impl PierNode {
                 let stage = &view.stages[k];
                 if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                     let lifetime = entries[i].expires.min(entries[j].expires).since(ctx.now);
-                    self.mj_advance(ctx, qid, m, &view, k, joined.project(&stage.emit), lifetime);
+                    let ident = Self::pair_ident(entries[i].iid, entries[j].iid);
+                    self.mj_advance(
+                        ctx,
+                        qid,
+                        m,
+                        &view,
+                        k,
+                        joined.project(&stage.emit),
+                        lifetime,
+                        ident,
+                    );
                 }
             }
         }
@@ -1277,13 +1364,19 @@ impl PierNode {
             Some(j.right.pkey_col),
             "Fetch Matches requires the fetched table hashed on the join key"
         );
-        let rows = self.local_rows(&j.left, ctx.now);
+        let rows = self.local_live(&j.left, ctx.now);
         let mut work = Vec::new();
-        for left_row in rows {
+        for (left_iid, _, left_row) in rows {
             let join = left_row.get(j.left.join_col.unwrap()).clone();
             let token = self.token();
-            self.get_purpose
-                .insert(token, GetPurpose::FmProbe { qid, left_row });
+            self.get_purpose.insert(
+                token,
+                GetPurpose::FmProbe {
+                    qid,
+                    left_iid,
+                    left_row,
+                },
+            );
             work.push((j.right.ns, join.hash64(), token));
         }
         let mut env = PierEnv { ctx };
@@ -1298,6 +1391,7 @@ impl PierNode {
         &mut self,
         ctx: &mut Ctx<PierMsg>,
         qid: u64,
+        left_iid: u32,
         left_row: Tuple,
         items: Vec<Entry<QpItem>>,
     ) {
@@ -1323,7 +1417,8 @@ impl PierNode {
             let joined = left_row.concat(right_row);
             if j.post_pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                 let out = Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect());
-                self.emit_result(ctx, qid, initiator, out);
+                let ident = Self::pair_ident(left_iid, e.iid);
+                self.emit_result(ctx, qid, initiator, ident, out);
             }
         }
     }
@@ -1345,22 +1440,33 @@ impl PierNode {
             Side::Left => &j.left,
             Side::Right => &j.right,
         };
-        let rows = self.local_rows(scan, ctx.now);
+        let rows = self.local_live(scan, ctx.now);
         let nq = qns::rehash(qid);
         let lifetime = self.soft_lifetime(qid);
+        let join_col = scan.join_col.unwrap();
+        let pkey_col = scan.pkey_col;
+        let puts: Vec<(Rid, u32, QpItem)> = rows
+            .into_iter()
+            .map(|(base_iid, _, row)| {
+                let join = row.get(join_col).clone();
+                let pkey = row.get(pkey_col).clone();
+                let rid = Self::rehash_rid(&join, j.computation_nodes);
+                let iid = self.derived_iid(base_iid, side as u64);
+                (
+                    rid,
+                    iid,
+                    QpItem::Mini {
+                        qid,
+                        side,
+                        pkey,
+                        join,
+                    },
+                )
+            })
+            .collect();
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
-        for row in rows {
-            let join = row.get(scan.join_col.unwrap()).clone();
-            let pkey = row.get(scan.pkey_col).clone();
-            let rid = Self::rehash_rid(&join, j.computation_nodes);
-            let iid = self.fresh_iid();
-            let item = QpItem::Mini {
-                qid,
-                side,
-                pkey,
-                join,
-            };
+        for (rid, iid, item) in puts {
             self.record_rehash(qid, nq, rid, iid, &item);
             self.dht
                 .put(&mut env, nq, rid, iid, item, lifetime, &mut events);
@@ -1387,7 +1493,7 @@ impl PierNode {
         // (expired-but-unswept projections must not pair, same as
         // `probe_tagged`).
         let now = ctx.now;
-        let partners: Vec<Value> = self
+        let partners: Vec<(u32, Value)> = self
             .dht
             .store
             .get(ns, rid)
@@ -1399,31 +1505,46 @@ impl PierNode {
                     pkey: pk,
                     join: jv,
                     ..
-                } if *s == side.opposite() && jv == join => Some(pk.clone()),
+                } if *s == side.opposite() && jv == join => Some((e.iid, pk.clone())),
                 _ => None,
             })
             .collect();
         if partners.is_empty() {
             return;
         }
-        for partner in partners {
+        for (partner_iid, partner) in partners {
             let (pk_l, pk_r) = match side {
                 Side::Left => (pkey.clone(), partner),
                 Side::Right => (partner, pkey.clone()),
             };
-            self.semi_pair(ctx, qid, pk_l, pk_r);
+            let ident = Self::pair_ident(my_iid, partner_iid);
+            self.semi_pair(ctx, qid, pk_l, pk_r, ident);
         }
     }
 
     /// Issue the two parallel full-tuple fetches for a matched mini pair
     /// ("we issue the two joins' fetches in parallel since we know both
     /// fetches will succeed", §4.2).
-    fn semi_pair(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, pk_l: Value, pk_r: Value) {
+    fn semi_pair(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        pk_l: Value,
+        pk_r: Value,
+        ident: u64,
+    ) {
         let Some(j) = self.join_spec(qid) else { return };
         let pair = self.token();
         let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
+        // A healed replica can re-run the mini probe a dead primary
+        // already answered: the re-probed pair carries the same
+        // identity, so skipping it here saves the two full-tuple
+        // fetches, not just the duplicate emission.
+        if self.dht.cfg.replication > 1 && !inst.acc_seen.insert(ident) {
+            return;
+        }
         inst.pairs.insert(
             pair,
             PairFetch {
@@ -1431,6 +1552,7 @@ impl PierNode {
                 right: None,
                 pkey_left: pk_l.clone(),
                 pkey_right: pk_r.clone(),
+                ident,
             },
         );
         let tl = self.token();
@@ -1503,12 +1625,16 @@ impl PierNode {
             .into_iter()
             .filter(|t| t.get(j.right.pkey_col) == &p.pkey_right)
             .collect();
-        for l in &lefts {
-            for r in &rights {
+        for (li, l) in lefts.iter().enumerate() {
+            for (ri, r) in rights.iter().enumerate() {
                 let joined = l.concat(r);
                 if j.post_pred.as_ref().is_none_or(|pp| pp.matches(&joined)) {
                     let out = Tuple::new(j.project.iter().map(|e| e.eval(&joined)).collect());
-                    self.emit_result(ctx, qid, initiator, out);
+                    // One mini pair normally yields one row per side
+                    // (resourceID = primary key); the index mix only
+                    // disambiguates pkey-collision multiplicities.
+                    let ident = pier_dht::geom::hash2(p.ident, ((li as u64) << 32) | ri as u64);
+                    self.emit_result(ctx, qid, initiator, ident, out);
                 }
             }
         }
@@ -1626,10 +1752,18 @@ impl PierNode {
     /// so each epoch flush can re-aggregate exactly the contributions
     /// still inside the window; unwindowed epoch queries fold into
     /// persistent running accumulators snapshotted at each flush.
-    fn accumulate(&mut self, qid: u64, agg: &AggSpec, row: &Tuple, valid_until: Time) {
+    fn accumulate(&mut self, qid: u64, agg: &AggSpec, row: &Tuple, valid_until: Time, ident: u64) {
+        let replicated = self.replicated();
         let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return;
         };
+        // Under replication, anti-entropy can re-fire a probe whose
+        // output this node already folded in (a healed copy re-stored
+        // after a sweep): contributions are identity-deduplicated.
+        // `ident == 0` (never issued) is exempt.
+        if replicated && ident != 0 && !inst.acc_seen.insert(ident) {
+            return;
+        }
         let windowed = inst.desc.window.is_some();
         let groups = if agg.epoch.is_some() {
             if windowed {
@@ -1806,7 +1940,9 @@ impl PierNode {
             let virt = accs.output_row(&group);
             if agg.having.as_ref().is_none_or(|h| h.matches(&virt)) {
                 let out = Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect());
-                self.emit_result(ctx, qid, initiator, out);
+                // Aggregate emissions legitimately repeat every epoch:
+                // ident 0 exempts them from initiator-side dedup.
+                self.emit_result(ctx, qid, initiator, 0, out);
             }
         }
     }
@@ -1843,7 +1979,7 @@ impl PierNode {
                 let virt = accs.output_row(&group);
                 if agg.having.as_ref().is_none_or(|h| h.matches(&virt)) {
                     let out = Tuple::new(agg.output.iter().map(|e| e.eval(&virt)).collect());
-                    self.emit_result(ctx, qid, initiator, out);
+                    self.emit_result(ctx, qid, initiator, 0, out);
                 }
             }
         } else {
@@ -1919,7 +2055,7 @@ impl PierNode {
             QueryOp::Scan { scan, project } => {
                 if scan.pred.as_ref().is_none_or(|p| p.matches(&row)) {
                     let out = Tuple::new(project.iter().map(|e| e.eval(&row)).collect());
-                    self.emit_result(ctx, qid, initiator, out);
+                    self.emit_result(ctx, qid, initiator, entry.iid as u64, out);
                 }
             }
             QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
@@ -1928,11 +2064,11 @@ impl PierNode {
                 } else {
                     Side::Right
                 };
-                self.rehash_one(ctx, qid, &j, side, row);
+                self.rehash_one(ctx, qid, &j, side, entry.iid, row);
             }
             QueryOp::MultiJoin(m) | QueryOp::MultiJoinAgg { join: m, .. } => {
                 if let NsRole::MBase(t) = role {
-                    self.mj_rehash_one(ctx, qid, &m, t as usize, row);
+                    self.mj_rehash_one(ctx, qid, &m, t as usize, entry.iid, row);
                 }
             }
             QueryOp::Agg { scan, agg } => {
@@ -1950,7 +2086,7 @@ impl PierNode {
                     Some(w) => entry.expires.min(ctx.now + w),
                     None => Time::MAX,
                 };
-                self.accumulate(qid, &agg, &row, valid);
+                self.accumulate(qid, &agg, &row, valid, entry.iid as u64);
             }
         }
     }
@@ -1962,6 +2098,7 @@ impl PierNode {
         qid: u64,
         j: &JoinSpec,
         side: Side,
+        base_iid: u32,
         row: Tuple,
     ) {
         let Some(inst) = self.reg.queries.get(&qid) else {
@@ -1978,7 +2115,7 @@ impl PierNode {
         let join = row.get(scan.join_col.unwrap()).clone();
         let rid = Self::rehash_rid(&join, j.computation_nodes);
         let lifetime = self.soft_lifetime(qid);
-        let iid = self.fresh_iid();
+        let iid = self.derived_iid(base_iid, side as u64);
         let item = QpItem::Tagged {
             qid,
             side,
@@ -2069,13 +2206,14 @@ impl PierNode {
                 if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                     let shipped = joined.project(&stage.emit);
                     let out = Tuple::new(view.project.iter().map(|e| e.eval(&shipped)).collect());
+                    let ident = Self::pair_ident(a.iid, b.iid);
                     if is_joinagg {
                         if let Some(ag) = &agg {
                             let valid = self.window_valid(qid, a.expires.min(b.expires));
-                            self.accumulate(qid, ag, &out, valid);
+                            self.accumulate(qid, ag, &out, valid, ident);
                         }
                     } else {
-                        self.emit_result(ctx, qid, initiator, out);
+                        self.emit_result(ctx, qid, initiator, ident, out);
                     }
                 }
             }
@@ -2101,7 +2239,8 @@ impl PierNode {
                 } else {
                     (pb.clone(), pa.clone())
                 };
-                self.semi_pair(ctx, qid, pk_l, pk_r);
+                let ident = Self::pair_ident(a.iid, b.iid);
+                self.semi_pair(ctx, qid, pk_l, pk_r, ident);
             }
             _ => {}
         }
@@ -2109,9 +2248,11 @@ impl PierNode {
 
     fn on_get_result(&mut self, ctx: &mut Ctx<PierMsg>, token: u64, items: Vec<Entry<QpItem>>) {
         match self.get_purpose.remove(&token) {
-            Some(GetPurpose::FmProbe { qid, left_row }) => {
-                self.fm_complete(ctx, qid, left_row, items)
-            }
+            Some(GetPurpose::FmProbe {
+                qid,
+                left_iid,
+                left_row,
+            }) => self.fm_complete(ctx, qid, left_iid, left_row, items),
             Some(GetPurpose::SemiFetch { qid, pair, side }) => {
                 self.semi_complete(ctx, qid, pair, side, items)
             }
@@ -2119,12 +2260,32 @@ impl PierNode {
         }
     }
 
-    fn emit_result(&mut self, ctx: &mut Ctx<PierMsg>, qid: u64, initiator: NodeId, row: Tuple) {
+    fn emit_result(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        qid: u64,
+        initiator: NodeId,
+        ident: u64,
+        row: Tuple,
+    ) {
         if initiator == ctx.me {
-            self.results.entry(qid).or_default().push((ctx.now, row));
+            if self.record_result(qid, ident) {
+                self.results.entry(qid).or_default().push((ctx.now, row));
+            }
         } else {
-            ctx.send(initiator, PierMsg::Result { qid, row });
+            ctx.send(initiator, PierMsg::Result { qid, ident, row });
         }
+    }
+
+    /// Initiator-side admission of one result: `false` when it is a
+    /// replication-era duplicate (same logical identity already logged —
+    /// a healed replica re-ran a probe the dead primary had answered).
+    /// At `replication = 1` every result is admitted, unconditionally.
+    fn record_result(&mut self, qid: u64, ident: u64) -> bool {
+        if !self.replicated() || ident == 0 {
+            return true;
+        }
+        self.results_seen.entry(qid).or_default().insert(ident)
     }
 }
 
@@ -2158,8 +2319,10 @@ impl App for PierNode {
                 self.dht.handle_message(&mut env, from, m, &mut events);
                 self.pump(ctx, events);
             }
-            PierMsg::Result { qid, row } => {
-                self.results.entry(qid).or_default().push((ctx.now, row));
+            PierMsg::Result { qid, ident, row } => {
+                if self.record_result(qid, ident) {
+                    self.results.entry(qid).or_default().push((ctx.now, row));
+                }
             }
             PierMsg::AggUp { qid, group, accs } => self.on_agg_up(qid, group, accs),
         }

@@ -156,6 +156,18 @@ impl CanState {
         self.zones.iter().map(|z| z.volume(self.d)).sum()
     }
 
+    /// Replica placement rule for CAN: up to `count` current neighbors,
+    /// smallest node id first. Deterministic given the neighbor set, so
+    /// the primary re-targets the same peers on every renewal and the
+    /// replica set only drifts when the neighborhood itself changes
+    /// (stale ex-replica copies then simply age out, §3.2.3).
+    pub fn replica_peers(&self, count: usize) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.neighbors.keys().copied().collect();
+        ids.sort_unstable();
+        ids.truncate(count);
+        ids
+    }
+
     fn adjacent_to_mine(&self, zones: &[Zone]) -> bool {
         zones
             .iter()

@@ -130,6 +130,35 @@ impl ChordState {
         }
     }
 
+    /// Replica placement rule for Chord: the first `count` distinct
+    /// entries of the successor list, the classic "store at the k-1
+    /// successors" scheme — exactly the nodes whose ownership range will
+    /// absorb ours if we fail, so a takeover finds the data already on
+    /// the new owner (or one hop away).
+    pub fn replica_peers(&self, count: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for &(_, id) in &self.successors {
+            if id != self.me && !out.contains(&id) {
+                out.push(id);
+                if out.len() == count {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The ring interval `(from, to]` this node currently owns — the
+    /// anti-entropy repair scope after a predecessor failure widened it.
+    pub fn owned_interval(&self) -> (u64, u64) {
+        match self.predecessor {
+            // No predecessor: a joined node claims the whole ring
+            // (`in_open_closed` treats `from == to` as everything).
+            None => (self.ring, self.ring),
+            Some((pring, _)) => (pring, self.ring),
+        }
+    }
+
     /// Closest node strictly preceding `pos` among fingers + successors.
     pub fn closest_preceding(&self, pos: u64) -> Option<NodeId> {
         let mut best: Option<(u64, NodeId)> = None;

@@ -17,7 +17,7 @@ use crate::chord::{ring_of_key, ChordState};
 use crate::env::{send_metered, DhtEnv};
 use crate::event::DhtEvent;
 use crate::geom::{Point, Zone};
-use crate::msg::{CanMsg, ChordMsg, DhtMsg, Entry, FindPurpose};
+use crate::msg::{CanMsg, ChordMsg, DhtMsg, Entry, FindPurpose, RepairScope};
 use crate::storage::StorageManager;
 use crate::traffic::TrafficMeter;
 use crate::{key_of, DhtConfig, Ns, OverlayKind, Rid, DHT_TICK_TOKEN, ROUTE_TTL};
@@ -46,6 +46,11 @@ pub struct Dht<V> {
     pub cfg: DhtConfig,
     pub overlay: Overlay,
     pub store: StorageManager<V>,
+    /// Standby copies of items whose primary is elsewhere (k ≥ 2).
+    /// Kept apart from the primary [`Self::store`] so probes and
+    /// `lscan` never see the same logical item twice; read only by `get`
+    /// fall-through and anti-entropy repair. Always empty at k = 1.
+    pub replicas: StorageManager<V>,
     pub meter: TrafficMeter,
     me: NodeId,
     pending: HashMap<u64, PendingOp<V>>,
@@ -55,6 +60,8 @@ pub struct Dht<V> {
     bootstrap: Option<NodeId>,
     join_sent: Time,
     tick_count: u64,
+    /// Last anti-entropy pull, for rate limiting repair bursts.
+    last_repair: Time,
 }
 
 impl<V: Wire + Clone> Dht<V> {
@@ -67,6 +74,7 @@ impl<V: Wire + Clone> Dht<V> {
             cfg,
             overlay,
             store: StorageManager::new(),
+            replicas: StorageManager::new(),
             meter: TrafficMeter::default(),
             me,
             pending: HashMap::new(),
@@ -76,6 +84,7 @@ impl<V: Wire + Clone> Dht<V> {
             bootstrap: None,
             join_sent: Time::ZERO,
             tick_count: 0,
+            last_repair: Time::ZERO,
         }
     }
 
@@ -170,7 +179,7 @@ impl<V: Wire + Clone> Dht<V> {
             val,
         };
         if self.owns_key(key) {
-            self.store_entry(entry, events);
+            self.store_entry(env, entry, events);
         } else {
             self.lookup(env, key, Pending::Put(entry), events);
         }
@@ -287,19 +296,73 @@ impl<V: Wire + Clone> Dht<V> {
         // Chord leave: soft state ages out; successors stabilize around us.
     }
 
+    /// Live items for a `get`: the primary store, plus — under k > 1 —
+    /// any replica copies of instances the primary store is missing.
+    /// The replica fall-through is what answers reads during the window
+    /// between a takeover and the completion of anti-entropy repair;
+    /// dedup by instanceID keeps the reply a set, never a multiset.
     fn live_items(&self, ns: Ns, rid: Rid, now: Time) -> Vec<Entry<V>> {
-        self.store
+        let mut items: Vec<Entry<V>> = self
+            .store
             .get(ns, rid)
             .iter()
             .filter(|e| e.expires > now)
             .cloned()
-            .collect()
+            .collect();
+        if self.cfg.replication > 1 {
+            for e in self.replicas.get(ns, rid) {
+                if e.expires > now && !items.iter().any(|x| x.iid == e.iid) {
+                    items.push(e.clone());
+                }
+            }
+        }
+        items
     }
 
-    fn store_entry(&mut self, entry: Entry<V>, events: &mut Vec<DhtEvent<V>>) {
+    fn store_entry(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        entry: Entry<V>,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
         let is_new = self.store.store(entry.clone());
         if is_new {
-            events.push(DhtEvent::NewData { entry });
+            events.push(DhtEvent::NewData {
+                entry: entry.clone(),
+            });
+        }
+        self.replicate(env, entry);
+    }
+
+    /// Fan a primary-stored entry out to the replica set (k - 1 peers).
+    /// Runs on stores *and* renewals, so replica expiries track the
+    /// primary's and copies at ex-replica peers simply age out.
+    fn replicate(&mut self, env: &mut dyn DhtEnv<V>, entry: Entry<V>) {
+        if self.cfg.replication <= 1 {
+            return;
+        }
+        for peer in self.replica_targets() {
+            send_metered(
+                env,
+                &mut self.meter,
+                peer,
+                DhtMsg::Replicate {
+                    entry: entry.clone(),
+                },
+            );
+        }
+    }
+
+    /// The peers holding this node's replica copies, by the overlay's
+    /// placement rule (CAN: lowest-id neighbors; Chord: successor list).
+    fn replica_targets(&self) -> Vec<NodeId> {
+        let extra = self.cfg.replication.saturating_sub(1);
+        if extra == 0 {
+            return Vec::new();
+        }
+        match &self.overlay {
+            Overlay::Can(c) => c.replica_peers(extra),
+            Overlay::Chord(c) => c.replica_peers(extra),
         }
     }
 
@@ -398,7 +461,7 @@ impl<V: Wire + Clone> Dht<V> {
         match p.op {
             Pending::Put(entry) => {
                 if owner == self.me {
-                    self.store_entry(entry, events);
+                    self.store_entry(env, entry, events);
                 } else {
                     send_metered(env, &mut self.meter, owner, DhtMsg::Put { entry });
                 }
@@ -540,6 +603,7 @@ impl<V: Wire + Clone> Dht<V> {
         msg: DhtMsg<V>,
         events: &mut Vec<DhtEvent<V>>,
     ) {
+        let before = events.len();
         match msg {
             DhtMsg::Can(m) => self.handle_can(env, from, m, events),
             DhtMsg::Chord(m) => self.handle_chord(env, from, m, events),
@@ -547,7 +611,7 @@ impl<V: Wire + Clone> Dht<V> {
                 self.resolve_lookup(env, token, from, events);
             }
             DhtMsg::Put { entry } => {
-                self.store_entry(entry, events);
+                self.store_entry(env, entry, events);
             }
             DhtMsg::Get {
                 ns,
@@ -576,10 +640,56 @@ impl<V: Wire + Clone> Dht<V> {
                     // Re-homed items were announced at their prior home;
                     // still fire newData if the instance is new here, so
                     // probes that raced the move are not lost.
-                    self.store_entry(entry, events);
+                    self.store_entry(env, entry, events);
+                }
+            }
+            DhtMsg::Replicate { entry } => {
+                if self.cfg.replication > 1 {
+                    // Standby copy: no newData, no onward fan-out, and a
+                    // late duplicate must not shorten a fresher copy.
+                    self.replicas.store_no_regress(entry);
+                }
+            }
+            DhtMsg::RepairRequest { scope } => {
+                let now = env.now();
+                let d = self.cfg.dims;
+                let mut seen = std::collections::HashSet::new();
+                let items: Vec<Entry<V>> = self
+                    .store
+                    .iter_all()
+                    .chain(self.replicas.iter_all())
+                    .filter(|e| e.expires > now && scope.covers(e.key, d))
+                    .filter(|e| seen.insert((e.ns, e.rid, e.iid)))
+                    .cloned()
+                    .collect();
+                if !items.is_empty() {
+                    send_metered(env, &mut self.meter, from, DhtMsg::RepairReply { items });
+                }
+            }
+            DhtMsg::RepairReply { items } => {
+                let now = env.now();
+                for entry in items {
+                    // Only adopt items we own *now* — the responder
+                    // answered against our advertised scope, but routing
+                    // may have shifted again while the reply was in
+                    // flight, and a stale copy must not regress a renewal
+                    // that already reached us directly.
+                    if entry.expires > now && self.owns_key(entry.key) {
+                        match self.store.store_no_regress(entry.clone()) {
+                            Some(true) => {
+                                events.push(DhtEvent::NewData {
+                                    entry: entry.clone(),
+                                });
+                                self.replicate(env, entry);
+                            }
+                            Some(false) => self.replicate(env, entry),
+                            None => {}
+                        }
+                    }
                 }
             }
         }
+        self.maybe_repair(env, before, events);
     }
 
     fn handle_can(
@@ -819,9 +929,129 @@ impl<V: Wire + Clone> Dht<V> {
         if token != DHT_TICK_TOKEN {
             return false;
         }
+        let before = events.len();
         self.tick(env, events);
+        self.maybe_repair(env, before, events);
         env.timer(self.cfg.tick, DHT_TICK_TOKEN);
         true
+    }
+
+    /// Anti-entropy: if the dispatch that just ran changed this node's
+    /// ownership region (takeover claim, zone absorption, predecessor
+    /// loss, successor promotion — all signalled by
+    /// [`DhtEvent::LocationMapChanged`]), promote matching local replica
+    /// copies to primary and pull the rest of the newly owned region
+    /// from the likely replica holders. This is how rehash/stage/mini
+    /// soft state heals without waiting for the next renewal round.
+    fn maybe_repair(
+        &mut self,
+        env: &mut dyn DhtEnv<V>,
+        before: usize,
+        events: &mut Vec<DhtEvent<V>>,
+    ) {
+        if self.cfg.replication <= 1 {
+            return;
+        }
+        if !events[before..]
+            .iter()
+            .any(|e| matches!(e, DhtEvent::LocationMapChanged))
+        {
+            return;
+        }
+        let now = env.now();
+        if self.last_repair != Time::ZERO && now.since(self.last_repair) < self.cfg.tick {
+            return;
+        }
+        self.last_repair = now;
+        self.promote_replicas(env, events);
+        self.reseed_replicas(env);
+        let scope = match &self.overlay {
+            Overlay::Can(c) => RepairScope::Zones(c.zones.clone()),
+            Overlay::Chord(c) => {
+                let (from, to) = c.owned_interval();
+                RepairScope::Ring { from, to }
+            }
+        };
+        for peer in self.repair_peers() {
+            send_metered(
+                env,
+                &mut self.meter,
+                peer,
+                DhtMsg::RepairRequest {
+                    scope: scope.clone(),
+                },
+            );
+        }
+    }
+
+    /// Move replica-held items whose key this node now owns into the
+    /// primary store (firing `newData` for instances new here — the
+    /// self-serve half of repair: under the successor/neighbor placement
+    /// rule, the node absorbing a dead peer's region usually *is* one of
+    /// its replicas).
+    fn promote_replicas(&mut self, env: &mut dyn DhtEnv<V>, events: &mut Vec<DhtEvent<V>>) {
+        let now = env.now();
+        let owned: std::collections::HashSet<u64> = self
+            .replicas
+            .iter_all()
+            .map(|e| e.key)
+            .filter(|&k| self.owns_key(k))
+            .collect();
+        if owned.is_empty() {
+            return;
+        }
+        let promoted = self.replicas.extract_not_owned(|k| !owned.contains(&k));
+        for entry in promoted {
+            if entry.expires > now {
+                if self.store.store_no_regress(entry.clone()) == Some(true) {
+                    events.push(DhtEvent::NewData {
+                        entry: entry.clone(),
+                    });
+                }
+                self.replicate(env, entry);
+            }
+        }
+    }
+
+    /// Re-push every live primary entry to the *current* replica set.
+    /// The neighborhood just changed, and a dead peer may have been this
+    /// node's only replica holder: items published once with no renewal
+    /// loop would otherwise sit at one copy until they expire, losing
+    /// the k-durability guarantee on the next failure. Copies left at
+    /// ex-replicas are harmless — they age out with the entry's own
+    /// lifetime and serve as extra repair sources meanwhile.
+    fn reseed_replicas(&mut self, env: &mut dyn DhtEnv<V>) {
+        let now = env.now();
+        let live: Vec<Entry<V>> = self
+            .store
+            .iter_all()
+            .filter(|e| e.expires > now)
+            .cloned()
+            .collect();
+        for entry in live {
+            self.replicate(env, entry);
+        }
+    }
+
+    /// The peers this node asks for repair data: every CAN neighbor, or
+    /// the Chord successor list plus predecessor — the union of all
+    /// placement targets whose primaries could have replicated into the
+    /// region we now own.
+    fn repair_peers(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = match &self.overlay {
+            Overlay::Can(c) => c.neighbors.keys().copied().collect(),
+            Overlay::Chord(c) => {
+                let mut v: Vec<NodeId> = c.successors.iter().map(|&(_, id)| id).collect();
+                if let Some((_, p)) = c.predecessor {
+                    v.push(p);
+                }
+                v
+            }
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        ids.retain(|&id| id != self.me);
+        ids
     }
 
     /// Periodic work: overlay maintenance, soft-state expiry, lookup
@@ -834,6 +1064,12 @@ impl<V: Wire + Clone> Dht<V> {
             Overlay::Chord(c) => c.tick(env, &mut self.meter, &self.cfg, events),
         }
         self.store.sweep_expired(now);
+        if self.cfg.replication > 1 {
+            // Replica copies age out exactly like primaries: a replica
+            // whose primary stopped renewing (or re-targeted its fan-out
+            // after a neighborhood change) is stale soft state.
+            self.replicas.sweep_expired(now);
+        }
 
         // Retry join if the offer never arrived.
         if !self.is_joined() {

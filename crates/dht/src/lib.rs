@@ -82,6 +82,13 @@ pub struct DhtConfig {
     pub lookup_retry: Dur,
     /// Periodically move stored items whose keys we no longer own.
     pub rehome: bool,
+    /// Soft-state replication factor: total live copies per item (the
+    /// primary plus `replication - 1` replicas at neighboring zones /
+    /// successors). The paper runs k = 1 — soft state lost on failure is
+    /// simply re-published at the next renewal — and k = 1 preserves that
+    /// behavior exactly; k > 1 trades replica traffic for recall under
+    /// churn (the frontier measured by `exp_churn_slo`).
+    pub replication: usize,
 }
 
 impl Default for DhtConfig {
@@ -95,6 +102,7 @@ impl Default for DhtConfig {
             maintenance: true,
             lookup_retry: Dur::from_secs(4),
             rehome: true,
+            replication: 1,
         }
     }
 }
@@ -119,6 +127,12 @@ impl DhtConfig {
         self.dims = dims;
         self
     }
+
+    /// Set the replication factor (total copies per item, `k >= 1`).
+    pub fn with_replication(mut self, k: usize) -> Self {
+        self.replication = k.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +154,13 @@ mod tests {
         assert_eq!(cfg.dims, 4);
         assert_eq!(cfg.fail_after, Dur::from_secs(15));
         assert_eq!(cfg.overlay, OverlayKind::Can);
+        // The paper keeps exactly one copy of each soft-state item.
+        assert_eq!(cfg.replication, 1);
+    }
+
+    #[test]
+    fn replication_builder_clamps_to_at_least_one() {
+        assert_eq!(DhtConfig::default().with_replication(0).replication, 1);
+        assert_eq!(DhtConfig::default().with_replication(3).replication, 3);
     }
 }

@@ -119,6 +119,41 @@ pub enum ChordMsg<V> {
     },
 }
 
+/// The key region an anti-entropy [`DhtMsg::RepairRequest`] asks about:
+/// the requester's *current* ownership region, in the geometry of its
+/// overlay. Responders return live items whose routing key falls inside.
+#[derive(Clone, Debug)]
+pub enum RepairScope {
+    /// CAN: the requester's zone list after a takeover/absorption.
+    Zones(Vec<Zone>),
+    /// Chord: ring interval `(from, to]` the requester now owns
+    /// (`from == to` means the whole ring, matching `in_open_closed`).
+    Ring { from: u64, to: u64 },
+}
+
+impl RepairScope {
+    /// Does `key` fall inside this scope? `d` is the CAN dimensionality
+    /// (ignored for ring scopes).
+    pub fn covers(&self, key: u64, d: usize) -> bool {
+        match self {
+            RepairScope::Zones(zones) => {
+                let p = Point::from_key(key, d);
+                zones.iter().any(|z| z.contains(p, d))
+            }
+            RepairScope::Ring { from, to } => {
+                crate::chord::in_open_closed(*from, crate::chord::ring_of_key(key), *to)
+            }
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            RepairScope::Zones(zones) => 4 + zones.len() * ZONE_BYTES,
+            RepairScope::Ring { .. } => 16,
+        }
+    }
+}
+
 /// Why a Chord FindSucc was issued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FindPurpose {
@@ -159,6 +194,21 @@ pub enum DhtMsg<V> {
     },
     /// Bulk re-partitioning transfer (zone handoff / re-homing).
     MoveItems {
+        items: Vec<Entry<V>>,
+    },
+    /// Replica copy fanned out by the key's primary owner (`k > 1`).
+    /// Stored in the receiver's replica store; never fires `newData`.
+    Replicate {
+        entry: Entry<V>,
+    },
+    /// Anti-entropy pull after an ownership change: the sender now owns
+    /// `scope` and asks a likely replica holder for live items in it.
+    RepairRequest {
+        scope: RepairScope,
+    },
+    /// Live items from the responder's primary + replica stores that
+    /// fall inside the requested scope.
+    RepairReply {
         items: Vec<Entry<V>>,
     },
 }
@@ -228,6 +278,9 @@ impl<V: Wire> Wire for DhtMsg<V> {
                     8 + items.iter().map(Entry::body_size).sum::<usize>()
                 }
                 DhtMsg::MoveItems { items } => items.iter().map(Entry::body_size).sum::<usize>(),
+                DhtMsg::Replicate { entry } => entry.body_size(),
+                DhtMsg::RepairRequest { scope } => scope.wire_size(),
+                DhtMsg::RepairReply { items } => items.iter().map(Entry::body_size).sum::<usize>(),
             }
     }
 }

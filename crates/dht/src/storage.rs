@@ -63,6 +63,24 @@ impl<V> StorageManager<V> {
         }
     }
 
+    /// Store `entry` unless an existing copy of the same instance already
+    /// has an equal or later expiry. Replica fan-out and anti-entropy
+    /// repair use this instead of [`Self::store`]: a copy arriving late
+    /// (or pulled from a peer that missed a renewal) must never *shorten*
+    /// the soft-state lifetime the holder already granted. Returns
+    /// `Some(is_new)` when stored, `None` when the stale copy was skipped.
+    pub fn store_no_regress(&mut self, entry: Entry<V>) -> Option<bool> {
+        let current = self
+            .get(entry.ns, entry.rid)
+            .iter()
+            .find(|e| e.iid == entry.iid)
+            .map(|e| e.expires);
+        match current {
+            Some(expires) if expires >= entry.expires => None,
+            _ => Some(self.store(entry)),
+        }
+    }
+
     /// All live items under (ns, rid) — `get` is key-based, not
     /// instance-based, and may return multiple items.
     pub fn get(&self, ns: Ns, rid: Rid) -> &[Entry<V>] {
@@ -226,6 +244,22 @@ mod tests {
         let items = s.get(1, 10);
         assert_eq!(items[0].val, 9);
         assert_eq!(items[0].expires, Time(5000));
+    }
+
+    #[test]
+    fn store_no_regress_never_shortens_a_lifetime() {
+        let mut s = StorageManager::new();
+        assert_eq!(s.store_no_regress(entry(1, 10, 5, 99, 1000, 7)), Some(true));
+        // A stale copy (earlier expiry) is skipped outright…
+        assert_eq!(s.store_no_regress(entry(1, 10, 5, 99, 500, 8)), None);
+        assert_eq!(s.get(1, 10)[0].val, 7);
+        // …while a fresher copy renews like a normal store.
+        assert_eq!(
+            s.store_no_regress(entry(1, 10, 5, 99, 2000, 9)),
+            Some(false)
+        );
+        assert_eq!(s.get(1, 10)[0].expires, Time(2000));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

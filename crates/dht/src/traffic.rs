@@ -20,11 +20,15 @@ pub struct TrafficMeter {
     pub mcast: u64,
     /// Provider data traffic: puts, gets, replies, re-homing.
     pub data: u64,
+    /// Availability overhead (`replication > 1`): replica fan-out and
+    /// anti-entropy repair. Counted apart from `data` so the recall-vs-
+    /// churn frontier can price what each extra copy costs.
+    pub replication: u64,
 }
 
 impl TrafficMeter {
     pub fn total(&self) -> u64 {
-        self.maintenance + self.lookup + self.mcast + self.data
+        self.maintenance + self.lookup + self.mcast + self.data + self.replication
     }
 
     /// Everything attributable to running queries (excludes upkeep).
@@ -55,6 +59,11 @@ impl TrafficMeter {
             | DhtMsg::MoveItems { .. } => {
                 self.data += bytes;
             }
+            DhtMsg::Replicate { .. }
+            | DhtMsg::RepairRequest { .. }
+            | DhtMsg::RepairReply { .. } => {
+                self.replication += bytes;
+            }
             DhtMsg::Can(_) | DhtMsg::Chord(_) => {
                 self.maintenance += bytes;
             }
@@ -66,6 +75,7 @@ impl TrafficMeter {
         self.lookup += other.lookup;
         self.mcast += other.mcast;
         self.data += other.data;
+        self.replication += other.replication;
     }
 
     pub fn since(&self, snapshot: &TrafficMeter) -> TrafficMeter {
@@ -74,6 +84,7 @@ impl TrafficMeter {
             lookup: self.lookup - snapshot.lookup,
             mcast: self.mcast - snapshot.mcast,
             data: self.data - snapshot.data,
+            replication: self.replication - snapshot.replication,
         }
     }
 }
@@ -123,6 +134,7 @@ mod tests {
             lookup: 20,
             mcast: 30,
             data: 40,
+            replication: 50,
         };
         let snap = a;
         let b = TrafficMeter {
@@ -130,6 +142,7 @@ mod tests {
             lookup: 2,
             mcast: 3,
             data: 4,
+            replication: 5,
         };
         a.merge(&b);
         assert_eq!(a.since(&snap), b);

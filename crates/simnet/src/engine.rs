@@ -84,6 +84,10 @@ struct Slot<A> {
     rng: SmallRng,
     /// Instant at which this node's inbound link becomes free.
     inbound_free: Time,
+    /// Inside an injected message-drop window: everything addressed to
+    /// this node is discarded at send time (the node itself stays alive
+    /// and its timers keep firing). See [`crate::fault`].
+    inbound_drop: bool,
 }
 
 /// The discrete-event simulator hosting many [`App`] automata.
@@ -124,6 +128,7 @@ impl<A: App> Sim<A> {
             app: Some(app),
             rng,
             inbound_free: Time::ZERO,
+            inbound_drop: false,
         });
         self.stats.ensure_nodes(self.nodes.len());
         self.dispatch(id, |app, ctx| app.on_start(ctx));
@@ -140,6 +145,16 @@ impl<A: App> Sim<A> {
 
     pub fn alive(&self, id: NodeId) -> bool {
         self.nodes.get(id as usize).is_some_and(|s| s.app.is_some())
+    }
+
+    /// Open (`true`) or close (`false`) a message-drop window on a
+    /// node's inbound side: while open, every message addressed to it
+    /// is discarded at send time — the node keeps its state and its
+    /// timers keep firing, unlike [`Self::fail_node`].
+    pub fn set_inbound_drop(&mut self, id: NodeId, dropping: bool) {
+        if let Some(slot) = self.nodes.get_mut(id as usize) {
+            slot.inbound_drop = dropping;
+        }
     }
 
     pub fn node_count(&self) -> usize {
@@ -219,6 +234,10 @@ impl<A: App> Sim<A> {
         if from == to {
             // Local hand-off: no latency, no bandwidth, not network traffic.
             self.push_event(self.now, EventKind::Deliver { from, to, msg });
+            return;
+        }
+        if self.nodes.get(to as usize).is_some_and(|s| s.inbound_drop) {
+            self.stats.dropped_in_window += 1;
             return;
         }
         let latency = self.cfg.topology.latency(from, to);
@@ -450,6 +469,36 @@ mod tests {
         assert!(sim.app(responder).is_none());
         assert!(sim.app(initiator).unwrap().got.is_empty());
         assert_eq!(sim.stats().dropped_to_failed, 1);
+    }
+
+    #[test]
+    fn drop_window_discards_then_heals() {
+        let mut sim = Sim::new(mesh_cfg(None));
+        let responder = sim.add_node(Ping {
+            peer: None,
+            echo_at: None,
+            got: vec![],
+        });
+        sim.set_inbound_drop(responder, true);
+        let initiator = sim.add_node(Ping {
+            peer: Some(responder),
+            echo_at: None,
+            got: vec![],
+        });
+        sim.run_idle(100);
+        // The ping was discarded in the window; the responder is alive
+        // but heard nothing.
+        assert!(sim.app(responder).unwrap().got.is_empty());
+        assert_eq!(sim.stats().dropped_in_window, 1);
+        // Heal the link and ping again: traffic flows.
+        sim.set_inbound_drop(responder, false);
+        sim.with_app(initiator, |app, ctx| {
+            let peer = app.peer.unwrap();
+            ctx.send(peer, Num(1, 100));
+        });
+        sim.run_idle(100);
+        assert_eq!(sim.app(responder).unwrap().got.len(), 1);
+        assert_eq!(sim.app(initiator).unwrap().got.len(), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod app;
 pub mod engine;
+pub mod fault;
 pub mod stats;
 pub mod threaded;
 pub mod time;
@@ -28,6 +29,7 @@ pub mod topology;
 
 pub use app::{Action, App, Ctx};
 pub use engine::{NetConfig, Sim};
+pub use fault::{Fault, FaultDriver, FaultScript, Scheduled};
 pub use stats::NetStats;
 pub use time::{Dur, Time};
 pub use topology::{FullMesh, Topology, TransitStub, TransitStubParams};

@@ -17,6 +17,9 @@ pub struct NetStats {
     pub inbound_bytes: Vec<u64>,
     /// Messages dropped because the destination had failed.
     pub dropped_to_failed: u64,
+    /// Messages discarded by an injected message-drop window
+    /// ([`crate::fault::Fault::DropStart`]).
+    pub dropped_in_window: u64,
 }
 
 impl NetStats {
@@ -62,6 +65,7 @@ impl NetStats {
             bytes: self.bytes - snapshot.bytes,
             inbound_bytes: inbound,
             dropped_to_failed: self.dropped_to_failed - snapshot.dropped_to_failed,
+            dropped_in_window: self.dropped_in_window - snapshot.dropped_in_window,
         }
     }
 }

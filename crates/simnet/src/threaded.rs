@@ -7,7 +7,7 @@
 //! real scheduling jitter. The same [`App`] automata run unchanged.
 
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,6 +35,9 @@ enum Envelope<A: App> {
 pub struct ClusterStats {
     pub messages: AtomicU64,
     pub bytes: AtomicU64,
+    /// Messages discarded by an injected message-drop window
+    /// ([`Cluster::set_inbound_drop`]).
+    pub dropped_in_window: AtomicU64,
 }
 
 /// A running set of node threads.
@@ -46,6 +49,10 @@ where
     handles: Vec<JoinHandle<A>>,
     start: Instant,
     stats: Arc<ClusterStats>,
+    /// Per-node message-drop flags, shared with every sender thread and
+    /// checked at send time — the threaded twin of the simulator's
+    /// [`crate::Sim::set_inbound_drop`].
+    drop_inbound: Arc<Vec<AtomicBool>>,
 }
 
 impl<A: App + Send + 'static> Cluster<A>
@@ -58,6 +65,8 @@ where
         let n = apps.len();
         let start = Instant::now();
         let stats = Arc::new(ClusterStats::default());
+        let drop_inbound: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -70,6 +79,7 @@ where
             let me = i as NodeId;
             let peers = senders.clone();
             let stats = Arc::clone(&stats);
+            let drop_flags = Arc::clone(&drop_inbound);
             let handle = std::thread::Builder::new()
                 .name(format!("pier-node-{i}"))
                 .spawn(move || {
@@ -87,6 +97,10 @@ where
                         for action in actions.drain(..) {
                             match action {
                                 Action::Send { to, msg } => {
+                                    if to != me && drop_flags[to as usize].load(Ordering::Relaxed) {
+                                        stats.dropped_in_window.fetch_add(1, Ordering::Relaxed);
+                                        continue;
+                                    }
                                     stats.messages.fetch_add(1, Ordering::Relaxed);
                                     stats.bytes.fetch_add(msg.wire_size() as u64, Ordering::Relaxed);
                                     // A send to a stopped node is dropped on
@@ -153,6 +167,26 @@ where
             handles,
             start,
             stats,
+            drop_inbound,
+        }
+    }
+
+    /// Abruptly stop one node's thread — the cluster analogue of
+    /// [`crate::Sim::fail_node`]. In-flight and future messages to it
+    /// drain into its dead channel; peers observe silence, exactly the
+    /// ungraceful §5.6 failure. The thread's app is still collected at
+    /// [`Self::shutdown`] (its state is frozen at the kill instant).
+    pub fn kill(&self, id: NodeId) {
+        if let Some(tx) = self.senders.get(id as usize) {
+            let _ = tx.send(Envelope::Stop);
+        }
+    }
+
+    /// Open or close a message-drop window on a node's inbound side
+    /// (checked by every sender at send time; the node stays alive).
+    pub fn set_inbound_drop(&self, id: NodeId, dropping: bool) {
+        if let Some(flag) = self.drop_inbound.get(id as usize) {
+            flag.store(dropping, Ordering::Relaxed);
         }
     }
 

@@ -9,7 +9,7 @@ use pier::qp::testkit::*;
 use pier::qp::{PierNode, Tuple};
 use pier::simnet::threaded::Cluster;
 use pier::simnet::time::{Dur, Time};
-use pier::simnet::{NetConfig, NodeId};
+use pier::simnet::{Fault, FaultDriver, FaultScript, NetConfig, NodeId, Scheduled};
 use pier::workload::{RsParams, RsWorkload};
 use pier_dht::DhtConfig;
 
@@ -111,4 +111,70 @@ fn sim_and_cluster_agree_on_the_workload_join() {
     );
     // ...and therefore each other: identical multisets across engines.
     assert!(same_multiset(&sim_rows, &cluster_rows));
+}
+
+/// Idle PIER nodes for fault-harness replay (no query traffic needed).
+fn idle_nodes(n: usize) -> Vec<PierNode> {
+    let cfg = DhtConfig::static_network();
+    pier_dht::can::balanced_overlay(n, cfg.dims, Time::ZERO)
+        .into_iter()
+        .enumerate()
+        .map(|(i, st)| {
+            PierNode::with_dht(pier_dht::Dht::with_can(cfg.clone(), i as NodeId, st), None)
+        })
+        .collect()
+}
+
+/// The same seeded fault script, replayed on the virtual-clock simulator
+/// and on the wall-clock cluster, must leave byte-identical traces: the
+/// trace records *script* time, so neither the engine's clock nor the
+/// polling cadence shows through. This is what makes a churn experiment
+/// reproducible across the paper's "same code, simulated or deployed"
+/// split.
+#[test]
+fn fault_scripts_replay_identically_on_both_engines() {
+    let candidates: Vec<NodeId> = (1..6).collect();
+    let script = FaultScript::churn(4242, Dur::from_secs(2), 3, &candidates).with_drop_window(
+        0,
+        Dur::from_millis(300),
+        Dur::from_millis(700),
+    );
+    let killed = script.killed();
+    assert_eq!(killed.len(), 3);
+
+    // Simulator replay: run exactly up to each fault instant.
+    let mut sim = stabilized_pier_sim(6, DhtConfig::static_network(), NetConfig::latency_only(1));
+    let mut sim_drv = FaultDriver::new(script.clone());
+    let t0 = sim.now();
+    while let Some(at) = sim_drv.next_at() {
+        sim.run_until(t0 + at);
+        sim_drv.advance(sim.now().since(t0), |f| match *f {
+            Fault::Kill { node } => sim.fail_node(node),
+            Fault::DropStart { node } => sim.set_inbound_drop(node, true),
+            Fault::DropEnd { node } => sim.set_inbound_drop(node, false),
+        });
+    }
+    for &v in &killed {
+        assert!(!sim.alive(v), "node {v} must be dead after its Kill fault");
+    }
+    let sim_trace: Vec<Scheduled> = sim_drv.trace().to_vec();
+
+    // Cluster replay: coarse wall-clock polling.
+    let cluster = Cluster::spawn(idle_nodes(6), 1);
+    let mut cluster_drv = FaultDriver::new(script);
+    while !cluster_drv.finished() {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cluster_drv.advance(cluster.now().since(Time::ZERO), |f| match *f {
+            Fault::Kill { node } => cluster.kill(node),
+            Fault::DropStart { node } => cluster.set_inbound_drop(node, true),
+            Fault::DropEnd { node } => cluster.set_inbound_drop(node, false),
+        });
+    }
+    cluster.shutdown();
+
+    assert_eq!(
+        sim_trace,
+        cluster_drv.trace(),
+        "identical seed + script must trace identically on both engines"
+    );
 }
