@@ -15,6 +15,7 @@ fn main() {
     e::pruning();
     e::continuous();
     e::multitenant();
+    e::scaleup();
     e::ablation_dims();
     e::chord_vs_can();
     e::agg_flat_vs_hier();

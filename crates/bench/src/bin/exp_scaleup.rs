@@ -1,0 +1,11 @@
+//! Engine scale-up: the Fig. 3 ladder pushed through 10^2 → 10^4 nodes
+//! on one static CAN overlay per point, ~1 R tuple of source data per
+//! node, publish + symmetric-hash join on a latency-only network.
+//! Reports engine throughput (events processed per wall-clock second)
+//! and hard-asserts recall 1.0 vs the reference evaluator at every
+//! point — the 10^4-node run must complete *correctly*, not just fast.
+//! Writes `results/BENCH_scaleup.json` (CI bench-trajectory artifact,
+//! gated Higher-is-better on `events_per_sec`).
+fn main() {
+    pier_bench::experiments::scaleup();
+}

@@ -95,6 +95,16 @@ pub const HEADLINES: &[Headline] = &[
         fold: Fold::Sum,
         better: Better::Lower,
     },
+    // scaleup: engine throughput on the 10^2 → 10^4 ladder. Mean over
+    // the ladder points so a slowdown at any scale moves the headline;
+    // wall-clock based, so the gate protects the trajectory on a given
+    // machine rather than an absolute number.
+    Headline {
+        experiment: "scaleup",
+        key: "events_per_sec",
+        fold: Fold::Mean,
+        better: Better::Higher,
+    },
 ];
 
 /// Every `"key": <number>` occurrence in the artifact text.
@@ -338,6 +348,35 @@ mod tests {
                 .any(|l| l.contains("FAIL") && l.contains("duplicates")),
             "{err:?}"
         );
+    }
+
+    /// Throughput artifact with both ladder rows scaled by `factor`.
+    fn scaleup_artifact(factor: f64) -> String {
+        format!(
+            "{{\"experiment\": \"scaleup\", \"rows\": [\n  \
+             {{\"nodes\": 100, \"events\": 60000, \"wall_s\": 0.050, \
+             \"events_per_sec\": {:.0}, \"results\": 40, \"recall\": 1.0000}},\n  \
+             {{\"nodes\": 10000, \"events\": 6000000, \"wall_s\": 5.000, \
+             \"events_per_sec\": {:.0}, \"results\": 1000, \"recall\": 1.0000}}\n]}}",
+            1_200_000.0 * factor,
+            1_000_000.0 * factor
+        )
+    }
+
+    #[test]
+    fn scaleup_throughput_regression_fails_the_gate() {
+        // A 20% events/sec slowdown (> the 15% tolerance, Higher is
+        // better) must fail…
+        let old = scaleup_artifact(1.0);
+        let err = compare("scaleup", &old, &scaleup_artifact(0.8)).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|l| l.contains("FAIL") && l.contains("events_per_sec")),
+            "{err:?}"
+        );
+        // …while the same artifact and a 5% wobble pass.
+        assert!(compare("scaleup", &old, &old).is_ok());
+        assert!(compare("scaleup", &old, &scaleup_artifact(0.95)).is_ok());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use pier_simnet::Wire;
 use crate::agg::GroupAccs;
 use crate::bloom::BloomFilter;
 use crate::plan::QueryDesc;
-use crate::tuple::Tuple;
+use crate::tuple::FlatRow;
 use crate::value::Value;
 
 /// Which input of a binary join a fragment belongs to.
@@ -33,8 +33,10 @@ impl Side {
 #[derive(Clone, Debug)]
 pub enum QpItem {
     /// A base-table tuple published by a wrapper (§2.2's "natural
-    /// habitat" data, copied into the DHT as soft state).
-    Row(Tuple),
+    /// habitat" data, copied into the DHT as soft state). Stored and
+    /// shipped in flat wire form: renewal, replication, and re-homing
+    /// clone a refcounted byte buffer, not a `Vec<Value>`.
+    Row(FlatRow),
     /// A rehashed join tuple in `NQ`: tagged with source table (§4.1)
     /// and carrying the join value to guard against resourceID hash
     /// collisions.
@@ -42,7 +44,7 @@ pub enum QpItem {
         qid: u64,
         side: Side,
         join: Value,
-        row: Tuple,
+        row: FlatRow,
     },
     /// Symmetric semi-join projection: (resourceID, join key) only.
     Mini {
@@ -76,8 +78,8 @@ pub enum QpItem {
 impl Wire for QpItem {
     fn wire_size(&self) -> usize {
         match self {
-            QpItem::Row(t) => 2 + t.wire_size(),
-            QpItem::Tagged { join, row, .. } => 11 + join.wire_size() + row.wire_size(),
+            QpItem::Row(t) => 2 + t.wire(),
+            QpItem::Tagged { join, row, .. } => 11 + join.wire_size() + row.wire(),
             QpItem::Mini { pkey, join, .. } => 11 + pkey.wire_size() + join.wire_size(),
             QpItem::Bloom { filter, .. } => 11 + filter.wire_size(),
             QpItem::Partial { group, accs, .. } => {
@@ -105,7 +107,7 @@ pub enum PierMsg {
         /// drops re-emissions by this identity. `0` = never deduplicated
         /// (aggregate emissions, which legitimately repeat every epoch).
         ident: u64,
-        row: Tuple,
+        row: FlatRow,
     },
     /// A partial aggregate climbing the hierarchical aggregation tree.
     AggUp {
@@ -119,7 +121,7 @@ impl Wire for PierMsg {
     fn wire_size(&self) -> usize {
         match self {
             PierMsg::Dht(m) => m.wire_size(),
-            PierMsg::Result { row, .. } => pier_dht::msg::HEADER_BYTES + 16 + row.wire_size(),
+            PierMsg::Result { row, .. } => pier_dht::msg::HEADER_BYTES + 16 + row.wire(),
             PierMsg::AggUp { group, accs, .. } => {
                 pier_dht::msg::HEADER_BYTES
                     + 8
@@ -138,7 +140,7 @@ mod tests {
     #[test]
     fn padded_result_tuple_is_1kb_on_the_wire() {
         // The workload pads result tuples to 1 KB via R.pad (§5.1).
-        let row = tuple![1i64, 2i64, Value::Pad(1000)];
+        let row = FlatRow::from_tuple(&tuple![1i64, 2i64, Value::Pad(1000)]);
         let msg = PierMsg::Result {
             qid: 1,
             ident: 0,
@@ -159,7 +161,7 @@ mod tests {
             qid: 1,
             side: Side::Left,
             join: Value::I64(2),
-            row: tuple![1i64, 2i64, 3i64, Value::Pad(1000)],
+            row: FlatRow::from_tuple(&tuple![1i64, 2i64, 3i64, Value::Pad(1000)]),
         };
         assert!(mini.wire_size() * 10 < tagged.wire_size());
     }

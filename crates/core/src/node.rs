@@ -25,7 +25,7 @@ use crate::plan::{
     qns, AggSpec, JoinSpec, JoinStrategy, MultiJoinSpec, PipelineSchema, QueryDesc, QueryOp,
     ScanSpec,
 };
-use crate::tuple::Tuple;
+use crate::tuple::{FlatRow, Tuple};
 use crate::value::Value;
 
 /// Adapter: the DHT sublayer speaks `DhtMsg<QpItem>`, wrapped in
@@ -390,7 +390,7 @@ impl PierNode {
         for row in rows {
             let rid = row.get(pkey_col).hash64();
             let iid = self.fresh_iid();
-            let item = QpItem::Row(row);
+            let item = QpItem::Row(FlatRow::from_tuple(&row));
             self.dht
                 .put(&mut env, ns, rid, iid, item.clone(), lifetime, &mut events);
             self.published.push(PubRecord {
@@ -849,7 +849,7 @@ impl PierNode {
             .lscan(scan.ns)
             .filter(|e| e.expires > now)
             .filter_map(|e| match &e.val {
-                QpItem::Row(t) => Some((e.iid, e.expires, t.clone())),
+                QpItem::Row(t) => Some((e.iid, e.expires, t.decode())),
                 _ => None,
             })
             .filter(|(_, _, t)| scan.pred.as_ref().is_none_or(|p| p.matches(t)))
@@ -929,7 +929,7 @@ impl PierNode {
                     qid,
                     side,
                     join,
-                    row: projected,
+                    row: FlatRow::from_tuple(&projected),
                 };
                 Some((rid, iid, item))
             })
@@ -953,7 +953,7 @@ impl PierNode {
             QpItem::Tagged {
                 side, join, row, ..
             } => {
-                let (side, join, row) = (*side, join.clone(), row.clone());
+                let (side, join, row) = (*side, join.clone(), row.decode());
                 self.probe_tagged(
                     ctx,
                     qid,
@@ -1016,7 +1016,7 @@ impl PierNode {
                     join: jv,
                     row: r,
                     ..
-                } if *s == side.opposite() && jv == join => Some((e.iid, r.clone(), e.expires)),
+                } if *s == side.opposite() && jv == join => Some((e.iid, r.decode(), e.expires)),
                 _ => None,
             })
             .collect();
@@ -1109,7 +1109,7 @@ impl PierNode {
                         qid,
                         side,
                         join,
-                        row: row.project(keep),
+                        row: FlatRow::from_tuple(&row.project(keep)),
                     },
                 )
             })
@@ -1150,7 +1150,7 @@ impl PierNode {
             qid,
             side,
             join: join.clone(),
-            row: row.project(view.keep_for_table(t)),
+            row: FlatRow::from_tuple(&row.project(view.keep_for_table(t))),
         };
         let rid = join.hash64();
         self.record_rehash(qid, ns, rid, iid, &item);
@@ -1170,7 +1170,7 @@ impl PierNode {
         else {
             return;
         };
-        let (side, join, row) = (*side, join.clone(), row.clone());
+        let (side, join, row) = (*side, join.clone(), row.decode());
         let Some(m) = self.mj_spec(qid) else { return };
         let Some(view) = self.reg.queries.get(&qid).and_then(|i| i.view.clone()) else {
             return;
@@ -1187,7 +1187,7 @@ impl PierNode {
                     join: jv,
                     row: r,
                     ..
-                } if *s == side.opposite() && jv == &join => Some((e.iid, r.clone(), e.expires)),
+                } if *s == side.opposite() && jv == &join => Some((e.iid, r.decode(), e.expires)),
                 _ => None,
             })
             .collect();
@@ -1257,7 +1257,7 @@ impl PierNode {
                 qid,
                 side: Side::Left,
                 join: join.clone(),
-                row,
+                row: FlatRow::from_tuple(&row),
             };
             let ns = qns::stage(qid, k + 1);
             let rid = join.hash64();
@@ -1332,7 +1332,7 @@ impl PierNode {
                 } else {
                     (rb, ra)
                 };
-                let joined = l.concat(r);
+                let joined = l.decode().concat(&r.decode());
                 let stage = &view.stages[k];
                 if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                     let lifetime = entries[i].expires.min(entries[j].expires).since(ctx.now);
@@ -1402,9 +1402,10 @@ impl PierNode {
         let initiator = inst.desc.initiator;
         let join = left_row.get(j.left.join_col.unwrap()).clone();
         for e in items {
-            let QpItem::Row(right_row) = &e.val else {
+            let QpItem::Row(right_flat) = &e.val else {
                 continue;
             };
+            let right_row = &right_flat.decode();
             // "Selections on non-DHT attributes cannot be pushed into the
             // DHT": the right-side predicate is evaluated here, after the
             // fetch (§4.1).
@@ -1600,7 +1601,7 @@ impl PierNode {
         let rows: Vec<Tuple> = items
             .iter()
             .filter_map(|e| match &e.val {
-                QpItem::Row(t) => Some(t.clone()),
+                QpItem::Row(t) => Some(t.decode()),
                 _ => None,
             })
             .collect();
@@ -2048,7 +2049,7 @@ impl PierNode {
             return;
         }
         let QpItem::Row(row) = &entry.val else { return };
-        let row = row.clone();
+        let row = row.decode();
         let initiator = inst.desc.initiator;
         let window = inst.desc.window;
         match inst.desc.op.clone() {
@@ -2120,7 +2121,7 @@ impl PierNode {
             qid,
             side,
             join,
-            row: row.project(keep),
+            row: FlatRow::from_tuple(&row.project(keep)),
         };
         let ns = qns::rehash(qid);
         self.record_rehash(qid, ns, rid, iid, &item);
@@ -2201,7 +2202,7 @@ impl PierNode {
                 } else {
                     (rb, ra)
                 };
-                let joined = l.concat(r);
+                let joined = l.decode().concat(&r.decode());
                 let stage = &view.stages[0];
                 if stage.pred.as_ref().is_none_or(|p| p.matches(&joined)) {
                     let shipped = joined.project(&stage.emit);
@@ -2273,6 +2274,7 @@ impl PierNode {
                 self.results.entry(qid).or_default().push((ctx.now, row));
             }
         } else {
+            let row = FlatRow::from_tuple(&row);
             ctx.send(initiator, PierMsg::Result { qid, ident, row });
         }
     }
@@ -2321,7 +2323,10 @@ impl App for PierNode {
             }
             PierMsg::Result { qid, ident, row } => {
                 if self.record_result(qid, ident) {
-                    self.results.entry(qid).or_default().push((ctx.now, row));
+                    self.results
+                        .entry(qid)
+                        .or_default()
+                        .push((ctx.now, row.decode()));
                 }
             }
             PierMsg::AggUp { qid, group, accs } => self.on_agg_up(qid, group, accs),

@@ -1,5 +1,6 @@
-//! Tuples and schemas.
+//! Tuples, schemas, and the flat wire encoding.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
@@ -47,6 +48,182 @@ impl Tuple {
     /// Wire bytes: values plus a small per-tuple header.
     pub fn wire_size(&self) -> usize {
         TUPLE_HEADER_BYTES + self.vals.iter().map(Value::wire_size).sum::<usize>()
+    }
+
+    /// Append the flat encoding of this tuple to `buf` (see [`FlatRow`]
+    /// for the layout). The buffer is reusable across calls; nothing
+    /// before its current length is touched.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.vals.len() as u32).to_le_bytes());
+        for v in &self.vals {
+            match v {
+                Value::Null => buf.push(TAG_NULL),
+                Value::Bool(false) => buf.push(TAG_FALSE),
+                Value::Bool(true) => buf.push(TAG_TRUE),
+                Value::I64(i) => {
+                    buf.push(TAG_I64);
+                    buf.extend_from_slice(&i.to_le_bytes());
+                }
+                Value::F64(f) => {
+                    buf.push(TAG_F64);
+                    buf.extend_from_slice(&f.to_bits().to_le_bytes());
+                }
+                Value::Str(s) => {
+                    buf.push(TAG_STR);
+                    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(s.as_bytes());
+                }
+                Value::Pad(n) => {
+                    buf.push(TAG_PAD);
+                    buf.extend_from_slice(&n.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode one tuple from the front of `bytes`; returns the tuple and
+    /// the number of bytes consumed. `None` on a malformed buffer.
+    pub fn decode_from(bytes: &[u8]) -> Option<(Tuple, usize)> {
+        let mut pos = 0usize;
+        let arity = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let tag = *bytes.get(pos)?;
+            pos += 1;
+            vals.push(match tag {
+                TAG_NULL => Value::Null,
+                TAG_FALSE => Value::Bool(false),
+                TAG_TRUE => Value::Bool(true),
+                TAG_I64 => {
+                    let v = i64::from_le_bytes(bytes.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    Value::I64(v)
+                }
+                TAG_F64 => {
+                    let v = u64::from_le_bytes(bytes.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    Value::F64(f64::from_bits(v))
+                }
+                TAG_STR => {
+                    let len =
+                        u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+                    pos += 4;
+                    let s = std::str::from_utf8(bytes.get(pos..pos + len)?).ok()?;
+                    pos += len;
+                    Value::Str(Arc::from(s))
+                }
+                TAG_PAD => {
+                    let n = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?);
+                    pos += 4;
+                    Value::Pad(n)
+                }
+                _ => return None,
+            });
+        }
+        Some((Tuple::new(vals), pos))
+    }
+}
+
+// Per-value tag bytes of the flat encoding.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_PAD: u8 = 6;
+
+/// Wire bytes of one encoded tuple, derived by walking the *encoded*
+/// layout with the same per-value model as [`Value::wire_size`] (Null
+/// and Bool 1, I64/F64 8, Str 4+len, Pad n, plus the tuple header).
+/// Deriving it from the bytes — rather than carrying a separate count —
+/// is what keeps traffic accounting and the shipped representation from
+/// ever drifting apart.
+pub fn wire_of_encoded(bytes: &[u8]) -> Option<usize> {
+    let mut pos = 4usize;
+    let arity = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+    let mut wire = TUPLE_HEADER_BYTES;
+    for _ in 0..arity {
+        let tag = *bytes.get(pos)?;
+        pos += 1;
+        match tag {
+            TAG_NULL | TAG_FALSE | TAG_TRUE => wire += 1,
+            TAG_I64 | TAG_F64 => {
+                pos += 8;
+                wire += 8;
+            }
+            TAG_STR => {
+                let len = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+                pos += 4 + len;
+                wire += 4 + len;
+            }
+            TAG_PAD => {
+                let n = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+                pos += 4;
+                wire += n;
+            }
+            _ => return None,
+        }
+    }
+    (pos <= bytes.len()).then_some(wire)
+}
+
+thread_local! {
+    /// Reusable encode scratch: one heap buffer per thread serves every
+    /// [`FlatRow::from_tuple`] on the publish/rehash/ship hot paths.
+    static ENCODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A tuple in flat wire form: the shipped representation of every row
+/// that enters the DHT (rehash, stage republish, initiator ship).
+/// Cloning is a refcount bump — renewing, replicating, or re-homing a
+/// published row never re-copies its values — and `wire` caches the
+/// byte count [`wire_of_encoded`] derives from the same layout, so the
+/// traffic model cannot disagree with what is actually shipped.
+#[derive(Clone)]
+pub struct FlatRow {
+    bytes: Arc<[u8]>,
+    wire: u32,
+}
+
+impl FlatRow {
+    /// Encode a tuple through the thread-local scratch buffer.
+    pub fn from_tuple(t: &Tuple) -> FlatRow {
+        ENCODE_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            t.encode_into(&mut buf);
+            let wire = wire_of_encoded(&buf).expect("self-produced encoding is well-formed");
+            debug_assert_eq!(wire, t.wire_size());
+            FlatRow {
+                bytes: Arc::from(&buf[..]),
+                wire: wire as u32,
+            }
+        })
+    }
+
+    /// Materialize the tuple (probe and match sites).
+    pub fn decode(&self) -> Tuple {
+        Tuple::decode_from(&self.bytes)
+            .expect("FlatRow holds a well-formed encoding")
+            .0
+    }
+
+    /// Wire bytes of the row, identical to `self.decode().wire_size()`.
+    pub fn wire(&self) -> usize {
+        self.wire as usize
+    }
+
+    /// The raw encoded bytes.
+    pub fn encoded(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for FlatRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlatRow({})", self.decode())
     }
 }
 
@@ -226,5 +403,63 @@ mod tests {
     fn tuple_wire_size_sums_values() {
         let t = tuple![1i64, 2i64];
         assert_eq!(t.wire_size(), 4 + 16);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_value_shapes() {
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I64(-42),
+            Value::F64(2.5),
+            Value::str("héllo"),
+            Value::Pad(1000),
+        ]);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let (back, used) = Tuple::decode_from(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, t);
+        assert_eq!(wire_of_encoded(&buf), Some(t.wire_size()));
+    }
+
+    #[test]
+    fn flat_row_preserves_wire_size_and_values() {
+        let t = tuple![7i64, "key", Value::Pad(512)];
+        let flat = FlatRow::from_tuple(&t);
+        assert_eq!(flat.wire(), t.wire_size());
+        assert_eq!(flat.decode(), t);
+        // Clone shares the buffer (refcount bump, no re-encode).
+        let c = flat.clone();
+        assert!(std::ptr::eq(flat.encoded(), c.encoded()));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_garbage_buffers() {
+        let t = tuple![1i64, "abc"];
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(Tuple::decode_from(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut bad = buf.clone();
+        bad[4] = 0xEE; // unknown tag
+        assert!(Tuple::decode_from(&bad).is_none());
+        assert!(wire_of_encoded(&bad).is_none());
+    }
+
+    #[test]
+    fn encode_into_appends_without_clobbering() {
+        let a = tuple![1i64];
+        let b = tuple!["x"];
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        let split = buf.len();
+        b.encode_into(&mut buf);
+        let (da, ua) = Tuple::decode_from(&buf).unwrap();
+        assert_eq!((da, ua), (a, split));
+        let (db, _) = Tuple::decode_from(&buf[split..]).unwrap();
+        assert_eq!(db, b);
     }
 }

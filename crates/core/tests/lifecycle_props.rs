@@ -503,7 +503,8 @@ proptest! {
                     node.timer_action_count(),
                     residuals,
                 )
-            });
+            })
+            .expect("node alive");
             prop_assert_eq!(installed, 0, "node {} registry", i);
             prop_assert_eq!(timers, 0, "node {} timers", i);
             for (t, left) in residuals.into_iter().enumerate() {

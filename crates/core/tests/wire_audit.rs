@@ -9,7 +9,7 @@ use pier_core::expr::{Expr, Func};
 use pier_core::item::{QpItem, Side};
 use pier_core::plan::{JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, PipelineSchema, ScanSpec};
 use pier_core::tuple;
-use pier_core::tuple::{ColType, Tuple};
+use pier_core::tuple::{ColType, FlatRow, Tuple};
 use pier_core::value::Value;
 use pier_simnet::Wire;
 
@@ -61,7 +61,7 @@ fn symmetric_hash_rehash_bytes_reflect_dropped_columns() {
         qid: 1,
         side: Side::Left,
         join: Value::I64(3),
-        row: projected,
+        row: FlatRow::from_tuple(&projected),
     };
     assert_eq!(item.wire_size(), 11 + 8 + (4 + 3 * 8 + 1000));
     // S keeps pkey and num3: a 39-byte item instead of 47 unpruned.
@@ -70,7 +70,7 @@ fn symmetric_hash_rehash_bytes_reflect_dropped_columns() {
         qid: 1,
         side: Side::Right,
         join: Value::I64(3),
-        row: s_proj,
+        row: FlatRow::from_tuple(&s_proj),
     };
     assert_eq!(s_item.wire_size(), 11 + 8 + (4 + 2 * 8));
 }
@@ -92,7 +92,7 @@ fn semi_join_minis_are_constant_24_bytes_of_payload() {
 #[test]
 fn fetch_matches_moves_full_base_tuples() {
     // A get returns published rows; the query cannot prune those.
-    let fetched = QpItem::Row(s_row());
+    let fetched = QpItem::Row(FlatRow::from_tuple(&s_row()));
     assert_eq!(fetched.wire_size(), 2 + (4 + 3 * 8));
 }
 
@@ -135,7 +135,7 @@ fn stage_republish_bytes_exclude_the_pad() {
         qid: 1,
         side: Side::Left,
         join: mid.get(2).clone(),
-        row: mid,
+        row: FlatRow::from_tuple(&mid),
     };
     assert_eq!(republished.wire_size(), 11 + 8 + (4 + 3 * 8));
 }

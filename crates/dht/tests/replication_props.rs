@@ -212,7 +212,9 @@ fn cluster_kill_heals_from_replicas() {
     let victim = (1..n as NodeId)
         .max_by_key(|&i| cluster.call(i, move |node, _| node.dht.store.ns_len(ns)))
         .unwrap();
-    let lost = cluster.call(victim, move |node, _| node.dht.store.ns_len(ns));
+    let lost = cluster
+        .call(victim, move |node, _| node.dht.store.ns_len(ns))
+        .expect("victim alive before kill");
     assert!(lost > 0, "victim must hold items for the test to bite");
     cluster.kill(victim);
     // Detection (2 s) + takeover + anti-entropy, wall clock.
@@ -229,10 +231,14 @@ fn cluster_kill_heals_from_replicas() {
         }
     });
     std::thread::sleep(std::time::Duration::from_millis(1500));
-    let answered = cluster.call(0, |node, _| {
-        node.events_where(|e| matches!(e, DhtEvent::GetResult { items, .. } if !items.is_empty()))
+    let answered = cluster
+        .call(0, |node, _| {
+            node.events_where(
+                |e| matches!(e, DhtEvent::GetResult { items, .. } if !items.is_empty()),
+            )
             .count()
-    });
+        })
+        .expect("querying node alive");
     cluster.shutdown();
     assert_eq!(answered, 30, "every item must survive the kill at k = 2");
 }

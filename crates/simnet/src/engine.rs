@@ -6,7 +6,7 @@
 //! costs of query processing are ignored, and cross-traffic does not
 //! exist, matching the paper's two stated simplifications.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -55,27 +55,176 @@ enum EventKind<M> {
     Timer { node: NodeId, token: u64 },
 }
 
-struct Event<M> {
-    at: Time,
-    seq: u64,
-    kind: EventKind<M>,
+/// Log2 of the calendar-bucket width in µs: 2^14 µs ≈ 16.4 ms.
+const BUCKET_BITS: u32 = 14;
+/// Ring size: 4096 buckets ≈ 67 s of horizon, comfortably past the
+/// dominant timer periods (soft-state renewal, heartbeats, epochs).
+const N_BUCKETS: usize = 4096;
+
+fn bucket_of(at: Time) -> u64 {
+    at.as_micros() >> BUCKET_BITS
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// A queue entry: ordering key plus the index of the event payload in
+/// the [`EventSlab`]. Ord derives on field order, so (at, seq) decides
+/// and `slot` never ties (seq is unique).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvRef {
+    at: Time,
+    seq: u64,
+    slot: u32,
+}
+
+/// Pooled event payloads: freed slots are recycled so the steady-state
+/// hot path (timer fires, re-arms; message delivered, reply sent) does
+/// not touch the allocator.
+struct EventSlab<M> {
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> EventSlab<M> {
+    fn new() -> Self {
+        EventSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, kind: EventKind<M>) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(kind);
+            i
+        } else {
+            self.slots.push(Some(kind));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn take(&mut self, i: u32) -> EventKind<M> {
+        let kind = self.slots[i as usize].take().expect("slab slot live");
+        self.free.push(i);
+        kind
+    }
+
+    fn get(&self, i: u32) -> &EventKind<M> {
+        self.slots[i as usize].as_ref().expect("slab slot live")
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Two-level calendar queue: a ring of 16.4 ms buckets covering the
+/// next ~67 s, plus an overflow heap for events beyond the horizon.
+/// Only the *current* bucket is kept sorted (descending, popped from
+/// the back); other ring buckets are unsorted append targets, so the
+/// common enqueue is O(1) instead of the binary heap's O(log n).
+///
+/// Invariants: every ring event's absolute bucket lies in
+/// `[cursor, cursor + N_BUCKETS)`; every `far` event's bucket lies at
+/// or beyond `cursor + N_BUCKETS`; all buckets below `cursor` are
+/// empty. `peek` is read-only — the cursor commits forward only in
+/// `pop`, so pushes racing a raised wall clock (e.g. after `run_until`
+/// advanced `now` past the last event) still land correctly.
+struct CalendarQueue {
+    ring: Vec<Vec<EvRef>>,
+    far: BinaryHeap<Reverse<EvRef>>,
+    /// Absolute bucket index of the current (sorted) bucket.
+    cursor: u64,
+    /// Events resident in the ring (excludes `far`).
+    ring_len: usize,
 }
-impl<M> Ord for Event<M> {
-    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+impl CalendarQueue {
+    fn new() -> Self {
+        CalendarQueue {
+            ring: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
+            far: BinaryHeap::new(),
+            cursor: 0,
+            ring_len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ring_len == 0 && self.far.is_empty()
+    }
+
+    fn push(&mut self, ev: EvRef) {
+        let b = bucket_of(ev.at);
+        debug_assert!(b >= self.cursor, "push into the past");
+        if b >= self.cursor + N_BUCKETS as u64 {
+            self.far.push(Reverse(ev));
+            return;
+        }
+        let slot = (b % N_BUCKETS as u64) as usize;
+        if b == self.cursor {
+            // Keep the current bucket sorted descending (pop from back).
+            let v = &mut self.ring[slot];
+            let idx = v.partition_point(|e| *e > ev);
+            v.insert(idx, ev);
+        } else {
+            self.ring[slot].push(ev);
+        }
+        self.ring_len += 1;
+    }
+
+    /// Earliest pending event, without moving the cursor.
+    fn peek(&self) -> Option<EvRef> {
+        if self.ring_len == 0 {
+            return self.far.peek().map(|r| r.0);
+        }
+        let mut b = self.cursor;
+        loop {
+            let v = &self.ring[(b % N_BUCKETS as u64) as usize];
+            if !v.is_empty() {
+                return if b == self.cursor {
+                    v.last().copied()
+                } else {
+                    v.iter().min().copied()
+                };
+            }
+            b += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<EvRef> {
+        if self.ring_len == 0 {
+            // Far-jump: the ring is empty, so the earliest overflow
+            // event defines the new current bucket.
+            let Reverse(min) = *self.far.peek()?;
+            self.advance_to(bucket_of(min.at));
+        } else if self.ring[(self.cursor % N_BUCKETS as u64) as usize].is_empty() {
+            let mut b = self.cursor + 1;
+            while self.ring[(b % N_BUCKETS as u64) as usize].is_empty() {
+                b += 1;
+            }
+            self.advance_to(b);
+        }
+        let slot = (self.cursor % N_BUCKETS as u64) as usize;
+        let ev = self.ring[slot].pop()?;
+        self.ring_len -= 1;
+        Some(ev)
+    }
+
+    /// Commit the cursor to bucket `b`: refill the ring from the
+    /// overflow heap up to the new horizon, then sort the new current
+    /// bucket. Refilled events land only in slots whose previous
+    /// absolute buckets (all `< b`) are already empty, so no slot ever
+    /// mixes two absolute buckets.
+    fn advance_to(&mut self, b: u64) {
+        debug_assert!(b >= self.cursor);
+        self.cursor = b;
+        let horizon = self.cursor + N_BUCKETS as u64;
+        while self
+            .far
+            .peek()
+            .is_some_and(|Reverse(ev)| bucket_of(ev.at) < horizon)
+        {
+            let Reverse(ev) = self.far.pop().expect("peeked above");
+            let slot = (bucket_of(ev.at) % N_BUCKETS as u64) as usize;
+            self.ring[slot].push(ev);
+            self.ring_len += 1;
+        }
+        let slot = (self.cursor % N_BUCKETS as u64) as usize;
+        self.ring[slot].sort_unstable_by(|a, b| b.cmp(a));
     }
 }
 
@@ -95,11 +244,13 @@ pub struct Sim<A: App> {
     cfg: NetConfig,
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Event<A::Msg>>,
+    queue: CalendarQueue,
+    slab: EventSlab<A::Msg>,
     nodes: Vec<Slot<A>>,
     stats: NetStats,
     events_processed: u64,
     scratch: Vec<Action<A::Msg>>,
+    batch: Vec<(NodeId, A::Msg)>,
 }
 
 impl<A: App> Sim<A> {
@@ -108,11 +259,13 @@ impl<A: App> Sim<A> {
             cfg,
             now: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
+            slab: EventSlab::new(),
             nodes: Vec::new(),
             stats: NetStats::new(0),
             events_processed: 0,
             scratch: Vec::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -145,6 +298,29 @@ impl<A: App> Sim<A> {
 
     pub fn alive(&self, id: NodeId) -> bool {
         self.nodes.get(id as usize).is_some_and(|s| s.app.is_some())
+    }
+
+    /// Re-seat a previously failed node with a fresh automaton — a new
+    /// process joining at the same address. The RNG is reseeded exactly
+    /// as in [`Self::add_node`] (revival is deterministic) and the
+    /// inbound link starts idle. Returns `false` if `id` never existed
+    /// or is still alive.
+    pub fn revive(&mut self, id: NodeId, app: A) -> bool {
+        let Some(slot) = self.nodes.get_mut(id as usize) else {
+            return false;
+        };
+        if slot.app.is_some() {
+            return false;
+        }
+        slot.app = Some(app);
+        slot.rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_add((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        slot.inbound_free = self.now;
+        self.dispatch(id, |app, ctx| app.on_start(ctx));
+        true
     }
 
     /// Open (`true`) or close (`false`) a message-drop window on a
@@ -244,6 +420,10 @@ impl<A: App> Sim<A> {
         let link_arrival = self.now + latency;
         let deliver_at = match self.cfg.inbound_bps {
             None => link_arrival,
+            // A dead destination's link must not stay "busy": the drop
+            // is classified at propagation arrival and no bandwidth is
+            // reserved, so a later revival at this id starts clean.
+            Some(_) if !self.alive(to) => link_arrival,
             Some(bps) => {
                 let bytes = msg.wire_size();
                 let transmit = Dur::from_secs_f64(bytes as f64 * 8.0 / bps);
@@ -259,14 +439,20 @@ impl<A: App> Sim<A> {
 
     fn push_event(&mut self, at: Time, kind: EventKind<A::Msg>) {
         self.seq += 1;
-        self.queue.push(Event {
+        let slot = self.slab.alloc(kind);
+        self.queue.push(EvRef {
             at,
             seq: self.seq,
-            kind,
+            slot,
         });
     }
 
-    /// Process a single event. Returns `false` when the queue is empty.
+    /// Process the next event — and, for a delivery, the maximal run of
+    /// immediately following same-instant deliveries to the same node,
+    /// dispatched through one borrow of the receiver. Order, stats, and
+    /// seq assignment are identical to one-at-a-time processing because
+    /// handler actions always enqueue at strictly higher seq than every
+    /// batch member. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
@@ -274,9 +460,12 @@ impl<A: App> Sim<A> {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.events_processed += 1;
-        match ev.kind {
+        match self.slab.take(ev.slot) {
             EventKind::Deliver { from, to, msg } => {
+                // Aliveness is constant across the batch: handlers
+                // cannot fail nodes, and nothing else runs in between.
                 let alive = self.alive(to);
+                let mut batch = std::mem::take(&mut self.batch);
                 if from != to {
                     if alive {
                         self.stats.record_delivery(to, msg.wire_size());
@@ -284,15 +473,62 @@ impl<A: App> Sim<A> {
                         self.stats.dropped_to_failed += 1;
                     }
                 }
-                if alive {
-                    self.dispatch(to, |app, ctx| app.on_message(ctx, from, msg));
+                batch.push((from, msg));
+                while self.queue.peek().is_some_and(|next| {
+                    next.at == ev.at
+                        && matches!(
+                            self.slab.get(next.slot),
+                            EventKind::Deliver { to: t, .. } if *t == to
+                        )
+                }) {
+                    let next = self.queue.pop().expect("peeked above");
+                    let EventKind::Deliver { from, msg, .. } = self.slab.take(next.slot) else {
+                        unreachable!("peek matched a delivery");
+                    };
+                    self.events_processed += 1;
+                    if from != to {
+                        if alive {
+                            self.stats.record_delivery(to, msg.wire_size());
+                        } else {
+                            self.stats.dropped_to_failed += 1;
+                        }
+                    }
+                    batch.push((from, msg));
                 }
+                if alive {
+                    self.dispatch_batch(to, &mut batch);
+                } else {
+                    batch.clear();
+                }
+                self.batch = batch;
             }
             EventKind::Timer { node, token } => {
                 self.dispatch(node, |app, ctx| app.on_timer(ctx, token));
             }
         }
         true
+    }
+
+    /// Deliver a batch of same-instant messages through a single `Ctx`,
+    /// applying the accumulated actions once, in handler order.
+    fn dispatch_batch(&mut self, to: NodeId, batch: &mut Vec<(NodeId, A::Msg)>) {
+        let Some(slot) = self.nodes.get_mut(to as usize) else {
+            batch.clear();
+            return;
+        };
+        let Some(app) = slot.app.as_mut() else {
+            batch.clear();
+            return;
+        };
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Ctx::new(self.now, to, &mut slot.rng, &mut actions);
+            for (from, msg) in batch.drain(..) {
+                app.on_message(&mut ctx, from, msg);
+            }
+        }
+        self.apply_actions(to, &mut actions);
+        self.scratch = actions;
     }
 
     /// Run until the clock reaches `deadline` (events at exactly
@@ -314,7 +550,7 @@ impl<A: App> Sim<A> {
         self.run_until(deadline);
     }
 
-    /// Run until no events remain or `max_events` more have been handled.
+    /// Run until no events remain or `max_events` more steps have run.
     pub fn run_idle(&mut self, max_events: u64) -> bool {
         for _ in 0..max_events {
             if !self.step() {
@@ -526,6 +762,155 @@ mod tests {
         sim.run_idle(10);
         assert_eq!(sim.app(n).unwrap().fired.len(), 3);
         assert_eq!(sim.now(), Time(3_000_000));
+    }
+
+    #[test]
+    fn dead_destination_skips_the_flow_model() {
+        // Two 1.25 MB blasts at a dead sink. Pre-fix, each reserved a
+        // second of the dead node's inbound link, so the drops landed
+        // at 1.1 s and 2.1 s and the link stayed "busy"; post-fix both
+        // are classified at propagation arrival (0.1 s).
+        struct Blast {
+            target: Option<NodeId>,
+        }
+        impl App for Blast {
+            type Msg = Num;
+            fn on_start(&mut self, ctx: &mut Ctx<Num>) {
+                if let Some(t) = self.target {
+                    ctx.send(t, Num(0, 1_250_000));
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<Num>, _from: NodeId, _msg: Num) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<Num>, _token: u64) {}
+        }
+        let mut sim: Sim<Blast> = Sim::new(mesh_cfg(Some(10e6)));
+        let sink = sim.add_node(Blast { target: None });
+        sim.fail_node(sink);
+        sim.add_node(Blast { target: Some(sink) });
+        sim.add_node(Blast { target: Some(sink) });
+        sim.run_idle(100);
+        assert_eq!(sim.stats().dropped_to_failed, 2);
+        assert_eq!(sim.now(), Time::from_secs_f64(0.1));
+    }
+
+    #[test]
+    fn revive_reseats_a_failed_node() {
+        let mut sim = Sim::new(mesh_cfg(Some(10e6)));
+        let responder = sim.add_node(Ping {
+            peer: None,
+            echo_at: None,
+            got: vec![],
+        });
+        let initiator = sim.add_node(Ping {
+            peer: Some(responder),
+            echo_at: None,
+            got: vec![],
+        });
+        assert!(!sim.revive(
+            responder,
+            Ping {
+                peer: None,
+                echo_at: None,
+                got: vec![],
+            }
+        )); // still alive
+        sim.fail_node(responder);
+        sim.run_idle(100);
+        assert_eq!(sim.stats().dropped_to_failed, 1);
+        assert!(sim.revive(
+            responder,
+            Ping {
+                peer: None,
+                echo_at: None,
+                got: vec![],
+            }
+        ));
+        assert!(sim.alive(responder));
+        // A fresh ping now round-trips against the revived state.
+        sim.with_app(initiator, |app, ctx| {
+            let peer = app.peer.unwrap();
+            ctx.send(peer, Num(1, 100));
+        });
+        sim.run_idle(100);
+        assert_eq!(sim.app(responder).unwrap().got.len(), 1);
+        assert_eq!(sim.app(initiator).unwrap().got.len(), 1);
+        assert!(!sim.revive(
+            999,
+            Ping {
+                peer: None,
+                echo_at: None,
+                got: vec![],
+            }
+        )); // never existed
+    }
+
+    #[test]
+    fn far_horizon_timers_survive_the_ring() {
+        // 120 s and 200 s are beyond the ~67 s calendar horizon, so
+        // these park in the overflow heap and must refill correctly.
+        struct Timers {
+            fired: Vec<(Time, u64)>,
+        }
+        impl App for Timers {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                ctx.set_timer(Dur::from_secs(200), 200);
+                ctx.set_timer(Dur::from_secs(1), 1);
+                ctx.set_timer(Dur::from_secs(120), 120);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<()>, token: u64) {
+                self.fired.push((ctx.now, token));
+            }
+        }
+        let mut sim: Sim<Timers> = Sim::new(mesh_cfg(None));
+        let n = sim.add_node(Timers { fired: vec![] });
+        sim.run_idle(10);
+        assert_eq!(
+            sim.app(n).unwrap().fired,
+            vec![
+                (Time(1_000_000), 1),
+                (Time(120_000_000), 120),
+                (Time(200_000_000), 200),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_deliveries_batch_in_seq_order() {
+        struct Tell {
+            target: Option<NodeId>,
+            got: Vec<(Time, NodeId)>,
+        }
+        impl App for Tell {
+            type Msg = Num;
+            fn on_start(&mut self, ctx: &mut Ctx<Num>) {
+                if let Some(t) = self.target {
+                    ctx.send(t, Num(0, 100));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<Num>, from: NodeId, _msg: Num) {
+                self.got.push((ctx.now, from));
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<Num>, _token: u64) {}
+        }
+        let mut sim: Sim<Tell> = Sim::new(mesh_cfg(None));
+        let sink = sim.add_node(Tell {
+            target: None,
+            got: vec![],
+        });
+        for _ in 0..3 {
+            sim.add_node(Tell {
+                target: Some(sink),
+                got: vec![],
+            });
+        }
+        sim.run_idle(100);
+        // All three arrive at the same instant and must be handled in
+        // send (seq) order even though they form one dispatch batch.
+        let got = &sim.app(sink).unwrap().got;
+        let t = Time::from_secs_f64(0.1);
+        assert_eq!(got, &vec![(t, 1), (t, 2), (t, 3)]);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct ClusterStats {
     /// Messages discarded by an injected message-drop window
     /// ([`Cluster::set_inbound_drop`]).
     pub dropped_in_window: AtomicU64,
+    /// Messages addressed to a killed node, classified at send time —
+    /// the same bucket the simulator uses, and *not* counted as
+    /// `messages`/`bytes`, so traffic headlines agree across engines.
+    pub dropped_to_failed: AtomicU64,
 }
 
 /// A running set of node threads.
@@ -53,6 +57,10 @@ where
     /// checked at send time — the threaded twin of the simulator's
     /// [`crate::Sim::set_inbound_drop`].
     drop_inbound: Arc<Vec<AtomicBool>>,
+    /// Per-node kill flags, checked before every dispatch so death is
+    /// abrupt (the threaded twin of [`crate::Sim::fail_node`]) and by
+    /// senders to classify traffic to dead nodes.
+    killed: Arc<Vec<AtomicBool>>,
 }
 
 impl<A: App + Send + 'static> Cluster<A>
@@ -67,6 +75,8 @@ where
         let stats = Arc::new(ClusterStats::default());
         let drop_inbound: Arc<Vec<AtomicBool>> =
             Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        let killed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -80,6 +90,7 @@ where
             let peers = senders.clone();
             let stats = Arc::clone(&stats);
             let drop_flags = Arc::clone(&drop_inbound);
+            let kill_flags = Arc::clone(&killed);
             let handle = std::thread::Builder::new()
                 .name(format!("pier-node-{i}"))
                 .spawn(move || {
@@ -101,10 +112,15 @@ where
                                         stats.dropped_in_window.fetch_add(1, Ordering::Relaxed);
                                         continue;
                                     }
+                                    // Liveness first: traffic to a dead node
+                                    // is not traffic, it is a drop — exactly
+                                    // how the simulator classifies it.
+                                    if kill_flags[to as usize].load(Ordering::Relaxed) {
+                                        stats.dropped_to_failed.fetch_add(1, Ordering::Relaxed);
+                                        continue;
+                                    }
                                     stats.messages.fetch_add(1, Ordering::Relaxed);
                                     stats.bytes.fetch_add(msg.wire_size() as u64, Ordering::Relaxed);
-                                    // A send to a stopped node is dropped on
-                                    // the floor, like the simulator does.
                                     let _ = peers[to as usize].send(Envelope::Msg { from: me, msg });
                                 }
                                 Action::Timer { after, token } => {
@@ -124,7 +140,16 @@ where
                     }
                     flush(&mut app, &mut actions, &mut timers);
 
+                    // Death must be abrupt: the kill flag is checked
+                    // before *every* dispatch, so a killed node never
+                    // drains its backlog the way a queued `Stop` would
+                    // — matching `Sim::fail_node`, which freezes state
+                    // instantly.
+                    let dead = || kill_flags[me as usize].load(Ordering::Relaxed);
                     loop {
+                        if dead() {
+                            break;
+                        }
                         let timeout = timers
                             .peek()
                             .map(|std::cmp::Reverse((deadline, _))| {
@@ -133,10 +158,16 @@ where
                             .unwrap_or(Duration::from_millis(200));
                         match rx.recv_timeout(timeout) {
                             Ok(Envelope::Msg { from, msg }) => {
+                                if dead() {
+                                    break;
+                                }
                                 let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
                                 app.on_message(&mut ctx, from, msg);
                             }
                             Ok(Envelope::Call(f)) => {
+                                if dead() {
+                                    break;
+                                }
                                 let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
                                 f(&mut app, &mut ctx);
                             }
@@ -148,7 +179,7 @@ where
                         // Fire all due timers.
                         while let Some(std::cmp::Reverse((deadline, token))) = timers.peek().copied()
                         {
-                            if deadline > Instant::now() {
+                            if deadline > Instant::now() || dead() {
                                 break;
                             }
                             timers.pop();
@@ -168,18 +199,31 @@ where
             start,
             stats,
             drop_inbound,
+            killed,
         }
     }
 
     /// Abruptly stop one node's thread — the cluster analogue of
-    /// [`crate::Sim::fail_node`]. In-flight and future messages to it
-    /// drain into its dead channel; peers observe silence, exactly the
-    /// ungraceful §5.6 failure. The thread's app is still collected at
-    /// [`Self::shutdown`] (its state is frozen at the kill instant).
+    /// [`crate::Sim::fail_node`]. The kill flag makes death immediate
+    /// (any backlogged inbox messages are never dispatched); the `Stop`
+    /// envelope just wakes the thread if it is blocked on its channel.
+    /// Peers observe silence, exactly the ungraceful §5.6 failure. The
+    /// thread's app is still collected at [`Self::shutdown`] (its state
+    /// is frozen at the kill instant).
     pub fn kill(&self, id: NodeId) {
-        if let Some(tx) = self.senders.get(id as usize) {
+        if let (Some(flag), Some(tx)) =
+            (self.killed.get(id as usize), self.senders.get(id as usize))
+        {
+            flag.store(true, Ordering::Relaxed);
             let _ = tx.send(Envelope::Stop);
         }
+    }
+
+    /// Has `id` not been killed? The threaded twin of [`crate::Sim::alive`].
+    pub fn alive(&self, id: NodeId) -> bool {
+        self.killed
+            .get(id as usize)
+            .is_some_and(|f| !f.load(Ordering::Relaxed))
     }
 
     /// Open or close a message-drop window on a node's inbound side
@@ -203,19 +247,38 @@ where
         Time(self.start.elapsed().as_micros() as u64)
     }
 
-    /// Run `f` on node `id`'s thread and wait for its result.
+    /// Run `f` on node `id`'s thread and wait for its result. Returns
+    /// `None` if the node has been killed (before or while the call was
+    /// in flight), matching [`crate::Sim::with_app`] on a failed node.
     pub fn call<R: Send + 'static>(
         &self,
         id: NodeId,
         f: impl FnOnce(&mut A, &mut Ctx<A::Msg>) -> R + Send + 'static,
-    ) -> R {
+    ) -> Option<R> {
+        if !self.alive(id) {
+            return None;
+        }
         let (tx, rx) = bounded(1);
-        self.senders[id as usize]
+        self.senders
+            .get(id as usize)?
             .send(Envelope::Call(Box::new(move |app, ctx| {
                 let _ = tx.send(f(app, ctx));
             })))
-            .expect("node thread alive");
-        rx.recv().expect("call reply")
+            .ok()?;
+        // A kill can land after the send but before the closure runs;
+        // in that case the envelope is never executed, so poll the kill
+        // flag instead of blocking on a reply that will not come.
+        loop {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(r) => return Some(r),
+                Err(RecvTimeoutError::Timeout) => {
+                    if !self.alive(id) {
+                        return None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
     }
 
     /// Fire-and-forget injection.
@@ -294,7 +357,7 @@ mod tests {
         // Wait until node 0 reports 3 laps (bounded busy-wait).
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            let laps = cluster.call(0, |app, _| app.laps);
+            let laps = cluster.call(0, |app, _| app.laps).unwrap();
             if laps >= 3 || Instant::now() > deadline {
                 break;
             }
@@ -317,13 +380,100 @@ mod tests {
             .collect();
         let cluster = Cluster::spawn(apps, 5);
         let deadline = Instant::now() + Duration::from_secs(5);
-        while cluster.call(0, |a, _| a.laps) < 3 && Instant::now() < deadline {
+        while cluster.call(0, |a, _| a.laps).unwrap() < 3 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
         let msgs = cluster.stats().messages.load(Ordering::Relaxed);
         let bytes = cluster.stats().bytes.load(Ordering::Relaxed);
         assert!(msgs >= 6, "messages {msgs}");
         assert_eq!(bytes, msgs * 64);
+        cluster.shutdown();
+    }
+
+    /// Counts delivered messages; sends nothing on its own.
+    struct Count {
+        seen: u32,
+    }
+    impl App for Count {
+        type Msg = Byte;
+        fn on_start(&mut self, _ctx: &mut Ctx<Byte>) {}
+        fn on_message(&mut self, _ctx: &mut Ctx<Byte>, _from: NodeId, _msg: Byte) {
+            self.seen += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<Byte>, _token: u64) {}
+    }
+
+    #[test]
+    fn kill_is_abrupt_even_with_a_loaded_inbox() {
+        // Pre-fix, `Envelope::Stop` queued *behind* the backlog, so a
+        // "killed" node processed all 500 pending messages before
+        // dying. The kill flag must make it process none of them.
+        let cluster = Cluster::spawn(vec![Count { seen: 0 }, Count { seen: 0 }], 7);
+        let parked = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&parked);
+        // Park the victim's thread so the backlog builds up behind a
+        // dispatch in progress.
+        cluster.cast(1, move |_, _| {
+            flag.store(true, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(150));
+        });
+        while !parked.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cluster
+            .call(0, |_, ctx| {
+                for _ in 0..500 {
+                    ctx.send(1, Byte(0));
+                }
+            })
+            .unwrap();
+        // Let node 0's flush actually enqueue the sends, then kill.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cluster.stats().messages.load(Ordering::Relaxed) < 500 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cluster.kill(1);
+        let apps = cluster.shutdown();
+        assert_eq!(apps[1].seen, 0, "killed node drained its inbox");
+    }
+
+    #[test]
+    fn sends_to_killed_nodes_classify_as_dropped_to_failed() {
+        // Pre-fix, `flush` counted messages/bytes before the channel
+        // send, so traffic to dead nodes inflated the headline stats
+        // that the simulator excludes.
+        let cluster = Cluster::spawn(vec![Count { seen: 0 }, Count { seen: 0 }], 9);
+        cluster.kill(1);
+        assert!(!cluster.alive(1));
+        cluster
+            .call(0, |_, ctx| {
+                for _ in 0..10 {
+                    ctx.send(1, Byte(0));
+                }
+            })
+            .unwrap();
+        // The sends flush on node 0's thread after the call returns.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cluster.stats().dropped_to_failed.load(Ordering::Relaxed) < 10
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            cluster.stats().dropped_to_failed.load(Ordering::Relaxed),
+            10
+        );
+        assert_eq!(cluster.stats().messages.load(Ordering::Relaxed), 0);
+        assert_eq!(cluster.stats().bytes.load(Ordering::Relaxed), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn call_on_a_killed_node_returns_none() {
+        let cluster = Cluster::spawn(vec![Count { seen: 0 }, Count { seen: 0 }], 13);
+        cluster.kill(1);
+        assert_eq!(cluster.call(1, |_, _| 42), None);
+        assert_eq!(cluster.call(0, |_, _| 42), Some(42));
         cluster.shutdown();
     }
 }

@@ -9,7 +9,9 @@ use pier::qp::testkit::*;
 use pier::qp::{PierNode, Tuple};
 use pier::simnet::threaded::Cluster;
 use pier::simnet::time::{Dur, Time};
-use pier::simnet::{Fault, FaultDriver, FaultScript, NetConfig, NodeId, Scheduled};
+use pier::simnet::{
+    App, Ctx, Fault, FaultDriver, FaultScript, NetConfig, NodeId, Scheduled, Sim, Wire,
+};
 use pier::workload::{RsParams, RsWorkload};
 use pier_dht::DhtConfig;
 
@@ -67,7 +69,9 @@ fn run_on_cluster(wl: &RsWorkload, n: usize) -> Vec<Tuple> {
     let mut stable = 0;
     for _ in 0..200 {
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let c = cluster.call(0, |node, _| node.query_results(1).len());
+        let c = cluster
+            .call(0, |node, _| node.query_results(1).len())
+            .expect("initiator alive");
         if c == last && c > 0 {
             stable += 1;
             if stable > 10 {
@@ -78,12 +82,14 @@ fn run_on_cluster(wl: &RsWorkload, n: usize) -> Vec<Tuple> {
         }
         last = c;
     }
-    let rows = cluster.call(0, |node, _| {
-        node.query_results(1)
-            .iter()
-            .map(|(_, r)| r.clone())
-            .collect::<Vec<_>>()
-    });
+    let rows = cluster
+        .call(0, |node, _| {
+            node.query_results(1)
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect::<Vec<_>>()
+        })
+        .expect("initiator alive");
     cluster.shutdown();
     rows
 }
@@ -177,4 +183,128 @@ fn fault_scripts_replay_identically_on_both_engines() {
         cluster_drv.trace(),
         "identical seed + script must trace identically on both engines"
     );
+}
+
+/// A silent automaton: it never sends on its own, so in the parity test
+/// below every counter movement is caused by an explicit probe.
+struct Quiet;
+
+#[derive(Clone, Debug)]
+struct Probe;
+impl Wire for Probe {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+impl App for Quiet {
+    type Msg = Probe;
+    fn on_start(&mut self, _ctx: &mut Ctx<Probe>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<Probe>, _from: NodeId, _msg: Probe) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<Probe>, _token: u64) {}
+}
+
+/// Both engines must *classify* identical sends identically under the
+/// same seeded `FaultScript`: a send to a live peer is traffic, a send
+/// to a killed node is `dropped_to_failed`, a send into an open drop
+/// window is `dropped_in_window`. Pre-fix, the Cluster counted
+/// dead-node sends as `messages`/`bytes` (incremented before the
+/// channel send) and had no `dropped_to_failed` bucket at all.
+#[test]
+fn stats_classify_identically_on_both_engines() {
+    use std::sync::atomic::Ordering;
+
+    // One scripted kill of node 2, plus a drop window [300 ms, 700 ms)
+    // on node 3. Probes: node 0 sends into the open window at script
+    // time 500 ms, then to a live node and the dead node at the end.
+    let script = FaultScript::churn(4242, Dur::from_secs(1), 1, &[2]).with_drop_window(
+        3,
+        Dur::from_millis(300),
+        Dur::from_millis(400),
+    );
+    assert_eq!(script.killed(), vec![2]);
+    let mid = Dur::from_millis(500);
+
+    // --- Simulator replay.
+    let mut sim: Sim<Quiet> = Sim::new(NetConfig::latency_only(7));
+    for _ in 0..4 {
+        sim.add_node(Quiet);
+    }
+    let mut drv = FaultDriver::new(script.clone());
+    sim.run_until(Time::ZERO + mid);
+    drv.advance(mid, |f| match *f {
+        Fault::Kill { node } => sim.fail_node(node),
+        Fault::DropStart { node } => sim.set_inbound_drop(node, true),
+        Fault::DropEnd { node } => sim.set_inbound_drop(node, false),
+    });
+    sim.with_app(0, |_, ctx| ctx.send(3, Probe)).unwrap();
+    while let Some(at) = drv.next_at() {
+        sim.run_until(Time::ZERO + at);
+        drv.advance(at, |f| match *f {
+            Fault::Kill { node } => sim.fail_node(node),
+            Fault::DropStart { node } => sim.set_inbound_drop(node, true),
+            Fault::DropEnd { node } => sim.set_inbound_drop(node, false),
+        });
+    }
+    sim.with_app(0, |_, ctx| {
+        ctx.send(1, Probe);
+        ctx.send(2, Probe);
+    })
+    .unwrap();
+    sim.run_idle(100);
+    let sim_counts = (
+        sim.stats().messages,
+        sim.stats().bytes,
+        sim.stats().dropped_to_failed,
+        sim.stats().dropped_in_window,
+    );
+
+    // --- Cluster replay: the driver is caller-clocked, so the same
+    // script *stages* replay deterministically against the wall clock.
+    let cluster = Cluster::spawn(vec![Quiet, Quiet, Quiet, Quiet], 7);
+    let mut drv = FaultDriver::new(script);
+    drv.advance(mid, |f| match *f {
+        Fault::Kill { node } => cluster.kill(node),
+        Fault::DropStart { node } => cluster.set_inbound_drop(node, true),
+        Fault::DropEnd { node } => cluster.set_inbound_drop(node, false),
+    });
+    cluster.call(0, |_, ctx| ctx.send(3, Probe)).unwrap();
+    // Sends flush on node 0's thread after the call returns: wait for
+    // the window drop to be accounted before healing the window.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while cluster.stats().dropped_in_window.load(Ordering::Relaxed) < 1
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    while let Some(at) = drv.next_at() {
+        drv.advance(at, |f| match *f {
+            Fault::Kill { node } => cluster.kill(node),
+            Fault::DropStart { node } => cluster.set_inbound_drop(node, true),
+            Fault::DropEnd { node } => cluster.set_inbound_drop(node, false),
+        });
+    }
+    cluster
+        .call(0, |_, ctx| {
+            ctx.send(1, Probe);
+            ctx.send(2, Probe);
+        })
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while (cluster.stats().messages.load(Ordering::Relaxed) < 1
+        || cluster.stats().dropped_to_failed.load(Ordering::Relaxed) < 1)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let cluster_counts = (
+        cluster.stats().messages.load(Ordering::Relaxed),
+        cluster.stats().bytes.load(Ordering::Relaxed),
+        cluster.stats().dropped_to_failed.load(Ordering::Relaxed),
+        cluster.stats().dropped_in_window.load(Ordering::Relaxed),
+    );
+    cluster.shutdown();
+
+    assert_eq!(sim_counts, (1, 64, 1, 1));
+    assert_eq!(sim_counts, cluster_counts);
 }

@@ -175,7 +175,9 @@ fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
     let mut stable = 0;
     for _ in 0..100 {
         std::thread::sleep(std::time::Duration::from_millis(40));
-        let c = cluster.call(0, |node, _| node.query_results(1).len());
+        let c = cluster
+            .call(0, |node, _| node.query_results(1).len())
+            .expect("initiator alive");
         if c == last && c > 0 {
             stable += 1;
             if stable > 5 {
@@ -186,12 +188,14 @@ fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
         }
         last = c;
     }
-    let times: Vec<_> = cluster.call(0, |node, _| {
-        node.query_results(1)
-            .iter()
-            .map(|(t, _)| *t)
-            .collect::<Vec<_>>()
-    });
+    let times: Vec<_> = cluster
+        .call(0, |node, _| {
+            node.query_results(1)
+                .iter()
+                .map(|(t, _)| *t)
+                .collect::<Vec<_>>()
+        })
+        .expect("initiator alive");
     cluster.shutdown();
     let mut rel: Vec<f64> = times
         .iter()

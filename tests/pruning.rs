@@ -103,16 +103,17 @@ fn pad_rides_no_intermediate_until_the_final_ship() {
                 let QpItem::Tagged { side, row, .. } = &e.val else {
                     continue;
                 };
+                let row = row.decode();
                 match side {
                     Side::Left => {
                         left_entries += 1;
                         assert!(
-                            !has_pad(row),
+                            !has_pad(&row),
                             "stage {k}: republished intermediate carries the pad"
                         );
                     }
                     Side::Right => {
-                        if has_pad(row) {
+                        if has_pad(&row) {
                             assert_eq!(k, n_stages - 1, "pad only in R's final-stage rehash");
                             right_pad_entries += 1;
                         }
