@@ -4,8 +4,28 @@
 //! Reports engine throughput (events processed per wall-clock second)
 //! and hard-asserts recall 1.0 vs the reference evaluator at every
 //! point — the 10^4-node run must complete *correctly*, not just fast.
+//!
+//! After the sequential ladder, the 10^4-node point is re-run through
+//! the sharded engine at W ∈ {1, 2, 4, …, `--shards N`} (default 4):
+//! every width must reproduce the sequential result rows and event
+//! count bit-for-bit, and on ≥ 4-core hosts W = 4 must reach ≥ 2.5×
+//! sequential throughput.
+//!
 //! Writes `results/BENCH_scaleup.json` (CI bench-trajectory artifact,
-//! gated Higher-is-better on `events_per_sec`).
+//! gated Higher-is-better on both `events_per_sec` and
+//! `events_per_sec_sharded`).
 fn main() {
-    pier_bench::experiments::scaleup();
+    let mut shards = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let v = args.next().expect("--shards needs a value");
+                shards = v.parse().expect("--shards must be a positive integer");
+                assert!(shards >= 1, "--shards must be >= 1");
+            }
+            other => panic!("unknown argument {other:?} (expected --shards N)"),
+        }
+    }
+    pier_bench::experiments::scaleup_with_shards(shards);
 }

@@ -4,14 +4,15 @@
 use pier_core::expr::Expr;
 use pier_core::plan::{AggCall, AggFunc, AggSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
 use pier_core::testkit::{
-    publish_round_robin, rows_of, run_query, settle_publish, stabilized_pier_sim,
+    publish_round_robin, rows_of, run_query, settle_publish, stabilized_pier_sharded,
+    stabilized_pier_sim, PierEngine,
 };
 use pier_core::{optimizer, PierNode};
 use pier_dht::{DhtConfig, OverlayKind};
 use pier_simnet::threaded::Cluster;
 use pier_simnet::time::{Dur, Time};
 use pier_simnet::topology::TransitStub;
-use pier_simnet::{Fault, FaultDriver, FaultScript, NetConfig, NodeId, Sim};
+use pier_simnet::{Fault, FaultDriver, FaultScript, NetConfig, NodeId, ShardMap, Sim};
 use pier_workload::{intrusion, RsParams, RsWorkload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -1338,39 +1339,66 @@ pub fn churn_slo() {
 /// The workload is ~1 R tuple per node (with a floor), so the event
 /// count grows roughly linearly with `n` and the 10^4 point stays a
 /// smoke-sized run.
-fn scaleup_point(n: usize, seed: u64) -> (u64, f64, usize, f64) {
+struct ScaleupRun {
+    events: u64,
+    wall: f64,
+    rows: Vec<pier_core::Tuple>,
+    recall: f64,
+}
+
+fn scaleup_drive(sim: &mut impl PierEngine, n: usize, seed: u64) -> ScaleupRun {
     let params = RsParams {
         s_rows: (n as u64 / 10).max(40),
         seed,
         ..Default::default()
     };
     let wl = RsWorkload::generate(params);
-    let mut sim: Sim<PierNode> = stabilized_pier_sim(
-        n,
-        DhtConfig::static_network(),
-        NetConfig::latency_only(seed),
-    );
 
     let e0 = sim.events_processed();
     let t0 = std::time::Instant::now();
-    publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
-    publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
-    settle_publish(&mut sim);
+    publish_round_robin(sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+    publish_round_robin(sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+    settle_publish(sim);
     sim.run_for(Dur::from_secs(30));
 
     let expected = wl.expected(JoinStrategy::SymmetricHash);
     let mut desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
     desc.n_nodes = n as u32;
-    let results = run_query(&mut sim, 0, desc, Dur::from_secs(120));
+    let results = run_query(sim, 0, desc, Dur::from_secs(120));
     let wall = t0.elapsed().as_secs_f64();
     let events = sim.events_processed() - e0;
 
-    let recall = pier_core::semantics::recall(&expected, &rows_of(&results));
+    let rows = rows_of(&results);
+    let recall = pier_core::semantics::recall(&expected, &rows);
     assert!(
         recall > 0.999,
         "scale-up at n={n} must stay correct (recall {recall:.4})"
     );
-    (events, wall, results.len(), recall)
+    ScaleupRun {
+        events,
+        wall,
+        rows,
+        recall,
+    }
+}
+
+fn scaleup_point(n: usize, seed: u64) -> ScaleupRun {
+    let mut sim: Sim<PierNode> = stabilized_pier_sim(
+        n,
+        DhtConfig::static_network(),
+        NetConfig::latency_only(seed),
+    );
+    scaleup_drive(&mut sim, n, seed)
+}
+
+fn scaleup_point_sharded(n: usize, seed: u64, w: usize) -> ScaleupRun {
+    let mut sim = stabilized_pier_sharded(
+        n,
+        DhtConfig::static_network(),
+        NetConfig::latency_only(seed),
+        ShardMap::round_robin(w),
+    );
+    scaleup_drive(&mut sim, n, seed)
 }
 
 /// E13: engine throughput across 10^2 → 10^4 nodes. The default preset
@@ -1385,6 +1413,23 @@ fn scaleup_point(n: usize, seed: u64) -> (u64, f64, usize, f64) {
 /// per-rep event count so small ladder points aggregate enough work to
 /// be stable.
 pub fn scaleup() {
+    scaleup_with_shards(4);
+}
+
+/// E13 with an explicit worker-sweep width: after the sequential ladder,
+/// the top (10^4-node) point is re-run through [`ShardedSim`] at
+/// W ∈ {1, 2, 4, …, `shards`}. Every sharded run must reproduce the
+/// sequential result rows and event count bit-for-bit (the conservative
+/// time-window barrier is exact, not approximate), and the W-sweep table
+/// reports speedup over the sequential engine.
+///
+/// On hosts with ≥ 4 cores the W = 4 point must reach ≥ 2.5× sequential
+/// throughput; on smaller hosts (CI smoke boxes are often 1–2 cores) the
+/// sweep still runs — the bit-identity asserts are the point there — but
+/// the speedup floor is skipped because there is no parallelism to buy.
+///
+/// [`ShardedSim`]: pier_simnet::ShardedSim
+pub fn scaleup_with_shards(shards: usize) {
     let ladder: &[usize] = &[100, 1_000, 10_000];
     let seed = 11u64;
     let mut tab = ResultTable::new(
@@ -1400,40 +1445,123 @@ pub fn scaleup() {
         ],
     );
     let mut json_rows = Vec::new();
+    let mut top = None;
     for &n in ladder {
-        let (events, first_wall, results, recall) = scaleup_point(n, seed);
-        let reps = (2_000_000 / events.max(1)).clamp(2, 64);
-        let mut best = first_wall;
+        let first = scaleup_point(n, seed);
+        let reps = (2_000_000 / first.events.max(1)).clamp(2, 64);
+        let mut best = first.wall;
         for _ in 1..reps {
-            let (e, wall, r, _) = scaleup_point(n, seed);
-            assert_eq!((e, r), (events, results), "reps must be deterministic");
-            best = best.min(wall);
+            let rerun = scaleup_point(n, seed);
+            assert_eq!(
+                (rerun.events, rerun.rows.len()),
+                (first.events, first.rows.len()),
+                "reps must be deterministic"
+            );
+            best = best.min(rerun.wall);
         }
-        let eps = events as f64 / best;
+        let eps = first.events as f64 / best;
         tab.row(vec![
             n.to_string(),
-            events.to_string(),
+            first.events.to_string(),
             reps.to_string(),
             ResultTable::fmt_cell(best),
             format!("{eps:.0}"),
-            results.to_string(),
-            ResultTable::fmt_cell(recall),
+            first.rows.len().to_string(),
+            ResultTable::fmt_cell(first.recall),
         ]);
         json_rows.push(format!(
             "    {{\"nodes\": {n}, \"events\": {events}, \"reps\": {reps}, \
              \"best_wall_s\": {best:.3}, \"events_per_sec\": {eps:.0}, \
-             \"results\": {results}, \"recall\": {recall:.4}}}"
+             \"results\": {results}, \"recall\": {recall:.4}}}",
+            events = first.events,
+            results = first.rows.len(),
+            recall = first.recall,
         ));
+        if n == *ladder.last().unwrap() {
+            top = Some((first, eps));
+        }
     }
     tab.emit();
+
+    // W-sweep at the top ladder point: widths 1, 2, 4, … up to `shards`.
+    let (seq, seq_eps) = top.expect("ladder is non-empty");
+    let n = *ladder.last().unwrap();
+    let mut widths: Vec<usize> = vec![1, 2, 4];
+    widths.retain(|&w| w <= shards);
+    if !widths.contains(&shards) {
+        widths.push(shards);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut sh_tab = ResultTable::new(
+        "e13_scaleup_sharded",
+        &[
+            "w",
+            "events",
+            "reps",
+            "best_wall_s",
+            "events_per_sec",
+            "speedup_vs_seq",
+            "identical",
+        ],
+    );
+    for &w in &widths {
+        let first = scaleup_point_sharded(n, seed, w);
+        assert_eq!(
+            first.events, seq.events,
+            "sharded W={w} must process the same events as sequential"
+        );
+        assert_eq!(
+            first.rows, seq.rows,
+            "sharded W={w} must reproduce the sequential result rows bit-for-bit"
+        );
+        let reps = (2_000_000 / first.events.max(1)).clamp(2, 64);
+        let mut best = first.wall;
+        for _ in 1..reps {
+            let rerun = scaleup_point_sharded(n, seed, w);
+            assert_eq!(
+                (rerun.events, rerun.rows.len()),
+                (first.events, first.rows.len()),
+                "sharded reps must be deterministic"
+            );
+            best = best.min(rerun.wall);
+        }
+        let eps = first.events as f64 / best;
+        let speedup = eps / seq_eps;
+        if w >= 4 && cores >= 4 {
+            assert!(
+                speedup >= 2.5,
+                "W={w} on a {cores}-core host must reach >= 2.5x sequential \
+                 throughput (got {speedup:.2}x)"
+            );
+        }
+        sh_tab.row(vec![
+            w.to_string(),
+            first.events.to_string(),
+            reps.to_string(),
+            ResultTable::fmt_cell(best),
+            format!("{eps:.0}"),
+            format!("{speedup:.2}"),
+            "yes".to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"nodes\": {n}, \"w\": {w}, \"events\": {events}, \"reps\": {reps}, \
+             \"best_wall_s\": {best:.3}, \"events_per_sec_sharded\": {eps:.0}, \
+             \"speedup_vs_seq\": {speedup:.3}, \"identical\": true}}",
+            events = first.events,
+        ));
+    }
+    sh_tab.emit();
 
     let json = format!(
         "{{\n  \"experiment\": \"scaleup\",\n  \"workload\": \
          \"static CAN overlay at 100/1000/10000 nodes, ~1 R tuple per node (floor 400), \
-         publish + symmetric-hash join, latency-only network\",\n  \
+         publish + symmetric-hash join, latency-only network; plus a sharded-engine \
+         W-sweep at the 10000-node point (bit-identical to sequential at every W)\",\n  \
          \"metric\": \"engine events processed per wall-clock second, best-of-reps per \
          ladder point (mean over the ladder, higher is better); recall vs the reference \
-         evaluator must stay 1.0\",\n  \
+         evaluator must stay 1.0; events_per_sec_sharded is the same metric through the \
+         sharded engine (mean over the W-sweep, higher is better)\",\n  \
+         \"host_cores\": {cores},\n  \
          \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );

@@ -105,6 +105,17 @@ pub const HEADLINES: &[Headline] = &[
         fold: Fold::Mean,
         better: Better::Higher,
     },
+    // scaleup, sharded engine: throughput of the W-sweep rows at the
+    // 10^4-node point (the key is absent from the sequential-ladder
+    // rows, so the two folds stay separate). Mean over the sweep so a
+    // slowdown at any width moves the headline; the in-bin asserts
+    // already pin bit-identity, this gates the speed itself.
+    Headline {
+        experiment: "scaleup",
+        key: "events_per_sec_sharded",
+        fold: Fold::Mean,
+        better: Better::Higher,
+    },
 ];
 
 /// Every `"key": <number>` occurrence in the artifact text.
@@ -350,16 +361,21 @@ mod tests {
         );
     }
 
-    /// Throughput artifact with both ladder rows scaled by `factor`.
-    fn scaleup_artifact(factor: f64) -> String {
+    /// Throughput artifact with the ladder rows scaled by `factor` and
+    /// the sharded W-sweep row scaled by `sharded_factor` — the two
+    /// headline keys must regress independently.
+    fn scaleup_artifact(factor: f64, sharded_factor: f64) -> String {
         format!(
             "{{\"experiment\": \"scaleup\", \"rows\": [\n  \
              {{\"nodes\": 100, \"events\": 60000, \"wall_s\": 0.050, \
              \"events_per_sec\": {:.0}, \"results\": 40, \"recall\": 1.0000}},\n  \
              {{\"nodes\": 10000, \"events\": 6000000, \"wall_s\": 5.000, \
-             \"events_per_sec\": {:.0}, \"results\": 1000, \"recall\": 1.0000}}\n]}}",
+             \"events_per_sec\": {:.0}, \"results\": 1000, \"recall\": 1.0000}},\n  \
+             {{\"nodes\": 10000, \"w\": 4, \"events\": 6000000, \
+             \"events_per_sec_sharded\": {:.0}, \"identical\": true}}\n]}}",
             1_200_000.0 * factor,
-            1_000_000.0 * factor
+            1_000_000.0 * factor,
+            2_500_000.0 * sharded_factor
         )
     }
 
@@ -367,16 +383,30 @@ mod tests {
     fn scaleup_throughput_regression_fails_the_gate() {
         // A 20% events/sec slowdown (> the 15% tolerance, Higher is
         // better) must fail…
-        let old = scaleup_artifact(1.0);
-        let err = compare("scaleup", &old, &scaleup_artifact(0.8)).unwrap_err();
+        let old = scaleup_artifact(1.0, 1.0);
+        let err = compare("scaleup", &old, &scaleup_artifact(0.8, 1.0)).unwrap_err();
         assert!(
             err.iter()
                 .any(|l| l.contains("FAIL") && l.contains("events_per_sec")),
             "{err:?}"
         );
+        // …and the suffixed sharded key must not satisfy the sequential
+        // headline (or vice versa): a sharded-only slowdown fails on
+        // exactly the sharded key.
+        let err = compare("scaleup", &old, &scaleup_artifact(1.0, 0.8)).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|l| l.contains("FAIL") && l.contains("events_per_sec_sharded")),
+            "{err:?}"
+        );
+        assert!(
+            err.iter()
+                .any(|l| l.contains("OK") && l.contains("events_per_sec (")),
+            "sequential headline must still pass: {err:?}"
+        );
         // …while the same artifact and a 5% wobble pass.
         assert!(compare("scaleup", &old, &old).is_ok());
-        assert!(compare("scaleup", &old, &scaleup_artifact(0.95)).is_ok());
+        assert!(compare("scaleup", &old, &scaleup_artifact(0.95, 0.95)).is_ok());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! catalog is initiator-side state: shipped query descriptors carry fully
 //! resolved column indices, so remote nodes never consult it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::tuple::{ColType, Schema, SchemaRef};
 
@@ -80,7 +80,7 @@ impl TableDef {
 /// Name → table registry.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, TableDef>,
+    tables: BTreeMap<String, TableDef>,
 }
 
 impl Catalog {

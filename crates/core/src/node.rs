@@ -6,7 +6,7 @@
 //! fetching, timers drive Bloom collection and aggregate harvests, and
 //! result tuples flow directly to the initiating node.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pier_dht::env::DhtEnv;
@@ -131,9 +131,9 @@ struct QueryInstance {
     /// for slow fragments.
     bloom_waits: [u8; 2],
     /// Semi-join pair assembly.
-    pairs: HashMap<u64, PairFetch>,
+    pairs: BTreeMap<u64, PairFetch>,
     /// Local pre-aggregation (join-agg at NQ nodes, hierarchical agg).
-    local_groups: HashMap<Vec<Value>, GroupAccs>,
+    local_groups: BTreeMap<Vec<Value>, GroupAccs>,
     /// Epoch-driven *windowed* aggregation: every input contribution (a
     /// base row or a join output) with the instant it ages out of the
     /// sliding window. The per-epoch flush re-aggregates the still-live
@@ -144,7 +144,7 @@ struct QueryInstance {
     /// accumulators, folded incrementally and snapshotted (not drained)
     /// at each epoch flush — O(groups) state, O(new rows) per epoch,
     /// where a contribution buffer would grow forever.
-    run_groups: HashMap<Vec<Value>, GroupAccs>,
+    run_groups: BTreeMap<Vec<Value>, GroupAccs>,
     /// Rehash / stage soft state this node published for the query and
     /// must renew ([`PierNode::record_rehash`]). Dropped at uninstall,
     /// so renewal stops and the state ages out within one horizon.
@@ -153,7 +153,7 @@ struct QueryInstance {
     /// aggregation state (`replication > 1` only): a probe re-run by a
     /// healed replica must not double-count a join output or base row
     /// the dead primary's probe already accumulated here.
-    acc_seen: std::collections::HashSet<u64>,
+    acc_seen: std::collections::BTreeSet<u64>,
     /// Outstanding timer tokens of this query. Uninstall cancels them
     /// all (removes their [`TimerAction`]s), so a torn-down query holds
     /// no entry in any node-level map.
@@ -169,12 +169,12 @@ impl QueryInstance {
             rehashed: [false, false],
             bloom_flushed: [false, false],
             bloom_waits: [0, 0],
-            pairs: HashMap::new(),
-            local_groups: HashMap::new(),
+            pairs: BTreeMap::new(),
+            local_groups: BTreeMap::new(),
             win_rows: Vec::new(),
-            run_groups: HashMap::new(),
+            run_groups: BTreeMap::new(),
             rehash_pubs: Vec::new(),
-            acc_seen: std::collections::HashSet::new(),
+            acc_seen: std::collections::BTreeSet::new(),
             timers: Vec::new(),
         }
     }
@@ -237,10 +237,10 @@ struct SoftPub {
 /// state ages out — so it stays installed until explicitly cancelled.
 #[derive(Default)]
 struct QueryRegistry {
-    queries: HashMap<u64, QueryInstance>,
+    queries: BTreeMap<u64, QueryInstance>,
     /// Why each namespace is interesting, and to which queries: drives
     /// `newData` dispatch; stripped per query at uninstall.
-    ns_routes: HashMap<Ns, Vec<(u64, NsRole)>>,
+    ns_routes: BTreeMap<Ns, Vec<(u64, NsRole)>>,
 }
 
 impl QueryRegistry {
@@ -276,14 +276,14 @@ pub struct PierNode {
     /// Result log at the initiator: arrival time and tuple, per query.
     /// Survives uninstall, so an initiator can tear a query down and
     /// still read what it produced.
-    pub results: HashMap<u64, Vec<(Time, Tuple)>>,
+    pub results: BTreeMap<u64, Vec<(Time, Tuple)>>,
     /// Result identities already logged, per query (`replication > 1`
     /// only — see [`PierMsg::Result`]). A healed replica re-running a
     /// probe the dead primary already answered re-sends the same
     /// logical result; the initiator drops the re-emission here.
-    results_seen: HashMap<u64, std::collections::HashSet<u64>>,
-    get_purpose: HashMap<u64, GetPurpose>,
-    timer_actions: HashMap<u64, TimerAction>,
+    results_seen: BTreeMap<u64, std::collections::BTreeSet<u64>>,
+    get_purpose: BTreeMap<u64, GetPurpose>,
+    timer_actions: BTreeMap<u64, TimerAction>,
     /// Recently cancelled qids (bounded FIFO): a `Cancel` that overtakes
     /// its query's still-in-flight install multicast must not let the
     /// late-arriving descriptor resurrect the query and renew forever.
@@ -309,10 +309,10 @@ impl PierNode {
             dht,
             bootstrap,
             reg: QueryRegistry::default(),
-            results: HashMap::new(),
-            results_seen: HashMap::new(),
-            get_purpose: HashMap::new(),
-            timer_actions: HashMap::new(),
+            results: BTreeMap::new(),
+            results_seen: BTreeMap::new(),
+            get_purpose: BTreeMap::new(),
+            timer_actions: BTreeMap::new(),
             cancelled: std::collections::VecDeque::new(),
             next_token: 1,
             published: Vec::new(),
@@ -1797,7 +1797,7 @@ impl PierNode {
         let Some(inst) = self.reg.queries.get_mut(&qid) else {
             return Vec::new();
         };
-        let mut groups: HashMap<Vec<Value>, GroupAccs> = inst.local_groups.drain().collect();
+        let mut groups: BTreeMap<Vec<Value>, GroupAccs> = std::mem::take(&mut inst.local_groups);
         if agg.epoch.is_some() {
             inst.win_rows.retain(|(valid, _)| *valid > now);
             for (_, row) in &inst.win_rows {
@@ -1917,7 +1917,7 @@ impl PierNode {
         let initiator = inst.desc.initiator;
         let na = qns::agg(qid);
         let now = ctx.now;
-        let mut merged: HashMap<Vec<Value>, GroupAccs> = HashMap::new();
+        let mut merged: BTreeMap<Vec<Value>, GroupAccs> = BTreeMap::new();
         // Expired partials (a publisher whose group aged out of its
         // window, or a dead node) are skipped even before the sweep
         // collects them.

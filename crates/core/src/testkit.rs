@@ -1,49 +1,149 @@
 //! Harness helpers shared by tests, examples, and the experiment bins:
 //! building stabilized PIER networks, publishing partitioned tables, and
 //! running queries to completion.
+//!
+//! Helpers are generic over [`PierEngine`], so the same workload drives
+//! the sequential [`Sim`] and the sharded
+//! [`ShardedSim`] interchangeably — the
+//! scale-up benchmarks rely on this to compare the two bit-for-bit.
 
 use pier_dht::can::balanced_overlay;
 use pier_dht::chord::balanced_chord_overlay;
 use pier_dht::{Dht, DhtConfig};
 use pier_simnet::time::{Dur, Time};
-use pier_simnet::{NetConfig, NodeId, Sim};
+use pier_simnet::{NetConfig, NetStats, NodeId, ShardMap, ShardedSim, Sim};
 
 use crate::item::PierMsg;
 use crate::node::PierNode;
 use crate::plan::QueryDesc;
 use crate::tuple::Tuple;
 
-/// Build a simulator of `n` PIER nodes on a pre-stabilized CAN overlay.
+/// Convenience for Msg type naming in closures.
+pub type PierCtx<'a> = pier_simnet::app::Ctx<'a, PierMsg>;
+
+/// The engine surface the harness helpers need, implemented by both
+/// simulator variants. (The wall-clock `Cluster` is driven differently
+/// — real sleeps, injection via `call` — and stays out of scope.)
+pub trait PierEngine {
+    fn node_count(&self) -> usize;
+    fn now(&self) -> Time;
+    fn run_for(&mut self, d: Dur);
+    /// Inject a call into node `id`; `None` if it has failed.
+    fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut PierNode, &mut PierCtx) -> R,
+    ) -> Option<R>;
+    /// Read-only access to a live node.
+    fn node(&self, id: NodeId) -> Option<&PierNode>;
+    /// Engine traffic counters (owned: the sharded engine merges its
+    /// per-shard stats on demand).
+    fn net_stats(&self) -> NetStats;
+    fn events_processed(&self) -> u64;
+}
+
+impl PierEngine for Sim<PierNode> {
+    fn node_count(&self) -> usize {
+        Sim::node_count(self)
+    }
+    fn now(&self) -> Time {
+        Sim::now(self)
+    }
+    fn run_for(&mut self, d: Dur) {
+        Sim::run_for(self, d)
+    }
+    fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut PierNode, &mut PierCtx) -> R,
+    ) -> Option<R> {
+        self.with_app(id, f)
+    }
+    fn node(&self, id: NodeId) -> Option<&PierNode> {
+        self.app(id)
+    }
+    fn net_stats(&self) -> NetStats {
+        self.stats().clone()
+    }
+    fn events_processed(&self) -> u64 {
+        Sim::events_processed(self)
+    }
+}
+
+impl PierEngine for ShardedSim<PierNode> {
+    fn node_count(&self) -> usize {
+        ShardedSim::node_count(self)
+    }
+    fn now(&self) -> Time {
+        ShardedSim::now(self)
+    }
+    fn run_for(&mut self, d: Dur) {
+        ShardedSim::run_for(self, d)
+    }
+    fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut PierNode, &mut PierCtx) -> R,
+    ) -> Option<R> {
+        self.with_app(id, f)
+    }
+    fn node(&self, id: NodeId) -> Option<&PierNode> {
+        self.app(id)
+    }
+    fn net_stats(&self) -> NetStats {
+        self.stats()
+    }
+    fn events_processed(&self) -> u64 {
+        ShardedSim::events_processed(self)
+    }
+}
+
+/// Pre-stabilized PIER automata for ids `0..n` on the configured
+/// overlay — the common substrate of every engine builder here.
+pub fn stabilized_pier_nodes(n: usize, cfg: &DhtConfig) -> Vec<PierNode> {
+    match cfg.overlay {
+        pier_dht::OverlayKind::Can => balanced_overlay(n, cfg.dims, Time::ZERO)
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| PierNode::with_dht(Dht::with_can(cfg.clone(), i as NodeId, st), None))
+            .collect(),
+        pier_dht::OverlayKind::Chord => balanced_chord_overlay(n, Time::ZERO)
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| PierNode::with_dht(Dht::with_chord(cfg.clone(), i as NodeId, st), None))
+            .collect(),
+    }
+}
+
+/// Build a simulator of `n` PIER nodes on a pre-stabilized overlay.
 pub fn stabilized_pier_sim(n: usize, cfg: DhtConfig, net: NetConfig) -> Sim<PierNode> {
     let mut sim = Sim::new(net);
-    match cfg.overlay {
-        pier_dht::OverlayKind::Can => {
-            for (i, st) in balanced_overlay(n, cfg.dims, Time::ZERO)
-                .into_iter()
-                .enumerate()
-            {
-                let dht = Dht::with_can(cfg.clone(), i as NodeId, st);
-                sim.add_node(PierNode::with_dht(dht, None));
-            }
-        }
-        pier_dht::OverlayKind::Chord => {
-            for (i, st) in balanced_chord_overlay(n, Time::ZERO)
-                .into_iter()
-                .enumerate()
-            {
-                let dht = Dht::with_chord(cfg.clone(), i as NodeId, st);
-                sim.add_node(PierNode::with_dht(dht, None));
-            }
-        }
+    for node in stabilized_pier_nodes(n, &cfg) {
+        sim.add_node(node);
+    }
+    sim
+}
+
+/// Build a sharded simulator of `n` PIER nodes on a pre-stabilized
+/// overlay — same nodes, same seed derivation, same results as
+/// [`stabilized_pier_sim`], executed across `map.shards()` workers.
+pub fn stabilized_pier_sharded(
+    n: usize,
+    cfg: DhtConfig,
+    net: NetConfig,
+    map: ShardMap,
+) -> ShardedSim<PierNode> {
+    let mut sim = ShardedSim::new(net, map);
+    for node in stabilized_pier_nodes(n, &cfg) {
+        sim.add_node(node);
     }
     sim
 }
 
 /// Publish `rows` from their home nodes: row `i` is published by node
 /// `i % n` (data in its "natural habitat", copied into the DHT).
-/// Returns per-node publication counts.
 pub fn publish_round_robin(
-    sim: &mut Sim<PierNode>,
+    sim: &mut impl PierEngine,
     table: &str,
     rows: &[Tuple],
     pkey_col: usize,
@@ -58,7 +158,7 @@ pub fn publish_round_robin(
         if batch.is_empty() {
             continue;
         }
-        sim.with_app(i as NodeId, |node, ctx| {
+        sim.with_node(i as NodeId, |node, ctx| {
             node.publish_rows(ctx, table, batch, pkey_col, lifetime);
         });
     }
@@ -68,16 +168,16 @@ pub fn publish_round_robin(
 /// Returns the timed results collected at the initiator (relative to the
 /// submission instant).
 pub fn run_query(
-    sim: &mut Sim<PierNode>,
+    sim: &mut impl PierEngine,
     initiator: NodeId,
     desc: QueryDesc,
     settle: Dur,
 ) -> Vec<(Dur, Tuple)> {
     let qid = desc.qid;
     let t0 = sim.now();
-    sim.with_app(initiator, |node, ctx| node.submit(ctx, desc));
+    sim.with_node(initiator, |node, ctx| node.submit(ctx, desc));
     sim.run_for(settle);
-    sim.app(initiator)
+    sim.node(initiator)
         .map(|node| {
             node.query_results(qid)
                 .iter()
@@ -106,9 +206,6 @@ pub fn rows_of(results: &[(Dur, Tuple)]) -> Vec<Tuple> {
 
 /// Let publications settle: run until puts have landed (a few seconds of
 /// virtual time covers lookup + direct delivery at paper latencies).
-pub fn settle_publish(sim: &mut Sim<PierNode>) {
+pub fn settle_publish(sim: &mut impl PierEngine) {
     sim.run_for(Dur::from_secs(8));
 }
-
-/// Convenience for Msg type naming in closures.
-pub type PierCtx<'a> = pier_simnet::app::Ctx<'a, PierMsg>;

@@ -14,7 +14,7 @@
 //! Residual races are healed by the relinquish rule in
 //! [`CanState::handle_takeover`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pier_simnet::time::Time;
 use pier_simnet::{NodeId, Wire};
@@ -54,13 +54,13 @@ pub struct CanState {
     pub me: NodeId,
     /// Zones currently owned (several after takeovers/absorbs).
     pub zones: Vec<Zone>,
-    pub neighbors: HashMap<NodeId, NeighborInfo>,
+    pub neighbors: BTreeMap<NodeId, NeighborInfo>,
     pub joined: bool,
     last_heartbeat: Time,
     /// Takeovers we are waiting on someone else to perform. If the
     /// elected claimant was itself a casualty (mass failure), we fall
     /// back down the candidate list so no zone stays orphaned.
-    pending_claims: HashMap<NodeId, PendingClaim>,
+    pending_claims: BTreeMap<NodeId, PendingClaim>,
 }
 
 #[derive(Debug, Clone)]
@@ -79,10 +79,10 @@ impl CanState {
             d,
             me,
             zones: Vec::new(),
-            neighbors: HashMap::new(),
+            neighbors: BTreeMap::new(),
             joined: false,
             last_heartbeat: Time::ZERO,
-            pending_claims: HashMap::new(),
+            pending_claims: BTreeMap::new(),
         }
     }
 
@@ -93,7 +93,7 @@ impl CanState {
     }
 
     /// Install a precomputed zone + neighbor set (balanced bootstrap).
-    pub fn install(&mut self, zones: Vec<Zone>, neighbors: HashMap<NodeId, NeighborInfo>) {
+    pub fn install(&mut self, zones: Vec<Zone>, neighbors: BTreeMap<NodeId, NeighborInfo>) {
         self.zones = zones;
         self.neighbors = neighbors;
         self.joined = true;

@@ -7,7 +7,7 @@
 //! not having a large message hop along the overlay network outweighs the
 //! small chance" of a stale lookup, which is healed by retry/re-homing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pier_simnet::time::Time;
 use pier_simnet::{NodeId, Wire};
@@ -53,10 +53,10 @@ pub struct Dht<V> {
     pub replicas: StorageManager<V>,
     pub meter: TrafficMeter,
     me: NodeId,
-    pending: HashMap<u64, PendingOp<V>>,
-    awaiting_get: HashMap<u64, u64>,
+    pending: BTreeMap<u64, PendingOp<V>>,
+    awaiting_get: BTreeMap<u64, u64>,
     next_token: u64,
-    seen_mcast: HashMap<u64, Time>,
+    seen_mcast: BTreeMap<u64, Time>,
     bootstrap: Option<NodeId>,
     join_sent: Time,
     tick_count: u64,
@@ -77,10 +77,10 @@ impl<V: Wire + Clone> Dht<V> {
             replicas: StorageManager::new(),
             meter: TrafficMeter::default(),
             me,
-            pending: HashMap::new(),
-            awaiting_get: HashMap::new(),
+            pending: BTreeMap::new(),
+            awaiting_get: BTreeMap::new(),
             next_token: 1,
-            seen_mcast: HashMap::new(),
+            seen_mcast: BTreeMap::new(),
             bootstrap: None,
             join_sent: Time::ZERO,
             tick_count: 0,

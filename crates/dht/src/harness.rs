@@ -50,7 +50,7 @@ impl<V: Wire + Clone> DhtNode<V> {
     }
 }
 
-impl<V: Wire + Clone + 'static> App for DhtNode<V> {
+impl<V: Wire + Clone + Send + 'static> App for DhtNode<V> {
     type Msg = DhtMsg<V>;
 
     fn on_start(&mut self, ctx: &mut Ctx<Self::Msg>) {
@@ -84,7 +84,7 @@ impl<V: Wire + Clone + 'static> App for DhtNode<V> {
 
 /// Build a simulator hosting `n` pre-stabilized CAN nodes (balanced
 /// bootstrap). Returns the sim; node ids are `0..n`.
-pub fn stabilized_can_sim<V: Wire + Clone + 'static>(
+pub fn stabilized_can_sim<V: Wire + Clone + Send + 'static>(
     n: usize,
     cfg: DhtConfig,
     net: pier_simnet::NetConfig,
@@ -99,7 +99,7 @@ pub fn stabilized_can_sim<V: Wire + Clone + 'static>(
 }
 
 /// Build a simulator hosting `n` pre-stabilized Chord nodes.
-pub fn stabilized_chord_sim<V: Wire + Clone + 'static>(
+pub fn stabilized_chord_sim<V: Wire + Clone + Send + 'static>(
     n: usize,
     cfg: DhtConfig,
     net: pier_simnet::NetConfig,

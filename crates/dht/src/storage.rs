@@ -6,7 +6,7 @@
 //! by namespace and resourceID; items sharing both are distinguished by
 //! instanceID. Every item carries a soft-state expiry (§3.2.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::msg::Entry;
 use crate::{Ns, Rid};
@@ -15,14 +15,14 @@ use pier_simnet::time::Time;
 /// Main-memory storage manager for one node.
 #[derive(Debug, Clone)]
 pub struct StorageManager<V> {
-    by_ns: HashMap<Ns, HashMap<Rid, Vec<Entry<V>>>>,
+    by_ns: BTreeMap<Ns, BTreeMap<Rid, Vec<Entry<V>>>>,
     len: usize,
 }
 
 impl<V> Default for StorageManager<V> {
     fn default() -> Self {
         StorageManager {
-            by_ns: HashMap::new(),
+            by_ns: BTreeMap::new(),
             len: 0,
         }
     }

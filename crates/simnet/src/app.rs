@@ -13,9 +13,14 @@ use rand::rngs::SmallRng;
 ///
 /// Callbacks receive a [`Ctx`] through which the node sends messages, sets
 /// timers, and draws deterministic randomness. Handlers must not block.
-pub trait App: Sized {
+///
+/// Automata (and their messages) are `Send`: the threaded
+/// [`crate::threaded::Cluster`] moves each one onto its own OS thread,
+/// and the sharded [`crate::sharded::ShardedSim`] moves whole shards of
+/// them onto worker threads at every window barrier.
+pub trait App: Sized + Send {
     /// Message type exchanged between nodes of this application.
-    type Msg: Wire + Clone;
+    type Msg: Wire + Clone + Send;
 
     /// Invoked once when the node is added to the engine.
     fn on_start(&mut self, ctx: &mut Ctx<Self::Msg>);

@@ -5,6 +5,33 @@
 //! receiver's inbound link at a configurable capacity. CPU and memory
 //! costs of query processing are ignored, and cross-traffic does not
 //! exist, matching the paper's two stated simplifications.
+//!
+//! # Shard-invariant event ordering
+//!
+//! Since the sharded engine landed ([`crate::sharded::ShardedSim`]), all
+//! engine state lives in `EngineCore` — one core per shard, or a single
+//! core for the sequential [`Sim`] — and events are ordered by a key that
+//! is a pure function of event *content*, not of engine scheduling:
+//!
+//! ```text
+//! (at, origin, oseq)
+//! ```
+//!
+//! where `origin` is the node whose handler created the event and `oseq`
+//! is that node's private monotone counter. Because each node's counter
+//! advances only when the node itself runs, and each node runs the same
+//! dispatch sequence under any partitioning (see the window invariant in
+//! `sharded.rs`), this key is identical no matter how nodes are spread
+//! across shards — which is what makes the sharded engine bit-identical
+//! to this sequential one.
+//!
+//! The same reasoning forces *routing* (the flow-level bandwidth model,
+//! which reserves the receiver's inbound link in send order) to happen in
+//! key order rather than in handler-emission order: inter-node sends are
+//! buffered as `SendRec`s and flushed key-sorted once the engine moves
+//! past their send instant. Per-node RNG streams are seeded from the run
+//! seed and the `NodeId` alone, so a node draws the same randomness under
+//! any engine.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -27,7 +54,8 @@ pub struct NetConfig {
     /// Inbound link capacity per node in bits/second; `None` = infinite
     /// bandwidth (the §5.5.1 latency-only scenario).
     pub inbound_bps: Option<f64>,
-    /// Master seed; each node's RNG derives from it.
+    /// Master seed; each node's RNG derives from it and the node id
+    /// alone, so RNG streams are per-node and engine-independent.
     pub seed: u64,
 }
 
@@ -65,13 +93,22 @@ fn bucket_of(at: Time) -> u64 {
     at.as_micros() >> BUCKET_BITS
 }
 
+/// Total order on events that is invariant under sharding: time first,
+/// then the node that *created* the event, then that node's private
+/// event counter. `(origin, oseq)` is unique, so the order is total.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
+    at: Time,
+    origin: NodeId,
+    oseq: u64,
+}
+
 /// A queue entry: ordering key plus the index of the event payload in
-/// the [`EventSlab`]. Ord derives on field order, so (at, seq) decides
-/// and `slot` never ties (seq is unique).
+/// the [`EventSlab`]. Ord derives on field order, so `key` decides and
+/// `slot` never ties (the key is unique).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct EvRef {
-    at: Time,
-    seq: u64,
+    key: EvKey,
     slot: u32,
 }
 
@@ -148,7 +185,7 @@ impl CalendarQueue {
     }
 
     fn push(&mut self, ev: EvRef) {
-        let b = bucket_of(ev.at);
+        let b = bucket_of(ev.key.at);
         debug_assert!(b >= self.cursor, "push into the past");
         if b >= self.cursor + N_BUCKETS as u64 {
             self.far.push(Reverse(ev));
@@ -190,7 +227,7 @@ impl CalendarQueue {
             // Far-jump: the ring is empty, so the earliest overflow
             // event defines the new current bucket.
             let Reverse(min) = *self.far.peek()?;
-            self.advance_to(bucket_of(min.at));
+            self.advance_to(bucket_of(min.key.at));
         } else if self.ring[(self.cursor % N_BUCKETS as u64) as usize].is_empty() {
             let mut b = self.cursor + 1;
             while self.ring[(b % N_BUCKETS as u64) as usize].is_empty() {
@@ -216,10 +253,10 @@ impl CalendarQueue {
         while self
             .far
             .peek()
-            .is_some_and(|Reverse(ev)| bucket_of(ev.at) < horizon)
+            .is_some_and(|Reverse(ev)| bucket_of(ev.key.at) < horizon)
         {
             let Reverse(ev) = self.far.pop().expect("peeked above");
-            let slot = (bucket_of(ev.at) % N_BUCKETS as u64) as usize;
+            let slot = (bucket_of(ev.key.at) % N_BUCKETS as u64) as usize;
             self.ring[slot].push(ev);
             self.ring_len += 1;
         }
@@ -231,6 +268,11 @@ impl CalendarQueue {
 struct Slot<A> {
     app: Option<A>,
     rng: SmallRng,
+    /// Monotone counter of events created by this node; never reset
+    /// (not even on revive), so `(origin, oseq)` stays unique for the
+    /// lifetime of the run and stale queued events cannot collide with
+    /// fresh ones.
+    oseq: u64,
     /// Instant at which this node's inbound link becomes free.
     inbound_free: Time,
     /// Inside an injected message-drop window: everything addressed to
@@ -239,134 +281,174 @@ struct Slot<A> {
     inbound_drop: bool,
 }
 
-/// The discrete-event simulator hosting many [`App`] automata.
-pub struct Sim<A: App> {
+/// A buffered inter-node send, not yet run through the flow-level
+/// network model. `(sent_at, from, oseq)` is the routing key: both
+/// engines route sends in this order, so the receiver's inbound-link
+/// reservations — and therefore delivery times — are identical no
+/// matter which shard (or flush batch) a send travelled through.
+pub(crate) struct SendRec<M> {
+    pub(crate) sent_at: Time,
+    pub(crate) from: NodeId,
+    pub(crate) oseq: u64,
+    pub(crate) to: NodeId,
+    pub(crate) msg: M,
+}
+
+impl<M> SendRec<M> {
+    fn key(&self) -> (Time, NodeId, u64) {
+        (self.sent_at, self.from, self.oseq)
+    }
+}
+
+/// The shard-runnable heart of the engine: event queue, slab, node
+/// slots, traffic stats, and the flow-level network model for the
+/// nodes it owns. The sequential [`Sim`] wraps exactly one core that
+/// owns every node; [`crate::sharded::ShardedSim`] runs one core per
+/// worker thread, each owning a partition of the nodes, and drains the
+/// cores' `outbound` buffers across shards at its window barrier.
+pub(crate) struct EngineCore<A: App> {
     cfg: NetConfig,
     now: Time,
-    seq: u64,
     queue: CalendarQueue,
     slab: EventSlab<A::Msg>,
-    nodes: Vec<Slot<A>>,
+    /// Indexed by *global* node id; `None` = not owned by this core
+    /// (a foreign shard's node). A failed-but-owned node keeps its
+    /// slot with `app: None`.
+    nodes: Vec<Option<Box<Slot<A>>>>,
     stats: NetStats,
     events_processed: u64,
+    /// Inter-node sends awaiting key-sorted routing; in the sequential
+    /// engine they flush as soon as the clock moves past their send
+    /// instant, in the sharded engine at the next window barrier.
+    outbound: Vec<SendRec<A::Msg>>,
     scratch: Vec<Action<A::Msg>>,
     batch: Vec<(NodeId, A::Msg)>,
 }
 
-impl<A: App> Sim<A> {
-    pub fn new(cfg: NetConfig) -> Self {
-        Sim {
+impl<A: App> EngineCore<A> {
+    pub(crate) fn new(cfg: NetConfig) -> Self {
+        EngineCore {
             cfg,
             now: Time::ZERO,
-            seq: 0,
             queue: CalendarQueue::new(),
             slab: EventSlab::new(),
             nodes: Vec::new(),
             stats: NetStats::new(0),
             events_processed: 0,
+            outbound: Vec::new(),
             scratch: Vec::new(),
             batch: Vec::new(),
         }
     }
 
-    /// Add a node and run its `on_start` handler at the current time.
-    pub fn add_node(&mut self, app: A) -> NodeId {
-        let id = self.nodes.len() as NodeId;
-        let rng = SmallRng::seed_from_u64(
+    fn seed_rng(&self, id: NodeId) -> SmallRng {
+        SmallRng::seed_from_u64(
             self.cfg
                 .seed
                 .wrapping_add((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        );
-        self.nodes.push(Slot {
-            app: Some(app),
-            rng,
-            inbound_free: Time::ZERO,
-            inbound_drop: false,
-        });
-        self.stats.ensure_nodes(self.nodes.len());
-        self.dispatch(id, |app, ctx| app.on_start(ctx));
-        id
+        )
     }
 
-    /// Abruptly fail a node: its state is gone, and all in-flight or
-    /// future traffic addressed to it is dropped (§5.6).
-    pub fn fail_node(&mut self, id: NodeId) {
-        if let Some(slot) = self.nodes.get_mut(id as usize) {
+    /// Make the slot vector cover global ids `0..n` (foreign slots stay
+    /// `None`).
+    pub(crate) fn ensure_len(&mut self, n: usize) {
+        if self.nodes.len() < n {
+            self.nodes.resize_with(n, || None);
+        }
+    }
+
+    /// Seat `app` at global id `id` (owned by this core) and run its
+    /// `on_start` at the current time.
+    pub(crate) fn add_local(&mut self, id: NodeId, app: A) {
+        self.ensure_len(id as usize + 1);
+        let rng = self.seed_rng(id);
+        self.nodes[id as usize] = Some(Box::new(Slot {
+            app: Some(app),
+            rng,
+            oseq: 0,
+            inbound_free: Time::ZERO,
+            inbound_drop: false,
+        }));
+        self.stats.ensure_nodes(id as usize + 1);
+        self.dispatch(id, |app, ctx| app.on_start(ctx));
+    }
+
+    pub(crate) fn fail(&mut self, id: NodeId) {
+        if let Some(Some(slot)) = self.nodes.get_mut(id as usize) {
             slot.app = None;
         }
     }
 
-    pub fn alive(&self, id: NodeId) -> bool {
-        self.nodes.get(id as usize).is_some_and(|s| s.app.is_some())
+    pub(crate) fn alive(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|s| s.app.is_some())
     }
 
-    /// Re-seat a previously failed node with a fresh automaton — a new
-    /// process joining at the same address. The RNG is reseeded exactly
-    /// as in [`Self::add_node`] (revival is deterministic) and the
-    /// inbound link starts idle. Returns `false` if `id` never existed
-    /// or is still alive.
-    pub fn revive(&mut self, id: NodeId, app: A) -> bool {
-        let Some(slot) = self.nodes.get_mut(id as usize) else {
+    /// Number of owned, live nodes.
+    pub(crate) fn alive_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|s| s.app.is_some()))
+            .count()
+    }
+
+    pub(crate) fn revive(&mut self, id: NodeId, app: A) -> bool {
+        let now = self.now;
+        let rng = self.seed_rng(id);
+        let Some(Some(slot)) = self.nodes.get_mut(id as usize) else {
             return false;
         };
         if slot.app.is_some() {
             return false;
         }
         slot.app = Some(app);
-        slot.rng = SmallRng::seed_from_u64(
-            self.cfg
-                .seed
-                .wrapping_add((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-        );
-        slot.inbound_free = self.now;
+        slot.rng = rng;
+        slot.inbound_free = now;
         self.dispatch(id, |app, ctx| app.on_start(ctx));
         true
     }
 
-    /// Open (`true`) or close (`false`) a message-drop window on a
-    /// node's inbound side: while open, every message addressed to it
-    /// is discarded at send time — the node keeps its state and its
-    /// timers keep firing, unlike [`Self::fail_node`].
-    pub fn set_inbound_drop(&mut self, id: NodeId, dropping: bool) {
-        if let Some(slot) = self.nodes.get_mut(id as usize) {
+    pub(crate) fn set_inbound_drop(&mut self, id: NodeId, dropping: bool) {
+        if let Some(Some(slot)) = self.nodes.get_mut(id as usize) {
             slot.inbound_drop = dropping;
         }
     }
 
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    pub fn alive_count(&self) -> usize {
-        self.nodes.iter().filter(|s| s.app.is_some()).count()
-    }
-
-    pub fn now(&self) -> Time {
+    pub(crate) fn now(&self) -> Time {
         self.now
     }
 
-    pub fn stats(&self) -> &NetStats {
+    /// Raise the clock to `to` (used at the end of a bounded run and by
+    /// the sharded barrier to align cores between runs).
+    pub(crate) fn raise_now(&mut self, to: Time) {
+        if self.now < to {
+            self.now = to;
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &NetStats {
         &self.stats
     }
 
-    pub fn events_processed(&self) -> u64 {
+    pub(crate) fn events_processed(&self) -> u64 {
         self.events_processed
     }
 
-    /// Read-only access to a live node's automaton.
-    pub fn app(&self, id: NodeId) -> Option<&A> {
-        self.nodes.get(id as usize).and_then(|s| s.app.as_ref())
+    pub(crate) fn app(&self, id: NodeId) -> Option<&A> {
+        self.nodes
+            .get(id as usize)
+            .and_then(|s| s.as_ref())
+            .and_then(|s| s.app.as_ref())
     }
 
-    /// Inject an external call into a node (e.g. "submit this query"),
-    /// exactly as if a local application invoked the PIER API. Returns
-    /// `None` if the node has failed.
-    pub fn with_app<R>(
+    pub(crate) fn with_app<R>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut A, &mut Ctx<A::Msg>) -> R,
     ) -> Option<R> {
-        let slot = self.nodes.get_mut(id as usize)?;
+        let slot = self.nodes.get_mut(id as usize)?.as_mut()?;
         let app = slot.app.as_mut()?;
         let mut actions = std::mem::take(&mut self.scratch);
         let r = {
@@ -379,7 +461,7 @@ impl<A: App> Sim<A> {
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut Ctx<A::Msg>)) {
-        let Some(slot) = self.nodes.get_mut(id as usize) else {
+        let Some(Some(slot)) = self.nodes.get_mut(id as usize) else {
             return;
         };
         let Some(app) = slot.app.as_mut() else {
@@ -394,30 +476,71 @@ impl<A: App> Sim<A> {
         self.scratch = actions;
     }
 
+    /// Allocate the next event-ordering sequence number of node `id`.
+    fn next_oseq(&mut self, id: NodeId) -> u64 {
+        let slot = self.nodes[id as usize]
+            .as_mut()
+            .expect("oseq of an owned node");
+        slot.oseq += 1;
+        slot.oseq
+    }
+
     fn apply_actions(&mut self, from: NodeId, actions: &mut Vec<Action<A::Msg>>) {
         for action in actions.drain(..) {
             match action {
-                Action::Send { to, msg } => self.route(from, to, msg),
+                Action::Send { to, msg } => {
+                    let oseq = self.next_oseq(from);
+                    if to == from {
+                        // Local hand-off: no latency, no bandwidth, not
+                        // network traffic — deliverable this instant, so
+                        // it goes straight into the queue.
+                        let now = self.now;
+                        self.push_event(now, from, oseq, EventKind::Deliver { from, to, msg });
+                    } else {
+                        // Inter-node sends wait for key-sorted routing:
+                        // the flow model must reserve the receiver's
+                        // link in (sent_at, from, oseq) order, which is
+                        // not emission order when several nodes send at
+                        // the same instant.
+                        self.outbound.push(SendRec {
+                            sent_at: self.now,
+                            from,
+                            oseq,
+                            to,
+                            msg,
+                        });
+                    }
+                }
                 Action::Timer { after, token } => {
-                    self.push_event(self.now + after, EventKind::Timer { node: from, token });
+                    let oseq = self.next_oseq(from);
+                    let at = self.now + after;
+                    self.push_event(at, from, oseq, EventKind::Timer { node: from, token });
                 }
             }
         }
     }
 
-    /// Apply the flow-level network model and enqueue the delivery.
-    fn route(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        if from == to {
-            // Local hand-off: no latency, no bandwidth, not network traffic.
-            self.push_event(self.now, EventKind::Deliver { from, to, msg });
-            return;
-        }
-        if self.nodes.get(to as usize).is_some_and(|s| s.inbound_drop) {
+    /// Apply the flow-level network model to one buffered send and
+    /// enqueue the delivery. The receiver must be owned by this core.
+    fn route_rec(&mut self, rec: SendRec<A::Msg>) {
+        let SendRec {
+            sent_at,
+            from,
+            oseq,
+            to,
+            msg,
+        } = rec;
+        if self
+            .nodes
+            .get(to as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|s| s.inbound_drop)
+        {
             self.stats.dropped_in_window += 1;
             return;
         }
         let latency = self.cfg.topology.latency(from, to);
-        let link_arrival = self.now + latency;
+        let link_arrival = sent_at + latency;
         let deliver_at = match self.cfg.inbound_bps {
             None => link_arrival,
             // A dead destination's link must not stay "busy": the drop
@@ -427,38 +550,87 @@ impl<A: App> Sim<A> {
             Some(bps) => {
                 let bytes = msg.wire_size();
                 let transmit = Dur::from_secs_f64(bytes as f64 * 8.0 / bps);
-                let slot = &mut self.nodes[to as usize];
+                let slot = self.nodes[to as usize]
+                    .as_mut()
+                    .expect("alive receiver has a slot");
                 let start = slot.inbound_free.max(link_arrival);
                 let done = start + transmit;
                 slot.inbound_free = done;
                 done
             }
         };
-        self.push_event(deliver_at, EventKind::Deliver { from, to, msg });
+        self.push_event(deliver_at, from, oseq, EventKind::Deliver { from, to, msg });
     }
 
-    fn push_event(&mut self, at: Time, kind: EventKind<A::Msg>) {
-        self.seq += 1;
+    /// Route a batch of buffered sends in key order. Receivers must all
+    /// be owned by this core (the sharded barrier partitions by
+    /// destination shard before calling this).
+    pub(crate) fn route_batch(&mut self, mut batch: Vec<SendRec<A::Msg>>) {
+        batch.sort_unstable_by_key(SendRec::key);
+        for rec in batch {
+            self.route_rec(rec);
+        }
+    }
+
+    /// Hand the accumulated inter-node sends to the caller (the sharded
+    /// barrier), leaving the buffer empty.
+    pub(crate) fn take_outbound(&mut self) -> Vec<SendRec<A::Msg>> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Sequential-mode flush: once every event at the send instant has
+    /// run (so no earlier-keyed send can still appear), route the
+    /// buffer key-sorted. All buffered sends share one send instant —
+    /// the clock cannot advance past it without flushing here first.
+    fn flush_due(&mut self) {
+        if self.outbound.is_empty() {
+            return;
+        }
+        let t = self.outbound[0].sent_at;
+        debug_assert!(self.outbound.iter().all(|r| r.sent_at == t));
+        if self.queue.peek().is_some_and(|ev| ev.key.at <= t) {
+            return;
+        }
+        let batch = std::mem::take(&mut self.outbound);
+        self.route_batch(batch);
+    }
+
+    fn push_event(&mut self, at: Time, origin: NodeId, oseq: u64, kind: EventKind<A::Msg>) {
         let slot = self.slab.alloc(kind);
         self.queue.push(EvRef {
-            at,
-            seq: self.seq,
+            key: EvKey { at, origin, oseq },
             slot,
         });
     }
 
-    /// Process the next event — and, for a delivery, the maximal run of
-    /// immediately following same-instant deliveries to the same node,
-    /// dispatched through one borrow of the receiver. Order, stats, and
-    /// seq assignment are identical to one-at-a-time processing because
-    /// handler actions always enqueue at strictly higher seq than every
-    /// batch member. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
+    /// Time of the earliest queued event (buffered sends excluded —
+    /// their delivery time is not known until they are routed).
+    pub(crate) fn next_at(&self) -> Option<Time> {
+        self.queue.peek().map(|e| e.key.at)
+    }
+
+    pub(crate) fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.outbound.is_empty()
+    }
+
+    /// Process the next queued event — and, for a delivery, the run of
+    /// immediately following same-instant deliveries to the same node
+    /// **from origins at or below it**, dispatched through one borrow
+    /// of the receiver. The origin bound keeps batching invisible to
+    /// the event order: a handler in the batch may enqueue same-instant
+    /// events, but those carry `origin = to` and a higher oseq than
+    /// anything the node has queued, so they cannot sort before any
+    /// admitted member. (A member from `origin > to` *could* be
+    /// preceded by such a self-send in key order, and batch extents
+    /// differ between the sequential queue and a shard's — so admitting
+    /// one would break cross-engine bit-identity.) Returns `false` when
+    /// the queue is empty.
+    fn step_inner(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        debug_assert!(ev.key.at >= self.now, "time went backwards");
+        self.now = ev.key.at;
         self.events_processed += 1;
         match self.slab.take(ev.slot) {
             EventKind::Deliver { from, to, msg } => {
@@ -475,7 +647,8 @@ impl<A: App> Sim<A> {
                 }
                 batch.push((from, msg));
                 while self.queue.peek().is_some_and(|next| {
-                    next.at == ev.at
+                    next.key.at == ev.key.at
+                        && next.key.origin <= to
                         && matches!(
                             self.slab.get(next.slot),
                             EventKind::Deliver { to: t, .. } if *t == to
@@ -512,7 +685,7 @@ impl<A: App> Sim<A> {
     /// Deliver a batch of same-instant messages through a single `Ctx`,
     /// applying the accumulated actions once, in handler order.
     fn dispatch_batch(&mut self, to: NodeId, batch: &mut Vec<(NodeId, A::Msg)>) {
-        let Some(slot) = self.nodes.get_mut(to as usize) else {
+        let Some(Some(slot)) = self.nodes.get_mut(to as usize) else {
             batch.clear();
             return;
         };
@@ -531,22 +704,132 @@ impl<A: App> Sim<A> {
         self.scratch = actions;
     }
 
-    /// Run until the clock reaches `deadline` (events at exactly
-    /// `deadline` are processed) or the queue drains.
-    pub fn run_until(&mut self, deadline: Time) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            self.step();
+    /// Flush-aware single step for the sequential engine.
+    pub(crate) fn step(&mut self) -> bool {
+        self.flush_due();
+        self.step_inner()
+    }
+
+    /// Execute every queued event with `at < end` (window-exclusive),
+    /// leaving inter-node sends buffered for the barrier. Returns the
+    /// number of events processed.
+    pub(crate) fn execute_window(&mut self, end: Time) -> u64 {
+        let before = self.events_processed;
+        while self.queue.peek().is_some_and(|ev| ev.key.at < end) {
+            self.step_inner();
         }
-        if self.now < deadline {
-            self.now = deadline;
+        self.events_processed - before
+    }
+}
+
+/// The discrete-event simulator hosting many [`App`] automata.
+pub struct Sim<A: App> {
+    core: EngineCore<A>,
+    node_count: usize,
+}
+
+impl<A: App> Sim<A> {
+    pub fn new(cfg: NetConfig) -> Self {
+        Sim {
+            core: EngineCore::new(cfg),
+            node_count: 0,
         }
     }
 
+    /// Add a node and run its `on_start` handler at the current time.
+    pub fn add_node(&mut self, app: A) -> NodeId {
+        let id = self.node_count as NodeId;
+        self.node_count += 1;
+        self.core.add_local(id, app);
+        id
+    }
+
+    /// Abruptly fail a node: its state is gone, and all in-flight or
+    /// future traffic addressed to it is dropped (§5.6).
+    pub fn fail_node(&mut self, id: NodeId) {
+        self.core.fail(id);
+    }
+
+    pub fn alive(&self, id: NodeId) -> bool {
+        self.core.alive(id)
+    }
+
+    /// Re-seat a previously failed node with a fresh automaton — a new
+    /// process joining at the same address. The RNG is reseeded exactly
+    /// as in [`Self::add_node`] (revival is deterministic) and the
+    /// inbound link starts idle. Returns `false` if `id` never existed
+    /// or is still alive.
+    pub fn revive(&mut self, id: NodeId, app: A) -> bool {
+        self.core.revive(id, app)
+    }
+
+    /// Open (`true`) or close (`false`) a message-drop window on a
+    /// node's inbound side: while open, every message addressed to it
+    /// is discarded at send time — the node keeps its state and its
+    /// timers keep firing, unlike [`Self::fail_node`].
+    pub fn set_inbound_drop(&mut self, id: NodeId, dropping: bool) {
+        self.core.set_inbound_drop(id, dropping);
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    pub fn alive_count(&self) -> usize {
+        self.core.alive_count()
+    }
+
+    pub fn now(&self) -> Time {
+        self.core.now()
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        self.core.stats()
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed()
+    }
+
+    /// Read-only access to a live node's automaton.
+    pub fn app(&self, id: NodeId) -> Option<&A> {
+        self.core.app(id)
+    }
+
+    /// Inject an external call into a node (e.g. "submit this query"),
+    /// exactly as if a local application invoked the PIER API. Returns
+    /// `None` if the node has failed.
+    pub fn with_app<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut A, &mut Ctx<A::Msg>) -> R,
+    ) -> Option<R> {
+        self.core.with_app(id, f)
+    }
+
+    /// Process the next event (routing any due buffered sends first).
+    /// Returns `false` when nothing is pending.
+    pub fn step(&mut self) -> bool {
+        self.core.step()
+    }
+
+    /// Run until the clock reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: Time) {
+        loop {
+            self.core.flush_due();
+            match self.core.next_at() {
+                Some(at) if at <= deadline => {
+                    self.core.step_inner();
+                }
+                _ => break,
+            }
+        }
+        self.core.raise_now(deadline);
+    }
+
     pub fn run_for(&mut self, d: Dur) {
-        let deadline = self.now + d;
+        let deadline = self.now() + d;
         self.run_until(deadline);
     }
 
@@ -557,12 +840,15 @@ impl<A: App> Sim<A> {
                 return true;
             }
         }
-        self.queue.is_empty()
+        self.core.is_idle()
     }
 
-    /// Time of the next pending event, if any.
+    /// Time of the next *queued* event, if any. Sends buffered by a
+    /// handler or [`Self::with_app`] injection that have not yet been
+    /// routed are not reflected here (their delivery instant is not
+    /// known until the flow model runs at the next step).
     pub fn peek_next_time(&self) -> Option<Time> {
-        self.queue.peek().map(|e| e.at)
+        self.core.next_at()
     }
 }
 
@@ -877,7 +1163,7 @@ mod tests {
     }
 
     #[test]
-    fn same_instant_deliveries_batch_in_seq_order() {
+    fn same_instant_deliveries_batch_in_origin_order() {
         struct Tell {
             target: Option<NodeId>,
             got: Vec<(Time, NodeId)>,
@@ -907,7 +1193,8 @@ mod tests {
         }
         sim.run_idle(100);
         // All three arrive at the same instant and must be handled in
-        // send (seq) order even though they form one dispatch batch.
+        // origin (sender id) order even though they form one dispatch
+        // batch — the shard-invariant ordering key decides.
         let got = &sim.app(sink).unwrap().got;
         let t = Time::from_secs_f64(0.1);
         assert_eq!(got, &vec![(t, 1), (t, 2), (t, 3)]);

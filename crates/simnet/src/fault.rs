@@ -31,13 +31,21 @@ pub enum Fault {
     DropStart { node: NodeId },
     /// End of a message-drop window: the link heals.
     DropEnd { node: NodeId },
+    /// A replacement node joins at a previously killed id — a fresh
+    /// process at the same address, with none of the old state. The
+    /// apply closure is expected to construct the newcomer and hand it
+    /// to `Sim::revive` / `ShardedSim::revive` / `Cluster::revive`.
+    Join { node: NodeId },
 }
 
 impl Fault {
     /// The node the fault acts on.
     pub fn node(&self) -> NodeId {
         match self {
-            Fault::Kill { node } | Fault::DropStart { node } | Fault::DropEnd { node } => *node,
+            Fault::Kill { node }
+            | Fault::DropStart { node }
+            | Fault::DropEnd { node }
+            | Fault::Join { node } => *node,
         }
     }
 }
@@ -88,6 +96,34 @@ impl FaultScript {
         Self::new(events)
     }
 
+    /// Seeded churn with replacement: like [`Self::churn`], but each
+    /// kill is followed `rejoin_after` later by a [`Fault::Join`] of a
+    /// fresh node at the same id — the paper's steady-state churn,
+    /// where departures and arrivals balance and the overlay never
+    /// shrinks for long.
+    pub fn churn_with_rejoin(
+        seed: u64,
+        span: Dur,
+        kills: usize,
+        candidates: &[NodeId],
+        rejoin_after: Dur,
+    ) -> Self {
+        let mut script = Self::churn(seed, span, kills, candidates);
+        let joins: Vec<Scheduled> = script
+            .events
+            .iter()
+            .filter_map(|e| match e.fault {
+                Fault::Kill { node } => Some(Scheduled {
+                    at: e.at + rejoin_after,
+                    fault: Fault::Join { node },
+                }),
+                _ => None,
+            })
+            .collect();
+        script.events.extend(joins);
+        Self::new(script.events)
+    }
+
     /// Add a message-drop window `[from, from + len)` on one node.
     pub fn with_drop_window(mut self, node: NodeId, from: Dur, len: Dur) -> Self {
         self.events.push(Scheduled {
@@ -97,6 +133,15 @@ impl FaultScript {
         self.events.push(Scheduled {
             at: from + len,
             fault: Fault::DropEnd { node },
+        });
+        Self::new(self.events)
+    }
+
+    /// Add a scheduled join of a replacement node at `node`.
+    pub fn with_join(mut self, node: NodeId, at: Dur) -> Self {
+        self.events.push(Scheduled {
+            at,
+            fault: Fault::Join { node },
         });
         Self::new(self.events)
     }
@@ -111,6 +156,17 @@ impl FaultScript {
             .iter()
             .filter_map(|e| match e.fault {
                 Fault::Kill { node } => Some(node),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ids rejoined by a replacement anywhere in the script.
+    pub fn joined(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.fault {
+                Fault::Join { node } => Some(node),
                 _ => None,
             })
             .collect()
@@ -202,6 +258,48 @@ mod tests {
                 "kills too close: {ats:?}"
             );
         }
+    }
+
+    #[test]
+    fn rejoin_schedules_a_join_per_kill() {
+        let nodes: Vec<NodeId> = (0..20).collect();
+        let s = FaultScript::churn_with_rejoin(9, Dur::from_secs(60), 4, &nodes, Dur::from_secs(5));
+        let (killed, joined) = (s.killed(), s.joined());
+        assert_eq!(killed.len(), 4);
+        let mut k = killed.clone();
+        let mut j = joined.clone();
+        k.sort_unstable();
+        j.sort_unstable();
+        assert_eq!(k, j, "every kill gets a matching rejoin");
+        // Each join comes exactly rejoin_after behind its kill, and the
+        // merged list stays time-sorted.
+        for ev in s.events() {
+            if let Fault::Join { node } = ev.fault {
+                let kill_at = s
+                    .events()
+                    .iter()
+                    .find(|e| e.fault == (Fault::Kill { node }))
+                    .unwrap()
+                    .at;
+                assert_eq!(ev.at, kill_at + Dur::from_secs(5));
+            }
+        }
+        assert!(s.events().windows(2).all(|w| w[0].at <= w[1].at));
+        // The kill-only prefix of the same seed is preserved.
+        let kills_only = FaultScript::churn(9, Dur::from_secs(60), 4, &nodes);
+        assert_eq!(s.killed(), kills_only.killed());
+    }
+
+    #[test]
+    fn with_join_sorts_into_place() {
+        let s = FaultScript::new(vec![Scheduled {
+            at: Dur::from_secs(4),
+            fault: Fault::Kill { node: 1 },
+        }])
+        .with_join(1, Dur::from_secs(6));
+        assert_eq!(s.joined(), vec![1]);
+        assert_eq!(s.events()[1].at, Dur::from_secs(6));
+        assert_eq!(Fault::Join { node: 1 }.node(), 1);
     }
 
     #[test]

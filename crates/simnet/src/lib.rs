@@ -11,6 +11,10 @@
 //!   microsecond clock, a pluggable latency [`topology::Topology`], and a
 //!   flow-level bandwidth model that queues messages on the receiver's
 //!   inbound link (the paper's "congestion occurs at the last hop" model).
+//! * [`sharded::ShardedSim`] — the same simulator partitioned across
+//!   worker threads with a conservative time-window barrier; bit-identical
+//!   results to [`Sim`] at any shard count, for the 10^4-node-and-beyond
+//!   runs a single core can't sustain.
 //! * [`threaded::Cluster`] — one OS thread per node over crossbeam
 //!   channels with a wall clock; our stand-in for the paper's real cluster
 //!   deployment (§5.8).
@@ -22,6 +26,7 @@
 pub mod app;
 pub mod engine;
 pub mod fault;
+pub mod sharded;
 pub mod stats;
 pub mod threaded;
 pub mod time;
@@ -30,6 +35,7 @@ pub mod topology;
 pub use app::{Action, App, Ctx};
 pub use engine::{NetConfig, Sim};
 pub use fault::{Fault, FaultDriver, FaultScript, Scheduled};
+pub use sharded::{ShardMap, ShardedSim};
 pub use stats::NetStats;
 pub use time::{Dur, Time};
 pub use topology::{FullMesh, Topology, TransitStub, TransitStubParams};

@@ -54,6 +54,20 @@ impl NetStats {
         self.bytes as f64 / 1e6
     }
 
+    /// Fold another engine's counters into this one. All fields are
+    /// plain sums, so merging per-shard stats in any order yields the
+    /// same totals the sequential engine would have accumulated.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.dropped_to_failed += other.dropped_to_failed;
+        self.dropped_in_window += other.dropped_in_window;
+        self.ensure_nodes(other.inbound_bytes.len());
+        for (i, v) in other.inbound_bytes.iter().enumerate() {
+            self.inbound_bytes[i] += v;
+        }
+    }
+
     /// Traffic accumulated since an earlier snapshot.
     pub fn since(&self, snapshot: &NetStats) -> NetStats {
         let mut inbound = self.inbound_bytes.clone();

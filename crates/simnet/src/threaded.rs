@@ -24,8 +24,17 @@ use crate::{NodeId, Wire};
 type NodeCall<A> = Box<dyn FnOnce(&mut A, &mut Ctx<<A as App>::Msg>) + Send>;
 
 enum Envelope<A: App> {
-    Msg { from: NodeId, msg: A::Msg },
+    Msg {
+        from: NodeId,
+        msg: A::Msg,
+    },
     Call(NodeCall<A>),
+    /// Re-seat a fresh automaton at this id (see [`Cluster::revive`]).
+    Revive(A),
+    /// Wake the thread so it notices a freshly raised kill flag; no
+    /// other effect.
+    Nudge,
+    /// Shut the thread down for good (cluster teardown).
     Stop,
 }
 
@@ -144,48 +153,114 @@ where
                     // before *every* dispatch, so a killed node never
                     // drains its backlog the way a queued `Stop` would
                     // — matching `Sim::fail_node`, which freezes state
-                    // instantly.
+                    // instantly. A killed thread *parks* rather than
+                    // exiting: it keeps discarding traffic until a
+                    // `Revive` re-seats it (the threaded twin of
+                    // `Sim::revive`) or the cluster shuts down.
                     let dead = || kill_flags[me as usize].load(Ordering::Relaxed);
-                    loop {
-                        if dead() {
-                            break;
-                        }
-                        let timeout = timers
+                    // Timers that came due while the node was dead would
+                    // have dispatched into a corpse; drop them so a
+                    // revived successor only sees timers still in the
+                    // future — the simulator's exact behaviour, where
+                    // due-while-dead timer events dissolve against the
+                    // empty slot.
+                    let prune_due = |timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64)>>| {
+                        let now = Instant::now();
+                        while timers
                             .peek()
-                            .map(|std::cmp::Reverse((deadline, _))| {
-                                deadline.saturating_duration_since(Instant::now())
-                            })
-                            .unwrap_or(Duration::from_millis(200));
-                        match rx.recv_timeout(timeout) {
-                            Ok(Envelope::Msg { from, msg }) => {
-                                if dead() {
-                                    break;
-                                }
-                                let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
-                                app.on_message(&mut ctx, from, msg);
-                            }
-                            Ok(Envelope::Call(f)) => {
-                                if dead() {
-                                    break;
-                                }
-                                let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
-                                f(&mut app, &mut ctx);
-                            }
-                            Ok(Envelope::Stop) => break,
-                            Err(RecvTimeoutError::Timeout) => {}
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                        flush(&mut app, &mut actions, &mut timers);
-                        // Fire all due timers.
-                        while let Some(std::cmp::Reverse((deadline, token))) = timers.peek().copied()
+                            .is_some_and(|std::cmp::Reverse((d, _))| *d <= now)
                         {
-                            if deadline > Instant::now() || dead() {
+                            timers.pop();
+                        }
+                    };
+                    'life: loop {
+                        // Live: dispatch messages, calls, and timers.
+                        loop {
+                            if dead() {
                                 break;
                             }
-                            timers.pop();
-                            let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
-                            app.on_timer(&mut ctx, token);
+                            let timeout = timers
+                                .peek()
+                                .map(|std::cmp::Reverse((deadline, _))| {
+                                    deadline.saturating_duration_since(Instant::now())
+                                })
+                                .unwrap_or(Duration::from_millis(200));
+                            match rx.recv_timeout(timeout) {
+                                Ok(Envelope::Msg { from, msg }) => {
+                                    if dead() {
+                                        break;
+                                    }
+                                    let mut ctx =
+                                        Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                                    app.on_message(&mut ctx, from, msg);
+                                }
+                                Ok(Envelope::Call(f)) => {
+                                    if dead() {
+                                        break;
+                                    }
+                                    let mut ctx =
+                                        Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                                    f(&mut app, &mut ctx);
+                                }
+                                // A kill can race a revive: if the flag
+                                // flipped back before we ever parked,
+                                // the re-seat still must happen.
+                                Ok(Envelope::Revive(new_app)) => {
+                                    app = new_app;
+                                    rng = SmallRng::seed_from_u64(
+                                        seed.wrapping_add(
+                                            (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                        ),
+                                    );
+                                    prune_due(&mut timers);
+                                    let mut ctx =
+                                        Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                                    app.on_start(&mut ctx);
+                                }
+                                Ok(Envelope::Nudge) => {}
+                                Ok(Envelope::Stop) => break 'life,
+                                Err(RecvTimeoutError::Timeout) => {}
+                                Err(RecvTimeoutError::Disconnected) => break 'life,
+                            }
                             flush(&mut app, &mut actions, &mut timers);
+                            // Fire all due timers.
+                            while let Some(std::cmp::Reverse((deadline, token))) =
+                                timers.peek().copied()
+                            {
+                                if deadline > Instant::now() || dead() {
+                                    break;
+                                }
+                                timers.pop();
+                                let mut ctx = Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                                app.on_timer(&mut ctx, token);
+                                flush(&mut app, &mut actions, &mut timers);
+                            }
+                        }
+                        // Parked dead: discard everything except a
+                        // revival or teardown. State stays frozen at
+                        // the kill instant for post-mortem inspection.
+                        loop {
+                            match rx.recv_timeout(Duration::from_millis(200)) {
+                                Ok(Envelope::Revive(new_app)) => {
+                                    app = new_app;
+                                    rng = SmallRng::seed_from_u64(
+                                        seed.wrapping_add(
+                                            (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                        ),
+                                    );
+                                    prune_due(&mut timers);
+                                    kill_flags[me as usize].store(false, Ordering::Relaxed);
+                                    let mut ctx =
+                                        Ctx::new(now_of(start), me, &mut rng, &mut actions);
+                                    app.on_start(&mut ctx);
+                                    flush(&mut app, &mut actions, &mut timers);
+                                    continue 'life;
+                                }
+                                Ok(Envelope::Stop) => break 'life,
+                                Ok(_) => {}
+                                Err(RecvTimeoutError::Timeout) => prune_due(&mut timers),
+                                Err(RecvTimeoutError::Disconnected) => break 'life,
+                            }
                         }
                     }
                     app
@@ -203,20 +278,47 @@ where
         }
     }
 
-    /// Abruptly stop one node's thread — the cluster analogue of
+    /// Abruptly kill one node — the cluster analogue of
     /// [`crate::Sim::fail_node`]. The kill flag makes death immediate
-    /// (any backlogged inbox messages are never dispatched); the `Stop`
-    /// envelope just wakes the thread if it is blocked on its channel.
-    /// Peers observe silence, exactly the ungraceful §5.6 failure. The
-    /// thread's app is still collected at [`Self::shutdown`] (its state
-    /// is frozen at the kill instant).
+    /// (any backlogged inbox messages are never dispatched); the
+    /// `Nudge` envelope just wakes the thread if it is blocked on its
+    /// channel. Peers observe silence, exactly the ungraceful §5.6
+    /// failure. The thread parks rather than exiting, so the id can
+    /// later host a replacement via [`Self::revive`]; its frozen app is
+    /// still collected at [`Self::shutdown`] if never revived.
     pub fn kill(&self, id: NodeId) {
         if let (Some(flag), Some(tx)) =
             (self.killed.get(id as usize), self.senders.get(id as usize))
         {
             flag.store(true, Ordering::Relaxed);
-            let _ = tx.send(Envelope::Stop);
+            let _ = tx.send(Envelope::Nudge);
         }
+    }
+
+    /// Re-seat a fresh automaton at a killed id — the cluster analogue
+    /// of [`crate::Sim::revive`] and the executor of
+    /// [`crate::fault::Fault::Join`]. The replacement gets a reseeded
+    /// RNG (same derivation as at spawn) and runs `on_start` on the
+    /// node's thread; timers that came due while the node was dead are
+    /// discarded, while still-future ones survive, matching the
+    /// simulator's handling of a dead node's queued timer events.
+    /// Returns `false` if `id` is out of range or still alive.
+    pub fn revive(&self, id: NodeId, app: A) -> bool {
+        let (Some(flag), Some(tx)) = (self.killed.get(id as usize), self.senders.get(id as usize))
+        else {
+            return false;
+        };
+        if !flag.load(Ordering::Relaxed) {
+            return false;
+        }
+        if tx.send(Envelope::Revive(app)).is_err() {
+            return false;
+        }
+        // Flip liveness immediately so peers route traffic to the
+        // newcomer; anything arriving before the thread processes the
+        // `Revive` queues behind it and is dispatched afterwards.
+        flag.store(false, Ordering::Relaxed);
+        true
     }
 
     /// Has `id` not been killed? The threaded twin of [`crate::Sim::alive`].
@@ -465,6 +567,44 @@ mod tests {
         );
         assert_eq!(cluster.stats().messages.load(Ordering::Relaxed), 0);
         assert_eq!(cluster.stats().bytes.load(Ordering::Relaxed), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn revive_reseats_a_killed_node() {
+        let cluster = Cluster::spawn(vec![Count { seen: 0 }, Count { seen: 99 }], 21);
+        assert!(!cluster.revive(1, Count { seen: 0 }), "still alive");
+        assert!(!cluster.revive(7, Count { seen: 0 }), "no such node");
+        cluster.kill(1);
+        assert!(!cluster.alive(1));
+        // Traffic sent while dead is dropped, not queued for the heir.
+        cluster
+            .call(0, |_, ctx| {
+                for _ in 0..5 {
+                    ctx.send(1, Byte(0));
+                }
+            })
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cluster.stats().dropped_to_failed.load(Ordering::Relaxed) < 5
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(cluster.revive(1, Count { seen: 0 }));
+        assert!(cluster.alive(1));
+        // The heir is a fresh automaton (seen=0, not the old 99) and
+        // receives traffic again.
+        cluster.call(0, |_, ctx| ctx.send(1, Byte(0))).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let seen = cluster.call(1, |a, _| a.seen).unwrap();
+            if seen >= 1 || Instant::now() > deadline {
+                assert_eq!(seen, 1, "heir state wrong or message lost");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
         cluster.shutdown();
     }
 

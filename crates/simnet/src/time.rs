@@ -37,6 +37,14 @@ impl Time {
     pub fn since(self, earlier: Time) -> Dur {
         Dur(self.0.saturating_sub(earlier.0))
     }
+
+    /// The following microsecond tick — the smallest instant strictly
+    /// after `self` (saturating at [`Time::MAX`]). Turns an inclusive
+    /// deadline into the exclusive bound the window-execution loop
+    /// expects.
+    pub fn next(self) -> Time {
+        Time(self.0.saturating_add(1))
+    }
 }
 
 impl Dur {

@@ -18,6 +18,15 @@ use rand::{Rng, SeedableRng};
 pub trait Topology: Send + Sync {
     /// One-way propagation delay from `a` to `b`.
     fn latency(&self, a: NodeId, b: NodeId) -> Dur;
+
+    /// Lower bound on [`Self::latency`] over all *distinct* pairs — the
+    /// lookahead of the conservative sharded engine
+    /// ([`crate::sharded::ShardedSim`]): no message sent at time `t` can
+    /// arrive anywhere before `t + min_latency()`, so shards may safely
+    /// execute a window of that width past the global minimum without
+    /// hearing from each other. Must be positive for the sharded engine
+    /// to make parallel progress (a zero bound degenerates to lock-step).
+    fn min_latency(&self) -> Dur;
 }
 
 /// Fully connected topology with a constant pairwise latency.
@@ -42,6 +51,10 @@ impl Topology for FullMesh {
         } else {
             self.latency
         }
+    }
+
+    fn min_latency(&self) -> Dur {
+        self.latency
     }
 }
 
@@ -134,6 +147,14 @@ impl Topology for TransitStub {
         self.params.transit_stub
             + self.params.transit_transit.saturating_mul(hops)
             + self.params.transit_stub
+    }
+
+    fn min_latency(&self) -> Dur {
+        // Two co-located stub nodes are `intra_stub` apart; any other
+        // distinct pair crosses at least two transit-stub links.
+        self.params
+            .intra_stub
+            .min(self.params.transit_stub + self.params.transit_stub)
     }
 }
 

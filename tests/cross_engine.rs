@@ -10,7 +10,7 @@ use pier::qp::{PierNode, Tuple};
 use pier::simnet::threaded::Cluster;
 use pier::simnet::time::{Dur, Time};
 use pier::simnet::{
-    App, Ctx, Fault, FaultDriver, FaultScript, NetConfig, NodeId, Scheduled, Sim, Wire,
+    App, Ctx, Fault, FaultDriver, FaultScript, NetConfig, NodeId, Scheduled, ShardMap, Sim, Wire,
 };
 use pier::workload::{RsParams, RsWorkload};
 use pier_dht::DhtConfig;
@@ -137,16 +137,33 @@ fn idle_nodes(n: usize) -> Vec<PierNode> {
 /// polling cadence shows through. This is what makes a churn experiment
 /// reproducible across the paper's "same code, simulated or deployed"
 /// split.
+/// A replacement automaton for `id` — a fresh process at the same
+/// address, used to execute [`Fault::Join`] on any engine.
+fn replacement_node(id: NodeId, n: usize) -> PierNode {
+    let cfg = DhtConfig::static_network();
+    let st = pier_dht::can::balanced_overlay(n, cfg.dims, Time::ZERO)
+        .into_iter()
+        .nth(id as usize)
+        .expect("id within overlay");
+    PierNode::with_dht(pier_dht::Dht::with_can(cfg, id, st), None)
+}
+
 #[test]
 fn fault_scripts_replay_identically_on_both_engines() {
     let candidates: Vec<NodeId> = (1..6).collect();
-    let script = FaultScript::churn(4242, Dur::from_secs(2), 3, &candidates).with_drop_window(
-        0,
-        Dur::from_millis(300),
-        Dur::from_millis(700),
-    );
+    // Kills with scheduled rejoins of replacement nodes, plus a drop
+    // window — all three fault kinds replay on both engines.
+    let script = FaultScript::churn_with_rejoin(
+        4242,
+        Dur::from_secs(2),
+        3,
+        &candidates,
+        Dur::from_millis(450),
+    )
+    .with_drop_window(0, Dur::from_millis(300), Dur::from_millis(700));
     let killed = script.killed();
     assert_eq!(killed.len(), 3);
+    assert_eq!(script.joined().len(), 3);
 
     // Simulator replay: run exactly up to each fault instant.
     let mut sim = stabilized_pier_sim(6, DhtConfig::static_network(), NetConfig::latency_only(1));
@@ -158,10 +175,16 @@ fn fault_scripts_replay_identically_on_both_engines() {
             Fault::Kill { node } => sim.fail_node(node),
             Fault::DropStart { node } => sim.set_inbound_drop(node, true),
             Fault::DropEnd { node } => sim.set_inbound_drop(node, false),
+            Fault::Join { node } => {
+                assert!(sim.revive(node, replacement_node(node, 6)));
+            }
         });
     }
     for &v in &killed {
-        assert!(!sim.alive(v), "node {v} must be dead after its Kill fault");
+        assert!(
+            sim.alive(v),
+            "node {v} must be back up after its Join fault"
+        );
     }
     let sim_trace: Vec<Scheduled> = sim_drv.trace().to_vec();
 
@@ -174,7 +197,13 @@ fn fault_scripts_replay_identically_on_both_engines() {
             Fault::Kill { node } => cluster.kill(node),
             Fault::DropStart { node } => cluster.set_inbound_drop(node, true),
             Fault::DropEnd { node } => cluster.set_inbound_drop(node, false),
+            Fault::Join { node } => {
+                assert!(cluster.revive(node, replacement_node(node, 6)));
+            }
         });
+    }
+    for &v in &killed {
+        assert!(cluster.alive(v), "cluster node {v} rejoined");
     }
     cluster.shutdown();
 
@@ -236,6 +265,7 @@ fn stats_classify_identically_on_both_engines() {
         Fault::Kill { node } => sim.fail_node(node),
         Fault::DropStart { node } => sim.set_inbound_drop(node, true),
         Fault::DropEnd { node } => sim.set_inbound_drop(node, false),
+        Fault::Join { .. } => unreachable!("script schedules no joins"),
     });
     sim.with_app(0, |_, ctx| ctx.send(3, Probe)).unwrap();
     while let Some(at) = drv.next_at() {
@@ -244,6 +274,7 @@ fn stats_classify_identically_on_both_engines() {
             Fault::Kill { node } => sim.fail_node(node),
             Fault::DropStart { node } => sim.set_inbound_drop(node, true),
             Fault::DropEnd { node } => sim.set_inbound_drop(node, false),
+            Fault::Join { .. } => unreachable!("script schedules no joins"),
         });
     }
     sim.with_app(0, |_, ctx| {
@@ -267,6 +298,7 @@ fn stats_classify_identically_on_both_engines() {
         Fault::Kill { node } => cluster.kill(node),
         Fault::DropStart { node } => cluster.set_inbound_drop(node, true),
         Fault::DropEnd { node } => cluster.set_inbound_drop(node, false),
+        Fault::Join { .. } => unreachable!("script schedules no joins"),
     });
     cluster.call(0, |_, ctx| ctx.send(3, Probe)).unwrap();
     // Sends flush on node 0's thread after the call returns: wait for
@@ -282,6 +314,7 @@ fn stats_classify_identically_on_both_engines() {
             Fault::Kill { node } => cluster.kill(node),
             Fault::DropStart { node } => cluster.set_inbound_drop(node, true),
             Fault::DropEnd { node } => cluster.set_inbound_drop(node, false),
+            Fault::Join { .. } => unreachable!("script schedules no joins"),
         });
     }
     cluster
@@ -307,4 +340,113 @@ fn stats_classify_identically_on_both_engines() {
 
     assert_eq!(sim_counts, (1, 64, 1, 1));
     assert_eq!(sim_counts, cluster_counts);
+}
+
+/// The sharded engine's determinism pin: one seeded churn-with-rejoin
+/// script over a live query workload must produce **byte-identical**
+/// stats, fault traces, and result rows under W ∈ {1, 2, 4} shards and
+/// under the sequential `Sim`. This is the contract that lets the
+/// scale-up benchmarks swap engines freely.
+#[test]
+fn churn_scripts_are_byte_identical_under_sharding() {
+    const N: usize = 12;
+    let wl = RsWorkload::generate(RsParams {
+        s_rows: 12,
+        seed: 99,
+        ..Default::default()
+    });
+    let script = FaultScript::churn_with_rejoin(
+        7,
+        Dur::from_secs(40),
+        3,
+        &(1..N as NodeId).collect::<Vec<_>>(),
+        Dur::from_secs(6),
+    )
+    .with_drop_window(0, Dur::from_secs(10), Dur::from_secs(5));
+
+    // Drives the same scripted run on any engine; returns everything
+    // observable: the fault trace, result rows, merged stats, the event
+    // count, and the final clock.
+    fn drive<E: PierEngine>(
+        mut sim: E,
+        wl: &RsWorkload,
+        script: &FaultScript,
+        fail: impl Fn(&mut E, NodeId),
+        revive: impl Fn(&mut E, NodeId) -> bool,
+        drop: impl Fn(&mut E, NodeId, bool),
+    ) -> (Vec<Scheduled>, Vec<Tuple>, u64, u64, Vec<u64>, Time) {
+        publish_round_robin(&mut sim, "R", &wl.r, 0, Dur::from_secs(100_000));
+        publish_round_robin(&mut sim, "S", &wl.s, 0, Dur::from_secs(100_000));
+        settle_publish(&mut sim);
+        let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
+        sim.with_node(0, |node, ctx| node.submit(ctx, desc));
+        let mut drv = FaultDriver::new(script.clone());
+        let t0 = sim.now();
+        while let Some(at) = drv.next_at() {
+            let target = t0 + at;
+            sim.run_for(target.since(sim.now()));
+            drv.advance(sim.now().since(t0), |f| match *f {
+                Fault::Kill { node } => fail(&mut sim, node),
+                Fault::DropStart { node } => drop(&mut sim, node, true),
+                Fault::DropEnd { node } => drop(&mut sim, node, false),
+                Fault::Join { node } => {
+                    assert!(revive(&mut sim, node));
+                }
+            });
+        }
+        sim.run_for(Dur::from_secs(20));
+        let rows = sim
+            .node(0)
+            .map(|n| {
+                rows_of(
+                    &n.query_results(1)
+                        .iter()
+                        .map(|(t, r)| (t.since(t0), r.clone()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .unwrap_or_default();
+        let stats = sim.net_stats();
+        (
+            drv.trace().to_vec(),
+            rows,
+            stats.messages,
+            stats.bytes,
+            stats.inbound_bytes.clone(),
+            sim.now(),
+        )
+    }
+
+    let cfg = DhtConfig::static_network();
+    let seq = drive(
+        stabilized_pier_sim(N, cfg.clone(), NetConfig::latency_only(5)),
+        &wl,
+        &script,
+        |s, id| s.fail_node(id),
+        |s, id| s.revive(id, replacement_node(id, N)),
+        |s, id, on| s.set_inbound_drop(id, on),
+    );
+    assert!(!seq.1.is_empty(), "workload must produce results");
+
+    for w in [1usize, 2, 4] {
+        let sharded = drive(
+            stabilized_pier_sharded(
+                N,
+                cfg.clone(),
+                NetConfig::latency_only(5),
+                ShardMap::round_robin(w),
+            ),
+            &wl,
+            &script,
+            |s, id| s.fail_node(id),
+            |s, id| s.revive(id, replacement_node(id, N)),
+            |s, id, on| s.set_inbound_drop(id, on),
+        );
+        assert_eq!(seq.0, sharded.0, "fault traces diverge at W={w}");
+        assert_eq!(seq.1, sharded.1, "result rows diverge at W={w}");
+        assert_eq!(seq.2, sharded.2, "message counts diverge at W={w}");
+        assert_eq!(seq.3, sharded.3, "byte counts diverge at W={w}");
+        assert_eq!(seq.4, sharded.4, "inbound bytes diverge at W={w}");
+        assert_eq!(seq.5, sharded.5, "clocks diverge at W={w}");
+    }
 }
