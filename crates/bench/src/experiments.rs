@@ -7,12 +7,11 @@ use pier_core::testkit::{
     publish_round_robin, rows_of, run_query, settle_publish, stabilized_pier_sharded,
     stabilized_pier_sim, PierEngine,
 };
-use pier_core::{optimizer, PierNode};
+use pier_core::{optimizer, NodeRequest, PierNode};
 use pier_dht::{DhtConfig, OverlayKind};
-use pier_simnet::threaded::Cluster;
 use pier_simnet::time::{Dur, Time};
 use pier_simnet::topology::TransitStub;
-use pier_simnet::{Fault, FaultDriver, FaultScript, NetConfig, NodeId, ShardMap, Sim};
+use pier_simnet::{Cluster, Fault, FaultDriver, FaultScript, NetConfig, NodeId, ShardMap, Sim};
 use pier_workload::{intrusion, RsParams, RsWorkload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -486,16 +485,23 @@ pub fn threaded_join_run(n: usize) -> (Option<f64>, usize) {
         per_node[i % n].1.push(row.clone());
     }
     for (i, (r, s)) in per_node.into_iter().enumerate() {
-        cluster.call(i as NodeId, move |node, ctx| {
-            node.publish_rows(ctx, "R", r, 0, Dur::from_secs(100_000));
-            node.publish_rows(ctx, "S", s, 0, Dur::from_secs(100_000));
-        });
+        for (table, rows) in [("R", r), ("S", s)] {
+            cluster.request(
+                i as NodeId,
+                NodeRequest::PublishRows {
+                    table: table.to_string(),
+                    rows,
+                    pkey_col: 0,
+                    lifetime: Dur::from_secs(100_000),
+                },
+            );
+        }
     }
     std::thread::sleep(std::time::Duration::from_millis(400));
 
     let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
     let t0 = cluster.now();
-    cluster.call(0, move |node, ctx| node.submit(ctx, desc));
+    cluster.request(0, NodeRequest::Submit(Box::new(desc)));
 
     // Poll until the result count stops growing.
     let mut last = 0usize;
@@ -503,8 +509,9 @@ pub fn threaded_join_run(n: usize) -> (Option<f64>, usize) {
     for _ in 0..200 {
         std::thread::sleep(std::time::Duration::from_millis(50));
         let count = cluster
-            .call(0, |node, _| node.query_results(1).len())
-            .expect("initiator alive");
+            .request(0, NodeRequest::ResultCount(1))
+            .expect("initiator alive")
+            .into_count();
         if count == last && count > 0 {
             stable += 1;
             if stable > 6 {
@@ -516,10 +523,12 @@ pub fn threaded_join_run(n: usize) -> (Option<f64>, usize) {
         last = count;
     }
     let times: Vec<Time> = cluster
-        .call(0, |node, _| {
-            node.query_results(1).iter().map(|(t, _)| *t).collect()
-        })
-        .expect("initiator alive");
+        .request(0, NodeRequest::TimedResults(1))
+        .expect("initiator alive")
+        .into_timed_results()
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect();
     cluster.shutdown();
     let mut rel: Vec<f64> = times
         .iter()

@@ -29,7 +29,7 @@ pub use bloom::BloomFilter;
 pub use catalog::{Catalog, TableDef, TableStats};
 pub use expr::{BinOp, Expr, Func};
 pub use item::{PierMsg, QpItem, Side};
-pub use node::PierNode;
+pub use node::{NodeRequest, NodeResponse, PierNode};
 pub use optimizer::{
     choose_strategy, greedy_join_order, CostParams, JoinStats, Objective, TableCard,
 };

@@ -2402,3 +2402,120 @@ impl App for PierNode {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// The typed client surface (actor runtime)
+// ---------------------------------------------------------------------
+
+/// Typed requests a client handle may send to a running PIER node
+/// actor — the replacement for the retired closure-injection API.
+/// Every operation benches, tests, and co-resident apps perform on a
+/// deployed node goes through one of these, executed on the actor
+/// thread with a full `Ctx` (so submit/publish emit network traffic
+/// exactly like any internal callback).
+#[derive(Clone, Debug)]
+pub enum NodeRequest {
+    /// Install and start a query at this node (§3.3 query multicast).
+    /// Boxed: a descriptor is large relative to every other variant.
+    Submit(Box<QueryDesc>),
+    /// Publish rows of a table into the DHT, resourceID = `pkey_col`.
+    PublishRows {
+        table: String,
+        rows: Vec<Tuple>,
+        pkey_col: usize,
+        lifetime: Dur,
+    },
+    /// Uninstall a query and reclaim its distributed state.
+    Cancel(u64),
+    /// How many result tuples has this node collected for a query?
+    ResultCount(u64),
+    /// The collected result tuples with their arrival times.
+    TimedResults(u64),
+    /// Lifecycle audit: installed queries, outstanding timers, and the
+    /// per-query soft-state residual over `max_stages` join stages.
+    LifecycleAudit { qids: Vec<u64>, max_stages: usize },
+}
+
+/// Typed responses to [`NodeRequest`]s.
+#[derive(Clone, Debug)]
+pub enum NodeResponse {
+    /// Acknowledgement of a fire-and-forget style mutation.
+    Done,
+    Count(usize),
+    TimedResults(Vec<(Time, Tuple)>),
+    Audit {
+        installed: usize,
+        timers: usize,
+        residuals: Vec<usize>,
+    },
+}
+
+impl NodeResponse {
+    /// Unwrap a [`NodeResponse::Count`]; panics on a variant mismatch
+    /// (harness misuse, not a runtime condition).
+    pub fn into_count(self) -> usize {
+        match self {
+            NodeResponse::Count(c) => c,
+            other => panic!("expected Count, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a [`NodeResponse::TimedResults`].
+    pub fn into_timed_results(self) -> Vec<(Time, Tuple)> {
+        match self {
+            NodeResponse::TimedResults(r) => r,
+            other => panic!("expected TimedResults, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a [`NodeResponse::Audit`] as `(installed, timers, residuals)`.
+    pub fn into_audit(self) -> (usize, usize, Vec<usize>) {
+        match self {
+            NodeResponse::Audit {
+                installed,
+                timers,
+                residuals,
+            } => (installed, timers, residuals),
+            other => panic!("expected Audit, got {other:?}"),
+        }
+    }
+}
+
+impl pier_simnet::Service for PierNode {
+    type Req = NodeRequest;
+    type Resp = NodeResponse;
+
+    fn on_request(&mut self, ctx: &mut Ctx<PierMsg>, req: NodeRequest) -> NodeResponse {
+        match req {
+            NodeRequest::Submit(desc) => {
+                self.submit(ctx, *desc);
+                NodeResponse::Done
+            }
+            NodeRequest::PublishRows {
+                table,
+                rows,
+                pkey_col,
+                lifetime,
+            } => {
+                self.publish_rows(ctx, &table, rows, pkey_col, lifetime);
+                NodeResponse::Done
+            }
+            NodeRequest::Cancel(qid) => {
+                self.cancel(ctx, qid);
+                NodeResponse::Done
+            }
+            NodeRequest::ResultCount(qid) => NodeResponse::Count(self.query_results(qid).len()),
+            NodeRequest::TimedResults(qid) => {
+                NodeResponse::TimedResults(self.query_results(qid).to_vec())
+            }
+            NodeRequest::LifecycleAudit { qids, max_stages } => NodeResponse::Audit {
+                installed: self.installed_query_count(),
+                timers: self.timer_action_count(),
+                residuals: qids
+                    .iter()
+                    .map(|&qid| self.query_soft_state(ctx.now, qid, max_stages))
+                    .collect(),
+            },
+        }
+    }
+}

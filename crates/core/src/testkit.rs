@@ -22,8 +22,9 @@ use crate::tuple::Tuple;
 pub type PierCtx<'a> = pier_simnet::app::Ctx<'a, PierMsg>;
 
 /// The engine surface the harness helpers need, implemented by both
-/// simulator variants. (The wall-clock `Cluster` is driven differently
-/// — real sleeps, injection via `call` — and stays out of scope.)
+/// simulator variants. (The wall-clock actor-runtime `Cluster` is
+/// driven differently — real sleeps, typed requests through handles —
+/// and stays out of scope.)
 pub trait PierEngine {
     fn node_count(&self) -> usize;
     fn now(&self) -> Time;

@@ -445,11 +445,12 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
-    /// Cluster engine: the same reclamation law holds on the threaded
-    /// wall-clock deployment (sub-second windows/epochs/renewals).
+    /// Cluster engine: the same reclamation law holds on the wall-clock
+    /// actor-runtime deployment (sub-second windows/epochs/renewals).
     #[test]
     fn lifecycle_interleaving_reclaims_on_cluster(seed in any::<u64>()) {
-        use pier_simnet::threaded::Cluster;
+        use pier_core::NodeRequest;
+        use pier_simnet::Cluster;
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC1C5);
         let n = 3usize;
         let n_tenants = 3usize;
@@ -473,18 +474,20 @@ proptest! {
             match ev {
                 LifecycleEvent::Install(t) => {
                     let desc = tenant_desc(kinds[t], 400 + t as u64, &mut rng, scale_us);
-                    cluster.cast(0, move |node, ctx| node.submit(ctx, desc));
+                    cluster.cast(0, NodeRequest::Submit(Box::new(desc)));
                 }
                 LifecycleEvent::Publish => {
                     let (table, row) = random_row(&mut rng, &mut next_id);
                     let publisher = rng.gen_range(0..n) as NodeId;
-                    cluster.cast(publisher, move |node, ctx| {
-                        node.publish_rows(ctx, &table, vec![row], 0, Dur::from_secs(100_000));
+                    cluster.cast(publisher, NodeRequest::PublishRows {
+                        table,
+                        rows: vec![row],
+                        pkey_col: 0,
+                        lifetime: Dur::from_secs(100_000),
                     });
                 }
                 LifecycleEvent::Uninstall(t) => {
-                    let qid = 400 + t as u64;
-                    cluster.cast(0, move |node, ctx| node.cancel(ctx, qid));
+                    cluster.cast(0, NodeRequest::Cancel(400 + t as u64));
                 }
             }
         }
@@ -493,18 +496,13 @@ proptest! {
             TENANT_HORIZON_UNITS * 20 + 500,
         ));
         for i in 0..n as NodeId {
-            let (installed, timers, residuals) = cluster.call(i, move |node, ctx| {
-                let now = ctx.now;
-                let residuals: Vec<usize> = (0..n_tenants)
-                    .map(|t| node.query_soft_state(now, 400 + t as u64, 2))
-                    .collect();
-                (
-                    node.installed_query_count(),
-                    node.timer_action_count(),
-                    residuals,
-                )
-            })
-            .expect("node alive");
+            let (installed, timers, residuals) = cluster
+                .request(i, NodeRequest::LifecycleAudit {
+                    qids: (0..n_tenants).map(|t| 400 + t as u64).collect(),
+                    max_stages: 2,
+                })
+                .expect("node alive")
+                .into_audit();
             prop_assert_eq!(installed, 0, "node {} registry", i);
             prop_assert_eq!(timers, 0, "node {} timers", i);
             for (t, left) in residuals.into_iter().enumerate() {

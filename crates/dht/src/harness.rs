@@ -6,14 +6,14 @@
 //! protocol behaviour exercised here is identical.
 
 use pier_simnet::app::{App, Ctx};
-use pier_simnet::time::Time;
-use pier_simnet::{NodeId, Wire};
+use pier_simnet::time::{Dur, Time};
+use pier_simnet::{NodeId, Service, Wire};
 
 use crate::dht::Dht;
 use crate::env::CtxEnv;
 use crate::event::DhtEvent;
 use crate::msg::DhtMsg;
-use crate::DhtConfig;
+use crate::{DhtConfig, Ns, Rid};
 
 /// Test harness automaton: one DHT stack, an event log, nothing else.
 pub struct DhtNode<V: Wire + Clone> {
@@ -79,6 +79,85 @@ impl<V: Wire + Clone + Send + 'static> App for DhtNode<V> {
         let mut events = Vec::new();
         self.dht.handle_timer(&mut env, token, &mut events);
         self.events.extend(events.into_iter().map(|e| (now, e)));
+    }
+}
+
+/// Typed requests for a [`DhtNode`] actor — the DHT's Table 3 provider
+/// calls plus the observations replication tests need, expressed as
+/// values so they can cross the actor-runtime wire.
+#[derive(Clone, Debug)]
+pub enum DhtRequest<V> {
+    /// Provider `put` into `(ns, rid, iid)` with a soft-state lifetime.
+    Put {
+        ns: Ns,
+        rid: Rid,
+        iid: u32,
+        val: V,
+        lifetime: Dur,
+    },
+    /// Provider `get`; results surface later as `GetResult` events
+    /// tagged with `token` (query via [`DhtRequest::NonEmptyGetResults`]).
+    Get { ns: Ns, rid: Rid, token: u64 },
+    /// How many items (live or not) does this node store under `ns`?
+    NsLen(Ns),
+    /// How many `GetResult` events with at least one item has this node
+    /// observed so far?
+    NonEmptyGetResults,
+}
+
+/// Typed responses to [`DhtRequest`]s.
+#[derive(Clone, Debug)]
+pub enum DhtResponse {
+    Done,
+    Count(usize),
+}
+
+impl DhtResponse {
+    /// Unwrap a [`DhtResponse::Count`]; panics on a variant mismatch.
+    pub fn into_count(self) -> usize {
+        match self {
+            DhtResponse::Count(c) => c,
+            DhtResponse::Done => panic!("expected Count, got Done"),
+        }
+    }
+}
+
+impl<V: Wire + Clone + Send + 'static> Service for DhtNode<V> {
+    type Req = DhtRequest<V>;
+    type Resp = DhtResponse;
+
+    fn on_request(&mut self, ctx: &mut Ctx<Self::Msg>, req: DhtRequest<V>) -> DhtResponse {
+        let now = ctx.now;
+        match req {
+            DhtRequest::Put {
+                ns,
+                rid,
+                iid,
+                val,
+                lifetime,
+            } => {
+                let mut env = CtxEnv { ctx };
+                let mut events = Vec::new();
+                self.dht
+                    .put(&mut env, ns, rid, iid, val, lifetime, &mut events);
+                self.events.extend(events.into_iter().map(|e| (now, e)));
+                DhtResponse::Done
+            }
+            DhtRequest::Get { ns, rid, token } => {
+                let mut env = CtxEnv { ctx };
+                let mut events = Vec::new();
+                self.dht.get(&mut env, ns, rid, token, &mut events);
+                self.events.extend(events.into_iter().map(|e| (now, e)));
+                DhtResponse::Done
+            }
+            DhtRequest::NsLen(ns) => DhtResponse::Count(self.dht.store.ns_len(ns)),
+            DhtRequest::NonEmptyGetResults => DhtResponse::Count(
+                self.events_where(
+                    |e| matches!(e, DhtEvent::GetResult { items, .. } if !items.is_empty()),
+                )
+                .count(),
+            ),
+        }
     }
 }
 

@@ -16,7 +16,7 @@
 //!   repair, no node's primary store holds an item whose key it does
 //!   not own (anti-entropy + re-homing converged).
 
-use pier_dht::harness::{stabilized_can_sim, DhtNode};
+use pier_dht::harness::{stabilized_can_sim, DhtNode, DhtRequest};
 use pier_dht::{ns_of, DhtConfig, DhtEvent, Ns};
 use pier_simnet::time::{Dur, Time};
 use pier_simnet::{Fault, FaultDriver, FaultScript, NetConfig, NodeId, Sim};
@@ -179,7 +179,7 @@ proptest! {
     }
 }
 
-/// The same durability property on the threaded wall-clock engine: kill
+/// The same durability property on the wall-clock actor runtime: kill
 /// a loaded node, wait out detection + takeover + anti-entropy, and
 /// read everything back (k = 2).
 #[test]
@@ -198,47 +198,51 @@ fn cluster_kill_heals_from_replicas() {
         .enumerate()
         .map(|(i, st)| DhtNode::with_dht(pier_dht::Dht::with_can(cfg.clone(), i as NodeId, st)))
         .collect();
-    let cluster = pier_simnet::threaded::Cluster::spawn(apps, 42);
-    cluster.call(0, move |node, ctx| {
-        let mut env = pier_dht::CtxEnv { ctx };
-        let mut ev = Vec::new();
-        for rid in 0..30u64 {
-            node.dht
-                .put(&mut env, ns, rid, 0, vec![1], Dur::from_secs(3600), &mut ev);
-        }
-    });
+    let cluster = pier_simnet::Cluster::spawn(apps, 42);
+    for rid in 0..30u64 {
+        cluster.request(
+            0,
+            DhtRequest::Put {
+                ns,
+                rid,
+                iid: 0,
+                val: vec![1],
+                lifetime: Dur::from_secs(3600),
+            },
+        );
+    }
     std::thread::sleep(std::time::Duration::from_millis(1500));
     // Kill the most loaded non-querying node.
     let victim = (1..n as NodeId)
-        .max_by_key(|&i| cluster.call(i, move |node, _| node.dht.store.ns_len(ns)))
+        .max_by_key(|&i| {
+            cluster
+                .request(i, DhtRequest::NsLen(ns))
+                .map(|r| r.into_count())
+        })
         .unwrap();
     let lost = cluster
-        .call(victim, move |node, _| node.dht.store.ns_len(ns))
-        .expect("victim alive before kill");
+        .request(victim, DhtRequest::NsLen(ns))
+        .expect("victim alive before kill")
+        .into_count();
     assert!(lost > 0, "victim must hold items for the test to bite");
     cluster.kill(victim);
     // Detection (2 s) + takeover + anti-entropy, wall clock.
     std::thread::sleep(std::time::Duration::from_millis(4500));
-    cluster.call(0, move |node, ctx| {
-        let now = ctx.now;
-        let mut env = pier_dht::CtxEnv { ctx };
-        let mut ev = Vec::new();
-        for rid in 0..30u64 {
-            node.dht.get(&mut env, ns, rid, rid, &mut ev);
-        }
-        for e in ev {
-            node.events.push((now, e));
-        }
-    });
+    for rid in 0..30u64 {
+        cluster.request(
+            0,
+            DhtRequest::Get {
+                ns,
+                rid,
+                token: rid,
+            },
+        );
+    }
     std::thread::sleep(std::time::Duration::from_millis(1500));
     let answered = cluster
-        .call(0, |node, _| {
-            node.events_where(
-                |e| matches!(e, DhtEvent::GetResult { items, .. } if !items.is_empty()),
-            )
-            .count()
-        })
-        .expect("querying node alive");
+        .request(0, DhtRequest::NonEmptyGetResults)
+        .expect("querying node alive")
+        .into_count();
     cluster.shutdown();
     assert_eq!(answered, 30, "every item must survive the kill at k = 2");
 }

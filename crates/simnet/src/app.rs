@@ -8,14 +8,14 @@ use rand::rngs::SmallRng;
 ///
 /// All node-local logic (DHT routing, storage, query processing) lives
 /// behind these three callbacks, so the identical code runs under the
-/// discrete-event [`crate::Sim`] and the wall-clock
-/// [`crate::threaded::Cluster`].
+/// discrete-event [`crate::Sim`] and the wall-clock actor runtime
+/// ([`crate::cluster::Cluster`]).
 ///
 /// Callbacks receive a [`Ctx`] through which the node sends messages, sets
 /// timers, and draws deterministic randomness. Handlers must not block.
 ///
-/// Automata (and their messages) are `Send`: the threaded
-/// [`crate::threaded::Cluster`] moves each one onto its own OS thread,
+/// Automata (and their messages) are `Send`: the actor-runtime
+/// [`crate::cluster::Cluster`] moves each one onto its own OS thread,
 /// and the sharded [`crate::sharded::ShardedSim`] moves whole shards of
 /// them onto worker threads at every window barrier.
 pub trait App: Sized + Send {
@@ -46,7 +46,7 @@ pub enum Action<M> {
 /// Handler context: the node's view of the engine during one callback.
 pub struct Ctx<'a, M> {
     /// Current engine time (virtual under simulation, wall-clock offset
-    /// under the threaded engine).
+    /// under the actor runtime).
     pub now: Time,
     /// This node's id.
     pub me: NodeId,

@@ -5,8 +5,8 @@
 //! schedule as a first-class object: a [`FaultScript`] is a seeded,
 //! time-ordered list of kill and message-drop-window events, and a
 //! [`FaultDriver`] replays it against *any* engine — the discrete-event
-//! [`crate::Sim`] (virtual clock) or the threaded
-//! [`crate::threaded::Cluster`] (wall clock) — through a caller-supplied
+//! [`crate::Sim`] (virtual clock) or the actor-runtime
+//! [`crate::cluster::Cluster`] (wall clock) — through a caller-supplied
 //! apply closure. The driver's trace records each fault at its *script*
 //! time, not the engine instant it was applied at, so the same seed and
 //! script produce byte-identical traces on both engines: the

@@ -15,30 +15,42 @@
 //!   worker threads with a conservative time-window barrier; bit-identical
 //!   results to [`Sim`] at any shard count, for the 10^4-node-and-beyond
 //!   runs a single core can't sustain.
-//! * [`threaded::Cluster`] — one OS thread per node over crossbeam
-//!   channels with a wall clock; our stand-in for the paper's real cluster
-//!   deployment (§5.8).
+//! * [`cluster::Cluster`] — the actor runtime: one free-running OS
+//!   thread per node actor over a [`transport::ChannelTransport`], wall
+//!   clock, no barrier; our stand-in for the paper's real cluster
+//!   deployment (§5.8). Consumers talk to actors only through typed
+//!   [`actor::NodeHandle`] requests.
+//!
+//! Between actors sits the pluggable [`transport::Transport`] layer:
+//! [`transport::ChannelTransport`] carries the cluster's traffic,
+//! [`transport::SimTransport`] presents the same surface over the
+//! unchanged deterministic engines.
 //!
 //! Message sizes are modeled by the [`Wire`] trait so that bandwidth and
 //! traffic accounting reflect on-the-wire bytes rather than Rust object
 //! sizes.
 
+pub mod actor;
 pub mod app;
+pub mod cluster;
 pub mod engine;
 pub mod fault;
 pub mod sharded;
 pub mod stats;
-pub mod threaded;
 pub mod time;
 pub mod topology;
+pub mod transport;
 
+pub use actor::{NodeHandle, Service};
 pub use app::{Action, App, Ctx};
+pub use cluster::Cluster;
 pub use engine::{NetConfig, Sim};
 pub use fault::{Fault, FaultDriver, FaultScript, Scheduled};
 pub use sharded::{ShardMap, ShardedSim};
-pub use stats::NetStats;
+pub use stats::{AtomicNetStats, NetStats};
 pub use time::{Dur, Time};
 pub use topology::{FullMesh, Topology, TransitStub, TransitStubParams};
+pub use transport::{ChannelTransport, SimTransport, Transport};
 
 /// Identifier of a physical node slot in an engine.
 ///

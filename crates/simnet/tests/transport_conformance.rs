@@ -1,0 +1,249 @@
+//! Transport conformance: every [`Transport`] backend must move and
+//! classify traffic identically through the trait surface, so engines
+//! can be swapped without consumers noticing. The same four laws run
+//! against all three backends — [`SimTransport`] over `Sim` and
+//! `ShardedSim`, and the actor runtime's [`ChannelTransport`] — via one
+//! generic harness:
+//!
+//! 1. **Delivery** — a send lands in the destination's mailbox and is
+//!    dispatched to its automaton, accounted as messages + bytes.
+//! 2. **Per-pair FIFO** — messages on one src→dst pair arrive in send
+//!    order, even interleaved with traffic from other sources.
+//! 3. **Drop windows** — sends into an open inbound-drop window are
+//!    discarded and counted as `dropped_in_window`; self-sends are
+//!    spared (loopback never crosses the faulted link); a closed
+//!    window delivers again.
+//! 4. **Dead destinations** — sends to a killed node count as
+//!    `dropped_to_failed`, never as traffic, and are never delivered.
+
+use pier_simnet::time::Dur;
+use pier_simnet::{
+    App, ChannelTransport, Cluster, Ctx, NetConfig, NodeId, Service, ShardMap, ShardedSim, Sim,
+    SimTransport, Transport, Wire,
+};
+
+const N: usize = 4;
+
+fn settle_for() -> Dur {
+    Dur::from_millis(200)
+}
+
+/// One recorded probe; fixed wire size so byte accounting is exact.
+#[derive(Clone, Debug)]
+struct Rec {
+    seq: u32,
+}
+
+impl Wire for Rec {
+    fn wire_size(&self) -> usize {
+        100
+    }
+}
+
+/// Passive automaton that logs every delivery as `(from, seq)`.
+#[derive(Default)]
+struct Recorder {
+    log: Vec<(NodeId, u32)>,
+}
+
+impl App for Recorder {
+    type Msg = Rec;
+    fn on_start(&mut self, _ctx: &mut Ctx<Rec>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<Rec>, from: NodeId, msg: Rec) {
+        self.log.push((from, msg.seq));
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<Rec>, _token: u64) {}
+}
+
+/// Single request: read back the delivery log (used by the channel
+/// backend, where node state lives on the actor thread).
+impl Service for Recorder {
+    type Req = ();
+    type Resp = Vec<(NodeId, u32)>;
+    fn on_request(&mut self, _ctx: &mut Ctx<Rec>, _req: ()) -> Vec<(NodeId, u32)> {
+        self.log.clone()
+    }
+}
+
+/// A backend under test: the [`Transport`] surface plus a way to read a
+/// live node's delivery log (engine access for the simulators, a typed
+/// request for the actor runtime).
+trait Net {
+    type T: Transport<Recorder>;
+    fn t(&mut self) -> &mut Self::T;
+    fn received(&mut self, node: NodeId) -> Vec<(NodeId, u32)>;
+}
+
+struct SimNet(SimTransport<Sim<Recorder>>);
+
+impl SimNet {
+    fn new() -> Self {
+        let mut sim = Sim::new(NetConfig::latency_only(9));
+        for _ in 0..N {
+            sim.add_node(Recorder::default());
+        }
+        SimNet(SimTransport::new(sim))
+    }
+}
+
+impl Net for SimNet {
+    type T = SimTransport<Sim<Recorder>>;
+    fn t(&mut self) -> &mut Self::T {
+        &mut self.0
+    }
+    fn received(&mut self, node: NodeId) -> Vec<(NodeId, u32)> {
+        self.0.engine().app(node).expect("live node").log.clone()
+    }
+}
+
+struct ShardedNet(SimTransport<ShardedSim<Recorder>>);
+
+impl ShardedNet {
+    fn new() -> Self {
+        let mut sim = ShardedSim::new(NetConfig::latency_only(9), ShardMap::round_robin(2));
+        for _ in 0..N {
+            sim.add_node(Recorder::default());
+        }
+        ShardedNet(SimTransport::new(sim))
+    }
+}
+
+impl Net for ShardedNet {
+    type T = SimTransport<ShardedSim<Recorder>>;
+    fn t(&mut self) -> &mut Self::T {
+        &mut self.0
+    }
+    fn received(&mut self, node: NodeId) -> Vec<(NodeId, u32)> {
+        self.0.engine().app(node).expect("live node").log.clone()
+    }
+}
+
+struct ClusterNet(Cluster<Recorder>);
+
+impl ClusterNet {
+    fn new() -> Self {
+        ClusterNet(Cluster::spawn(
+            (0..N).map(|_| Recorder::default()).collect(),
+            9,
+        ))
+    }
+}
+
+impl Net for ClusterNet {
+    type T = ChannelTransport<Recorder>;
+    fn t(&mut self) -> &mut Self::T {
+        self.0.transport_mut()
+    }
+    fn received(&mut self, node: NodeId) -> Vec<(NodeId, u32)> {
+        // The request queues behind every prior delivery in the node's
+        // mailbox, so the log it returns covers them all.
+        self.0.request(node, ()).expect("live node")
+    }
+}
+
+// ---------------------------------------------------------------------
+// The four laws, generic over the backend.
+// ---------------------------------------------------------------------
+
+fn law_delivery<B: Net>(mut net: B) {
+    for seq in 0..5 {
+        net.t().send(0, 1, Rec { seq });
+    }
+    net.t().settle(settle_for());
+    let got = net.received(1);
+    assert_eq!(got, (0..5).map(|s| (0, s)).collect::<Vec<_>>());
+    let st = net.t().stats();
+    assert_eq!(st.messages, 5);
+    assert_eq!(st.bytes, 500);
+    assert_eq!(st.dropped_to_failed, 0);
+    assert_eq!(st.dropped_in_window, 0);
+}
+
+fn law_per_pair_fifo<B: Net>(mut net: B) {
+    // Interleave two sources toward one destination; each pair's
+    // subsequence must stay in send order.
+    for seq in 0..20 {
+        net.t().send(0, 2, Rec { seq });
+        net.t().send(1, 2, Rec { seq });
+    }
+    net.t().settle(settle_for());
+    let got = net.received(2);
+    assert_eq!(got.len(), 40);
+    for src in [0, 1] {
+        let seqs: Vec<u32> = got
+            .iter()
+            .filter(|(f, _)| *f == src)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>(), "src {src} out of order");
+    }
+}
+
+fn law_drop_windows<B: Net>(mut net: B) {
+    net.t().set_inbound_drop(1, true);
+    for seq in 0..3 {
+        net.t().send(0, 1, Rec { seq });
+    }
+    // Loopback is spared by the window and never accounted as traffic.
+    net.t().send(1, 1, Rec { seq: 99 });
+    net.t().settle(settle_for());
+    let st = net.t().stats();
+    assert_eq!(st.dropped_in_window, 3);
+    assert_eq!(st.messages, 0);
+    assert_eq!(net.received(1), vec![(1, 99)]);
+    // A closed window delivers again.
+    net.t().set_inbound_drop(1, false);
+    net.t().send(0, 1, Rec { seq: 7 });
+    net.t().settle(settle_for());
+    assert_eq!(net.received(1), vec![(1, 99), (0, 7)]);
+    let st = net.t().stats();
+    assert_eq!(st.messages, 1);
+    assert_eq!(st.dropped_in_window, 3);
+}
+
+fn law_dead_destination<B: Net>(mut net: B) {
+    net.t().kill(3);
+    assert!(!net.t().alive(3));
+    net.t().send(0, 3, Rec { seq: 0 });
+    net.t().send(1, 3, Rec { seq: 1 });
+    // Control traffic to live nodes keeps flowing.
+    net.t().send(0, 2, Rec { seq: 2 });
+    net.t().settle(settle_for());
+    let st = net.t().stats();
+    assert_eq!(st.dropped_to_failed, 2);
+    assert_eq!(st.messages, 1);
+    assert_eq!(st.bytes, 100);
+    assert_eq!(net.received(2), vec![(0, 2)]);
+}
+
+macro_rules! conformance {
+    ($backend:ident, $mk:expr) => {
+        mod $backend {
+            use super::*;
+
+            #[test]
+            fn delivers_in_order_and_accounts_traffic() {
+                law_delivery($mk);
+            }
+
+            #[test]
+            fn preserves_per_pair_fifo() {
+                law_per_pair_fifo($mk);
+            }
+
+            #[test]
+            fn drop_windows_discard_account_and_spare_loopback() {
+                law_drop_windows($mk);
+            }
+
+            #[test]
+            fn dead_destinations_account_never_deliver() {
+                law_dead_destination($mk);
+            }
+        }
+    };
+}
+
+conformance!(sim_backend, SimNet::new());
+conformance!(sharded_backend, ShardedNet::new());
+conformance!(channel_backend, ClusterNet::new());

@@ -7,7 +7,8 @@
 //!
 //! This umbrella crate re-exports the workspace layers:
 //!
-//! * [`simnet`] — discrete-event and threaded network engines.
+//! * [`simnet`] — network engines: the deterministic simulators and the
+//!   actor-runtime cluster behind a pluggable transport.
 //! * [`dht`] — CAN and Chord overlays, storage manager, provider,
 //!   content-based multicast, soft state.
 //! * [`qp`] — the PIER query processor: tuples, expressions, the

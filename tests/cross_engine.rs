@@ -1,16 +1,17 @@
 //! Cross-engine parity: the same seeded query must yield the *identical
-//! result multiset* on the discrete-event simulator and on the threaded
-//! wall-clock cluster. Both engines drive the same `PierNode` automaton,
-//! so any divergence is an engine bug, not query-processor behavior.
+//! result multiset* on the discrete-event simulator and on the
+//! wall-clock actor-runtime cluster. Both engines drive the same
+//! `PierNode` automaton, so any divergence is an engine bug, not
+//! query-processor behavior.
 
 use pier::qp::plan::JoinStrategy;
 use pier::qp::semantics::same_multiset;
 use pier::qp::testkit::*;
-use pier::qp::{PierNode, Tuple};
-use pier::simnet::threaded::Cluster;
+use pier::qp::{NodeRequest, PierNode, Tuple};
 use pier::simnet::time::{Dur, Time};
 use pier::simnet::{
-    App, Ctx, Fault, FaultDriver, FaultScript, NetConfig, NodeId, Scheduled, ShardMap, Sim, Wire,
+    App, Cluster, Ctx, Fault, FaultDriver, FaultScript, NetConfig, NodeId, Scheduled, Service,
+    ShardMap, Sim, Wire,
 };
 use pier::workload::{RsParams, RsWorkload};
 use pier_dht::DhtConfig;
@@ -56,22 +57,30 @@ fn run_on_cluster(wl: &RsWorkload, n: usize) -> Vec<Tuple> {
     let r_frags = fragments(&wl.r, n);
     let s_frags = fragments(&wl.s, n);
     for (i, (r, s)) in r_frags.into_iter().zip(s_frags).enumerate() {
-        cluster.call(i as NodeId, move |node, ctx| {
-            node.publish_rows(ctx, "R", r, 0, Dur::from_secs(100_000));
-            node.publish_rows(ctx, "S", s, 0, Dur::from_secs(100_000));
-        });
+        for (table, rows) in [("R", r), ("S", s)] {
+            cluster.request(
+                i as NodeId,
+                NodeRequest::PublishRows {
+                    table: table.to_string(),
+                    rows,
+                    pkey_col: 0,
+                    lifetime: Dur::from_secs(100_000),
+                },
+            );
+        }
     }
     std::thread::sleep(std::time::Duration::from_millis(400));
     let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
-    cluster.call(0, move |node, ctx| node.submit(ctx, desc));
+    cluster.request(0, NodeRequest::Submit(Box::new(desc)));
     // Wait until the result count is stable for a while (wall clock).
     let mut last = 0;
     let mut stable = 0;
     for _ in 0..200 {
         std::thread::sleep(std::time::Duration::from_millis(50));
         let c = cluster
-            .call(0, |node, _| node.query_results(1).len())
-            .expect("initiator alive");
+            .request(0, NodeRequest::ResultCount(1))
+            .expect("initiator alive")
+            .into_count();
         if c == last && c > 0 {
             stable += 1;
             if stable > 10 {
@@ -82,14 +91,13 @@ fn run_on_cluster(wl: &RsWorkload, n: usize) -> Vec<Tuple> {
         }
         last = c;
     }
-    let rows = cluster
-        .call(0, |node, _| {
-            node.query_results(1)
-                .iter()
-                .map(|(_, r)| r.clone())
-                .collect::<Vec<_>>()
-        })
-        .expect("initiator alive");
+    let rows: Vec<Tuple> = cluster
+        .request(0, NodeRequest::TimedResults(1))
+        .expect("initiator alive")
+        .into_timed_results()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
     cluster.shutdown();
     rows
 }
@@ -233,6 +241,20 @@ impl App for Quiet {
     fn on_timer(&mut self, _ctx: &mut Ctx<Probe>, _token: u64) {}
 }
 
+/// The one probe request: emit a `Probe` toward each destination, from
+/// inside the actor loop — so the sends cross the transport exactly as
+/// automaton traffic does.
+impl Service for Quiet {
+    type Req = Vec<NodeId>;
+    type Resp = ();
+
+    fn on_request(&mut self, ctx: &mut Ctx<Probe>, dsts: Vec<NodeId>) {
+        for dst in dsts {
+            ctx.send(dst, Probe);
+        }
+    }
+}
+
 /// Both engines must *classify* identical sends identically under the
 /// same seeded `FaultScript`: a send to a live peer is traffic, a send
 /// to a killed node is `dropped_to_failed`, a send into an open drop
@@ -241,8 +263,6 @@ impl App for Quiet {
 /// channel send) and had no `dropped_to_failed` bucket at all.
 #[test]
 fn stats_classify_identically_on_both_engines() {
-    use std::sync::atomic::Ordering;
-
     // One scripted kill of node 2, plus a drop window [300 ms, 700 ms)
     // on node 3. Probes: node 0 sends into the open window at script
     // time 500 ms, then to a live node and the dead node at the end.
@@ -300,13 +320,11 @@ fn stats_classify_identically_on_both_engines() {
         Fault::DropEnd { node } => cluster.set_inbound_drop(node, false),
         Fault::Join { .. } => unreachable!("script schedules no joins"),
     });
-    cluster.call(0, |_, ctx| ctx.send(3, Probe)).unwrap();
-    // Sends flush on node 0's thread after the call returns: wait for
-    // the window drop to be accounted before healing the window.
+    cluster.request(0, vec![3]).unwrap();
+    // Sends flush on node 0's thread after the request returns: wait
+    // for the window drop to be accounted before healing the window.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-    while cluster.stats().dropped_in_window.load(Ordering::Relaxed) < 1
-        && std::time::Instant::now() < deadline
-    {
+    while cluster.stats().dropped_in_window < 1 && std::time::Instant::now() < deadline {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     while let Some(at) = drv.next_at() {
@@ -317,24 +335,19 @@ fn stats_classify_identically_on_both_engines() {
             Fault::Join { .. } => unreachable!("script schedules no joins"),
         });
     }
-    cluster
-        .call(0, |_, ctx| {
-            ctx.send(1, Probe);
-            ctx.send(2, Probe);
-        })
-        .unwrap();
+    cluster.request(0, vec![1, 2]).unwrap();
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-    while (cluster.stats().messages.load(Ordering::Relaxed) < 1
-        || cluster.stats().dropped_to_failed.load(Ordering::Relaxed) < 1)
+    while (cluster.stats().messages < 1 || cluster.stats().dropped_to_failed < 1)
         && std::time::Instant::now() < deadline
     {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
+    let stats = cluster.stats();
     let cluster_counts = (
-        cluster.stats().messages.load(Ordering::Relaxed),
-        cluster.stats().bytes.load(Ordering::Relaxed),
-        cluster.stats().dropped_to_failed.load(Ordering::Relaxed),
-        cluster.stats().dropped_in_window.load(Ordering::Relaxed),
+        stats.messages,
+        stats.bytes,
+        stats.dropped_to_failed,
+        stats.dropped_in_window,
     );
     cluster.shutdown();
 

@@ -1,7 +1,7 @@
 //! Workspace-level integration tests: the full stack (simnet → DHT →
 //! query processor) exercised through the umbrella `pier` crate, on
 //! grown (not pre-stabilized) overlays, across topologies, and on the
-//! threaded engine.
+//! actor-runtime cluster.
 
 use pier::qp::plan::JoinStrategy;
 use pier::qp::semantics::{recall, same_multiset};
@@ -134,9 +134,9 @@ fn threaded_cluster_runs_the_same_query() {
 /// Minimal threaded run (mirrors pier-bench's fig8 helper without
 /// depending on the bench crate).
 fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
-    use pier::simnet::threaded::Cluster;
+    use pier::qp::NodeRequest;
     use pier::simnet::time::Time;
-    use pier::simnet::NodeId;
+    use pier::simnet::{Cluster, NodeId};
 
     let wl = RsWorkload::generate(RsParams {
         s_rows: 40,
@@ -162,22 +162,30 @@ fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
         per_node[i % n].1.push(row.clone());
     }
     for (i, (r, s)) in per_node.into_iter().enumerate() {
-        cluster.call(i as NodeId, move |node, ctx| {
-            node.publish_rows(ctx, "R", r, 0, Dur::from_secs(100_000));
-            node.publish_rows(ctx, "S", s, 0, Dur::from_secs(100_000));
-        });
+        for (table, rows) in [("R", r), ("S", s)] {
+            cluster.request(
+                i as NodeId,
+                NodeRequest::PublishRows {
+                    table: table.to_string(),
+                    rows,
+                    pkey_col: 0,
+                    lifetime: Dur::from_secs(100_000),
+                },
+            );
+        }
     }
     std::thread::sleep(std::time::Duration::from_millis(300));
     let desc = wl.query(1, 0, JoinStrategy::SymmetricHash);
     let t0 = cluster.now();
-    cluster.call(0, move |node, ctx| node.submit(ctx, desc));
+    cluster.request(0, NodeRequest::Submit(Box::new(desc)));
     let mut last = 0;
     let mut stable = 0;
     for _ in 0..100 {
         std::thread::sleep(std::time::Duration::from_millis(40));
         let c = cluster
-            .call(0, |node, _| node.query_results(1).len())
-            .expect("initiator alive");
+            .request(0, NodeRequest::ResultCount(1))
+            .expect("initiator alive")
+            .into_count();
         if c == last && c > 0 {
             stable += 1;
             if stable > 5 {
@@ -189,13 +197,12 @@ fn pier_bench_threaded(n: usize) -> (Option<f64>, usize) {
         last = c;
     }
     let times: Vec<_> = cluster
-        .call(0, |node, _| {
-            node.query_results(1)
-                .iter()
-                .map(|(t, _)| *t)
-                .collect::<Vec<_>>()
-        })
-        .expect("initiator alive");
+        .request(0, NodeRequest::TimedResults(1))
+        .expect("initiator alive")
+        .into_timed_results()
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect();
     cluster.shutdown();
     let mut rel: Vec<f64> = times
         .iter()
