@@ -2,12 +2,14 @@
 //! Each prints a table and writes `results/<name>.csv`.
 
 use pier_core::expr::Expr;
+use pier_core::metrics::net_stats_json;
 use pier_core::plan::{AggCall, AggFunc, AggSpec, JoinStrategy, QueryDesc, QueryOp, ScanSpec};
+use pier_core::tenant::{AdmissionError, Quota};
 use pier_core::testkit::{
-    publish_round_robin, rows_of, run_query, settle_publish, stabilized_pier_sharded,
-    stabilized_pier_sim, PierEngine,
+    metrics_snapshot, publish_round_robin, rows_of, run_query, settle_publish,
+    stabilized_pier_sharded, stabilized_pier_sim, PierEngine,
 };
-use pier_core::{optimizer, NodeRequest, PierNode};
+use pier_core::{optimizer, NodeRequest, PierNode, PublishReport, TableRate, Tuple, Value};
 use pier_dht::{DhtConfig, OverlayKind};
 use pier_simnet::time::{Dur, Time};
 use pier_simnet::topology::TransitStub;
@@ -771,11 +773,14 @@ pub fn continuous() {
     let t0 = sim.now();
     sim.with_app(0, |node, ctx| node.submit(ctx, desc));
     let mut timed_reports: TimedRows = batch0.iter().map(|r| (Time::ZERO, r.clone())).collect();
-    // Per-epoch traffic: bytes delivered between consecutive boundaries.
-    let mut boundary_bytes = vec![sim.stats().bytes];
+    // Per-epoch traffic: bytes delivered between consecutive boundaries,
+    // read from the metrics-registry snapshot (the operator-facing
+    // surface) instead of a private engine tally — the parity assert
+    // below pins that the two can never drift apart.
+    let mut boundary_bytes = vec![metrics_snapshot(&sim).net.bytes];
     for k in 1..=n_epochs {
         sim.run_until(t0 + epoch.saturating_mul(k as u64));
-        boundary_bytes.push(sim.stats().bytes);
+        boundary_bytes.push(metrics_snapshot(&sim).net.bytes);
         if k < n_epochs {
             // A fresh report batch lands shortly after each boundary —
             // the late ones long after unrenewed state would be gone.
@@ -792,6 +797,12 @@ pub fn continuous() {
             timed_reports.extend(batch.iter().map(|r| (Time::ZERO + at, r.clone())));
         }
     }
+
+    // The snapshot's net section is the engine's ground truth,
+    // byte-for-byte — the bench numbers above ARE the observable ones.
+    let snap = metrics_snapshot(&sim);
+    assert_eq!(snap.net, sim.net_stats(), "metrics snapshot == NetStats");
+    assert_eq!(net_stats_json(&snap.net), net_stats_json(&sim.net_stats()));
 
     let mut timed: HashMap<String, TimedRows> = HashMap::new();
     timed.insert("intrusions".to_string(), timed_reports);
@@ -870,23 +881,37 @@ pub fn continuous() {
 // E11 — multi-tenant standing-query lifecycle (install → epochs → uninstall)
 // ---------------------------------------------------------------------
 
-/// The "millions of users" scale path, miniaturized: hundreds of
-/// staggered standing queries — flat per-fingerprint aggregates plus
-/// 2-way and 3-way join aggregates carrying per-query `RENEW` periods —
-/// are installed in waves, live for 3–5 epochs while reports stream in,
-/// and are uninstalled again, continuously, over a shared 12-node DHT
-/// with *no* node-global renewal loop. Hard-asserts (CI gate):
+/// The "millions of users" scale path, miniaturized *and governed*:
+/// hundreds of staggered standing queries — flat per-fingerprint
+/// aggregates plus 2-way and 3-way join aggregates carrying per-query
+/// `RENEW` periods — are installed in waves, live for 3–5 epochs while
+/// reports stream in, and are uninstalled again, continuously, over a
+/// shared 12-node DHT with *no* node-global renewal loop. Every tenant
+/// carries a [`Quota`] priced by the PR 3 cost model and installs
+/// through the typed admission surface ([`PierNode::try_submit`]).
+/// Hard-asserts (CI gate):
 ///
-/// * ≥ 200 tenants, per-epoch recall and precision 1.0 for every tenant
-///   while it is live (oracle: [`pier_core::semantics::reference_epochs_at`] restricted to
-///   each query's own install→uninstall span), and
+/// * ≥ 500 quota-governed tenants, per-epoch recall and precision 1.0
+///   for every tenant while it is live (oracle:
+///   [`pier_core::semantics::reference_epochs_at`] restricted to each
+///   query's own install→uninstall span);
+/// * a greedy tenant whose budget undercuts its query's price is
+///   refused with a typed [`AdmissionError::PricedTraffic`] — no
+///   multicast, no partial install;
+/// * a hot tenant flooding a noise table mid-run has the overflow shed
+///   at ingress by its token bucket ([`PierNode::publish_rows_from`])
+///   with co-tenant recall untouched — slow-tenant isolation;
 /// * zero residual soft state in every tenant's `qns::*` namespaces one
 ///   lifetime after its uninstall (per-namespace storage audit) — the
 ///   §3.3 reclamation-by-expiry answer to distributed garbage
-///   collection, now driven by explicit teardown.
+///   collection, now driven by explicit teardown;
+/// * the final [`pier_core::MetricsSnapshot`] matches the engine's
+///   [`pier_simnet::NetStats`] byte-for-byte
+///   ([`net_stats_json`]) and its governance counters match the
+///   harness-observed rejection/shed tallies exactly.
 ///
 /// Writes `results/BENCH_multitenant.json` (headlines: `min_recall`,
-/// `traffic_mb`) for the bench-trajectory gate.
+/// `fairness_min_recall`, `traffic_mb`) for the bench-trajectory gate.
 pub fn multitenant() {
     use pier_core::semantics::{precision, recall, reference_epochs_at, TimedRows};
     use pier_core::sql::parse_continuous_query;
@@ -895,8 +920,8 @@ pub fn multitenant() {
 
     let n = 12usize;
     let epoch = Dur::from_secs(30);
-    let per_wave = 8usize;
-    let n_tenants: usize = if full_scale() { 280 } else { 220 };
+    let per_wave = 12usize;
+    let n_tenants: usize = if full_scale() { 1000 } else { 516 };
     let distinct_fp = 10u64;
     let distinct_addr = 16u64;
     let renew_secs = 40u64; // per-query horizon: 3 × 40 = 120 s
@@ -939,8 +964,112 @@ pub fn multitenant() {
     publish_round_robin(&mut sim, "reputation", &reputation, 0, life);
     publish_round_robin(&mut sim, "intrusions", &batch0, 0, life);
     settle_publish(&mut sim);
+
+    // ---- governance setup -------------------------------------------
+    // Tenant ids are 1-based (tenant 0 is the unmetered default the
+    // harness publishes under). Every node gets the same table-rate
+    // catalog and quota book, so the install multicast converges on the
+    // same admission verdict overlay-wide.
+    let tenant_of = |i: usize| (i + 1) as u32;
+    let greedy_tenant = (n_tenants + 1) as u32;
+    let flood_tenant = (n_tenants + 2) as u32;
+    let avg_bytes =
+        |rows: &[Tuple]| rows.iter().map(|r| r.wire_size() as f64).sum::<f64>() / rows.len() as f64;
+    let table_rates = [
+        // The stream: one batch per epoch.
+        (
+            "intrusions",
+            TableRate {
+                rows_per_sec: rows_per_batch as f64 / epoch.as_secs_f64(),
+                avg_tuple_bytes: avg_bytes(&batch0),
+            },
+        ),
+        // Static side tables: published once, renewed never.
+        (
+            "advisories",
+            TableRate {
+                rows_per_sec: 0.05,
+                avg_tuple_bytes: avg_bytes(&advisories),
+            },
+        ),
+        (
+            "reputation",
+            TableRate {
+                rows_per_sec: 0.05,
+                avg_tuple_bytes: avg_bytes(&reputation),
+            },
+        ),
+    ];
+    for id in 0..n as NodeId {
+        sim.with_app(id, |node, _| {
+            for (table, rate) in table_rates {
+                node.governor.set_table_rate(pier_dht::ns_of(table), rate);
+            }
+        });
+    }
+    // Price each class once (fingerprint choice does not move the
+    // price — the cost model sees the same shape and rates) and give
+    // every tenant ~30% headroom over its own class's price.
+    let price_of = |sim: &Sim<PierNode>, i: usize| {
+        let desc = parse_continuous_query(&sql_of(i), &catalog, strategy, 4000, 0).unwrap();
+        sim.app(0).unwrap().governor.price(&desc)
+    };
+    let class_price = [price_of(&sim, 0), price_of(&sim, 1), price_of(&sim, 3)];
+    assert!(
+        class_price.iter().all(|p| *p > 0.0),
+        "every query class must price > 0 B/s (got {class_price:?})"
+    );
+    let price_by_class = |i: usize| match class_of(i) {
+        "3way" => class_price[0],
+        "2way" => class_price[1],
+        _ => class_price[2],
+    };
+    for id in 0..n as NodeId {
+        sim.with_app(id, |node, _| {
+            for i in 0..n_tenants {
+                node.governor.set_quota(
+                    tenant_of(i),
+                    Quota {
+                        max_standing: 2,
+                        max_priced_bytes_per_sec: price_by_class(i) * 1.3,
+                        ..Quota::unlimited()
+                    },
+                );
+            }
+            // The greedy tenant's budget undercuts the cheapest class.
+            node.governor.set_quota(
+                greedy_tenant,
+                Quota {
+                    max_priced_bytes_per_sec: class_price[2] * 0.5,
+                    ..Quota::unlimited()
+                },
+            );
+            // The flood tenant may publish 200 B/s sustained, 2 KB burst.
+            node.governor.set_quota(
+                flood_tenant,
+                Quota {
+                    publish_bytes_per_sec: 200.0,
+                    publish_burst_bytes: 2_000.0,
+                    ..Quota::unlimited()
+                },
+            );
+        });
+    }
+    // Admission control refuses the greedy tenant up front: typed
+    // rejection, nothing multicast, nothing installed anywhere.
+    let greedy_desc = parse_continuous_query(&sql_of(3), &catalog, strategy, 4999, 0)
+        .unwrap()
+        .with_tenant(greedy_tenant);
+    let verdict = sim
+        .with_app(0, |node, ctx| node.try_submit(ctx, greedy_desc))
+        .unwrap();
+    match verdict {
+        Err(AdmissionError::PricedTraffic { tenant, .. }) => assert_eq!(tenant, greedy_tenant),
+        other => panic!("greedy tenant must be refused on price, got {other:?}"),
+    }
+
     let t0 = sim.now();
-    let bytes0 = sim.stats().bytes;
+    let bytes0 = metrics_snapshot(&sim).net.bytes;
 
     // Timeline: tenant i installs at wave i / per_wave (every 30 s, on
     // the epoch grid so its flush instants stay ≥ 5 s clear of the
@@ -952,6 +1081,7 @@ pub fn multitenant() {
         Uninstall(usize),
         Install(usize),
         Audit(usize),
+        Flood,
     }
     let install_at = |i: usize| t0 + epoch.saturating_mul((i / per_wave) as u64);
     let uninstall_at =
@@ -972,21 +1102,58 @@ pub fn multitenant() {
             Ev::Publish,
         ));
     }
+    // The hot-tenant flood lands mid-run, clear of both the epoch grid
+    // and the publish instants.
+    events.push((t0 + epoch.saturating_mul(2) + Dur::from_secs(18), Ev::Flood));
     events.sort();
 
     let mut timed_reports: TimedRows = batch0.iter().map(|r| (Time::ZERO, r.clone())).collect();
     let mut next_batch = 1usize;
     let mut peak_installed = 0usize;
     let mut audited = 0usize;
+    let mut flood_report = PublishReport::default();
     for (at, ev) in events {
         sim.run_until(at);
         match ev {
             Ev::Install(i) => {
                 let desc = parse_continuous_query(&sql_of(i), &catalog, strategy, qid_of(i), 0)
-                    .expect("tenant SQL");
-                sim.with_app(0, |node, ctx| node.submit(ctx, desc));
+                    .expect("tenant SQL")
+                    .with_tenant(tenant_of(i));
+                let priced = sim
+                    .with_app(0, |node, ctx| node.try_submit(ctx, desc))
+                    .unwrap()
+                    .unwrap_or_else(|e| panic!("tenant {i} ({}) refused: {e}", class_of(i)));
+                assert!(priced > 0.0);
                 peak_installed =
                     peak_installed.max(sim.app(0).map_or(0, |nd| nd.installed_query_count()) + 1);
+            }
+            Ev::Flood => {
+                // 600 rows against a 2 KB burst + 200 B/s refill: the
+                // token bucket admits a sliver and sheds the rest at
+                // ingress — nothing shed ever reaches the wire. The
+                // noise table is outside every oracle, and its 60 s
+                // lifetime expires the admitted sliver long before the
+                // final occupancy audit.
+                let rows: Vec<Tuple> = (0..600)
+                    .map(|j| Tuple::new(vec![Value::I64(j), Value::I64(j * 7)]))
+                    .collect();
+                flood_report = sim
+                    .with_app(0, |node, ctx| {
+                        node.publish_rows_from(
+                            ctx,
+                            flood_tenant,
+                            "floodnoise",
+                            rows,
+                            0,
+                            Dur::from_secs(60),
+                        )
+                    })
+                    .unwrap();
+                assert!(
+                    flood_report.accepted > 0 && flood_report.shed > 400,
+                    "the flood must be clipped at ingress, not admitted \
+                     ({flood_report:?})"
+                );
             }
             Ev::Publish => {
                 let batch = intrusion::intrusions_from(
@@ -1041,7 +1208,22 @@ pub fn multitenant() {
             );
         }
     }
-    let traffic_mb = (sim.stats().bytes - bytes0) as f64 / 1e6;
+    // Read traffic through the metrics registry, not the engine: the
+    // snapshot's net section must BE the engine's ground truth —
+    // typed and byte-for-byte through the canonical JSON rendering.
+    let snap = metrics_snapshot(&sim);
+    assert_eq!(snap.net, sim.net_stats(), "metrics snapshot == NetStats");
+    assert_eq!(
+        net_stats_json(&snap.net),
+        net_stats_json(&sim.net_stats()),
+        "canonical JSON renders identically for snapshot and engine"
+    );
+    // Governance counters line up with what the harness saw happen:
+    // exactly one refused install (the greedy tenant, on node 0) and
+    // exactly the flood's shed rows.
+    assert_eq!(snap.rejected_installs(), 1, "one greedy rejection");
+    assert_eq!(snap.shed_publishes(), flood_report.shed as u64);
+    let traffic_mb = (snap.net.bytes - bytes0) as f64 / 1e6;
     let run_s = sim.now().since(t0).as_secs_f64();
 
     // Ground truth per tenant, restricted to its live span: epochs are
@@ -1111,7 +1293,7 @@ pub fn multitenant() {
             );
         }
     }
-    assert!(n_tenants >= 200, "the scale path needs ≥ 200 tenants");
+    assert!(n_tenants >= 500, "the scale path needs ≥ 500 tenants");
     assert!(
         nonempty * 10 >= tenant_epochs * 3,
         "the workload must keep most tenants busy ({nonempty}/{tenant_epochs} non-empty)"
@@ -1141,18 +1323,25 @@ pub fn multitenant() {
     }
     tab.emit();
     println!(
-        "multitenant: {n_tenants} tenants over {run_s:.0} s, peak {peak_installed} \
-         concurrent, {traffic_mb:.2} MB"
+        "multitenant: {n_tenants} quota-governed tenants over {run_s:.0} s, \
+         peak {peak_installed} concurrent, {traffic_mb:.2} MB, \
+         1 rejected install, {} shed publishes",
+        flood_report.shed
     );
 
     let json = format!(
         "{{\n  \"experiment\": \"multitenant\",\n  \"workload\": \
-         \"{n_tenants} staggered standing queries (flat / 2-way / 3-way, per-query RENEW) \
-         over {n} nodes, EPOCH 30 s\",\n  \
+         \"{n_tenants} staggered quota-governed standing queries \
+         (flat / 2-way / 3-way, per-query RENEW) over {n} nodes, EPOCH 30 s\",\n  \
          \"run_s\": {run_s:.0},\n  \"peak_concurrent\": {peak_installed},\n  \
          \"traffic_mb\": {traffic_mb:.4},\n  \
+         \"fairness_min_recall\": {min_recall:.4},\n  \
+         \"rejected_installs\": {},\n  \"shed_publishes\": {},\n  \
          \"metric\": \"per-tenant per-epoch recall/precision over each live span; \
+         typed admission rejection; token-bucket shed flood; \
          zero residual soft state one lifetime after uninstall\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        snap.rejected_installs(),
+        flood_report.shed,
         json_rows.join(",\n")
     );
     let dir = results_dir();

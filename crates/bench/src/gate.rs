@@ -79,6 +79,18 @@ pub const HEADLINES: &[Headline] = &[
         fold: Fold::Sum,
         better: Better::Lower,
     },
+    // multitenant fairness: the worst per-tenant live-span recall under
+    // quota governance (admission control + token-bucket shedding). A
+    // starved co-tenant sinks this below 1.0 — the regression the
+    // backpressure layer exists to prevent. (`extract` keys on the
+    // leading quote, so this never collides with the per-class
+    // `min_recall` rows.)
+    Headline {
+        experiment: "multitenant",
+        key: "fairness_min_recall",
+        fold: Fold::Min,
+        better: Better::Higher,
+    },
     // churn_slo: the replicated (k ≥ 2) recall frontier under scripted
     // churn must not sink, and scans must stay duplicate-free. The
     // artifact carries `slo_recall` only in k ≥ 2 rows, so the Min fold
@@ -320,6 +332,39 @@ mod tests {
         let j = "{\"experiment\": \"newexp\", \"rows\": [{\"metric\": 1.0}]}";
         let err = compare("newexp", j, j).unwrap_err();
         assert!(err[0].contains("no headline metrics"), "{err:?}");
+    }
+
+    fn multitenant_artifact(fairness: f64, class_recall: f64) -> String {
+        format!(
+            "{{\"experiment\": \"multitenant\", \"traffic_mb\": 35.0,\n  \
+             \"fairness_min_recall\": {fairness:.4},\n  \"rows\": [\n    \
+             {{\"class\": \"flat\", \"tenants\": 438, \"min_recall\": {class_recall:.4}, \
+             \"min_precision\": 1.0}}\n]}}"
+        )
+    }
+
+    #[test]
+    fn multitenant_starvation_regression_fails_the_gate() {
+        let old = multitenant_artifact(1.0, 1.0);
+        // The fairness key folds alone: the per-class `min_recall` rows
+        // must not leak into it (nor vice versa).
+        assert_eq!(extract(&old, "fairness_min_recall"), vec![1.0]);
+        assert_eq!(extract(&old, "min_recall"), vec![1.0]);
+        // A starved co-tenant (fairness sunk, per-class rows intact)
+        // fails on exactly the fairness headline.
+        let starved = multitenant_artifact(0.60, 1.0);
+        let err = compare("multitenant", &old, &starved).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|l| l.contains("FAIL") && l.contains("fairness_min_recall")),
+            "{err:?}"
+        );
+        assert!(
+            err.iter()
+                .any(|l| l.contains("OK") && l.contains("multitenant.min_recall")),
+            "per-class headline must still pass: {err:?}"
+        );
+        assert!(compare("multitenant", &old, &old).is_ok());
     }
 
     fn churn_artifact(k2_recall: f64, dups: usize) -> String {

@@ -15,12 +15,14 @@ pub mod bloom;
 pub mod catalog;
 pub mod expr;
 pub mod item;
+pub mod metrics;
 pub mod node;
 pub mod optimizer;
 pub mod plan;
 pub mod planner;
 pub mod semantics;
 pub mod sql;
+pub mod tenant;
 pub mod testkit;
 pub mod tuple;
 pub mod value;
@@ -29,9 +31,11 @@ pub use bloom::BloomFilter;
 pub use catalog::{Catalog, TableDef, TableStats};
 pub use expr::{BinOp, Expr, Func};
 pub use item::{PierMsg, QpItem, Side};
-pub use node::{NodeRequest, NodeResponse, PierNode};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, NodeMetrics, QueryMetrics};
+pub use node::{NodeRequest, NodeResponse, PierNode, PublishReport};
 pub use optimizer::{
-    choose_strategy, greedy_join_order, CostParams, JoinStats, Objective, TableCard,
+    choose_strategy, greedy_join_order, price_query, CostParams, JoinStats, Objective, TableCard,
+    TableRate,
 };
 pub use plan::{
     AggCall, AggFunc, AggSpec, JoinSpec, JoinStage, JoinStrategy, MultiJoinSpec, PipelineSchema,
@@ -39,5 +43,6 @@ pub use plan::{
 };
 pub use planner::plan_sql;
 pub use sql::parse_query;
+pub use tenant::{AdmissionError, Quota, TenantGovernor, TenantId, TokenBucket};
 pub use tuple::{ColType, Field, Schema, SchemaRef, Tuple};
 pub use value::Value;

@@ -21,12 +21,15 @@ use rand::Rng;
 use crate::agg::GroupAccs;
 use crate::bloom::BloomFilter;
 use crate::item::{PierMsg, QpItem, Side};
+use crate::metrics::{MetricsRegistry, NodeMetrics};
 use crate::plan::{
     qns, AggSpec, JoinSpec, JoinStrategy, MultiJoinSpec, PipelineSchema, QueryDesc, QueryOp,
     ScanSpec,
 };
+use crate::tenant::{AdmissionError, TenantGovernor};
 use crate::tuple::{FlatRow, Tuple};
 use crate::value::Value;
+use pier_simnet::Wire;
 
 /// Adapter: the DHT sublayer speaks `DhtMsg<QpItem>`, wrapped in
 /// [`PierMsg::Dht`] on the wire.
@@ -292,6 +295,14 @@ pub struct PierNode {
     published: Vec<PubRecord>,
     renew_every: Option<Dur>,
     iid_seq: u32,
+    /// Tenancy governance: admission control at install time and
+    /// publish-side token buckets ([`crate::tenant`]). Harnesses
+    /// configure quotas/rates directly (Sim) or via
+    /// [`NodeRequest::SetQuota`] / [`NodeRequest::SetTableRate`].
+    pub governor: TenantGovernor,
+    /// Per-query counters and node-level admission/backpressure totals
+    /// ([`crate::metrics`]); snapshot with [`Self::node_metrics`].
+    pub metrics: MetricsRegistry,
 }
 
 /// How many cancelled qids the tombstone FIFO remembers.
@@ -318,6 +329,8 @@ impl PierNode {
             published: Vec::new(),
             renew_every: None,
             iid_seq: 0,
+            governor: TenantGovernor::new(),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -376,6 +389,8 @@ impl PierNode {
 
     /// Publish rows of a table into the DHT, resourceID = primary key.
     /// Retains the rows so the renewal loop can republish them.
+    /// Unmetered (tenant 0 — backpressure never sheds the default
+    /// tenant unless a quota is registered for it).
     pub fn publish_rows(
         &mut self,
         ctx: &mut Ctx<PierMsg>,
@@ -384,13 +399,40 @@ impl PierNode {
         pkey_col: usize,
         lifetime: Dur,
     ) {
+        self.publish_rows_from(ctx, 0, table, rows, pkey_col, lifetime);
+    }
+
+    /// Tenant-attributed publish with token-bucket backpressure: each
+    /// row's wire bytes are charged against `tenant`'s bucket
+    /// ([`crate::tenant::TenantGovernor::try_publish`]); rows the
+    /// bucket refuses are *shed* — they never enter the DHT, never
+    /// join the renewal ledger, and are tallied in the node's
+    /// [`MetricsRegistry`] (`shed_publishes` / `shed_bytes`). This is
+    /// the slow-tenant isolation boundary: a hot tenant's flood is
+    /// clipped here, at ingress, before it can occupy the overlay.
+    pub fn publish_rows_from(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        tenant: u32,
+        table: &str,
+        rows: Vec<Tuple>,
+        pkey_col: usize,
+        lifetime: Dur,
+    ) -> PublishReport {
         let ns = pier_dht::ns_of(table);
+        let mut report = PublishReport::default();
         let mut env = PierEnv { ctx };
         let mut events = Vec::new();
         for row in rows {
             let rid = row.get(pkey_col).hash64();
-            let iid = self.fresh_iid();
             let item = QpItem::Row(FlatRow::from_tuple(&row));
+            let bytes = item.wire_size();
+            if !self.governor.try_publish(tenant, env.ctx.now, bytes as f64) {
+                self.metrics.on_shed(bytes);
+                report.shed += 1;
+                continue;
+            }
+            let iid = self.fresh_iid();
             self.dht
                 .put(&mut env, ns, rid, iid, item.clone(), lifetime, &mut events);
             self.published.push(PubRecord {
@@ -400,8 +442,10 @@ impl PierNode {
                 item,
                 lifetime,
             });
+            report.accepted += 1;
         }
         self.pump(ctx, events);
+        report
     }
 
     /// Start the renewal loop: republish everything every `every`.
@@ -434,7 +478,7 @@ impl PierNode {
         // period ([`QueryDesc::renew_every`]) run a dedicated loop
         // instead ([`Self::renew_query`]) and are skipped here.
         let horizon = self.fallback_horizon();
-        for inst in self.reg.queries.values() {
+        for (&qid, inst) in self.reg.queries.iter() {
             if inst.desc.renew_every.is_some() {
                 continue;
             }
@@ -449,6 +493,7 @@ impl PierNode {
                     &mut events,
                 );
             }
+            self.metrics.on_renewal(qid, env.ctx.now);
         }
         if let Some(every) = self.renew_every {
             let token = self.token();
@@ -508,6 +553,7 @@ impl PierNode {
     /// Retain a rehash-layer put for the renewal loop (see
     /// [`Self::renews_rehash_state`]).
     fn record_rehash(&mut self, qid: u64, ns: Ns, rid: Rid, iid: u32, item: &QpItem) {
+        self.metrics.on_rehash(qid, item.wire_size());
         if self.renews_rehash_state(qid) {
             if let Some(inst) = self.reg.queries.get_mut(&qid) {
                 inst.rehash_pubs.push(SoftPub {
@@ -545,6 +591,7 @@ impl PierNode {
                 &mut events,
             );
         }
+        self.metrics.on_renewal(qid, ctx.now);
         self.arm_timer(ctx, qid, every, TimerAction::RenewQuery { qid });
         self.pump(ctx, events);
     }
@@ -561,6 +608,33 @@ impl PierNode {
         self.dht
             .multicast(&mut env, QpItem::Query(desc), &mut events);
         self.pump(ctx, events);
+    }
+
+    /// Quota-governed submission: price the descriptor with the PR 3
+    /// cost model and dry-run it against the owning tenant's
+    /// [`crate::tenant::Quota`] *before* anything reaches the wire. An
+    /// over-budget query is rejected with a typed
+    /// [`AdmissionError`] — no multicast, no partial install — and
+    /// counted in this node's `rejected_installs`. On admission the
+    /// multicast proceeds; each receiving node (this one included, via
+    /// its own multicast delivery) re-checks and commits the budget at
+    /// install time, so the ledger converges overlay-wide.
+    /// Returns the priced bytes/sec charged against the quota.
+    pub fn try_submit(
+        &mut self,
+        ctx: &mut Ctx<PierMsg>,
+        desc: QueryDesc,
+    ) -> Result<f64, AdmissionError> {
+        match self.governor.check(&desc) {
+            Ok(priced) => {
+                self.submit(ctx, desc);
+                Ok(priced)
+            }
+            Err(e) => {
+                self.metrics.rejected_installs += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Tear a query down: multicast a best-effort [`QpItem::Cancel`] so
@@ -586,6 +660,8 @@ impl PierNode {
     /// not the only path. A bounded tombstone guards against a `Cancel`
     /// overtaking its query's still-in-flight install multicast.
     fn uninstall_query(&mut self, qid: u64) {
+        self.governor.release(qid);
+        self.metrics.on_uninstall(qid);
         if self.cancelled.len() == CANCEL_TOMBSTONES {
             self.cancelled.pop_front();
         }
@@ -658,6 +734,23 @@ impl PierNode {
         self.reg.queries.len()
     }
 
+    /// This node's [`NodeMetrics`] at `now`: registry counters plus the
+    /// live gauges (installed queries, soft-state occupancy by
+    /// namespace). `mailbox_depth` is a *transport* gauge the node
+    /// cannot see from inside its own loop; it is reported as 0 here
+    /// and overlaid by the harness where a real mailbox exists
+    /// (`Cluster::mailbox_depth` — the simulators have a global event
+    /// queue instead and legitimately report 0).
+    pub fn node_metrics(&self, now: Time) -> NodeMetrics {
+        NodeMetrics {
+            node: self.dht.me(),
+            installed_queries: self.reg.queries.len(),
+            mailbox_depth: 0,
+            occupancy: self.dht.store.occupancy(now),
+            registry: self.metrics.clone(),
+        }
+    }
+
     /// Is a query currently installed here?
     pub fn has_query(&self, qid: u64) -> bool {
         self.reg.queries.contains_key(&qid)
@@ -728,6 +821,21 @@ impl PierNode {
             // install must not resurrect a torn-down query.
             return;
         }
+        // Admission control: commit the query's priced budget against
+        // its tenant's quota, or refuse the install outright. Every node
+        // runs the same check on the same descriptor against the same
+        // quota table, so the overlay-wide verdict is uniform; the
+        // initiator's `try_submit` dry-run means a rejection here is
+        // only reachable when quotas changed mid-flight or the submitter
+        // bypassed governance with a raw `submit`.
+        let priced = match self.governor.admit(&desc) {
+            Ok(priced) => priced,
+            Err(_) => {
+                self.metrics.rejected_installs += 1;
+                return;
+            }
+        };
+        self.metrics.on_install(qid, desc.tenant, priced, ctx.now);
         let view = match &desc.op {
             QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
                 Some(Arc::new(PipelineSchema::binary(j, desc.prune)))
@@ -2269,6 +2377,7 @@ impl PierNode {
         ident: u64,
         row: Tuple,
     ) {
+        self.metrics.on_result(qid, row.wire_size());
         if initiator == ctx.me {
             if self.record_result(qid, ident) {
                 self.results.entry(qid).or_default().push((ctx.now, row));
@@ -2413,11 +2522,25 @@ impl App for PierNode {
 /// deployed node goes through one of these, executed on the actor
 /// thread with a full `Ctx` (so submit/publish emit network traffic
 /// exactly like any internal callback).
+/// Outcome of a tenant-attributed publish: how many rows entered the
+/// DHT and how many the tenant's token bucket shed at ingress.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Rows admitted into the overlay.
+    pub accepted: usize,
+    /// Rows refused by backpressure (never reached the wire).
+    pub shed: usize,
+}
+
 #[derive(Clone, Debug)]
 pub enum NodeRequest {
     /// Install and start a query at this node (§3.3 query multicast).
     /// Boxed: a descriptor is large relative to every other variant.
     Submit(Box<QueryDesc>),
+    /// Quota-governed submission ([`PierNode::try_submit`]): priced by
+    /// the cost model, rejected with a typed [`AdmissionError`] when
+    /// the owning tenant is over budget.
+    TrySubmit(Box<QueryDesc>),
     /// Publish rows of a table into the DHT, resourceID = `pkey_col`.
     PublishRows {
         table: String,
@@ -2425,6 +2548,28 @@ pub enum NodeRequest {
         pkey_col: usize,
         lifetime: Dur,
     },
+    /// Tenant-attributed publish with token-bucket backpressure
+    /// ([`PierNode::publish_rows_from`]); answers with the
+    /// accepted/shed split.
+    PublishRowsFor {
+        tenant: u32,
+        table: String,
+        rows: Vec<Tuple>,
+        pkey_col: usize,
+        lifetime: Dur,
+    },
+    /// Register (or replace) a tenant's quota on this node.
+    SetQuota {
+        tenant: u32,
+        quota: crate::tenant::Quota,
+    },
+    /// Register a base table's arrival rate for admission pricing.
+    SetTableRate {
+        table: String,
+        rate: crate::optimizer::TableRate,
+    },
+    /// This node's metrics snapshot ([`PierNode::node_metrics`]).
+    Metrics,
     /// Uninstall a query and reclaim its distributed state.
     Cancel(u64),
     /// How many result tuples has this node collected for a query?
@@ -2448,6 +2593,14 @@ pub enum NodeResponse {
         timers: usize,
         residuals: Vec<usize>,
     },
+    /// Admission verdict for a [`NodeRequest::TrySubmit`]: the priced
+    /// bytes/sec on success, the typed rejection otherwise.
+    Admission(Result<f64, AdmissionError>),
+    /// Accepted/shed split of a [`NodeRequest::PublishRowsFor`].
+    Publish(PublishReport),
+    /// Snapshot for a [`NodeRequest::Metrics`]. Boxed: far larger than
+    /// every other variant.
+    Metrics(Box<NodeMetrics>),
 }
 
 impl NodeResponse {
@@ -2479,6 +2632,30 @@ impl NodeResponse {
             other => panic!("expected Audit, got {other:?}"),
         }
     }
+
+    /// Unwrap a [`NodeResponse::Admission`].
+    pub fn into_admission(self) -> Result<f64, AdmissionError> {
+        match self {
+            NodeResponse::Admission(r) => r,
+            other => panic!("expected Admission, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a [`NodeResponse::Publish`].
+    pub fn into_publish_report(self) -> PublishReport {
+        match self {
+            NodeResponse::Publish(r) => r,
+            other => panic!("expected Publish, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a [`NodeResponse::Metrics`].
+    pub fn into_metrics(self) -> NodeMetrics {
+        match self {
+            NodeResponse::Metrics(m) => *m,
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
 }
 
 impl pier_simnet::Service for PierNode {
@@ -2491,6 +2668,7 @@ impl pier_simnet::Service for PierNode {
                 self.submit(ctx, *desc);
                 NodeResponse::Done
             }
+            NodeRequest::TrySubmit(desc) => NodeResponse::Admission(self.try_submit(ctx, *desc)),
             NodeRequest::PublishRows {
                 table,
                 rows,
@@ -2500,6 +2678,24 @@ impl pier_simnet::Service for PierNode {
                 self.publish_rows(ctx, &table, rows, pkey_col, lifetime);
                 NodeResponse::Done
             }
+            NodeRequest::PublishRowsFor {
+                tenant,
+                table,
+                rows,
+                pkey_col,
+                lifetime,
+            } => NodeResponse::Publish(
+                self.publish_rows_from(ctx, tenant, &table, rows, pkey_col, lifetime),
+            ),
+            NodeRequest::SetQuota { tenant, quota } => {
+                self.governor.set_quota(tenant, quota);
+                NodeResponse::Done
+            }
+            NodeRequest::SetTableRate { table, rate } => {
+                self.governor.set_table_rate(pier_dht::ns_of(&table), rate);
+                NodeResponse::Done
+            }
+            NodeRequest::Metrics => NodeResponse::Metrics(Box::new(self.node_metrics(ctx.now))),
             NodeRequest::Cancel(qid) => {
                 self.cancel(ctx, qid);
                 NodeResponse::Done

@@ -5,7 +5,8 @@
 //! there against Table 4) and a Figure-4-shaped traffic model, and pick
 //! the cheapest of the four strategies under a chosen objective.
 
-use crate::plan::JoinStrategy;
+use crate::plan::{JoinStrategy, QueryDesc, QueryOp, ScanSpec};
+use pier_dht::Ns;
 
 /// Network-level parameters of the cost model.
 #[derive(Clone, Copy, Debug)]
@@ -277,6 +278,103 @@ pub fn choose_strategy(p: &CostParams, s: &JoinStats, objective: Objective) -> J
         .into_iter()
         .min_by(|a, b| cost(*a).total_cmp(&cost(*b)))
         .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Admission pricing (the quota hook of the tenant governor)
+// ---------------------------------------------------------------------
+
+/// Publish-rate statistics of one base table — the per-second analogue
+/// of the catalog's [`crate::catalog::TableStats`], feeding admission
+/// pricing: how fast fresh tuples arrive and how wide they are on the
+/// wire. Registered per namespace with the tenant governor
+/// ([`crate::tenant::TenantGovernor::set_table_rate`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableRate {
+    /// Fresh publications per second across all publishers.
+    pub rows_per_sec: f64,
+    /// Average on-the-wire tuple size in bytes.
+    pub avg_tuple_bytes: f64,
+}
+
+impl Default for TableRate {
+    /// Conservative default for tables nobody profiled: one ~100 B
+    /// tuple per second (the catalog default's width at a slow trickle).
+    fn default() -> Self {
+        TableRate {
+            rows_per_sec: 1.0,
+            avg_tuple_bytes: 100.0,
+        }
+    }
+}
+
+/// Admission price of a query descriptor: modeled steady-state traffic
+/// in **bytes per second**, charged against the owning tenant's quota
+/// before the descriptor is installed.
+///
+/// The price reuses the byte-accurate [`traffic_model`] unchanged —
+/// feeding it per-*second* arrival rows instead of per-*run* table
+/// cardinalities turns its per-run bytes into bytes/sec. Joins are
+/// priced under their own strategy; pipelines fold left-deep with each
+/// stage's estimated [`JoinStats::results`] rate chained into the next
+/// (the same chaining [`greedy_join_order`] uses); scans and
+/// aggregations price as their input's selected arrival bytes (what
+/// gets shipped or rehashed into the aggregation namespace). Predicate
+/// selectivity uses the planner's classical ½ default.
+pub fn price_query(desc: &QueryDesc, rate_of: &dyn Fn(Ns) -> TableRate) -> f64 {
+    let sel = |pred: bool| if pred { 0.5 } else { 1.0 };
+    let scan_term = |s: &ScanSpec| {
+        let r = rate_of(s.ns);
+        r.rows_per_sec * sel(s.pred.is_some()) * r.avg_tuple_bytes
+    };
+    // Stats of one pipeline stage: left input at (rows/sec, bytes)
+    // joining a base-table scan.
+    let stage_stats = |l_rows: f64, l_bytes: f64, l_sel: f64, right: &ScanSpec| {
+        let r = rate_of(right.ns);
+        JoinStats {
+            rows_r: l_rows,
+            rows_s: r.rows_per_sec,
+            bytes_r: l_bytes,
+            bytes_s: r.avg_tuple_bytes,
+            ship_r: l_bytes,
+            ship_s: r.avg_tuple_bytes,
+            sel_r: l_sel,
+            sel_s: sel(right.pred.is_some()),
+            match_r: 0.9,
+            bytes_result: l_bytes + r.avg_tuple_bytes,
+            bloom_bytes: 2048.0,
+        }
+    };
+    let pipeline_price = |m: &crate::plan::MultiJoinSpec| {
+        let base = rate_of(m.base.ns);
+        let mut rows = base.rows_per_sec;
+        let mut bytes = base.avg_tuple_bytes;
+        let mut cur_sel = sel(m.base.pred.is_some());
+        let mut total = 0.0;
+        for stage in &m.stages {
+            let s = stage_stats(rows, bytes, cur_sel, &stage.right);
+            total += traffic_model(JoinStrategy::SymmetricHash, &s);
+            rows = s.results().max(f64::MIN_POSITIVE);
+            bytes = s.bytes_result;
+            cur_sel = 1.0;
+        }
+        total
+    };
+    match &desc.op {
+        QueryOp::Scan { scan, .. } => scan_term(scan),
+        QueryOp::Agg { scan, .. } => scan_term(scan),
+        QueryOp::Join(j) | QueryOp::JoinAgg { join: j, .. } => {
+            let l = rate_of(j.left.ns);
+            let s = stage_stats(
+                l.rows_per_sec,
+                l.avg_tuple_bytes,
+                sel(j.left.pred.is_some()),
+                &j.right,
+            );
+            traffic_model(j.strategy, &s)
+        }
+        QueryOp::MultiJoin(m) | QueryOp::MultiJoinAgg { join: m, .. } => pipeline_price(m),
+    }
 }
 
 #[cfg(test)]

@@ -328,6 +328,10 @@ pub struct QueryDesc {
     /// ([`PipelineSchema::build`]). `false` reinstates full-width
     /// intermediates — kept as a measurable baseline (`exp_pruning`).
     pub prune: bool,
+    /// Owning tenant, for admission control and per-tenant metrics
+    /// ([`crate::tenant::TenantGovernor`]). Tenant 0 is the default;
+    /// tenants without a registered quota are unlimited.
+    pub tenant: u32,
 }
 
 impl QueryDesc {
@@ -341,6 +345,7 @@ impl QueryDesc {
             renew_every: None,
             n_nodes: 0,
             prune: true,
+            tenant: 0,
         }
     }
 
@@ -360,6 +365,13 @@ impl QueryDesc {
     /// Toggle schema-aware pruning (`true` is the default).
     pub fn with_prune(mut self, prune: bool) -> Self {
         self.prune = prune;
+        self
+    }
+
+    /// Assign the query to a tenant (admission control and metrics
+    /// attribute it there; tenant 0 is the default tenant).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 

@@ -11,9 +11,10 @@ use pier_dht::can::balanced_overlay;
 use pier_dht::chord::balanced_chord_overlay;
 use pier_dht::{Dht, DhtConfig};
 use pier_simnet::time::{Dur, Time};
-use pier_simnet::{NetConfig, NetStats, NodeId, ShardMap, ShardedSim, Sim};
+use pier_simnet::{Cluster, NetConfig, NetStats, NodeId, ShardMap, ShardedSim, Sim};
 
 use crate::item::PierMsg;
+use crate::metrics::MetricsSnapshot;
 use crate::node::PierNode;
 use crate::plan::QueryDesc;
 use crate::tuple::Tuple;
@@ -209,4 +210,50 @@ pub fn rows_of(results: &[(Dur, Tuple)]) -> Vec<Tuple> {
 /// virtual time covers lookup + direct delivery at paper latencies).
 pub fn settle_publish(sim: &mut impl PierEngine) {
     sim.run_for(Dur::from_secs(8));
+}
+
+/// Deployment-wide [`MetricsSnapshot`] of a simulator engine: every
+/// live node's [`crate::metrics::NodeMetrics`] plus the engine's own
+/// [`NetStats`] — so the snapshot's `net` section *is* the ground
+/// truth, checkable byte-for-byte via
+/// [`crate::metrics::net_stats_json`]. Failed nodes are skipped (their
+/// state is frozen mid-failure, not observable health). Mailbox depth
+/// is 0 under the simulators — they run a global event queue, not
+/// per-node mailboxes.
+pub fn metrics_snapshot(sim: &impl PierEngine) -> MetricsSnapshot {
+    let now = sim.now();
+    MetricsSnapshot {
+        at: now,
+        nodes: (0..sim.node_count() as NodeId)
+            .filter_map(|id| sim.node(id))
+            .map(|node| node.node_metrics(now))
+            .collect(),
+        net: sim.net_stats(),
+    }
+}
+
+/// [`MetricsSnapshot`] of a wall-clock [`Cluster`]: per-node metrics
+/// gathered through the typed request surface
+/// ([`crate::node::NodeRequest::Metrics`]), with each node's
+/// transport-side mailbox depth overlaid (the one gauge the actor
+/// cannot see from inside its own loop). Killed nodes are skipped,
+/// mirroring [`metrics_snapshot`].
+pub fn cluster_metrics_snapshot(cluster: &Cluster<PierNode>) -> MetricsSnapshot {
+    let mut nodes = Vec::new();
+    for id in 0..cluster.node_count() as NodeId {
+        let Some(handle) = cluster.handle(id) else {
+            continue;
+        };
+        let Some(resp) = handle.request(crate::node::NodeRequest::Metrics) else {
+            continue;
+        };
+        let mut m = resp.into_metrics();
+        m.mailbox_depth = cluster.mailbox_depth(id);
+        nodes.push(m);
+    }
+    MetricsSnapshot {
+        at: cluster.now(),
+        nodes,
+        net: cluster.stats(),
+    }
 }

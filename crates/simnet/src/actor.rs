@@ -249,6 +249,7 @@ where
                         .unwrap_or(Duration::from_millis(200));
                     match rx.recv_timeout(timeout) {
                         Ok(Envelope::Msg { from, msg }) => {
+                            links.note_dequeue(me);
                             if dead() {
                                 break;
                             }
@@ -309,6 +310,7 @@ where
                             continue 'life;
                         }
                         Ok(Envelope::Stop) => break 'life,
+                        Ok(Envelope::Msg { .. }) => links.note_dequeue(me),
                         Ok(_) => {}
                         Err(RecvTimeoutError::Timeout) => prune_due(&mut timers),
                         Err(RecvTimeoutError::Disconnected) => break 'life,

@@ -167,6 +167,14 @@ where
         &mut self.transport
     }
 
+    /// Network messages currently waiting in `id`'s actor mailbox — the
+    /// backlog gauge a metrics snapshot reports per node. A healthy
+    /// actor hovers near zero; a sustained rise means the node is
+    /// dispatching slower than peers are sending.
+    pub fn mailbox_depth(&self, id: NodeId) -> usize {
+        self.transport.links().mailbox_depth(id)
+    }
+
     /// Wall-clock time since cluster start, in engine [`Time`] units.
     pub fn now(&self) -> Time {
         Time(self.start.elapsed().as_micros() as u64)

@@ -25,7 +25,7 @@
 //! sim); messages to killed destinations or into open drop windows are
 //! counted and discarded, never queued.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
@@ -81,6 +81,12 @@ pub(crate) struct Links<A: Service> {
     killed: Vec<AtomicBool>,
     drop_inbound: Vec<AtomicBool>,
     stats: AtomicNetStats,
+    /// Network messages currently enqueued per mailbox: incremented on
+    /// a delivered `Envelope::Msg`, decremented when the actor dequeues
+    /// it (dispatched live or discarded parked-dead). The depth gauge
+    /// behind `Cluster::mailbox_depth` — a sustained rise on one node
+    /// is the backlog signature of an overloaded or wedged actor.
+    depth: Vec<AtomicUsize>,
 }
 
 impl<A: Service> Links<A> {
@@ -91,6 +97,7 @@ impl<A: Service> Links<A> {
             killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             drop_inbound: (0..n).map(|_| AtomicBool::new(false)).collect(),
             stats: AtomicNetStats::new(n),
+            depth: (0..n).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 
@@ -118,7 +125,24 @@ impl<A: Service> Links<A> {
         if dst != src {
             self.stats.record_delivery(dst, msg.wire_size());
         }
-        let _ = tx.send(Envelope::Msg { from: src, msg });
+        if tx.send(Envelope::Msg { from: src, msg }).is_ok() {
+            self.depth[dst as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One `Envelope::Msg` left `id`'s mailbox (dispatched or
+    /// discarded); called by the actor loop only.
+    pub(crate) fn note_dequeue(&self, id: NodeId) {
+        if let Some(d) = self.depth.get(id as usize) {
+            d.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Network messages currently waiting in `id`'s mailbox.
+    pub(crate) fn mailbox_depth(&self, id: NodeId) -> usize {
+        self.depth
+            .get(id as usize)
+            .map_or(0, |d| d.load(Ordering::Relaxed))
     }
 
     pub(crate) fn alive(&self, id: NodeId) -> bool {
